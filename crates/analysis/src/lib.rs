@@ -1,0 +1,36 @@
+//! # safara-analysis — compiler analyses for OpenACC offload regions
+//!
+//! This crate implements the analyses SAFARA (§III of the paper) builds on:
+//!
+//! * [`affine`] — affine-form extraction for subscript expressions,
+//! * [`region`] — offload-region structure: which loops are distributed
+//!   over gangs/vector lanes (and to which thread dimension), which are
+//!   sequential,
+//! * [`depend`] — dependence distance tests between array references
+//!   (GCD test and constant-distance subtraction on affine subscripts),
+//! * [`reuse`] — data-reuse groups: intra-iteration (identical or
+//!   loop-invariant references) and inter-iteration (constant distance on a
+//!   sequential loop) reuse, the raw material of scalar replacement,
+//! * [`coalesce`] — the Jang-et-al.-style memory access-pattern analysis
+//!   that classifies each reference as coalesced / uncoalesced / broadcast
+//!   with respect to the x-dimension thread index,
+//! * [`memspace`] — classification into the GPU memory spaces the paper
+//!   considers (read-only cached vs read/write global),
+//! * [`cost`] — the `cost(R) = count(R) × latency(space(R))` model used to
+//!   prioritize scalar-replacement candidates.
+
+pub mod affine;
+pub mod coalesce;
+pub mod cost;
+pub mod depend;
+pub mod memspace;
+pub mod region;
+pub mod reuse;
+
+pub use affine::AffineExpr;
+pub use coalesce::{classify_ref, CoalesceClass};
+pub use cost::{AccessClass, CostModel, LatencyTable};
+pub use depend::{dep_distance, DepDistance};
+pub use memspace::{classify_arrays, ArraySpace};
+pub use region::{LoopInfo, RegionInfo, ThreadDim};
+pub use reuse::{find_reuse_groups, ReuseGroup, ReuseKind};

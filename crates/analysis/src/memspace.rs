@@ -1,0 +1,143 @@
+//! Memory-space classification of arrays within an offload region.
+//!
+//! Following §III-B.1 of the paper, array references are classified by the
+//! GPU memory space they will live in. Our implementation (like the
+//! paper's) considers **read-only** and **read/write global** data: an
+//! array that is never written inside the region (or is declared `const`)
+//! is eligible for the Kepler read-only data cache (`__ldg` loads), which
+//! has markedly lower latency than an L2/global access.
+
+use safara_ir::{ArrayTy, Ident, OffloadRegion, Param, Stmt};
+use std::collections::BTreeMap;
+
+/// Where an array's accesses are served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArraySpace {
+    /// Never written in the region → read-only data cache eligible.
+    ReadOnly,
+    /// Written (or both read and written) → ordinary global memory.
+    Global,
+}
+
+/// Per-array facts the rest of the pipeline needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayUsage {
+    /// The array's declared type.
+    pub ty: ArrayTy,
+    /// Declared `const` on the parameter list.
+    pub declared_const: bool,
+    /// Read anywhere in the region.
+    pub read: bool,
+    /// Written anywhere in the region.
+    pub written: bool,
+    /// Resulting space.
+    pub space: ArraySpace,
+}
+
+/// Classify every array *parameter* used inside `region` of a function
+/// with parameter list `params`.
+pub fn classify_arrays(
+    params: &[Param],
+    region: &OffloadRegion,
+) -> BTreeMap<Ident, ArrayUsage> {
+    let mut out: BTreeMap<Ident, ArrayUsage> = BTreeMap::new();
+    for p in params {
+        if let Param::Array { name, ty, is_const } = p {
+            out.insert(
+                name.clone(),
+                ArrayUsage {
+                    ty: ty.clone(),
+                    declared_const: *is_const,
+                    read: false,
+                    written: false,
+                    space: ArraySpace::ReadOnly,
+                },
+            );
+        }
+    }
+    mark(&region.body, &mut out);
+    for u in out.values_mut() {
+        u.space = if u.written { ArraySpace::Global } else { ArraySpace::ReadOnly };
+    }
+    // Drop arrays not touched by this region.
+    out.retain(|_, u| u.read || u.written);
+    out
+}
+
+fn mark(stmts: &[Stmt], out: &mut BTreeMap<Ident, ArrayUsage>) {
+    for (r, is_write) in safara_ir::visit::collect_array_refs(stmts) {
+        if let Some(u) = out.get_mut(&r.array) {
+            if is_write {
+                u.written = true;
+            } else {
+                u.read = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safara_ir::parse_program;
+
+    fn classify(src: &str) -> BTreeMap<Ident, ArrayUsage> {
+        let p = parse_program(src).unwrap();
+        let f = &p.functions[0];
+        classify_arrays(&f.params, f.regions()[0])
+    }
+
+    #[test]
+    fn read_only_vs_global() {
+        let m = classify(
+            r#"
+            void f(int n, const float in[n], float out[n], float tmp[n]) {
+              #pragma acc kernels
+              {
+                #pragma acc loop gang vector
+                for (int i = 0; i < n; i++) {
+                  tmp[i] = in[i];
+                  out[i] = tmp[i] * 2.0;
+                }
+              }
+            }"#,
+        );
+        assert_eq!(m[&Ident::new("in")].space, ArraySpace::ReadOnly);
+        assert_eq!(m[&Ident::new("out")].space, ArraySpace::Global);
+        assert_eq!(m[&Ident::new("tmp")].space, ArraySpace::Global);
+        assert!(m[&Ident::new("tmp")].read && m[&Ident::new("tmp")].written);
+    }
+
+    #[test]
+    fn compound_assign_counts_as_read_and_write() {
+        let m = classify(
+            r#"
+            void f(int n, float a[n]) {
+              #pragma acc kernels
+              {
+                #pragma acc loop gang vector
+                for (int i = 0; i < n; i++) { a[i] += 1.0; }
+              }
+            }"#,
+        );
+        let a = &m[&Ident::new("a")];
+        assert!(a.read && a.written);
+        assert_eq!(a.space, ArraySpace::Global);
+    }
+
+    #[test]
+    fn untouched_arrays_are_dropped() {
+        let m = classify(
+            r#"
+            void f(int n, float a[n], float unused[n]) {
+              #pragma acc kernels
+              {
+                #pragma acc loop gang vector
+                for (int i = 0; i < n; i++) { a[i] = 1.0; }
+              }
+            }"#,
+        );
+        assert!(m.contains_key(&Ident::new("a")));
+        assert!(!m.contains_key(&Ident::new("unused")));
+    }
+}

@@ -1,0 +1,645 @@
+//! Data-reuse analysis: find groups of array references that can share a
+//! register through scalar replacement.
+//!
+//! Three kinds of reuse are recognized (§III-B of the paper):
+//!
+//! * **Intra-iteration** — several textually distinct occurrences of the
+//!   *same* subscript vector within one iteration (`b[j][0]` used twice in
+//!   Fig. 5). Always safe, even on parallelized loops.
+//! * **Invariant** — a reference whose subscripts do not involve the
+//!   enclosing sequential loop's variable; it can be loaded once before
+//!   the loop (`b[j][0]` w.r.t. the `i` loop in Fig. 5).
+//! * **Inter-iteration** — references at constant distances along a
+//!   sequential loop (`b[j][i-1]` / `b[j][i+1]`), replaced by rotating
+//!   temporaries (Fig. 6). **Only** applied to sequential loops: applying
+//!   it to a parallelized loop would create loop-carried dependences and
+//!   sequentialize it (the paper's Fig. 3/4 pitfall — limitation 1 of
+//!   Carr–Kennedy).
+//!
+//! References are first deduplicated into *reference classes* (unique
+//! affine subscript vectors); classes are then linked into groups by
+//! dependence distance.
+
+use crate::affine::affine_of;
+use crate::depend::{dep_distance, may_overlap, DepDistance};
+use crate::region::RegionInfo;
+use safara_ir::{ArrayRef, Ident, LValue, OffloadRegion, Stmt};
+
+/// How a group's references reuse data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReuseKind {
+    /// Identical subscripts within an iteration.
+    Intra,
+    /// Subscripts invariant w.r.t. the given sequential loop variable.
+    Invariant {
+        /// The sequential loop the reference is invariant in.
+        var: Ident,
+    },
+    /// Constant distances along the given sequential loop variable.
+    Inter {
+        /// The sequential loop carrying the reuse.
+        var: Ident,
+        /// Largest distance between group members (registers needed is
+        /// `max_distance + 1`).
+        max_distance: u32,
+    },
+}
+
+/// A deduplicated reference class: one distinct subscript vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefClass {
+    /// The representative reference.
+    pub r: ArrayRef,
+    /// Textual read occurrences.
+    pub reads: u32,
+    /// Textual write occurrences.
+    pub writes: u32,
+    /// Estimated dynamic executions per thread (product of enclosing
+    /// sequential-loop trip estimates).
+    pub weight: u64,
+    /// Variable of the innermost *sequential* loop enclosing the
+    /// reference, if any.
+    pub seq_ctx: Option<Ident>,
+    /// Unique id of that loop *instance* — two loops over variables with
+    /// the same name (e.g. the `i` of a forward and of a backward sweep)
+    /// are different contexts and must never share reuse classes.
+    pub ctx_id: Option<u32>,
+}
+
+/// A reuse group: one or more reference classes that scalar replacement
+/// can serve from registers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseGroup {
+    /// The array referenced.
+    pub array: Ident,
+    /// Member classes. For `Inter` groups these are ordered by distance
+    /// from the group leader (ascending).
+    pub classes: Vec<RefClass>,
+    /// For `Inter` groups, the distance of each class from the leader
+    /// (parallel to `classes`; leader has distance 0).
+    pub distances: Vec<i64>,
+    /// Kind of reuse.
+    pub kind: ReuseKind,
+}
+
+impl ReuseGroup {
+    /// Registers a scalar-replacement of this group needs (one per
+    /// rotating temporary; 64-bit elements need two hardware registers,
+    /// which the caller accounts for via the element type).
+    pub fn temps_needed(&self) -> u32 {
+        match &self.kind {
+            ReuseKind::Intra | ReuseKind::Invariant { .. } => 1,
+            ReuseKind::Inter { max_distance, .. } => max_distance + 1,
+        }
+    }
+
+    /// Estimated memory loads eliminated per thread by replacing this
+    /// group (the quantity the cost model multiplies by latency).
+    pub fn loads_saved(&self) -> u64 {
+        let total_reads: u64 =
+            self.classes.iter().map(|c| c.reads as u64 * c.weight).sum();
+        match &self.kind {
+            // One load survives per iteration of the context.
+            ReuseKind::Intra => {
+                let w = self.classes.first().map(|c| c.weight).unwrap_or(1);
+                total_reads.saturating_sub(w)
+            }
+            // One load before the loop replaces all in-loop loads.
+            ReuseKind::Invariant { .. } => total_reads.saturating_sub(1),
+            // One leading-edge load per iteration replaces every class's
+            // loads.
+            ReuseKind::Inter { .. } => {
+                let w = self.classes.first().map(|c| c.weight).unwrap_or(1);
+                total_reads.saturating_sub(w)
+            }
+        }
+    }
+
+    /// Total textual read+write occurrences (the `reference_count(R)` of
+    /// the paper's cost formula, before dynamic weighting).
+    pub fn ref_count(&self) -> u32 {
+        self.classes.iter().map(|c| c.reads + c.writes).sum()
+    }
+}
+
+/// Find all reuse groups in an offload region.
+///
+/// `info` must be the result of [`RegionInfo::analyze`] on the same
+/// region. Arrays are assumed non-aliasing (distinct OpenACC device
+/// buffers).
+pub fn find_reuse_groups(region: &OffloadRegion, info: &RegionInfo) -> Vec<ReuseGroup> {
+    // 1. Collect references with their sequential-loop context.
+    let mut occs = Vec::new();
+    let mut cursor = 0usize;
+    collect_occurrences(&region.body, info, &mut Vec::new(), &mut cursor, &mut occs);
+
+    // 2. Deduplicate into classes keyed by (array, seq ctx, affine form).
+    let mut classes: Vec<RefClass> = Vec::new();
+    for occ in &occs {
+        let existing = classes.iter_mut().find(|c| {
+            c.r.array == occ.r.array
+                && c.seq_ctx == occ.seq_ctx
+                && c.ctx_id == occ.ctx_id
+                && same_subscripts(&c.r, &occ.r)
+        });
+        match existing {
+            Some(c) => {
+                if occ.is_write {
+                    c.writes += 1;
+                } else {
+                    c.reads += 1;
+                }
+            }
+            None => classes.push(RefClass {
+                r: occ.r.clone(),
+                reads: u32::from(!occ.is_write),
+                writes: u32::from(occ.is_write),
+                weight: occ.weight,
+                seq_ctx: occ.seq_ctx.clone(),
+                ctx_id: occ.ctx_id,
+            }),
+        }
+    }
+
+    // 3. Link classes into inter-iteration groups along their seq loop.
+    let mut used = vec![false; classes.len()];
+    let mut groups = Vec::new();
+    for i in 0..classes.len() {
+        if used[i] {
+            continue;
+        }
+        let seq_var = match &classes[i].seq_ctx {
+            Some(v) => v.clone(),
+            None => continue,
+        };
+        // Writes invalidate rotation; only read-only classes join.
+        if classes[i].writes > 0 {
+            continue;
+        }
+        // Rotation is only meaningful (and only performed) on unit-stride
+        // loops: on a strided loop the dependence distances below are in
+        // subscript units, not iterations. Leave the classes free for
+        // intra-iteration grouping instead (which is how unrolled loops
+        // recover their reuse).
+        let unit_stride = classes[i]
+            .ctx_id
+            .and_then(|id| info.loops.get(id as usize))
+            .map(|l| l.step == 1)
+            .unwrap_or(false);
+        if !unit_stride {
+            continue;
+        }
+        let mut members = vec![i];
+        let mut dists = vec![0i64];
+        for j in (i + 1)..classes.len() {
+            if used[j]
+                || classes[j].writes > 0
+                || classes[j].r.array != classes[i].r.array
+                || classes[j].seq_ctx.as_ref() != Some(&seq_var)
+                || classes[j].ctx_id != classes[i].ctx_id
+            {
+                continue;
+            }
+            if let DepDistance::Const(d) = dep_distance(&classes[j].r, &classes[i].r, &seq_var) {
+                members.push(j);
+                dists.push(d);
+            }
+        }
+        if members.len() < 2 {
+            continue;
+        }
+        // The array must not be written at overlapping subscripts inside
+        // the carrying loop (or loops nested within it), or rotated values
+        // would go stale. Writes in *other* loop nests execute in other
+        // kernels/iterations and do not interact with the rotation.
+        let group_loop = classes[i].ctx_id.expect("inter groups have a seq loop");
+        let written_refs: Vec<&ArrayRef> = occs
+            .iter()
+            .filter(|o| {
+                o.is_write
+                    && o.r.array == classes[i].r.array
+                    && o.ctx_chain.contains(&group_loop)
+            })
+            .map(|o| &o.r)
+            .collect();
+        let clobbered = members.iter().any(|&m| {
+            written_refs.iter().any(|w| may_overlap(w, &classes[m].r))
+        });
+        if clobbered {
+            continue;
+        }
+        // Normalize distances so the leader (distance 0) is the smallest.
+        let min_d = *dists.iter().min().expect("nonempty");
+        for d in &mut dists {
+            *d -= min_d;
+        }
+        let max_d = *dists.iter().max().expect("nonempty");
+        if max_d > 8 {
+            continue; // unreasonable register demand; leave to cache
+        }
+        // Sort members by distance.
+        let mut order: Vec<usize> = (0..members.len()).collect();
+        order.sort_by_key(|&k| dists[k]);
+        let group = ReuseGroup {
+            array: classes[i].r.array.clone(),
+            classes: order.iter().map(|&k| classes[members[k]].clone()).collect(),
+            distances: order.iter().map(|&k| dists[k]).collect(),
+            kind: ReuseKind::Inter { var: seq_var.clone(), max_distance: max_d as u32 },
+        };
+        for &m in &members {
+            used[m] = true;
+        }
+        groups.push(group);
+    }
+
+    // 4. Invariant groups: classes inside a seq loop whose subscripts are
+    //    free of the loop variable (and still unused by an inter group).
+    for (i, c) in classes.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let seq_var = match &c.seq_ctx {
+            Some(v) => v.clone(),
+            None => continue,
+        };
+        let free = c.r.indices.iter().all(|ix| affine_of(ix).is_free_of(&seq_var));
+        if !free {
+            continue;
+        }
+        // Cannot hoist if another write to the array *inside the carrying
+        // loop* may touch this element — or if the very same element is
+        // written under a different loop context anywhere in the region
+        // (the temporary could then go stale between the hoisted load and
+        // a use: e.g. an unrolled main loop updates `c[i]` before the
+        // remainder loop's hoisted copy reads it).
+        let inv_loop = c.ctx_id.expect("invariant groups have a seq loop");
+        let conflict = occs.iter().any(|o| {
+            o.is_write
+                && o.r.array == c.r.array
+                && ((o.ctx_chain.contains(&inv_loop)
+                    && !same_subscripts(&o.r, &c.r)
+                    && may_overlap(&o.r, &c.r))
+                    || (o.ctx_id != c.ctx_id && same_subscripts(&o.r, &c.r)))
+        });
+        if conflict {
+            continue;
+        }
+        // Only worthwhile if the loop actually repeats the access, i.e.
+        // reads + writes ≥ 1 and loop trips > 1 — the trip estimate is in
+        // the weight; single-use invariants still save (trip-1) loads.
+        if c.reads == 0 {
+            continue; // pure writes cannot be hoisted without a mask
+        }
+        groups.push(ReuseGroup {
+            array: c.r.array.clone(),
+            classes: vec![c.clone()],
+            distances: vec![0],
+            kind: ReuseKind::Invariant { var: seq_var },
+        });
+    }
+
+    // 5. Intra groups: remaining classes with ≥ 2 accesses (or a
+    //    read-modify-write pair) — one temp per class.
+    let invariant_covered: Vec<ArrayRef> = groups
+        .iter()
+        .filter(|g| matches!(g.kind, ReuseKind::Invariant { .. }))
+        .map(|g| g.classes[0].r.clone())
+        .collect();
+    for (i, c) in classes.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        if invariant_covered.iter().any(|r| same_subscripts(r, &c.r)) {
+            continue;
+        }
+        if c.reads + c.writes < 2 || c.reads == 0 {
+            continue;
+        }
+        // The same element must not be written under a different loop
+        // context: a nested loop's write-through would leave this scope's
+        // temporary stale (and vice versa).
+        let escapes = occs.iter().any(|o| {
+            o.is_write
+                && o.r.array == c.r.array
+                && o.ctx_id != c.ctx_id
+                && same_subscripts(&o.r, &c.r)
+        });
+        if escapes {
+            continue;
+        }
+        groups.push(ReuseGroup {
+            array: c.r.array.clone(),
+            classes: vec![c.clone()],
+            distances: vec![0],
+            kind: ReuseKind::Intra,
+        });
+    }
+
+    groups
+}
+
+/// Structural subscript equality modulo affine normalization.
+pub fn same_subscripts(a: &ArrayRef, b: &ArrayRef) -> bool {
+    a.indices.len() == b.indices.len()
+        && a.indices.iter().zip(&b.indices).all(|(x, y)| {
+            let (fx, fy) = (affine_of(x), affine_of(y));
+            if fx.nonaffine || fy.nonaffine {
+                return x == y; // fall back to structural equality
+            }
+            let d = fx.sub(&fy);
+            d.is_const() && d.konst == 0
+        })
+}
+
+struct Occurrence {
+    r: ArrayRef,
+    is_write: bool,
+    weight: u64,
+    seq_ctx: Option<Ident>,
+    ctx_id: Option<u32>,
+    /// Ids of every enclosing sequential loop (outermost first) — used to
+    /// scope write-clobber checks to the loop instance that carries a
+    /// reuse group, rather than the whole region.
+    ctx_chain: Vec<u32>,
+}
+
+/// Walk pre-order, pairing every `For` with the corresponding entry of
+/// `info.loops` (also pre-order) via `cursor` — loops are identified by
+/// *instance*, never by variable name, so nests that reuse `i`/`j`/`k`
+/// cannot contaminate each other. A sequential loop's context id is its
+/// pre-order index.
+fn collect_occurrences(
+    stmts: &[Stmt],
+    info: &RegionInfo,
+    seq_stack: &mut Vec<(Ident, u64, u32)>,
+    cursor: &mut usize,
+    out: &mut Vec<Occurrence>,
+) {
+    let push = |out: &mut Vec<Occurrence>, seq_stack: &[(Ident, u64, u32)], r: &ArrayRef, w: bool| {
+        out.push(Occurrence {
+            r: r.clone(),
+            is_write: w,
+            weight: seq_stack.iter().map(|(_, t, _)| t.max(&1)).product::<u64>().max(1),
+            seq_ctx: seq_stack.last().map(|(v, _, _)| v.clone()),
+            ctx_id: seq_stack.last().map(|(_, _, id)| *id),
+            ctx_chain: seq_stack.iter().map(|(_, _, id)| *id).collect(),
+        });
+    };
+    for s in stmts {
+        match s {
+            Stmt::DeclScalar { init, .. } => {
+                if let Some(e) = init {
+                    for_each_read(e, &mut |r| push(out, seq_stack, r, false));
+                }
+            }
+            Stmt::Assign { lhs, op, rhs } => {
+                if let LValue::ArrayRef(a) = lhs {
+                    for ix in &a.indices {
+                        for_each_read(ix, &mut |r| push(out, seq_stack, r, false));
+                    }
+                    if op.bin_op().is_some() {
+                        push(out, seq_stack, a, false);
+                    }
+                    push(out, seq_stack, a, true);
+                }
+                for_each_read(rhs, &mut |r| push(out, seq_stack, r, false));
+            }
+            Stmt::For(f) => {
+                for_each_read(&f.lo, &mut |r| push(out, seq_stack, r, false));
+                for_each_read(&f.bound, &mut |r| push(out, seq_stack, r, false));
+                let li = info.loops.get(*cursor);
+                debug_assert!(
+                    li.map(|l| l.var == f.var).unwrap_or(true),
+                    "loop cursor out of sync with RegionInfo"
+                );
+                let id = *cursor as u32;
+                *cursor += 1;
+                let is_seq = li.map(|l| l.mapped.is_none()).unwrap_or(true);
+                if is_seq {
+                    let trip = li.map(|l| l.est_trip).unwrap_or(1);
+                    seq_stack.push((f.var.clone(), trip, id));
+                    collect_occurrences(&f.body, info, seq_stack, cursor, out);
+                    seq_stack.pop();
+                } else {
+                    collect_occurrences(&f.body, info, seq_stack, cursor, out);
+                }
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                for_each_read(cond, &mut |r| push(out, seq_stack, r, false));
+                collect_occurrences(then_body, info, seq_stack, cursor, out);
+                collect_occurrences(else_body, info, seq_stack, cursor, out);
+            }
+            Stmt::Block(b) => collect_occurrences(b, info, seq_stack, cursor, out),
+            Stmt::Region(_) => {} // regions cannot nest (sema enforces)
+        }
+    }
+}
+
+fn for_each_read(e: &safara_ir::Expr, f: &mut impl FnMut(&ArrayRef)) {
+    safara_ir::visit::walk_expr(e, &mut |e| {
+        if let safara_ir::Expr::ArrayRef(a) = e {
+            f(a);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safara_ir::parse_program;
+
+    fn groups_of(src: &str) -> Vec<ReuseGroup> {
+        let p = parse_program(src).unwrap();
+        let f = &p.functions[0];
+        let region = f.regions()[0];
+        let info = RegionInfo::analyze(region);
+        find_reuse_groups(region, &info)
+    }
+
+    /// The paper's Fig. 5 program.
+    const FIG5: &str = r#"
+    void fig5(int jsize, int isize, float a[258][258], float b[258][258],
+              float c[258], float d[258]) {
+      #pragma acc kernels
+      {
+        #pragma acc loop gang vector
+        for (int j = 1; j <= jsize; j++) {
+          c[j] = b[j][0] + b[j][1];
+          d[j] = c[j] * b[j][0];
+          #pragma acc loop seq
+          for (int i = 1; i <= isize; i++) {
+            a[i][j] += a[i - 1][j] + b[j][i - 1] + a[i + 1][j] + b[j][i + 1];
+          }
+        }
+      }
+    }"#;
+
+    #[test]
+    fn fig5_finds_inter_group_on_b() {
+        let groups = groups_of(FIG5);
+        let inter: Vec<&ReuseGroup> = groups
+            .iter()
+            .filter(|g| matches!(g.kind, ReuseKind::Inter { .. }))
+            .collect();
+        // b[j][i-1] / b[j][i+1] with distance 2 on i.
+        let b = inter.iter().find(|g| g.array.as_str() == "b").expect("b inter group");
+        match &b.kind {
+            ReuseKind::Inter { var, max_distance } => {
+                assert_eq!(var.as_str(), "i");
+                assert_eq!(*max_distance, 2);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        assert_eq!(b.temps_needed(), 3); // b0, b1, b2 as in Fig. 6
+        assert_eq!(b.distances, vec![0, 2]);
+    }
+
+    #[test]
+    fn fig5_a_refs_not_rotated_because_written() {
+        // a is written (a[i][j] +=) at subscripts overlapping a[i±1][j]
+        // across iterations, so no inter group on a may form.
+        let groups = groups_of(FIG5);
+        assert!(
+            !groups
+                .iter()
+                .any(|g| g.array.as_str() == "a" && matches!(g.kind, ReuseKind::Inter { .. })),
+            "a must not get an inter-iteration group: it is written in the loop"
+        );
+    }
+
+    #[test]
+    fn intra_reuse_of_identical_refs() {
+        // b[j][0] appears twice in one iteration of the parallel loop:
+        // intra reuse (no seq context at that nesting level).
+        let groups = groups_of(FIG5);
+        let intra: Vec<&ReuseGroup> = groups
+            .iter()
+            .filter(|g| g.kind == ReuseKind::Intra && g.array.as_str() == "b")
+            .collect();
+        assert_eq!(intra.len(), 1);
+        assert_eq!(intra[0].classes[0].reads, 2);
+        assert_eq!(intra[0].loads_saved(), 1);
+    }
+
+    #[test]
+    fn no_inter_groups_on_parallel_loops() {
+        // The paper's Fig. 3: b[i] and b[i+1] on a *parallelized* loop must
+        // NOT become an inter-iteration group (that would sequentialize).
+        let groups = groups_of(
+            r#"
+            void fig3(int n, float a[1026], float b[1026]) {
+              #pragma acc kernels
+              {
+                #pragma acc loop gang vector
+                for (int i = 1; i <= n; i++) {
+                  a[i] = (b[i] + b[i + 1]) / 2.0;
+                }
+              }
+            }"#,
+        );
+        assert!(
+            groups.iter().all(|g| !matches!(g.kind, ReuseKind::Inter { .. })),
+            "inter-iteration SR on a parallel loop would sequentialize it: {groups:?}"
+        );
+    }
+
+    #[test]
+    fn inter_group_allowed_on_seq_loop() {
+        // Same pattern but the loop is seq: rotation is legal (Fig. 4).
+        let groups = groups_of(
+            r#"
+            void f(int n, float a[1026], float b[1026]) {
+              #pragma acc kernels
+              {
+                #pragma acc loop gang vector
+                for (int t = 0; t < 4; t++) {
+                  #pragma acc loop seq
+                  for (int i = 1; i <= n; i++) {
+                    a[i] = (b[i] + b[i + 1]) / 2.0;
+                  }
+                }
+              }
+            }"#,
+        );
+        let g = groups
+            .iter()
+            .find(|g| matches!(g.kind, ReuseKind::Inter { .. }))
+            .expect("inter group on seq loop");
+        assert_eq!(g.array.as_str(), "b");
+        assert_eq!(g.temps_needed(), 2);
+    }
+
+    #[test]
+    fn invariant_group_detected() {
+        let groups = groups_of(
+            r#"
+            void f(int n, int m, float a[n][m], const float s[n]) {
+              #pragma acc kernels
+              {
+                #pragma acc loop gang vector
+                for (int i = 0; i < n; i++) {
+                  #pragma acc loop seq
+                  for (int k = 0; k < 100; k++) {
+                    a[i][k] = a[i][k] + s[i];
+                  }
+                }
+              }
+            }"#,
+        );
+        let inv = groups
+            .iter()
+            .find(|g| matches!(g.kind, ReuseKind::Invariant { .. }))
+            .expect("invariant group for s[i]");
+        assert_eq!(inv.array.as_str(), "s");
+        assert_eq!(inv.temps_needed(), 1);
+        // 100 iterations × 1 read − 1 hoisted load = 99 saved.
+        assert_eq!(inv.loads_saved(), 99);
+    }
+
+    #[test]
+    fn rmw_same_subscript_is_intra() {
+        let groups = groups_of(
+            r#"
+            void f(int n, float a[n]) {
+              #pragma acc kernels
+              {
+                #pragma acc loop gang vector
+                for (int i = 0; i < n; i++) {
+                  a[i] += 1.0;
+                  a[i] += 2.0;
+                }
+              }
+            }"#,
+        );
+        let g = groups.iter().find(|g| g.kind == ReuseKind::Intra).expect("intra rmw group");
+        assert_eq!(g.classes[0].reads, 2);
+        assert_eq!(g.classes[0].writes, 2);
+    }
+
+    #[test]
+    fn weights_multiply_across_nested_seq_loops() {
+        let groups = groups_of(
+            r#"
+            void f(int n, const float c[n], float a[n]) {
+              #pragma acc kernels
+              {
+                #pragma acc loop gang vector
+                for (int i = 0; i < n; i++) {
+                  #pragma acc loop seq
+                  for (int p = 0; p < 10; p++) {
+                    #pragma acc loop seq
+                    for (int q = 0; q < 5; q++) {
+                      a[i] += c[i];
+                    }
+                  }
+                }
+              }
+            }"#,
+        );
+        let inv = groups
+            .iter()
+            .find(|g| g.array.as_str() == "c")
+            .expect("invariant c[i] group");
+        assert_eq!(inv.classes[0].weight, 50);
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the compiler pipeline itself: front-end,
+//! analyses, SAFARA (with feedback), code generation and register
+//! allocation — the compile-time cost of the paper's approach, per
+//! DESIGN.md's "compile-time cost of the passes" entry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safara_core::{compile, CompilerConfig};
+use safara_workloads::{spec_suite, Workload};
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(10);
+    for w in spec_suite() {
+        if !["355.seismic", "356.sp", "303.ostencil"].contains(&w.name()) {
+            continue;
+        }
+        let src = w.source();
+        g.bench_function(format!("{}/base", w.name()), |b| {
+            b.iter(|| compile(black_box(&src), &CompilerConfig::base()).unwrap())
+        });
+        g.bench_function(format!("{}/safara+clauses", w.name()), |b| {
+            b.iter(|| compile(black_box(&src), &CompilerConfig::safara_clauses()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = safara_workloads::spec::sp::SpecSp.source();
+    c.bench_function("frontend/parse_sp", |b| {
+        b.iter(|| safara_core::ir::parse_program(black_box(&src)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_frontend);
+criterion_main!(benches);

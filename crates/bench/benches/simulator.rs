@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the GPU-simulator substrate: interpreter
+//! throughput, register allocation, and one end-to-end figure point per
+//! suite (the harness cost behind each figure binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safara_core::gpusim::ptxas::allocate_registers;
+use safara_core::{compile, CompilerConfig, DeviceConfig};
+use safara_workloads::{run_workload, Scale, Workload};
+use std::hint::black_box;
+
+fn bench_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    let dev = DeviceConfig::k20xm();
+    // One representative workload per figure: fig7/9 (SPEC) and fig10/12
+    // (NAS) execution points, at test scale so the suite stays quick.
+    for (label, w) in [
+        ("fig7_fig9/303.ostencil", Box::new(safara_workloads::spec::ostencil::OStencil) as Box<dyn Workload>),
+        ("fig7_fig9/355.seismic", Box::new(safara_workloads::spec::seismic::Seismic)),
+        ("table2/356.sp", Box::new(safara_workloads::spec::sp::SpecSp)),
+        ("fig10_fig12/BT", Box::new(safara_workloads::nas::bt::NasBt)),
+    ] {
+        g.bench_function(format!("{label}/base"), |b| {
+            b.iter(|| run_workload(black_box(w.as_ref()), &CompilerConfig::base(), Scale::Test, &dev).unwrap())
+        });
+        g.bench_function(format!("{label}/safara"), |b| {
+            b.iter(|| {
+                run_workload(black_box(w.as_ref()), &CompilerConfig::safara_small(), Scale::Test, &dev)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ptxas(c: &mut Criterion) {
+    let src = safara_workloads::spec::sp::SpecSp.source();
+    let p = compile(&src, &CompilerConfig::base()).unwrap();
+    let f = p.function("sp_step").unwrap();
+    let vir = &f.kernels[7].kernel.vir; // HOT8, the largest kernel
+    c.bench_function("ptxas/allocate_hot8", |b| {
+        b.iter(|| allocate_registers(black_box(vir), 255))
+    });
+}
+
+criterion_group!(benches, bench_execution, bench_ptxas);
+criterion_main!(benches);

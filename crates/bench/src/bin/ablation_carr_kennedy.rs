@@ -1,0 +1,61 @@
+//! Ablation — what classical Carr–Kennedy scalar replacement does to a
+//! parallel loop (the paper's Fig. 3 → Fig. 4 pitfall): harvesting
+//! inter-iteration reuse on a parallelized loop sequentializes it.
+
+use safara_core::{compile, Args, CompilerConfig, DeviceConfig};
+
+const FIG3: &str = r#"
+void fig3(int n, float a[n + 2], float b[n + 2]) {
+  #pragma acc kernels copyin(b) copyout(a)
+  {
+    #pragma acc loop gang vector
+    for (int i = 1; i <= n; i++) {
+      a[i] = (b[i] + b[i + 1]) / 2.0;
+    }
+  }
+}
+"#;
+
+fn main() {
+    let n = 262_144usize;
+    let dev = DeviceConfig::k20xm();
+    println!("Ablation — Carr–Kennedy on the paper's Fig. 3 loop (n = {n})\n");
+    println!("{:<22}{:>16}{:>14}{:>12}", "strategy", "cycles", "vs SAFARA", "threads");
+    let mut safara_cycles = None;
+    for cfg in [CompilerConfig::base(), CompilerConfig::safara_only(), CompilerConfig::carr_kennedy()] {
+        let p = compile(FIG3, &cfg).expect("compiles");
+        let b: Vec<f32> = (0..n + 2).map(|i| i as f32).collect();
+        let mut args = Args::new()
+            .i32("n", n as i32)
+            .array_f32("a", &vec![0.0; n + 2])
+            .array_f32("b", &b);
+        let rep = p.run("fig3", &mut args, &dev).expect("runs");
+        // Verify correctness regardless of strategy.
+        let a = args.array("a").unwrap().as_f32();
+        for i in 1..=n {
+            assert_eq!(a[i], (b[i] + b[i + 1]) / 2.0, "i={i}");
+        }
+        let cycles = rep.total_cycles();
+        if cfg.name.contains("SAFARA") {
+            safara_cycles = Some(cycles);
+        }
+        let rel = safara_cycles.map(|s| cycles / s).unwrap_or(1.0);
+        println!(
+            "{:<22}{:>16.0}{:>13.1}x{:>12}",
+            cfg.name,
+            cycles,
+            rel,
+            rep.kernels[0].config.total_threads()
+        );
+        if let Some(seq) = p
+            .function("fig3")
+            .ok()
+            .filter(|f| !f.sr_outcome.sequentialized.is_empty())
+        {
+            println!(
+                "  -> sequentialized loop(s): {:?} (Fig. 4 behaviour)",
+                seq.sr_outcome.sequentialized
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Ablation — SAFARA's latency-aware `count × latency` ranking vs the
+//! Carr–Kennedy count-only metric, on the uncoalesced-heavy workloads
+//! where the paper argues the latency term matters (§II-A.2, Fig. 5).
+
+use safara_bench::{measure, speedup_table};
+use safara_core::CompilerConfig;
+use safara_workloads::{nas_suite, spec_suite, Scale, Workload};
+
+fn main() {
+    let configs = [
+        CompilerConfig::base(),
+        CompilerConfig::safara_count_only(),
+        CompilerConfig::safara_only(),
+    ];
+    let picks = ["370.bt", "356.sp", "354.cg", "BT", "LU", "SP"];
+    let workloads: Vec<Box<dyn Workload>> = spec_suite()
+        .into_iter()
+        .chain(nas_suite())
+        .filter(|w| picks.contains(&w.name()))
+        .collect();
+    let rows = measure(&workloads, &configs, Scale::Bench);
+    println!("Ablation — candidate ranking: count-only (Carr–Kennedy metric)");
+    println!("vs count x latency (SAFARA), uncoalesced-heavy workloads\n");
+    print!("{}", speedup_table(&["base", "count-only", "count x latency"], &rows));
+}

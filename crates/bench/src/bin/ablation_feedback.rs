@@ -1,0 +1,34 @@
+//! Ablation — SAFARA's iterative PTXAS feedback loop (§III-B.2) on vs
+//! off. Without feedback, one unbounded round applies every candidate the
+//! model likes; the loop instead admits candidates only while hardware
+//! registers remain, reverting a round that would spill.
+
+use safara_bench::{measure, speedup_table};
+use safara_core::{compile, CompilerConfig};
+use safara_workloads::{spec_suite, Scale, Workload};
+
+fn main() {
+    let configs = [
+        CompilerConfig::base(),
+        CompilerConfig::safara_no_feedback(),
+        CompilerConfig::safara_only(),
+    ];
+    let rows = measure(&spec_suite(), &configs, Scale::Bench);
+    println!("Ablation — SAFARA feedback loop off vs on (SPEC suite)\n");
+    print!("{}", speedup_table(&["base", "no-feedback", "feedback"], &rows));
+
+    // Also show the register outcome on seismic, where it matters most.
+    let src = safara_workloads::spec::seismic::Seismic.source();
+    for cfg in [CompilerConfig::safara_no_feedback(), CompilerConfig::safara_only()] {
+        let p = compile(&src, &cfg).expect("compiles");
+        let f = p.function("seismic_step").expect("function exists");
+        println!(
+            "\n{}: max regs {} | feedback rounds {} | temps {} | spills {}",
+            cfg.name,
+            f.max_regs(),
+            f.feedback_rounds,
+            f.sr_outcome.temps_added,
+            f.kernels.iter().map(|k| k.alloc.spilled.len()).sum::<usize>()
+        );
+    }
+}

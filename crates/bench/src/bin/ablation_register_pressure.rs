@@ -1,0 +1,118 @@
+//! Ablation — the Fig. 7 slowdown mechanism, isolated.
+//!
+//! The paper observes that SAFARA *alone* can slow a kernel down (§IV,
+//! Fig. 7: 355.seismic): every admitted candidate costs registers,
+//! registers cost resident warps, and a memory-bound kernel loses more
+//! latency hiding than it gains once a candidate's benefit-per-register
+//! is small. The steepest such case is **sparse-distance rotation**: a
+//! pair like `c[t] / c[t-4]` saves one load per iteration but needs
+//! *five* rotating temporaries (ten 32-bit registers for `double`) —
+//! exactly the "aggressive application of scalar replacement increases
+//! register pressure" behaviour the clauses were invented to relieve.
+//!
+//! The kernel below is dominated by uncoalesced streaming traffic that
+//! scalar replacement cannot touch; SAFARA spends registers rotating
+//! distance-4 f64 pairs, occupancy drops, and the kernel slows down —
+//! the Fig. 7 crossover, reproduced and dialed by the candidate count.
+
+use safara_core::{compile, Args, CompilerConfig, DeviceConfig};
+use std::fmt::Write as _;
+
+/// `nc` rotation-bait f64 arrays on top of two uncoalesced streams.
+fn stress_source(nc: usize) -> String {
+    let params: String = (0..nc)
+        .map(|q| format!(", const double c{q}[nt][ny][nx]"))
+        .collect::<Vec<_>>()
+        .join("");
+    let mut body = String::new();
+    for q in 0..nc {
+        writeln!(
+            body,
+            "          acc += c{q}[t][j][i] - c{q}[t - 4][j][i];"
+        )
+        .unwrap();
+    }
+    format!(
+        r#"
+void regstress(int nt, int nx, int ny, const float s0[nt][ny][nx],
+               const float s1[nt][ny][nx], float out[ny][nx]{params}) {{
+  #pragma acc kernels
+  {{
+    #pragma acc loop gang
+    for (int j = 0; j < ny; j++) {{
+      #pragma acc loop vector
+      for (int i = 0; i < nx; i++) {{
+        double acc = 0.0;
+        #pragma acc loop seq
+        for (int t = 4; t < nt; t++) {{
+          acc += s0[t][i][j] + s1[t][i][j];
+{body}        }}
+        out[j][i] = (float) acc;
+      }}
+    }}
+  }}
+}}
+"#,
+    )
+}
+
+fn main() {
+    let dev = DeviceConfig::k20xm();
+    let (n, nt) = (64usize, 32usize);
+    println!("Ablation — register pressure vs occupancy (the Fig. 7 mechanism)");
+    println!("Distance-4 f64 rotation pairs: 1 load saved per iteration costs");
+    println!("5 rotating temporaries (10 registers) each.\n");
+    println!(
+        "{:>10}{:>12}{:>14}{:>12}{:>12}{:>16}",
+        "candidates", "base regs", "SAFARA regs", "base wps", "SAFARA wps", "SAFARA speedup"
+    );
+    let mut slowed = false;
+    for nc in [0usize, 2, 4, 6, 8] {
+        let src = stress_source(nc);
+        let mut cycles = Vec::new();
+        let mut regs = Vec::new();
+        let mut warps = Vec::new();
+        for cfg in [CompilerConfig::base(), CompilerConfig::safara_only()] {
+            let p = compile(&src, &cfg).expect("compiles");
+            let stream: Vec<f32> = (0..nt * n * n).map(|i| (i % 13) as f32).collect();
+            let mut args = Args::new()
+                .i32("nt", nt as i32)
+                .i32("nx", n as i32)
+                .i32("ny", n as i32)
+                .array_f32("s0", &stream)
+                .array_f32("s1", &stream)
+                .array_f32("out", &vec![0.0; n * n]);
+            let cdata: Vec<f64> = (0..nt * n * n).map(|i| (i % 7) as f64).collect();
+            for q in 0..nc {
+                args = args.array_f64(&format!("c{q}"), &cdata);
+            }
+            let rep = p.run("regstress", &mut args, &dev).expect("runs");
+            // Validate against the reference sum.
+            let out = args.array("out").unwrap().as_f32();
+            for j in 0..n {
+                for i in 0..n {
+                    let mut want = 0.0f64;
+                    for t in 4..nt {
+                        want += 2.0 * stream[(t * n + i) * n + j] as f64;
+                        want += nc as f64
+                            * (cdata[(t * n + j) * n + i] - cdata[((t - 4) * n + j) * n + i]);
+                    }
+                    let got = out[j * n + i] as f64;
+                    assert!((got - want).abs() < 1e-2, "({j},{i}): {got} vs {want}");
+                }
+            }
+            cycles.push(rep.total_cycles());
+            regs.push(p.function("regstress").unwrap().max_regs());
+            warps.push(rep.kernels[0].timing.active_warps);
+        }
+        let sp = cycles[0] / cycles[1];
+        slowed |= sp < 0.99;
+        println!(
+            "{:>10}{:>12}{:>14}{:>12}{:>12}{:>15.3}x",
+            nc, regs[0], regs[1], warps[0], warps[1], sp
+        );
+    }
+    println!("\nspeedup < 1.0: SAFARA's registers cost more occupancy than its");
+    println!("eliminated loads buy back — the paper's Fig. 7 seismic case.");
+    assert!(slowed, "expected at least one slowdown point in the sweep");
+}

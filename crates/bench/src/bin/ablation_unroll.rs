@@ -1,0 +1,35 @@
+//! Extension (§VII future work) — loop unrolling combined with SAFARA.
+//!
+//! Unrolling an innermost sequential loop turns inter-iteration reuse
+//! into straight-line reuse: after unrolling by 4, `c[k]`/`c[k-1]` pairs
+//! appear as shared subexpressions *within* one iteration, so scalar
+//! replacement plus local CSE removes them without rotating temporaries.
+//! The cost is more instructions and more live values per iteration —
+//! so the sweet spot is workload-dependent, which is exactly why the
+//! paper left it as future work.
+
+use safara_bench::{measure, speedup_table};
+use safara_core::CompilerConfig;
+use safara_workloads::{nas_suite, spec_suite, Scale, Workload};
+
+fn main() {
+    let configs = [
+        CompilerConfig::base(),
+        CompilerConfig::safara_clauses(),
+        CompilerConfig { name: "unroll2", ..CompilerConfig::safara_unroll(2) },
+        CompilerConfig { name: "unroll4", ..CompilerConfig::safara_unroll(4) },
+    ];
+    let picks = ["303.ostencil", "355.seismic", "370.bt", "MG", "SP", "BT"];
+    let workloads: Vec<Box<dyn Workload>> = spec_suite()
+        .into_iter()
+        .chain(nas_suite())
+        .filter(|w| picks.contains(&w.name()))
+        .collect();
+    let rows = measure(&workloads, &configs, Scale::Bench);
+    println!("Extension — SAFARA+clauses with sequential-loop unrolling");
+    println!("(the paper's §VII future work; every run validated)\n");
+    print!(
+        "{}",
+        speedup_table(&["base", "SAFARA+clauses", "+unroll 2", "+unroll 4"], &rows)
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 10 — NAS speedups: `small`, `SAFARA`, `SAFARA+small` over the
+//! OpenUH baseline. The NAS codes are C without VLAs, so `dim` does not
+//! apply (§V-C); the paper reports up to 2.5×.
+
+use safara_bench::{best_speedup, measure, speedup_table};
+use safara_core::CompilerConfig;
+use safara_workloads::{nas_suite, Scale};
+
+fn main() {
+    let configs = [
+        CompilerConfig::base(),
+        CompilerConfig::small(),
+        CompilerConfig::safara_only(),
+        CompilerConfig::safara_small(),
+    ];
+    let rows = measure(&nas_suite(), &configs, Scale::Bench);
+    println!("Figure 10 — NAS, clause + SAFARA speedups\n");
+    print!("{}", speedup_table(&["base", "+small", "SAFARA", "SAFARA+small"], &rows));
+    let (s, w) = best_speedup(&rows, 3);
+    println!("\nbest: {s:.2}x on {w} (paper: up to 2.5x)");
+}

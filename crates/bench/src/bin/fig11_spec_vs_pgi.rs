@@ -1,0 +1,27 @@
+//! Figure 11 — SPEC normalized execution time: OpenUH(base),
+//! OpenUH(SAFARA), OpenUH(SAFARA+clauses) and the simulated PGI-like
+//! comparator. Normalized to the slower of {OpenUH base, PGI}; lower is
+//! better.
+
+use safara_bench::{measure, normalized_table};
+use safara_core::CompilerConfig;
+use safara_workloads::{spec_suite, Scale};
+
+fn main() {
+    let configs = [
+        CompilerConfig::base(),
+        CompilerConfig::safara_only(),
+        CompilerConfig::safara_clauses(),
+        CompilerConfig::pgi_like(),
+    ];
+    let rows = measure(&spec_suite(), &configs, Scale::Bench);
+    println!("Figure 11 — SPEC, normalized execution time (lower is better)");
+    println!("(PGI is a simulated comparator — see DESIGN.md)\n");
+    print!(
+        "{}",
+        normalized_table(
+            &["OpenUH(base)", "OpenUH(SAFARA)", "OpenUH(SAFARA+clauses)", "PGI(simulated)"],
+            &rows
+        )
+    );
+}

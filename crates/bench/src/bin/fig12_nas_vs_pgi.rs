@@ -1,0 +1,26 @@
+//! Figure 12 — NAS normalized execution time: the same four compiler
+//! configurations as Figure 11 (with `+small` instead of `+clauses`,
+//! since `dim` does not apply to the NAS codes).
+
+use safara_bench::{measure, normalized_table};
+use safara_core::CompilerConfig;
+use safara_workloads::{nas_suite, Scale};
+
+fn main() {
+    let configs = [
+        CompilerConfig::base(),
+        CompilerConfig::safara_only(),
+        CompilerConfig::safara_small(),
+        CompilerConfig::pgi_like(),
+    ];
+    let rows = measure(&nas_suite(), &configs, Scale::Bench);
+    println!("Figure 12 — NAS, normalized execution time (lower is better)");
+    println!("(PGI is a simulated comparator — see DESIGN.md)\n");
+    print!(
+        "{}",
+        normalized_table(
+            &["OpenUH(base)", "OpenUH(SAFARA)", "OpenUH(SAFARA+small)", "PGI(simulated)"],
+            &rows
+        )
+    );
+}

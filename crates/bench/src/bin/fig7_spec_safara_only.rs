@@ -1,0 +1,19 @@
+//! Figure 7 — SPEC ACCEL speedups with **SAFARA only** (no clauses).
+//!
+//! The paper's point: applied alone, aggressive scalar replacement gives
+//! small gains and sometimes *slows benchmarks down* (355.seismic) by
+//! exhausting registers and cutting occupancy.
+
+use safara_bench::{best_speedup, measure, speedup_table};
+use safara_core::CompilerConfig;
+use safara_workloads::{spec_suite, Scale};
+
+fn main() {
+    let configs = [CompilerConfig::base(), CompilerConfig::safara_only()];
+    let rows = measure(&spec_suite(), &configs, Scale::Bench);
+    println!("Figure 7 — SPEC ACCEL, speedup of SAFARA alone over OpenUH base");
+    println!("(speedup < 1.0 = slowdown from occupancy loss)\n");
+    print!("{}", speedup_table(&["base", "SAFARA"], &rows));
+    let (s, w) = best_speedup(&rows, 1);
+    println!("\nbest: {s:.2}x on {w}");
+}

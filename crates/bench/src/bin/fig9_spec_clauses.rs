@@ -1,0 +1,23 @@
+//! Figure 9 — SPEC ACCEL cumulative speedups: `small`, `small+dim`,
+//! `small+dim+SAFARA` over the OpenUH baseline.
+//!
+//! Paper reports up to 2.08× with all three; `dim` only applies to the
+//! Fortran-modeled apps (355.seismic, 356.sp, 363.swim).
+
+use safara_bench::{best_speedup, measure, speedup_table};
+use safara_core::CompilerConfig;
+use safara_workloads::{spec_suite, Scale};
+
+fn main() {
+    let configs = [
+        CompilerConfig::base(),
+        CompilerConfig::small(),
+        CompilerConfig::small_dim(),
+        CompilerConfig::safara_clauses(),
+    ];
+    let rows = measure(&spec_suite(), &configs, Scale::Bench);
+    println!("Figure 9 — SPEC ACCEL, cumulative clause + SAFARA speedups\n");
+    print!("{}", speedup_table(&["base", "+small", "+small+dim", "+small+dim+SAFARA"], &rows));
+    let (s, w) = best_speedup(&rows, 3);
+    println!("\nbest: {s:.2}x on {w} (paper: up to 2.08x)");
+}

@@ -1,0 +1,13 @@
+//! §III-B.3 — the memory-latency microbenchmark (our stand-in for the
+//! Wong et al. probes the paper's cost model is parameterized with).
+
+use safara_core::gpusim::device::DeviceConfig;
+use safara_core::gpusim::microbench::run_probes;
+
+fn main() {
+    let dev = DeviceConfig::k20xm();
+    println!("Memory-latency microbenchmark on {} —", dev.name);
+    println!("cycles per warp access recovered from pointer-probe kernels:\n");
+    print!("{}", run_probes(&dev).to_table());
+    println!("\nThese figures parameterize the SAFARA cost model's latency table.");
+}

@@ -1,0 +1,34 @@
+//! §IV register-pressure study: how per-thread register counts map to
+//! occupancy on the modeled K20Xm, and what that does to a memory-bound
+//! kernel — the mechanism behind Fig. 7's slowdowns.
+
+use safara_core::gpusim::device::DeviceConfig;
+use safara_core::gpusim::stats::KernelStats;
+use safara_core::gpusim::timing::estimate_time;
+
+fn main() {
+    let dev = DeviceConfig::k20xm();
+    println!("Occupancy vs registers/thread on {} (256-thread blocks)\n", dev.name);
+    println!("{:>14}{:>16}{:>12}{:>22}", "regs/thread", "warps/SM", "occupancy", "memory-bound time");
+    let stats = KernelStats {
+        simple_insts: 100_000,
+        global_ld_requests: 100_000,
+        global_transactions: 100_000,
+        warps: 2048,
+        threads: 65_536,
+        ..Default::default()
+    };
+    let base = estimate_time(&dev, &stats, 32, 256).total_cycles;
+    for regs in [16, 32, 48, 64, 96, 128, 160, 200, 255] {
+        let o = dev.occupancy(regs, 256);
+        let t = estimate_time(&dev, &stats, regs, 256).total_cycles;
+        println!(
+            "{:>14}{:>16}{:>11.0}%{:>21.2}x",
+            regs,
+            o.active_warps_per_sm,
+            o.occupancy * 100.0,
+            t / base
+        );
+    }
+    println!("\n(time normalized to the 32-register case; >1 = slower)");
+}

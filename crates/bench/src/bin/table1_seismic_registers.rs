@@ -1,0 +1,27 @@
+//! Table I — 355.seismic: per-kernel register usage under Base, +small,
+//! and +small+dim (the paper's HOT1–HOT7 rows), plus the registers saved.
+
+use safara_core::report::{format_register_table, register_table, RegisterRow};
+use safara_core::{compile, CompilerConfig};
+use safara_workloads::spec::seismic;
+use safara_workloads::Workload;
+
+fn main() {
+    let src = seismic::Seismic.source();
+    let base = compile(&src, &CompilerConfig::base()).expect("base compiles");
+    let small = compile(&src, &CompilerConfig::small()).expect("+small compiles");
+    let dim = compile(&src, &CompilerConfig::small_dim()).expect("+dim compiles");
+    let mut rows = register_table("seismic_step", &[&base, &small, &dim]);
+    // Append the "Saved" column (Base − w dim), as in the paper's table.
+    for r in &mut rows {
+        let saved = match (r.regs[0], r.regs[2]) {
+            (Some(b), Some(d)) => Some(b - d),
+            _ => None,
+        };
+        r.regs.push(saved);
+    }
+    println!("Table I — 355.seismic register files usage via small and dim clauses\n");
+    print!("{}", format_register_table(&["Base", "+small", "w dim", "Saved"], &rows));
+    let total: u32 = rows.iter().filter_map(|r: &RegisterRow| r.regs[3]).sum();
+    println!("\ntotal registers saved across the 7 hot kernels: {total}");
+}

@@ -1,0 +1,53 @@
+//! Table II — 356.sp: per-kernel register usage under Base, +small and
+//! +small+dim. Kernels where `dim` is inapplicable (fewer than two
+//! grouped arrays in the kernel) print `NA` in the `w dim` column, as in
+//! the paper.
+
+use safara_core::codegen::abi::AbiParam;
+use safara_core::report::{format_register_table, register_table};
+use safara_core::{compile, CompilerConfig};
+use safara_workloads::spec::sp;
+use safara_workloads::Workload;
+
+fn main() {
+    let src = sp::SpecSp.source();
+    let base = compile(&src, &CompilerConfig::base()).expect("base compiles");
+    let small = compile(&src, &CompilerConfig::small()).expect("+small compiles");
+    let dim = compile(&src, &CompilerConfig::small_dim()).expect("+dim compiles");
+    let mut rows = register_table("sp_step", &[&base, &small, &dim]);
+    // A kernel's `dim` column is meaningful only when the kernel actually
+    // shares dope parameters through a group covering ≥ 2 of the arrays
+    // it touches; otherwise report NA (paper's convention).
+    let dim_fn = dim.function("sp_step").expect("function exists");
+    for (i, r) in rows.iter_mut().enumerate() {
+        let kernel = &dim_fn.kernels[i].kernel;
+        let mut group_use = std::collections::BTreeMap::new();
+        for p in &kernel.abi.params {
+            if let AbiParam::ArrayBase { array } = p {
+                for (g, members) in kernel.dim_groups.iter().enumerate() {
+                    if members.contains(array) {
+                        *group_use.entry(g).or_insert(0u32) += 1;
+                    }
+                }
+            }
+        }
+        // `dim` is meaningful for a kernel when at least one group covers
+        // two or more of the arrays the kernel touches. (With explicit
+        // bounds in the clause the shared dope folds into scalar
+        // parameters, so the ABI need not contain `DimOwner::Group`
+        // entries even when `dim` applied.)
+        let applicable = group_use.values().any(|&n| n >= 2);
+        let saved = match (r.regs[0], r.regs[2]) {
+            (Some(b), Some(d)) if applicable => Some(b - d),
+            (Some(b), _) => r.regs[1].map(|s| b - s),
+            _ => None,
+        };
+        if !applicable {
+            r.regs[2] = None; // NA
+        }
+        r.regs.push(saved);
+    }
+    println!("Table II — 356.sp register files usage via small and dim clauses");
+    println!("(NA: the kernel uses fewer than two same-dimension allocatable arrays)\n");
+    print!("{}", format_register_table(&["Base", "+small", "w dim", "Saved"], &rows));
+}

@@ -1,0 +1,118 @@
+//! Liveness-based dead-code elimination on VIR.
+//!
+//! An instruction is live if it has a side effect (store, atomic, branch,
+//! label, return) or defines a register some live instruction reads.
+//! Everything else — including loads whose results are never used and
+//! `ld.param` of dope scalars a clause made redundant — is removed. This
+//! is the pass that turns the `dim`/`small` clauses' *source-level*
+//! savings into *register-level* savings the PTXAS-sim can observe.
+
+use safara_gpusim::vir::{Inst, KernelVir};
+
+/// Remove dead instructions in place. Returns the number removed.
+pub fn eliminate_dead_code(kernel: &mut KernelVir) -> usize {
+    let nv = kernel.vregs.len();
+    let mut needed = vec![false; nv];
+
+    // Seed: uses of side-effecting instructions.
+    let side_effect = |i: &Inst| {
+        matches!(
+            i,
+            Inst::St { .. } | Inst::AtomAdd { .. } | Inst::Bra { .. } | Inst::Mark(_) | Inst::Ret
+        )
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for inst in &kernel.insts {
+            let live = side_effect(inst)
+                || inst.def().map(|d| needed[d.0 as usize]).unwrap_or(false);
+            if live {
+                for u in inst.uses() {
+                    if !needed[u.0 as usize] {
+                        needed[u.0 as usize] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    let before = kernel.insts.len();
+    kernel.insts.retain(|inst| {
+        side_effect(inst) || inst.def().map(|d| needed[d.0 as usize]).unwrap_or(false)
+    });
+    before - kernel.insts.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safara_gpusim::vir::*;
+
+    #[test]
+    fn unused_computation_removed() {
+        let mut k = KernelVir { name: "t".into(), params: vec![ParamDecl::Ptr], ..Default::default() };
+        let base = k.new_vreg(VType::B64);
+        let dead = k.new_vreg(VType::B32);
+        let dead2 = k.new_vreg(VType::B32);
+        k.insts = vec![
+            Inst::LdParam { ty: VType::B64, d: base, index: 0 },
+            Inst::Mov { ty: VType::B32, d: dead, a: Operand::ImmI(1) },
+            Inst::Alu { op: AluOp::Add, ty: VType::B32, d: dead2, a: dead.into(), b: Operand::ImmI(2) },
+            Inst::St { space: MemSpace::Global, ty: VType::B32, addr: base, a: Operand::ImmI(7) },
+            Inst::Ret,
+        ];
+        let removed = eliminate_dead_code(&mut k);
+        assert_eq!(removed, 2);
+        assert_eq!(k.insts.len(), 3);
+    }
+
+    #[test]
+    fn live_chain_kept() {
+        let mut k = KernelVir { name: "t".into(), params: vec![ParamDecl::Ptr], ..Default::default() };
+        let base = k.new_vreg(VType::B64);
+        let a = k.new_vreg(VType::B32);
+        let b = k.new_vreg(VType::B32);
+        k.insts = vec![
+            Inst::LdParam { ty: VType::B64, d: base, index: 0 },
+            Inst::Mov { ty: VType::B32, d: a, a: Operand::ImmI(1) },
+            Inst::Alu { op: AluOp::Add, ty: VType::B32, d: b, a: a.into(), b: Operand::ImmI(2) },
+            Inst::St { space: MemSpace::Global, ty: VType::B32, addr: base, a: b.into() },
+            Inst::Ret,
+        ];
+        assert_eq!(eliminate_dead_code(&mut k), 0);
+        assert_eq!(k.insts.len(), 5);
+    }
+
+    #[test]
+    fn dead_load_removed() {
+        let mut k = KernelVir { name: "t".into(), params: vec![ParamDecl::Ptr], ..Default::default() };
+        let base = k.new_vreg(VType::B64);
+        let v = k.new_vreg(VType::F32);
+        k.insts = vec![
+            Inst::LdParam { ty: VType::B64, d: base, index: 0 },
+            Inst::Ld { space: MemSpace::Global, ty: VType::F32, d: v, addr: base },
+            Inst::Ret,
+        ];
+        let removed = eliminate_dead_code(&mut k);
+        // Both the load and the now-unused base param load go away.
+        assert_eq!(removed, 2);
+        assert_eq!(k.insts.len(), 1);
+    }
+
+    #[test]
+    fn branch_predicates_stay_live() {
+        let mut k = KernelVir { name: "t".into(), ..Default::default() };
+        let x = k.new_vreg(VType::B32);
+        let p = k.new_vreg(VType::Pred);
+        k.insts = vec![
+            Inst::Mov { ty: VType::B32, d: x, a: Operand::ImmI(1) },
+            Inst::Setp { op: CmpOp::Lt, ty: VType::B32, d: p, a: x.into(), b: Operand::ImmI(2) },
+            Inst::Mark(Label(0)),
+            Inst::Bra { target: Label(0), pred: Some((p, false)) },
+            Inst::Ret,
+        ];
+        assert_eq!(eliminate_dead_code(&mut k), 0);
+    }
+}

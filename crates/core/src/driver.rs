@@ -1,0 +1,369 @@
+//! The compile driver and SAFARA's iterative feedback loop.
+
+use crate::profile::{CompilerConfig, SrStrategy};
+use safara_codegen::lower::{lower_function, CompiledKernel};
+use safara_gpusim::device::DeviceConfig;
+use safara_gpusim::ptxas::{allocate_registers, RegAllocReport};
+use safara_ir::printer::print_function;
+use safara_ir::{parse_program, Function, Stmt};
+use safara_opt::transform::TempNamer;
+use safara_opt::{carr_kennedy_pass, safara_pass, SrOutcome};
+use safara_runtime::{run_function, Args, RunReport, RuntimeError};
+use std::fmt;
+
+/// Driver errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Front-end failure.
+    Frontend(String),
+    /// Back-end failure.
+    Codegen(String),
+    /// Execution failure.
+    Runtime(String),
+    /// Lookup failure.
+    NoSuchFunction(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Frontend(m) => write!(f, "front-end: {m}"),
+            CoreError::Codegen(m) => write!(f, "codegen: {m}"),
+            CoreError::Runtime(m) => write!(f, "runtime: {m}"),
+            CoreError::NoSuchFunction(m) => write!(f, "no such function `{m}`"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<RuntimeError> for CoreError {
+    fn from(e: RuntimeError) -> Self {
+        CoreError::Runtime(e.message)
+    }
+}
+
+/// A compiled kernel plus its register-allocation report — the pair the
+/// runtime needs and the pair Tables I/II are built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelArtifact {
+    /// The kernel.
+    pub kernel: CompiledKernel,
+    /// Its simulated `ptxas -v` report.
+    pub alloc: RegAllocReport,
+}
+
+/// One compiled function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFunction {
+    /// Function name.
+    pub name: String,
+    /// The function AST *after* scalar replacement (print it to see the
+    /// Fig. 6-style transformed source).
+    pub transformed: Function,
+    /// Compiled kernels in launch order.
+    pub kernels: Vec<KernelArtifact>,
+    /// What scalar replacement did.
+    pub sr_outcome: SrOutcome,
+    /// Feedback-loop iterations executed.
+    pub feedback_rounds: u32,
+}
+
+impl CompiledFunction {
+    /// The transformed MiniACC source (SAFARA output, Fig. 6 style).
+    pub fn transformed_source(&self) -> String {
+        print_function(&self.transformed)
+    }
+
+    /// Maximum registers used by any of the function's kernels.
+    pub fn max_regs(&self) -> u32 {
+        self.kernels.iter().map(|k| k.alloc.regs_used).max().unwrap_or(0)
+    }
+}
+
+/// A compiled MiniACC translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    /// The configuration that produced it.
+    pub config: CompilerConfig,
+    /// Compiled functions.
+    pub functions: Vec<CompiledFunction>,
+}
+
+impl CompiledProgram {
+    /// Look up a compiled function.
+    pub fn function(&self, name: &str) -> Result<&CompiledFunction, CoreError> {
+        self.functions
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| CoreError::NoSuchFunction(name.to_string()))
+    }
+
+    /// Execute a function against `args` on `dev`.
+    pub fn run(
+        &self,
+        name: &str,
+        args: &mut Args,
+        dev: &DeviceConfig,
+    ) -> Result<RunReport, CoreError> {
+        let f = self.function(name)?;
+        let compiled: Vec<(CompiledKernel, RegAllocReport)> =
+            f.kernels.iter().map(|k| (k.kernel.clone(), k.alloc.clone())).collect();
+        Ok(run_function(dev, &f.transformed, &compiled, args)?)
+    }
+}
+
+/// Compile MiniACC source under a configuration.
+pub fn compile(src: &str, config: &CompilerConfig) -> Result<CompiledProgram, CoreError> {
+    let program = parse_program(src).map_err(|e| CoreError::Frontend(e.to_string()))?;
+    let mut functions = Vec::new();
+    for f in &program.functions {
+        functions.push(compile_function(f, config)?);
+    }
+    Ok(CompiledProgram { config: config.clone(), functions })
+}
+
+fn codegen_all(f: &Function, config: &CompilerConfig) -> Result<Vec<KernelArtifact>, CoreError> {
+    let kernels = lower_function(f, &config.codegen).map_err(|e| CoreError::Codegen(e.message))?;
+    Ok(kernels
+        .into_iter()
+        .map(|kernel| {
+            let alloc = allocate_registers(&kernel.vir, config.reg_cap);
+            KernelArtifact { kernel, alloc }
+        })
+        .collect())
+}
+
+fn compile_function(f: &Function, config: &CompilerConfig) -> Result<CompiledFunction, CoreError> {
+    let mut work = f.clone();
+    let mut namer = TempNamer::default();
+    let mut outcome = SrOutcome::default();
+    let mut rounds = 0u32;
+
+    // The §VII extension: unroll innermost sequential loops first so the
+    // scalar-replacement passes below see straight-line reuse.
+    if config.unroll >= 2 {
+        for_each_region(&mut work, |region| {
+            let info = safara_analysis::region::RegionInfo::analyze(region);
+            safara_opt::unroll::unroll_seq_loops(
+                &mut region.body,
+                config.unroll,
+                &info,
+                &mut namer,
+            );
+        });
+    }
+
+    match &config.sr {
+        SrStrategy::None => {}
+        SrStrategy::CarrKennedy => {
+            // Classical behaviour: one pass, count-only moderation against
+            // the full register file.
+            let snapshot = f.clone();
+            for_each_region(&mut work, |region| {
+                let o = carr_kennedy_pass(&snapshot, region, config.reg_cap, &mut namer);
+                merge_outcome(&mut outcome, o);
+            });
+            rounds = 1;
+        }
+        SrStrategy::Safara { cost_model, feedback } => {
+            if !*feedback {
+                // Ablation: single unbounded round.
+                let snapshot = f.clone();
+                for_each_region(&mut work, |region| {
+                    let o = safara_pass(&snapshot, region, config.reg_cap, cost_model, &mut namer);
+                    merge_outcome(&mut outcome, o);
+                });
+                rounds = 1;
+            } else {
+                // The iterative feedback loop (§III-B.2).
+                loop {
+                    if rounds >= config.max_feedback_iters {
+                        break;
+                    }
+                    rounds += 1;
+                    // 1. Backend compile, no further SR: measure registers.
+                    let arts = codegen_all(&work, config)?;
+                    let used = arts.iter().map(|a| a.alloc.regs_used).max().unwrap_or(0);
+                    let budget = config.reg_cap.saturating_sub(used);
+                    if budget == 0 {
+                        break;
+                    }
+                    // 2. One SR round within the budget.
+                    let snapshot = work.clone();
+                    let mut round_outcome = SrOutcome::default();
+                    let mut trial = work.clone();
+                    for_each_region(&mut trial, |region| {
+                        let o = safara_pass(&snapshot, region, budget, cost_model, &mut namer);
+                        merge_outcome(&mut round_outcome, o);
+                    });
+                    if round_outcome.temps_added == 0 {
+                        break; // all reused references are replaced
+                    }
+                    // 3. Recompile; revert the round if it now spills.
+                    let new_arts = codegen_all(&trial, config)?;
+                    let spills = new_arts.iter().any(|a| !a.alloc.fits());
+                    if spills {
+                        break; // registers saturated: keep previous state
+                    }
+                    work = trial;
+                    merge_outcome(&mut outcome, round_outcome);
+                }
+            }
+        }
+    }
+
+    let kernels = codegen_all(&work, config)?;
+    Ok(CompiledFunction {
+        name: f.name.to_string(),
+        transformed: work,
+        kernels,
+        sr_outcome: outcome,
+        feedback_rounds: rounds,
+    })
+}
+
+fn merge_outcome(into: &mut SrOutcome, o: SrOutcome) {
+    into.temps_added += o.temps_added;
+    into.groups_applied += o.groups_applied;
+    into.est_loads_saved += o.est_loads_saved;
+    for v in o.sequentialized {
+        if !into.sequentialized.contains(&v) {
+            into.sequentialized.push(v);
+        }
+    }
+}
+
+fn for_each_region(f: &mut Function, mut g: impl FnMut(&mut safara_ir::OffloadRegion)) {
+    fn walk(stmts: &mut [Stmt], g: &mut impl FnMut(&mut safara_ir::OffloadRegion)) {
+        for s in stmts {
+            match s {
+                Stmt::Region(r) => g(r),
+                Stmt::For(f) => walk(&mut f.body, g),
+                Stmt::If { then_body, else_body, .. } => {
+                    walk(then_body, g);
+                    walk(else_body, g);
+                }
+                Stmt::Block(b) => walk(b, g),
+                _ => {}
+            }
+        }
+    }
+    walk(&mut f.body, &mut g);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::CompilerConfig;
+
+    const FIG5: &str = r#"
+    void fig5(int jsize, int isize, float a[260][260], float b[260][260],
+              float c[260], float d[260]) {
+      #pragma acc kernels
+      {
+        #pragma acc loop gang vector
+        for (int j = 1; j <= jsize; j++) {
+          #pragma acc loop seq
+          for (int i = 1; i <= isize; i++) {
+            a[i][j] += a[i - 1][j] + b[j][i - 1] + a[i + 1][j] + b[j][i + 1];
+          }
+        }
+      }
+    }"#;
+
+    #[test]
+    fn base_profile_compiles_without_sr() {
+        let p = compile(FIG5, &CompilerConfig::base()).unwrap();
+        let f = p.function("fig5").unwrap();
+        assert_eq!(f.sr_outcome.temps_added, 0);
+        assert_eq!(f.kernels.len(), 1);
+        assert!(f.kernels[0].alloc.regs_used > 0);
+    }
+
+    #[test]
+    fn safara_feedback_loop_adds_temps_and_converges() {
+        let p = compile(FIG5, &CompilerConfig::safara_only()).unwrap();
+        let f = p.function("fig5").unwrap();
+        assert!(f.sr_outcome.temps_added >= 3, "{:?}", f.sr_outcome);
+        assert!(f.feedback_rounds >= 2, "loop must iterate: {}", f.feedback_rounds);
+        assert!(f.transformed_source().contains("__sr"));
+        // No spilling after SAFARA (the loop reverts spilling rounds).
+        assert!(f.kernels.iter().all(|k| k.alloc.fits()));
+    }
+
+    #[test]
+    fn safara_uses_more_registers_than_base() {
+        let base = compile(FIG5, &CompilerConfig::base()).unwrap();
+        let safara = compile(FIG5, &CompilerConfig::safara_only()).unwrap();
+        assert!(
+            safara.function("fig5").unwrap().max_regs()
+                >= base.function("fig5").unwrap().max_regs(),
+            "SR trades registers for loads"
+        );
+    }
+
+    #[test]
+    fn run_produces_correct_results_under_all_profiles() {
+        let n = 34usize;
+        let src = FIG5;
+        // Reference: plain Rust implementation of fig5's loop nest.
+        let reference = |a: &mut Vec<f32>, b: &[f32]| {
+            for j in 1..=n {
+                for i in 1..=n {
+                    a[i * 260 + j] += a[(i - 1) * 260 + j]
+                        + b[j * 260 + (i - 1)]
+                        + a[(i + 1) * 260 + j]
+                        + b[j * 260 + (i + 1)];
+                }
+            }
+        };
+        let a0: Vec<f32> = (0..260 * 260).map(|i| (i % 97) as f32 * 0.25).collect();
+        let b0: Vec<f32> = (0..260 * 260).map(|i| (i % 53) as f32 * 0.5).collect();
+        let mut want = a0.clone();
+        reference(&mut want, &b0);
+
+        for cfg in [
+            CompilerConfig::base(),
+            CompilerConfig::safara_only(),
+            CompilerConfig::small(),
+            CompilerConfig::small_dim(),
+            CompilerConfig::safara_clauses(),
+            CompilerConfig::pgi_like(),
+            CompilerConfig::carr_kennedy(),
+        ] {
+            let p = compile(src, &cfg).unwrap();
+            let mut args = crate::Args::new()
+                .i32("jsize", n as i32)
+                .i32("isize", n as i32)
+                .array_f32("a", &a0)
+                .array_f32("b", &b0)
+                .array_f32("c", &vec![0.0; 260])
+                .array_f32("d", &vec![0.0; 260]);
+            p.run("fig5", &mut args, &DeviceConfig::k20xm())
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            let got = args.array("a").unwrap().as_f32();
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g - w).abs() <= 1e-3 * w.abs().max(1.0),
+                    "{}: a[{i}] = {g}, want {w}",
+                    cfg.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_function_reported() {
+        let p = compile(FIG5, &CompilerConfig::base()).unwrap();
+        assert!(matches!(p.function("nope"), Err(CoreError::NoSuchFunction(_))));
+    }
+
+    #[test]
+    fn bad_source_reports_frontend_error() {
+        assert!(matches!(
+            compile("void f(", &CompilerConfig::base()),
+            Err(CoreError::Frontend(_))
+        ));
+    }
+}

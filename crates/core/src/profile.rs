@@ -1,0 +1,196 @@
+//! Compiler configurations — the named points of the paper's evaluation.
+
+use safara_analysis::cost::CostModel;
+use safara_codegen::CodegenOptions;
+
+/// Which scalar-replacement strategy runs (and how).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SrStrategy {
+    /// No scalar replacement.
+    None,
+    /// SAFARA with the iterative feedback loop and the given cost model.
+    Safara {
+        /// The candidate-ranking model (latency-aware or count-only).
+        cost_model: CostModel,
+        /// Disable the feedback loop: apply one unbounded round instead
+        /// (an ablation of §III-B.2).
+        feedback: bool,
+    },
+    /// Classical Carr–Kennedy: count-only moderation, inter-iteration
+    /// reuse harvested on parallel loops (which are then sequentialized).
+    CarrKennedy,
+}
+
+/// A complete compiler configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilerConfig {
+    /// Human-readable name (appears in reports and figures).
+    pub name: &'static str,
+    /// Back-end options (clause honoring, read-only cache, CSE, DCE).
+    pub codegen: CodegenOptions,
+    /// Scalar-replacement strategy.
+    pub sr: SrStrategy,
+    /// Per-thread hardware register cap the feedback loop targets
+    /// (255 on Kepler).
+    pub reg_cap: u32,
+    /// Maximum feedback iterations (the paper's loop terminates when
+    /// registers saturate; this is a safety bound).
+    pub max_feedback_iters: u32,
+    /// Unroll innermost sequential loops by this factor before scalar
+    /// replacement (0/1 = off) — the paper's §VII future-work extension.
+    pub unroll: u32,
+}
+
+impl CompilerConfig {
+    /// OpenUH baseline: competent codegen, clauses ignored, no SR.
+    pub fn base() -> Self {
+        CompilerConfig {
+            name: "OpenUH(base)",
+            codegen: CodegenOptions::base(),
+            sr: SrStrategy::None,
+            reg_cap: 255,
+            max_feedback_iters: 8,
+            unroll: 0,
+        }
+    }
+
+    /// Baseline + SAFARA only (the paper's Fig. 7 configuration).
+    pub fn safara_only() -> Self {
+        CompilerConfig {
+            name: "OpenUH(SAFARA)",
+            codegen: CodegenOptions::base(),
+            sr: SrStrategy::Safara { cost_model: CostModel::default(), feedback: true },
+            ..Self::base()
+        }
+    }
+
+    /// Baseline honoring only the `small` clause.
+    pub fn small() -> Self {
+        CompilerConfig {
+            name: "OpenUH(+small)",
+            codegen: CodegenOptions { honor_small: true, ..CodegenOptions::base() },
+            ..Self::base()
+        }
+    }
+
+    /// Baseline honoring `small` and `dim`.
+    pub fn small_dim() -> Self {
+        CompilerConfig {
+            name: "OpenUH(+small+dim)",
+            codegen: CodegenOptions::default(),
+            ..Self::base()
+        }
+    }
+
+    /// The full proposal: `small` + `dim` + SAFARA (Fig. 9's best bars).
+    pub fn safara_clauses() -> Self {
+        CompilerConfig {
+            name: "OpenUH(SAFARA+small+dim)",
+            codegen: CodegenOptions::default(),
+            sr: SrStrategy::Safara { cost_model: CostModel::default(), feedback: true },
+            ..Self::base()
+        }
+    }
+
+    /// SAFARA + `small` only (the NAS benchmarks have no VLAs, so `dim`
+    /// does not apply — §V-C).
+    pub fn safara_small() -> Self {
+        CompilerConfig {
+            name: "OpenUH(SAFARA+small)",
+            codegen: CodegenOptions { honor_small: true, ..CodegenOptions::base() },
+            sr: SrStrategy::Safara { cost_model: CostModel::default(), feedback: true },
+            ..Self::base()
+        }
+    }
+
+    /// Classical Carr–Kennedy scalar replacement (the foil of §III-A).
+    pub fn carr_kennedy() -> Self {
+        CompilerConfig {
+            name: "CarrKennedy",
+            codegen: CodegenOptions::base(),
+            sr: SrStrategy::CarrKennedy,
+            ..Self::base()
+        }
+    }
+
+    /// The simulated PGI-like commercial comparator (see DESIGN.md for
+    /// the substitution rationale).
+    pub fn pgi_like() -> Self {
+        CompilerConfig {
+            name: "PGI(simulated)",
+            codegen: CodegenOptions::pgi_like(),
+            sr: SrStrategy::None,
+            ..Self::base()
+        }
+    }
+
+    /// Ablation: SAFARA ranking candidates by reference count only
+    /// (the Carr–Kennedy CPU metric) instead of `count × latency`.
+    pub fn safara_count_only() -> Self {
+        CompilerConfig {
+            name: "SAFARA(count-only)",
+            codegen: CodegenOptions::base(),
+            sr: SrStrategy::Safara { cost_model: CostModel::count_only(), feedback: true },
+            ..Self::base()
+        }
+    }
+
+    /// The §VII future-work extension: unroll innermost sequential loops
+    /// before SAFARA, turning inter-iteration reuse into straight-line
+    /// reuse.
+    pub fn safara_unroll(factor: u32) -> Self {
+        CompilerConfig {
+            name: "OpenUH(SAFARA+clauses+unroll)",
+            unroll: factor,
+            ..Self::safara_clauses()
+        }
+    }
+
+    /// Ablation: SAFARA without the iterative feedback loop (one round,
+    /// unbounded budget).
+    pub fn safara_no_feedback() -> Self {
+        CompilerConfig {
+            name: "SAFARA(no-feedback)",
+            codegen: CodegenOptions::base(),
+            sr: SrStrategy::Safara { cost_model: CostModel::default(), feedback: false },
+            ..Self::base()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_expected_knobs() {
+        assert!(!CompilerConfig::base().codegen.honor_small);
+        assert!(CompilerConfig::small().codegen.honor_small);
+        assert!(!CompilerConfig::small().codegen.honor_dim);
+        assert!(CompilerConfig::small_dim().codegen.honor_dim);
+        assert_eq!(CompilerConfig::base().sr, SrStrategy::None);
+        assert!(matches!(CompilerConfig::safara_only().sr, SrStrategy::Safara { .. }));
+        assert!(matches!(CompilerConfig::carr_kennedy().sr, SrStrategy::CarrKennedy));
+        assert!(!CompilerConfig::pgi_like().codegen.use_readonly_cache);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            CompilerConfig::base().name,
+            CompilerConfig::safara_only().name,
+            CompilerConfig::small().name,
+            CompilerConfig::small_dim().name,
+            CompilerConfig::safara_clauses().name,
+            CompilerConfig::safara_small().name,
+            CompilerConfig::carr_kennedy().name,
+            CompilerConfig::pgi_like().name,
+            CompilerConfig::safara_count_only().name,
+            CompilerConfig::safara_no_feedback().name,
+        ];
+        let mut uniq = names.to_vec();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), names.len());
+    }
+}

@@ -1,0 +1,102 @@
+//! Report helpers: the register-usage tables of the paper (Tables I/II).
+
+use crate::driver::CompiledProgram;
+use std::fmt::Write;
+
+/// One row of a register-usage table: the same kernel compiled under
+/// several configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterRow {
+    /// Kernel label (e.g. `HOT1`).
+    pub label: String,
+    /// Registers per configuration, in column order.
+    pub regs: Vec<Option<u32>>,
+}
+
+/// Build a Table I/II-style register table.
+///
+/// `programs` are the same source compiled under different configurations
+/// (the columns); rows are kernels of `function`, labelled `HOT1…HOTn`.
+/// `None` entries mean the kernel does not exist under that configuration
+/// (reported as `NA`, as the paper does when `dim` is inapplicable).
+pub fn register_table(function: &str, programs: &[&CompiledProgram]) -> Vec<RegisterRow> {
+    let nk = programs
+        .iter()
+        .filter_map(|p| p.function(function).ok())
+        .map(|f| f.kernels.len())
+        .max()
+        .unwrap_or(0);
+    (0..nk)
+        .map(|i| RegisterRow {
+            label: format!("HOT{}", i + 1),
+            regs: programs
+                .iter()
+                .map(|p| {
+                    p.function(function)
+                        .ok()
+                        .and_then(|f| f.kernels.get(i))
+                        .map(|k| k.alloc.regs_used)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Render a register table as fixed-width text (the shape of Table I).
+pub fn format_register_table(headers: &[&str], rows: &[RegisterRow]) -> String {
+    let mut s = String::new();
+    write!(s, "{:<8}", "Kernel").unwrap();
+    for h in headers {
+        write!(s, "{h:>14}").unwrap();
+    }
+    s.push('\n');
+    for r in rows {
+        write!(s, "{:<8}", r.label).unwrap();
+        for v in &r.regs {
+            match v {
+                Some(x) => write!(s, "{x:>14}").unwrap(),
+                None => write!(s, "{:>14}", "NA").unwrap(),
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompilerConfig};
+
+    const SRC: &str = r#"
+    void f(int n, const float x[n], float y[n]) {
+      #pragma acc kernels small(x, y)
+      {
+        #pragma acc loop gang vector
+        for (int i = 0; i < n; i++) { y[i] = x[i]; }
+        #pragma acc loop gang vector
+        for (int j = 0; j < n; j++) { y[j] = y[j] * 2.0; }
+      }
+    }"#;
+
+    #[test]
+    fn table_has_row_per_kernel_and_column_per_config() {
+        let base = compile(SRC, &CompilerConfig::base()).unwrap();
+        let small = compile(SRC, &CompilerConfig::small()).unwrap();
+        let rows = register_table("f", &[&base, &small]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "HOT1");
+        assert_eq!(rows[0].regs.len(), 2);
+        assert!(rows.iter().all(|r| r.regs.iter().all(|v| v.is_some())));
+        let txt = format_register_table(&["Base", "+small"], &rows);
+        assert!(txt.contains("HOT2"));
+        assert!(txt.contains("Base"));
+    }
+
+    #[test]
+    fn missing_function_renders_na() {
+        let base = compile(SRC, &CompilerConfig::base()).unwrap();
+        let rows = register_table("nope", &[&base]);
+        assert!(rows.is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Device model: a Kepler-class GPU (default: Tesla K20Xm, the paper's
+//! evaluation hardware) and the occupancy rules that make register
+//! pressure matter.
+
+/// Static device parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors (SMX).
+    pub sm_count: u32,
+    /// 32-bit registers per SMX.
+    pub regs_per_sm: u32,
+    /// Maximum registers addressable per thread (255 on Kepler; the
+    /// paper's feedback loop uses this as the hardware limit).
+    pub max_regs_per_thread: u32,
+    /// Register allocation granularity per warp, in registers.
+    pub warp_alloc_granularity: u32,
+    /// Maximum resident warps per SMX.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident thread blocks per SMX.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Warp width.
+    pub warp_size: u32,
+    /// Core clock in MHz (used only to convert cycles to seconds in
+    /// reports).
+    pub clock_mhz: u32,
+    /// Global-memory transaction size in bytes.
+    pub transaction_bytes: u32,
+    /// Peak global-memory bandwidth in bytes per core clock cycle,
+    /// device-wide.
+    pub bytes_per_cycle: f64,
+    /// Resident warps per SM needed to saturate the memory interface
+    /// (Little's law: achievable bandwidth scales with memory-level
+    /// parallelism until this point — the reason occupancy matters even
+    /// for bandwidth-bound kernels, and thus the reason saving registers
+    /// with `small`/`dim` speeds them up).
+    pub bw_saturation_warps: u32,
+    /// Latencies, cycles: coalesced global load.
+    pub lat_global: u32,
+    /// Latency of a read-only (texture/LDG path) cached load.
+    pub lat_readonly: u32,
+    /// Latency of a local (spill) access — local memory is backed by L1
+    /// on Kepler but spills still cost a memory round trip when they miss.
+    pub lat_local: u32,
+    /// Extra serialization cycles for each additional transaction an
+    /// uncoalesced warp access needs (departure delay).
+    pub uncoalesced_penalty: u32,
+    /// Warp instruction issue throughput multipliers: cycles per issued
+    /// instruction for (int32/fp32), int64, fp64, SFU math.
+    pub cpi_simple: f64,
+    /// Cycles per issued 64-bit integer instruction.
+    pub cpi_int64: f64,
+    /// Cycles per issued fp64 instruction (1/3 rate on K20X).
+    pub cpi_fp64: f64,
+    /// Cycles per issued special-function (sqrt/exp/...) instruction.
+    pub cpi_sfu: f64,
+    /// Fixed kernel launch overhead in cycles.
+    pub launch_overhead: u64,
+}
+
+impl DeviceConfig {
+    /// The paper's evaluation GPU: Tesla K20Xm (Kepler GK110, sm_35).
+    pub fn k20xm() -> Self {
+        DeviceConfig {
+            name: "Tesla K20Xm (simulated)",
+            sm_count: 14,
+            regs_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            warp_alloc_granularity: 256,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            clock_mhz: 732,
+            transaction_bytes: 128,
+            // ~250 GB/s at 732 MHz ≈ 341 B/cycle device-wide.
+            bytes_per_cycle: 341.0,
+            bw_saturation_warps: 48,
+            lat_global: 380,
+            lat_readonly: 140,
+            lat_local: 380,
+            uncoalesced_penalty: 40,
+            cpi_simple: 1.0,
+            cpi_int64: 2.0,
+            cpi_fp64: 3.0,
+            cpi_sfu: 8.0,
+            launch_overhead: 4_000,
+        }
+    }
+
+    /// A tiny device for deterministic unit tests (2 SMs, small register
+    /// file) so occupancy effects show up at test scale.
+    pub fn test_small() -> Self {
+        DeviceConfig {
+            name: "TestGPU",
+            sm_count: 2,
+            regs_per_sm: 8_192,
+            max_regs_per_thread: 64,
+            warp_alloc_granularity: 256,
+            max_warps_per_sm: 16,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 256,
+            ..Self::k20xm()
+        }
+    }
+
+    /// Occupancy for a kernel using `regs_per_thread` registers launched
+    /// with `threads_per_block`.
+    pub fn occupancy(&self, regs_per_thread: u32, threads_per_block: u32) -> Occupancy {
+        let tpb = threads_per_block.clamp(1, self.max_threads_per_block);
+        let warps_per_block = tpb.div_ceil(self.warp_size).max(1);
+        // Per-warp register allocation, rounded to the granularity.
+        let rpt = regs_per_thread.clamp(1, self.max_regs_per_thread);
+        let warp_regs =
+            (rpt * self.warp_size).div_ceil(self.warp_alloc_granularity) * self.warp_alloc_granularity;
+        let warp_limit_regs = self.regs_per_sm / warp_regs.max(1);
+        let blocks_by_regs = warp_limit_regs / warps_per_block;
+        let blocks_by_warps = self.max_warps_per_sm / warps_per_block;
+        let blocks = blocks_by_regs.min(blocks_by_warps).min(self.max_blocks_per_sm);
+        let active_warps = blocks * warps_per_block;
+        Occupancy {
+            blocks_per_sm: blocks,
+            active_warps_per_sm: active_warps,
+            occupancy: active_warps as f64 / self.max_warps_per_sm as f64,
+        }
+    }
+}
+
+/// The result of an occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM.
+    pub active_warps_per_sm: u32,
+    /// Fraction of the maximum warp population.
+    pub occupancy: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_register_use_gives_full_occupancy() {
+        let d = DeviceConfig::k20xm();
+        let o = d.occupancy(32, 256);
+        // 32 regs/thread → 1024 regs/warp → 64 warps fit; warp cap 64.
+        assert_eq!(o.active_warps_per_sm, 64);
+        assert!((o.occupancy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_register_use_cuts_occupancy() {
+        let d = DeviceConfig::k20xm();
+        let o128 = d.occupancy(128, 256);
+        let o255 = d.occupancy(255, 256);
+        assert!(o128.active_warps_per_sm < 64);
+        assert!(o255.active_warps_per_sm < o128.active_warps_per_sm);
+        // 255 regs → 8192 regs/warp → 8 warps/SM.
+        assert_eq!(o255.active_warps_per_sm, 8);
+    }
+
+    #[test]
+    fn occupancy_monotone_in_registers() {
+        let d = DeviceConfig::k20xm();
+        let mut last = u32::MAX;
+        for regs in [16, 32, 48, 64, 96, 128, 192, 255] {
+            let o = d.occupancy(regs, 128);
+            assert!(o.active_warps_per_sm <= last, "regs={regs}");
+            last = o.active_warps_per_sm;
+        }
+    }
+
+    #[test]
+    fn block_limit_caps_small_blocks() {
+        let d = DeviceConfig::k20xm();
+        // 32-thread blocks: 1 warp each; 16-block cap → 16 warps, not 64.
+        let o = d.occupancy(16, 32);
+        assert_eq!(o.blocks_per_sm, 16);
+        assert_eq!(o.active_warps_per_sm, 16);
+    }
+
+    #[test]
+    fn paper_table1_hot1_effect() {
+        // Table I HOT1: 128 regs (base) vs 48 regs (with dim): the whole
+        // point of the clauses is the occupancy this buys back.
+        let d = DeviceConfig::k20xm();
+        let base = d.occupancy(128, 256);
+        let opt = d.occupancy(48, 256);
+        assert!(opt.active_warps_per_sm >= 2 * base.active_warps_per_sm);
+    }
+
+    #[test]
+    fn warp_granularity_rounding() {
+        let d = DeviceConfig::k20xm();
+        // 33 regs/thread → 1056 → rounds to 1280 regs/warp → 51 warps by
+        // regs, but 256-thread blocks (8 warps) → 6 blocks → 48 warps.
+        let o = d.occupancy(33, 256);
+        assert_eq!(o.blocks_per_sm, 6);
+        assert_eq!(o.active_warps_per_sm, 48);
+    }
+}

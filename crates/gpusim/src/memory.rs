@@ -1,0 +1,234 @@
+//! Simulated device global memory.
+//!
+//! Buffers are byte vectors with synthetic 64-bit base addresses: buffer
+//! `i` starts at `(i+1) << 40`, so any address decodes to (buffer,
+//! offset) without a search and buffer overruns are detected rather than
+//! silently corrupting neighbours.
+
+use std::fmt;
+
+/// Identifies one device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub u32);
+
+/// Bits used for the in-buffer offset within a synthetic address.
+const OFFSET_BITS: u32 = 40;
+
+/// Device memory: an address space of buffers.
+#[derive(Debug, Default)]
+pub struct DeviceMemory {
+    buffers: Vec<Vec<u8>>,
+}
+
+/// An out-of-bounds or unmapped access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting byte address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub bytes: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "device memory fault at {:#x} ({} bytes): {}", self.addr, self.bytes, self.message)
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+impl DeviceMemory {
+    /// Create an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a zero-initialized buffer of `bytes` bytes.
+    pub fn alloc(&mut self, bytes: usize) -> BufferId {
+        assert!((bytes as u64) < (1u64 << OFFSET_BITS), "buffer too large");
+        let id = BufferId(self.buffers.len() as u32);
+        self.buffers.push(vec![0u8; bytes]);
+        id
+    }
+
+    /// The synthetic base address of a buffer.
+    pub fn base_addr(&self, id: BufferId) -> u64 {
+        ((id.0 as u64) + 1) << OFFSET_BITS
+    }
+
+    /// Size of a buffer in bytes.
+    pub fn len(&self, id: BufferId) -> usize {
+        self.buffers[id.0 as usize].len()
+    }
+
+    /// True if no buffers are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    fn decode(&self, addr: u64, bytes: u32) -> Result<(usize, usize), MemFault> {
+        let buf = (addr >> OFFSET_BITS) as usize;
+        let off = (addr & ((1u64 << OFFSET_BITS) - 1)) as usize;
+        if buf == 0 || buf > self.buffers.len() {
+            return Err(MemFault { addr, bytes, message: "unmapped address".into() });
+        }
+        let b = buf - 1;
+        if off + bytes as usize > self.buffers[b].len() {
+            return Err(MemFault {
+                addr,
+                bytes,
+                message: format!(
+                    "out of bounds: offset {off} + {bytes} > buffer size {}",
+                    self.buffers[b].len()
+                ),
+            });
+        }
+        Ok((b, off))
+    }
+
+    /// Read `bytes` (4 or 8) at `addr`, little-endian, zero-extended.
+    pub fn read(&self, addr: u64, bytes: u32) -> Result<u64, MemFault> {
+        let (b, off) = self.decode(addr, bytes)?;
+        let buf = &self.buffers[b];
+        let mut v = 0u64;
+        for i in 0..bytes as usize {
+            v |= (buf[off + i] as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Write the low `bytes` bytes of `value` at `addr`, little-endian.
+    pub fn write(&mut self, addr: u64, bytes: u32, value: u64) -> Result<(), MemFault> {
+        let (b, off) = self.decode(addr, bytes)?;
+        let buf = &mut self.buffers[b];
+        for i in 0..bytes as usize {
+            buf[off + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Copy a host slice into a buffer (host→device transfer).
+    pub fn copy_in(&mut self, id: BufferId, data: &[u8]) {
+        let buf = &mut self.buffers[id.0 as usize];
+        assert!(data.len() <= buf.len(), "copy_in larger than buffer");
+        buf[..data.len()].copy_from_slice(data);
+    }
+
+    /// Copy a buffer back out to the host.
+    pub fn copy_out(&self, id: BufferId) -> Vec<u8> {
+        self.buffers[id.0 as usize].clone()
+    }
+
+    /// Typed convenience: upload a slice of `f32`.
+    pub fn copy_in_f32(&mut self, id: BufferId, data: &[f32]) {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.copy_in(id, &bytes);
+    }
+
+    /// Typed convenience: download a buffer as `f32`s.
+    pub fn copy_out_f32(&self, id: BufferId) -> Vec<f32> {
+        self.copy_out(id)
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Typed convenience: upload a slice of `f64`.
+    pub fn copy_in_f64(&mut self, id: BufferId, data: &[f64]) {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.copy_in(id, &bytes);
+    }
+
+    /// Typed convenience: download a buffer as `f64`s.
+    pub fn copy_out_f64(&self, id: BufferId) -> Vec<f64> {
+        self.copy_out(id)
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect()
+    }
+
+    /// Typed convenience: upload a slice of `i32`.
+    pub fn copy_in_i32(&mut self, id: BufferId, data: &[i32]) {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.copy_in(id, &bytes);
+    }
+
+    /// Typed convenience: download a buffer as `i32`s.
+    pub fn copy_out_i32(&self, id: BufferId) -> Vec<i32> {
+        self.copy_out(id)
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_rw_roundtrip() {
+        let mut m = DeviceMemory::new();
+        let b = m.alloc(64);
+        let base = m.base_addr(b);
+        m.write(base + 8, 4, 0xDEADBEEF).unwrap();
+        assert_eq!(m.read(base + 8, 4).unwrap(), 0xDEADBEEF);
+        m.write(base + 16, 8, u64::MAX - 5).unwrap();
+        assert_eq!(m.read(base + 16, 8).unwrap(), u64::MAX - 5);
+    }
+
+    #[test]
+    fn distinct_buffers_do_not_alias() {
+        let mut m = DeviceMemory::new();
+        let a = m.alloc(16);
+        let b = m.alloc(16);
+        m.write(m.base_addr(a), 4, 1).unwrap();
+        m.write(m.base_addr(b), 4, 2).unwrap();
+        assert_eq!(m.read(m.base_addr(a), 4).unwrap(), 1);
+        assert_eq!(m.read(m.base_addr(b), 4).unwrap(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let mut m = DeviceMemory::new();
+        let b = m.alloc(16);
+        let base = m.base_addr(b);
+        assert!(m.read(base + 16, 4).is_err());
+        assert!(m.read(base + 13, 4).is_err());
+        assert!(m.write(base + 16, 4, 0).is_err());
+        assert!(m.read(0, 4).is_err()); // null
+        assert!(m.read(m.base_addr(BufferId(5)), 4).is_err()); // unmapped
+    }
+
+    #[test]
+    fn typed_f32_roundtrip() {
+        let mut m = DeviceMemory::new();
+        let b = m.alloc(5 * 4);
+        let data = [1.0f32, -2.5, 3.25, 0.0, f32::MAX];
+        m.copy_in_f32(b, &data);
+        assert_eq!(m.copy_out_f32(b), data);
+    }
+
+    #[test]
+    fn typed_f64_and_i32_roundtrip() {
+        let mut m = DeviceMemory::new();
+        let b = m.alloc(3 * 8);
+        m.copy_in_f64(b, &[1.5, -2.25, 1e100]);
+        assert_eq!(m.copy_out_f64(b), vec![1.5, -2.25, 1e100]);
+        let c = m.alloc(2 * 4);
+        m.copy_in_i32(c, &[-7, 42]);
+        assert_eq!(m.copy_out_i32(c), vec![-7, 42]);
+    }
+
+    #[test]
+    fn base_addresses_are_stable_and_distinct() {
+        let mut m = DeviceMemory::new();
+        let a = m.alloc(8);
+        let b = m.alloc(8);
+        assert_ne!(m.base_addr(a), m.base_addr(b));
+        assert_eq!(m.base_addr(a), 1u64 << 40);
+        assert_eq!(m.base_addr(b), 2u64 << 40);
+    }
+}

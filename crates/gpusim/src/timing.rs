@@ -1,0 +1,222 @@
+//! The analytic timing model.
+//!
+//! Converts the interpreter's dynamic counts into estimated execution
+//! cycles using a compute/memory overlap model in the spirit of Hong &
+//! Kim's MWP/CWP analysis:
+//!
+//! * **compute time** — issued warp instructions weighted by per-class
+//!   throughput, divided over the SMs' issue slots;
+//! * **memory latency time** — each memory request carries its space's
+//!   latency plus a serialization penalty for every extra transaction an
+//!   uncoalesced access generates; the total latency pool is hidden by
+//!   however many warps are resident, so **occupancy directly scales
+//!   memory-bound performance** (this is what makes register pressure
+//!   matter, and what the `small`/`dim` clauses buy back);
+//! * **bandwidth time** — total bytes moved over the device interface at
+//!   peak bandwidth (a floor for transaction-heavy kernels);
+//! * the kernel time is `max` of the three (full overlap assumption) plus
+//!   a fixed launch overhead.
+//!
+//! The model does not try to match absolute hardware numbers — it
+//! reproduces the *relationships* the paper's evaluation depends on:
+//! fewer loads → faster memory-bound kernels; uncoalesced accesses are
+//! an order of magnitude more expensive; fewer registers → more resident
+//! warps → better latency hiding; spills add local traffic.
+
+use crate::device::DeviceConfig;
+use crate::stats::KernelStats;
+
+/// A cycle estimate with its components, for reports and ablations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingBreakdown {
+    /// Compute-side cycles.
+    pub compute_cycles: f64,
+    /// Latency-side cycles after latency hiding.
+    pub memory_cycles: f64,
+    /// Bandwidth-floor cycles.
+    pub bandwidth_cycles: f64,
+    /// Fixed launch overhead cycles.
+    pub overhead_cycles: f64,
+    /// The modelled kernel time (max of the above + overhead).
+    pub total_cycles: f64,
+    /// Resident warps per SM used for latency hiding.
+    pub active_warps: u32,
+    /// Occupancy fraction.
+    pub occupancy: f64,
+}
+
+impl TimingBreakdown {
+    /// Convert cycles to milliseconds at the device clock.
+    pub fn millis(&self, dev: &DeviceConfig) -> f64 {
+        self.total_cycles / (dev.clock_mhz as f64 * 1e3)
+    }
+
+    /// Which side dominates (for reports).
+    pub fn bound(&self) -> &'static str {
+        if self.compute_cycles >= self.memory_cycles && self.compute_cycles >= self.bandwidth_cycles
+        {
+            "compute"
+        } else if self.memory_cycles >= self.bandwidth_cycles {
+            "latency"
+        } else {
+            "bandwidth"
+        }
+    }
+}
+
+/// Estimate kernel execution time.
+///
+/// * `stats` — interpreter counts for the launch,
+/// * `regs_per_thread` — from the [`crate::ptxas`] report,
+/// * `threads_per_block` — launch geometry.
+pub fn estimate_time(
+    dev: &DeviceConfig,
+    stats: &KernelStats,
+    regs_per_thread: u32,
+    threads_per_block: u32,
+) -> TimingBreakdown {
+    let occ = dev.occupancy(regs_per_thread, threads_per_block);
+    let active = occ.active_warps_per_sm.max(1);
+
+    // ---- compute side -------------------------------------------------
+    let issue_cycles = stats.simple_insts as f64 * dev.cpi_simple
+        + stats.int64_insts as f64 * dev.cpi_int64
+        + stats.fp64_insts as f64 * dev.cpi_fp64
+        + stats.sfu_insts as f64 * dev.cpi_sfu;
+    // Each SM has (on Kepler) four warp schedulers; fold that into an
+    // effective per-SM issue rate of 4 warp-instructions per cycle.
+    let issue_rate_per_sm = 4.0;
+    let compute_cycles = issue_cycles / (dev.sm_count as f64 * issue_rate_per_sm);
+
+    // ---- latency side --------------------------------------------------
+    // Per-request latency: base latency of the space + departure delay for
+    // every transaction beyond the first (uncoalesced serialization).
+    let gl_req = (stats.global_ld_requests + stats.global_st_requests) as f64;
+    let ro_req = stats.readonly_requests as f64;
+    let extra_gl = (stats.global_transactions as f64
+        - (stats.global_ld_requests + stats.global_st_requests) as f64)
+        .max(0.0);
+    let extra_ro = (stats.readonly_transactions as f64 - stats.readonly_requests as f64).max(0.0);
+    let latency_pool = gl_req * dev.lat_global as f64
+        + extra_gl * dev.uncoalesced_penalty as f64
+        + ro_req * dev.lat_readonly as f64
+        + extra_ro * dev.uncoalesced_penalty as f64
+        + stats.local_accesses as f64 * dev.lat_local as f64
+        + stats.atomics as f64 * (dev.lat_global as f64 * 1.5);
+    // Latency is hidden by the resident warps on each SM: with N warps in
+    // flight an SM overlaps ~N outstanding requests.
+    let memory_cycles = latency_pool / (dev.sm_count as f64 * active as f64);
+
+    // ---- bandwidth floor -----------------------------------------------
+    // Achievable bandwidth scales with memory-level parallelism (resident
+    // warps) until the interface saturates — Little's law. This is why
+    // register savings speed up even bandwidth-bound kernels.
+    let bytes = stats.global_bytes(dev.transaction_bytes) as f64;
+    let bw_frac = (active as f64 / dev.bw_saturation_warps as f64).min(1.0);
+    let bandwidth_cycles = bytes / (dev.bytes_per_cycle * bw_frac);
+
+    let total = compute_cycles.max(memory_cycles).max(bandwidth_cycles)
+        + dev.launch_overhead as f64;
+    TimingBreakdown {
+        compute_cycles,
+        memory_cycles,
+        bandwidth_cycles,
+        overhead_cycles: dev.launch_overhead as f64,
+        total_cycles: total,
+        active_warps: active,
+        occupancy: occ.occupancy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_stats(ld: u64, txn: u64) -> KernelStats {
+        KernelStats {
+            simple_insts: ld * 4,
+            global_ld_requests: ld,
+            global_transactions: txn,
+            warps: 64,
+            threads: 2048,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fewer_loads_is_faster_when_memory_bound() {
+        let d = DeviceConfig::k20xm();
+        let many = estimate_time(&d, &mem_stats(100_000, 100_000), 32, 256);
+        let few = estimate_time(&d, &mem_stats(50_000, 50_000), 32, 256);
+        assert!(few.total_cycles < many.total_cycles);
+        assert_eq!(many.bound(), "latency");
+    }
+
+    #[test]
+    fn uncoalesced_transactions_cost_more() {
+        let d = DeviceConfig::k20xm();
+        let coal = estimate_time(&d, &mem_stats(10_000, 10_000), 32, 256);
+        let unco = estimate_time(&d, &mem_stats(10_000, 320_000), 32, 256);
+        assert!(unco.total_cycles > 2.0 * coal.total_cycles);
+    }
+
+    #[test]
+    fn register_pressure_slows_memory_bound_kernels() {
+        let d = DeviceConfig::k20xm();
+        let s = mem_stats(200_000, 200_000);
+        let low = estimate_time(&d, &s, 32, 256);
+        let high = estimate_time(&d, &s, 200, 256);
+        assert!(high.total_cycles > low.total_cycles);
+        assert!(high.active_warps < low.active_warps);
+    }
+
+    #[test]
+    fn register_pressure_does_not_hurt_compute_bound_kernels() {
+        let d = DeviceConfig::k20xm();
+        let s = KernelStats {
+            simple_insts: 10_000_000,
+            sfu_insts: 1_000_000,
+            warps: 64,
+            ..Default::default()
+        };
+        let low = estimate_time(&d, &s, 32, 256);
+        let high = estimate_time(&d, &s, 128, 256);
+        assert_eq!(low.bound(), "compute");
+        assert!((high.total_cycles - low.total_cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn readonly_loads_cheaper_than_global() {
+        let d = DeviceConfig::k20xm();
+        let glob = mem_stats(50_000, 50_000);
+        let ro = KernelStats {
+            simple_insts: glob.simple_insts,
+            readonly_requests: 50_000,
+            readonly_transactions: 50_000,
+            warps: 64,
+            threads: 2048,
+            ..Default::default()
+        };
+        let tg = estimate_time(&d, &glob, 32, 256);
+        let tr = estimate_time(&d, &ro, 32, 256);
+        assert!(tr.total_cycles < tg.total_cycles);
+    }
+
+    #[test]
+    fn spill_traffic_adds_time() {
+        let d = DeviceConfig::k20xm();
+        let clean = mem_stats(10_000, 10_000);
+        let mut spilled = clean;
+        spilled.local_accesses = 100_000;
+        let tc = estimate_time(&d, &clean, 32, 256);
+        let ts = estimate_time(&d, &spilled, 32, 256);
+        assert!(ts.total_cycles > tc.total_cycles);
+    }
+
+    #[test]
+    fn millis_conversion_positive() {
+        let d = DeviceConfig::k20xm();
+        let t = estimate_time(&d, &mem_stats(1000, 1000), 32, 256);
+        assert!(t.millis(&d) > 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! OpenACC directives and clauses, including the paper's proposed
+//! `dim` and `small` extensions (§IV).
+//!
+//! Supported syntax (a practical subset of OpenACC 2.0 plus extensions):
+//!
+//! ```text
+//! #pragma acc kernels  [data-clause...] [dim(...)] [small(...)]
+//! #pragma acc parallel [data-clause...] [num_gangs(e)] [vector_length(e)]
+//!                      [dim(...)] [small(...)]
+//! #pragma acc loop [gang[(e)]] [vector[(e)]] [seq] [independent]
+//!                  [reduction(op:var[,var...])]
+//! ```
+//!
+//! The `dim` clause groups arrays that are asserted to share identical
+//! dimensions so the compiler can compute a *single* offset expression per
+//! subscript tuple; the `small` clause asserts an array is smaller than
+//! 4 GiB so subscript offsets fit in 32-bit arithmetic.
+
+use crate::ast::{Expr, Ident};
+
+/// The two OpenACC offload constructs. The paper treats both as "offload
+/// regions"; `parallel` gives the user control, `kernels` the compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccConstruct {
+    /// `#pragma acc kernels`
+    Kernels,
+    /// `#pragma acc parallel`
+    Parallel,
+}
+
+impl AccConstruct {
+    /// Directive keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AccConstruct::Kernels => "kernels",
+            AccConstruct::Parallel => "parallel",
+        }
+    }
+}
+
+/// Data-movement clauses on a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataDir {
+    /// `copyin(a)` — host→device before the region.
+    CopyIn,
+    /// `copyout(a)` — device→host after the region.
+    CopyOut,
+    /// `copy(a)` — both.
+    Copy,
+    /// `create(a)` — device allocation only, no transfer.
+    Create,
+    /// `present(a)` — data already on the device.
+    Present,
+}
+
+impl DataDir {
+    /// Clause keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            DataDir::CopyIn => "copyin",
+            DataDir::CopyOut => "copyout",
+            DataDir::Copy => "copy",
+            DataDir::Create => "create",
+            DataDir::Present => "present",
+        }
+    }
+
+    /// Whether the clause implies a host→device transfer.
+    pub fn transfers_in(self) -> bool {
+        matches!(self, DataDir::CopyIn | DataDir::Copy)
+    }
+
+    /// Whether the clause implies a device→host transfer.
+    pub fn transfers_out(self) -> bool {
+        matches!(self, DataDir::CopyOut | DataDir::Copy)
+    }
+}
+
+/// One data clause: a direction plus the arrays it applies to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataClause {
+    /// Transfer direction.
+    pub dir: DataDir,
+    /// Arrays the clause names.
+    pub vars: Vec<Ident>,
+}
+
+/// A `dim` clause group (§IV-A): arrays asserted to share identical
+/// dimensions, with optional explicit bounds.
+///
+/// ```text
+/// dim((0:NX, 0:NY, 0:NZ)(vz_1, vz_2, vz_3))   // bounds + arrays
+/// dim((vz_1, vz_2, vz_3))                      // arrays only
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimGroup {
+    /// Optional explicit `(lb:len, ...)` bounds, outermost first. When
+    /// present the compiler may fold lower bounds (commonly 0) directly
+    /// into the offset expression.
+    pub bounds: Option<Vec<DimBound>>,
+    /// The arrays asserted to share these dimensions (at least two for the
+    /// clause to be useful; sema warns otherwise).
+    pub arrays: Vec<Ident>,
+}
+
+/// One `lb:len` bound inside a `dim` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimBound {
+    /// Lower bound expression (commonly the literal 0).
+    pub lower: Expr,
+    /// Length expression.
+    pub len: Expr,
+}
+
+/// All clauses attached to a `kernels`/`parallel` directive.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegionClauses {
+    /// Data-movement clauses.
+    pub data: Vec<DataClause>,
+    /// `num_gangs(e)` (parallel construct).
+    pub num_gangs: Option<Expr>,
+    /// `vector_length(e)` (parallel construct).
+    pub vector_length: Option<Expr>,
+    /// Proposed `dim` groups.
+    pub dim_groups: Vec<DimGroup>,
+    /// Arrays named in proposed `small` clauses.
+    pub small: Vec<Ident>,
+}
+
+impl RegionClauses {
+    /// True if `array` appears in a `small` clause.
+    pub fn is_small(&self, array: &Ident) -> bool {
+        self.small.contains(array)
+    }
+
+    /// The `dim` group containing `array`, if any.
+    pub fn dim_group_of(&self, array: &Ident) -> Option<(usize, &DimGroup)> {
+        self.dim_groups.iter().enumerate().find(|(_, g)| g.arrays.contains(array))
+    }
+}
+
+/// A region directive: construct kind + clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionDirective {
+    /// `kernels` or `parallel`.
+    pub construct: AccConstruct,
+    /// Attached clauses.
+    pub clauses: RegionClauses,
+}
+
+impl RegionDirective {
+    /// A bare `#pragma acc kernels` with no clauses.
+    pub fn kernels() -> Self {
+        RegionDirective { construct: AccConstruct::Kernels, clauses: RegionClauses::default() }
+    }
+
+    /// A bare `#pragma acc parallel` with no clauses.
+    pub fn parallel() -> Self {
+        RegionDirective { construct: AccConstruct::Parallel, clauses: RegionClauses::default() }
+    }
+}
+
+/// Reduction operators on `loop` directives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// `reduction(+:v)`
+    Add,
+    /// `reduction(*:v)`
+    Mul,
+    /// `reduction(min:v)`
+    Min,
+    /// `reduction(max:v)`
+    Max,
+}
+
+impl ReduceOp {
+    /// Clause spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ReduceOp::Add => "+",
+            ReduceOp::Mul => "*",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+        }
+    }
+}
+
+/// A single reduction `op:var` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reduction {
+    /// The combining operator.
+    pub op: ReduceOp,
+    /// The reduced scalar.
+    pub var: Ident,
+}
+
+/// `#pragma acc loop ...` scheduling directive.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoopDirective {
+    /// `gang` present; inner `Option` is the optional gang-count argument.
+    pub gang: Option<Option<Expr>>,
+    /// `vector` present; inner `Option` is the optional vector length.
+    pub vector: Option<Option<Expr>>,
+    /// `seq` — force sequential execution inside each thread.
+    pub seq: bool,
+    /// `independent` — the programmer asserts no loop-carried dependences.
+    pub independent: bool,
+    /// Reductions performed by this loop.
+    pub reductions: Vec<Reduction>,
+}
+
+impl LoopDirective {
+    /// True if the loop is distributed across device parallelism
+    /// (gang and/or vector, and not forced `seq`).
+    pub fn is_parallel(&self) -> bool {
+        !self.seq && (self.gang.is_some() || self.vector.is_some() || self.independent)
+    }
+
+    /// A plain `#pragma acc loop seq`.
+    pub fn seq() -> Self {
+        LoopDirective { seq: true, ..Default::default() }
+    }
+
+    /// A `#pragma acc loop gang vector` with no explicit sizes.
+    pub fn gang_vector() -> Self {
+        LoopDirective { gang: Some(None), vector: Some(None), ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_directive_parallel_classification() {
+        assert!(LoopDirective::gang_vector().is_parallel());
+        assert!(!LoopDirective::seq().is_parallel());
+        assert!(!LoopDirective::default().is_parallel());
+        let ind = LoopDirective { independent: true, ..Default::default() };
+        assert!(ind.is_parallel());
+        // seq wins over gang if both are (erroneously) present.
+        let both = LoopDirective { gang: Some(None), seq: true, ..Default::default() };
+        assert!(!both.is_parallel());
+    }
+
+    #[test]
+    fn region_clause_queries() {
+        let mut c = RegionClauses::default();
+        c.small.push(Ident::new("a"));
+        c.dim_groups.push(DimGroup {
+            bounds: None,
+            arrays: vec![Ident::new("a"), Ident::new("b")],
+        });
+        assert!(c.is_small(&Ident::new("a")));
+        assert!(!c.is_small(&Ident::new("b")));
+        assert_eq!(c.dim_group_of(&Ident::new("b")).map(|(i, _)| i), Some(0));
+        assert!(c.dim_group_of(&Ident::new("z")).is_none());
+    }
+
+    #[test]
+    fn data_dir_transfer_flags() {
+        assert!(DataDir::Copy.transfers_in() && DataDir::Copy.transfers_out());
+        assert!(DataDir::CopyIn.transfers_in() && !DataDir::CopyIn.transfers_out());
+        assert!(!DataDir::Create.transfers_in() && !DataDir::Create.transfers_out());
+    }
+}

@@ -1,0 +1,269 @@
+//! Sequential-loop unrolling — the paper's future-work extension.
+//!
+//! §VII: "In future work, we plan to combine other classical
+//! optimizations like loop unrolling and memory vectorization with
+//! SAFARA". Unrolling an innermost sequential loop by `U` turns
+//! inter-iteration reuse into *straight-line* intra-iteration reuse
+//! (e.g. `c[k]`/`c[k-1]` pairs across adjacent unrolled copies collapse
+//! after SR and local CSE), at the cost of more instructions per
+//! iteration.
+//!
+//! Transformation (upward unit-stride loops only):
+//!
+//! ```text
+//! for (k = lo; k < bound; k++) body
+//!   ⇒
+//! int __trip = bound - lo;
+//! int __main = lo + __trip / U * U;
+//! for (k = lo; k < __main; k += U) { {body@k+0} … {body@k+U-1} }
+//! for (k = __main; k < bound; k++) body        // remainder
+//! ```
+//!
+//! Each unrolled copy is wrapped in its own block so local declarations
+//! do not collide. Loops carrying `reduction` clauses or containing
+//! nested loops are left alone (conservative).
+
+use safara_analysis::region::RegionInfo;
+use safara_ir::*;
+
+/// Unroll every eligible innermost sequential loop of the region body by
+/// `factor`. Returns the number of loops unrolled.
+pub fn unroll_seq_loops(
+    body: &mut Vec<Stmt>,
+    factor: u32,
+    info: &RegionInfo,
+    namer: &mut crate::transform::TempNamer,
+) -> u32 {
+    if factor < 2 {
+        return 0;
+    }
+    let mut counter = 0u32;
+    walk(body, factor, info, namer, &mut counter)
+}
+
+fn walk(
+    stmts: &mut Vec<Stmt>,
+    factor: u32,
+    info: &RegionInfo,
+    namer: &mut crate::transform::TempNamer,
+    loop_cursor: &mut u32,
+) -> u32 {
+    let mut done = 0u32;
+    let mut i = 0;
+    while i < stmts.len() {
+        match &mut stmts[i] {
+            Stmt::For(f) => {
+                let idx = *loop_cursor as usize;
+                *loop_cursor += 1;
+                let seq = info
+                    .loops
+                    .get(idx)
+                    .map(|l| l.mapped.is_none())
+                    .unwrap_or(true);
+                // Recurse first (cursor must advance through the subtree).
+                let inner = walk(&mut f.body, factor, info, namer, loop_cursor);
+                done += inner;
+                if seq && inner == 0 && eligible(f) {
+                    let Stmt::For(f) = stmts.remove(i) else { unreachable!() };
+                    let replacement = build_unrolled(*f, factor, namer);
+                    let n = replacement.len();
+                    for (off, s) in replacement.into_iter().enumerate() {
+                        stmts.insert(i + off, s);
+                    }
+                    done += 1;
+                    i += n;
+                    continue;
+                }
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                done += walk(then_body, factor, info, namer, loop_cursor);
+                done += walk(else_body, factor, info, namer, loop_cursor);
+            }
+            Stmt::Block(b) => done += walk(b, factor, info, namer, loop_cursor),
+            _ => {}
+        }
+        i += 1;
+    }
+    done
+}
+
+/// Innermost (no nested loops), upward unit stride, no reductions.
+fn eligible(f: &ForLoop) -> bool {
+    f.step == 1
+        && matches!(f.cmp, LoopCmp::Lt | LoopCmp::Le)
+        && f.directive.as_ref().map_or(true, |d| d.reductions.is_empty() && d.seq)
+        && !contains_loop(&f.body)
+}
+
+fn contains_loop(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::For(_) => true,
+        Stmt::If { then_body, else_body, .. } => {
+            contains_loop(then_body) || contains_loop(else_body)
+        }
+        Stmt::Block(b) => contains_loop(b),
+        _ => false,
+    })
+}
+
+fn build_unrolled(
+    f: ForLoop,
+    factor: u32,
+    namer: &mut crate::transform::TempNamer,
+) -> Vec<Stmt> {
+    let u = factor as i64;
+    let trip_name = Ident::new(format!("{}_trip", namer.fresh()));
+    let main_name = Ident::new(format!("{}_main", namer.fresh()));
+    // trip = bound - lo (+1 for <=).
+    let mut trip = Expr::bin(BinOp::Sub, f.bound.clone(), f.lo.clone());
+    if f.cmp == LoopCmp::Le {
+        trip = Expr::bin(BinOp::Add, trip, Expr::IntLit(1));
+    }
+    let decl_trip =
+        Stmt::DeclScalar { name: trip_name.clone(), ty: ScalarTy::I32, init: Some(trip) };
+    // main = lo + trip / U * U.
+    let main_val = Expr::bin(
+        BinOp::Add,
+        f.lo.clone(),
+        Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Div, Expr::Var(trip_name), Expr::IntLit(u)),
+            Expr::IntLit(u),
+        ),
+    );
+    let decl_main =
+        Stmt::DeclScalar { name: main_name.clone(), ty: ScalarTy::I32, init: Some(main_val) };
+
+    // Unrolled main loop.
+    let mut main_body = Vec::with_capacity(factor as usize);
+    for j in 0..u {
+        let copy: Vec<Stmt> = f
+            .body
+            .iter()
+            .cloned()
+            .map(|s| substitute_var(s, &f.var, j))
+            .collect();
+        main_body.push(Stmt::Block(copy));
+    }
+    let main_loop = Stmt::For(Box::new(ForLoop {
+        var: f.var.clone(),
+        declares_var: true,
+        lo: f.lo.clone(),
+        cmp: LoopCmp::Lt,
+        bound: Expr::Var(main_name.clone()),
+        step: u,
+        directive: Some(LoopDirective::seq()),
+        body: main_body,
+        span: f.span,
+    }));
+
+    // Remainder loop.
+    let remainder = Stmt::For(Box::new(ForLoop {
+        var: f.var.clone(),
+        declares_var: true,
+        lo: Expr::Var(main_name),
+        cmp: f.cmp,
+        bound: f.bound.clone(),
+        step: 1,
+        directive: Some(LoopDirective::seq()),
+        body: f.body,
+        span: f.span,
+    }));
+
+    vec![decl_trip, decl_main, main_loop, remainder]
+}
+
+/// Clone a statement with `var := var + j` in every expression.
+fn substitute_var(s: Stmt, var: &Ident, j: i64) -> Stmt {
+    if j == 0 {
+        return s;
+    }
+    let mut wrapped = vec![s];
+    visit::map_exprs(&mut wrapped, &mut |e| match e {
+        Expr::Var(v) if &v == var => {
+            Expr::bin(BinOp::Add, Expr::Var(v), Expr::IntLit(j))
+        }
+        other => other,
+    });
+    wrapped.pop().expect("one statement in, one out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::TempNamer;
+    use safara_ir::parse_program;
+    use safara_ir::printer::print_function;
+
+    fn unrolled(src: &str, factor: u32) -> (u32, String) {
+        let mut p = parse_program(src).unwrap();
+        let mut namer = TempNamer::default();
+        let mut count = 0;
+        let snapshot: Vec<_> = p.functions[0].regions().into_iter().cloned().collect();
+        for s in &mut p.functions[0].body {
+            if let Stmt::Region(r) = s {
+                let info = RegionInfo::analyze(&snapshot[0]);
+                count = unroll_seq_loops(&mut r.body, factor, &info, &mut namer);
+            }
+        }
+        let txt = print_function(&p.functions[0]);
+        parse_program(&txt).unwrap_or_else(|e| panic!("invalid output: {e}\n{txt}"));
+        (count, txt)
+    }
+
+    const SRC: &str = r#"
+    void f(int n, int m, const float a[n][300], float b[n][300]) {
+      #pragma acc kernels copyin(a) copy(b)
+      {
+        #pragma acc loop gang vector
+        for (int i = 0; i < n; i++) {
+          #pragma acc loop seq
+          for (int k = 1; k < m; k++) {
+            b[i][k] = a[i][k] + a[i][k - 1];
+          }
+        }
+      }
+    }"#;
+
+    #[test]
+    fn unrolls_innermost_seq_loop() {
+        let (count, txt) = unrolled(SRC, 4);
+        assert_eq!(count, 1);
+        assert!(txt.contains("k += 4"), "{txt}");
+        // Four shifted copies plus the remainder's original body.
+        assert_eq!(txt.matches("b[i][k").count(), 5, "{txt}");
+        assert!(txt.contains("_trip"), "{txt}");
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let (count, txt) = unrolled(SRC, 1);
+        assert_eq!(count, 0);
+        assert!(!txt.contains("_trip"));
+    }
+
+    #[test]
+    fn parallel_loops_untouched() {
+        let (_, txt) = unrolled(SRC, 2);
+        assert!(txt.contains("gang vector"), "{txt}");
+        // The parallel i loop must still step by 1.
+        assert!(txt.contains("i++"), "{txt}");
+    }
+
+    #[test]
+    fn reduction_loops_skipped() {
+        let src = r#"
+        void f(int n, const float a[n], float s) {
+          #pragma acc kernels copyin(a)
+          {
+            #pragma acc loop gang vector reduction(+:s)
+            for (int i = 0; i < n; i++) {
+              #pragma acc loop seq reduction(+:s)
+              for (int k = 0; k < 8; k++) { s += a[i]; }
+            }
+          }
+        }"#;
+        let (count, _) = unrolled(src, 4);
+        assert_eq!(count, 0);
+    }
+}

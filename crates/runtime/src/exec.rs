@@ -1,0 +1,591 @@
+//! Function execution: marshaling, launch geometry, reductions, timing.
+
+use crate::args::{ArgValue, Args};
+use safara_codegen::abi::{AbiParam, DimOwner};
+use safara_codegen::lower::{CompiledKernel, MappedLoopSpec};
+use safara_gpusim::device::DeviceConfig;
+use safara_gpusim::interp::{launch, LaunchConfig, ParamVal};
+use safara_gpusim::memory::{BufferId, DeviceMemory};
+use safara_gpusim::ptxas::RegAllocReport;
+use safara_gpusim::stats::KernelStats;
+use safara_gpusim::timing::{estimate_time, TimingBreakdown};
+use safara_ir::*;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Runtime errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl RuntimeError {
+    fn new(m: impl Into<String>) -> Self {
+        RuntimeError { message: m.into() }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Per-kernel outcome of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRun {
+    /// Kernel name.
+    pub name: String,
+    /// Launch geometry used.
+    pub config: LaunchConfig,
+    /// Hardware registers per thread (from the PTXAS-sim report).
+    pub regs_used: u32,
+    /// Dynamic statistics.
+    pub stats: KernelStats,
+    /// Modelled time.
+    pub timing: TimingBreakdown,
+}
+
+/// The outcome of a function run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// One entry per kernel launch, in execution order.
+    pub kernels: Vec<KernelRun>,
+    /// Bytes uploaded host→device.
+    pub h2d_bytes: u64,
+    /// Bytes downloaded device→host.
+    pub d2h_bytes: u64,
+}
+
+impl RunReport {
+    /// Sum of modelled kernel cycles.
+    pub fn total_cycles(&self) -> f64 {
+        self.kernels.iter().map(|k| k.timing.total_cycles).sum()
+    }
+
+    /// Sum of modelled kernel time in milliseconds.
+    pub fn total_millis(&self, dev: &DeviceConfig) -> f64 {
+        self.kernels.iter().map(|k| k.timing.millis(dev)).sum()
+    }
+}
+
+/// Execute all offload kernels of `func` against `args`.
+///
+/// `compiled` pairs each kernel with its register-allocation report (the
+/// compiler driver produces both); the report supplies the register count
+/// for occupancy and the spill set for local-traffic accounting.
+pub fn run_function(
+    dev: &DeviceConfig,
+    func: &Function,
+    compiled: &[(CompiledKernel, RegAllocReport)],
+    args: &mut Args,
+) -> Result<RunReport, RuntimeError> {
+    // ---- resolve array shapes and upload -------------------------------
+    let scalar_env = build_scalar_env(func, args)?;
+    let mut mem = DeviceMemory::new();
+    let mut buffers: BTreeMap<Ident, BufferId> = BTreeMap::new();
+    let mut report = RunReport::default();
+
+    let mut resolved_dims: BTreeMap<Ident, Vec<(i64, i64)>> = BTreeMap::new();
+    for p in &func.params {
+        if let Param::Array { name, ty, .. } = p {
+            let host = args
+                .arrays
+                .get(name)
+                .ok_or_else(|| RuntimeError::new(format!("missing array argument `{name}`")))?;
+            if host.elem != ty.elem {
+                return Err(RuntimeError::new(format!(
+                    "array `{name}` element type mismatch: declared {}, bound {}",
+                    ty.elem, host.elem
+                )));
+            }
+            let dims = resolve_dims(ty, &scalar_env)
+                .map_err(|m| RuntimeError::new(format!("array `{name}`: {m}")))?;
+            let elems: i64 = dims.iter().map(|(_, e)| *e).product();
+            if elems < 0 || host.len() as i64 != elems {
+                return Err(RuntimeError::new(format!(
+                    "array `{name}` size mismatch: dims give {elems} elements, host data has {}",
+                    host.len()
+                )));
+            }
+            let id = mem.alloc(host.bytes.len());
+            mem.copy_in(id, &host.bytes);
+            report.h2d_bytes += host.bytes.len() as u64;
+            buffers.insert(name.clone(), id);
+            resolved_dims.insert(name.clone(), dims);
+        }
+    }
+
+    // ---- launch each kernel --------------------------------------------
+    for (kernel, alloc) in compiled {
+        let config = launch_geometry(dev, kernel, &scalar_env)?;
+        // Reduction slots: allocate + seed with the current scalar value.
+        let mut red_bufs: Vec<(Ident, ScalarTy, BufferId)> = Vec::new();
+        let mut params: Vec<ParamVal> = Vec::with_capacity(kernel.abi.params.len());
+        for p in &kernel.abi.params {
+            params.push(match p {
+                AbiParam::Scalar { name, ty } => {
+                    let v = scalar_env
+                        .get(name)
+                        .ok_or_else(|| RuntimeError::new(format!("missing scalar `{name}`")))?;
+                    match ty {
+                        ScalarTy::I32 => ParamVal::I32(v.as_i64() as i32),
+                        ScalarTy::I64 => ParamVal::I64(v.as_i64()),
+                        ScalarTy::F32 => ParamVal::F32(v.as_f64() as f32),
+                        ScalarTy::F64 => ParamVal::F64(v.as_f64()),
+                    }
+                }
+                AbiParam::ArrayBase { array } => {
+                    let id = buffers
+                        .get(array)
+                        .ok_or_else(|| RuntimeError::new(format!("no buffer for `{array}`")))?;
+                    ParamVal::Ptr(mem.base_addr(*id))
+                }
+                AbiParam::DimExtent { owner, dim } => {
+                    let arr = owner_array(owner, kernel)?;
+                    let dims = resolved_dims
+                        .get(&arr)
+                        .ok_or_else(|| RuntimeError::new(format!("no dims for `{arr}`")))?;
+                    ParamVal::I32(dims[*dim].1 as i32)
+                }
+                AbiParam::DimLower { owner, dim } => {
+                    let arr = owner_array(owner, kernel)?;
+                    let dims = resolved_dims
+                        .get(&arr)
+                        .ok_or_else(|| RuntimeError::new(format!("no dims for `{arr}`")))?;
+                    ParamVal::I32(dims[*dim].0 as i32)
+                }
+                AbiParam::ReductionSlot { var, ty, .. } => {
+                    let id = mem.alloc(ty.size_bytes() as usize);
+                    let seed = scalar_env
+                        .get(var)
+                        .copied()
+                        .unwrap_or(ArgValue::F64(0.0));
+                    match ty {
+                        ScalarTy::F32 => mem.copy_in_f32(id, &[seed.as_f64() as f32]),
+                        ScalarTy::F64 => mem.copy_in_f64(id, &[seed.as_f64()]),
+                        ScalarTy::I32 => mem.copy_in_i32(id, &[seed.as_i64() as i32]),
+                        ScalarTy::I64 => {
+                            let b = (seed.as_i64() as u64).to_le_bytes();
+                            mem.copy_in(id, &b);
+                        }
+                    }
+                    red_bufs.push((var.clone(), *ty, id));
+                    ParamVal::Ptr(mem.base_addr(id))
+                }
+            });
+        }
+
+        let result = launch(&kernel.vir, &config, &params, &mut mem, &alloc.spilled)
+            .map_err(|e| RuntimeError::new(format!("kernel `{}`: {e}", kernel.name)))?;
+        let timing = estimate_time(
+            dev,
+            &result.stats,
+            alloc.regs_used.max(16),
+            config.threads_per_block(),
+        );
+        report.kernels.push(KernelRun {
+            name: kernel.name.clone(),
+            config,
+            regs_used: alloc.regs_used,
+            stats: result.stats,
+            timing,
+        });
+
+        // Read back reductions into the live scalar bindings so later
+        // kernels (and the caller) see the combined value.
+        for (var, ty, id) in red_bufs {
+            let v = match ty {
+                ScalarTy::F32 => ArgValue::F32(mem.copy_out_f32(id)[0]),
+                ScalarTy::F64 => ArgValue::F64(mem.copy_out_f64(id)[0]),
+                ScalarTy::I32 => ArgValue::I32(mem.copy_out_i32(id)[0]),
+                ScalarTy::I64 => {
+                    let b = mem.copy_out(id);
+                    ArgValue::I64(i64::from_le_bytes(b[..8].try_into().expect("8 bytes")))
+                }
+            };
+            args.scalars.insert(var.clone(), v);
+        }
+    }
+
+    // ---- download results ----------------------------------------------
+    for (name, id) in &buffers {
+        let bytes = mem.copy_out(*id);
+        report.d2h_bytes += bytes.len() as u64;
+        if let Some(host) = args.arrays.get_mut(name) {
+            host.bytes = bytes;
+        }
+    }
+    Ok(report)
+}
+
+fn owner_array(owner: &DimOwner, kernel: &CompiledKernel) -> Result<Ident, RuntimeError> {
+    match owner {
+        DimOwner::Array(a) => Ok(a.clone()),
+        DimOwner::Group(g) => kernel
+            .dim_groups
+            .get(*g)
+            .and_then(|arrays| arrays.first())
+            .cloned()
+            .ok_or_else(|| RuntimeError::new(format!("dim group {g} has no members"))),
+    }
+}
+
+fn build_scalar_env(
+    func: &Function,
+    args: &Args,
+) -> Result<BTreeMap<Ident, ArgValue>, RuntimeError> {
+    let mut env = BTreeMap::new();
+    for p in &func.params {
+        if let Param::Scalar { name, ty } = p {
+            let v = args
+                .scalars
+                .get(name)
+                .copied()
+                .ok_or_else(|| RuntimeError::new(format!("missing scalar argument `{name}`")))?;
+            // Normalize to the declared type.
+            let v = match ty {
+                ScalarTy::I32 => ArgValue::I32(v.as_i64() as i32),
+                ScalarTy::I64 => ArgValue::I64(v.as_i64()),
+                ScalarTy::F32 => ArgValue::F32(v.as_f64() as f32),
+                ScalarTy::F64 => ArgValue::F64(v.as_f64()),
+            };
+            env.insert(name.clone(), v);
+        }
+    }
+    Ok(env)
+}
+
+fn resolve_dims(
+    ty: &ArrayTy,
+    env: &BTreeMap<Ident, ArgValue>,
+) -> Result<Vec<(i64, i64)>, String> {
+    ty.dims
+        .iter()
+        .map(|d| {
+            let lb = match &d.lower {
+                None => 0,
+                Some(e) => eval_i64(e, env)?,
+            };
+            let ext = match &d.extent {
+                Extent::Const(c) => *c,
+                Extent::Dynamic(e) => eval_i64(e, env)?,
+            };
+            if ext <= 0 {
+                return Err(format!("non-positive extent {ext}"));
+            }
+            Ok((lb, ext))
+        })
+        .collect()
+}
+
+/// Evaluate an integer expression over the host scalar environment.
+pub fn eval_i64(e: &Expr, env: &BTreeMap<Ident, ArgValue>) -> Result<i64, String> {
+    Ok(match e {
+        Expr::IntLit(v) => *v,
+        Expr::FloatLit(v) => *v as i64,
+        Expr::Var(v) => env.get(v).ok_or_else(|| format!("unbound scalar `{v}`"))?.as_i64(),
+        Expr::Unary(UnOp::Neg, inner) => -eval_i64(inner, env)?,
+        Expr::Unary(UnOp::Not, inner) => i64::from(eval_i64(inner, env)? == 0),
+        Expr::Binary(op, l, r) => {
+            let (a, b) = (eval_i64(l, env)?, eval_i64(r, env)?);
+            match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err("division by zero in host expression".into());
+                    }
+                    a / b
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        return Err("remainder by zero in host expression".into());
+                    }
+                    a % b
+                }
+                BinOp::Lt => i64::from(a < b),
+                BinOp::Le => i64::from(a <= b),
+                BinOp::Gt => i64::from(a > b),
+                BinOp::Ge => i64::from(a >= b),
+                BinOp::Eq => i64::from(a == b),
+                BinOp::Ne => i64::from(a != b),
+                BinOp::And => i64::from(a != 0 && b != 0),
+                BinOp::Or => i64::from(a != 0 || b != 0),
+            }
+        }
+        Expr::Call(intr, args) => {
+            let vals: Vec<i64> = args
+                .iter()
+                .map(|a| eval_i64(a, env))
+                .collect::<Result<_, _>>()?;
+            match intr {
+                Intrinsic::Min => vals[0].min(vals[1]),
+                Intrinsic::Max => vals[0].max(vals[1]),
+                Intrinsic::Abs => vals[0].abs(),
+                other => return Err(format!("`{}` not usable in host expressions", other.name())),
+            }
+        }
+        Expr::Cast(_, inner) => eval_i64(inner, env)?,
+        Expr::ArrayRef(_) => return Err("array reference in host expression".into()),
+    })
+}
+
+/// Trip count of a mapped loop given its spec.
+fn trip_count(spec: &MappedLoopSpec, env: &BTreeMap<Ident, ArgValue>) -> Result<i64, RuntimeError> {
+    let lo = eval_i64(&spec.lo, env).map_err(RuntimeError::new)?;
+    let bound = eval_i64(&spec.bound, env).map_err(RuntimeError::new)?;
+    let span = match spec.cmp {
+        LoopCmp::Lt => bound - lo,
+        LoopCmp::Le => bound - lo + 1,
+        LoopCmp::Gt => lo - bound,
+        LoopCmp::Ge => lo - bound + 1,
+    };
+    if span <= 0 {
+        return Ok(0);
+    }
+    Ok((span + spec.step.abs() - 1) / spec.step.abs())
+}
+
+/// Compute the launch geometry for a kernel: block sizes from `vector`
+/// clauses (with sensible defaults), grid sizes from trip counts.
+fn launch_geometry(
+    dev: &DeviceConfig,
+    kernel: &CompiledKernel,
+    env: &BTreeMap<Ident, ArgValue>,
+) -> Result<LaunchConfig, RuntimeError> {
+    if kernel.mapped.is_empty() {
+        return Ok(LaunchConfig::d1(1, 1));
+    }
+    let ndims = kernel.mapped.len().min(3);
+    let default_block: [u32; 3] = match ndims {
+        1 => [128, 1, 1],
+        2 => [32, 4, 1],
+        _ => [16, 4, 2],
+    };
+    let mut block = [1u32; 3];
+    let mut grid = [1u32; 3];
+    for (d, spec) in kernel.mapped.iter().take(3).enumerate() {
+        let trip = trip_count(spec, env)?.max(0) as u64;
+        let vec_len = match &spec.vector {
+            Some(e) => eval_i64(e, env).map_err(RuntimeError::new)?.clamp(1, 1024) as u32,
+            None => default_block[d],
+        };
+        block[d] = vec_len.min(dev.max_threads_per_block);
+        grid[d] = ((trip.max(1)).div_ceil(block[d] as u64)) as u32;
+    }
+    // Respect the device's threads-per-block limit by shrinking x.
+    while block[0] > 1 && block[0] * block[1] * block[2] > dev.max_threads_per_block {
+        block[0] /= 2;
+        let spec = &kernel.mapped[0];
+        let trip = trip_count(spec, env)?.max(1) as u64;
+        grid[0] = (trip.div_ceil(block[0] as u64)) as u32;
+    }
+    Ok(LaunchConfig {
+        grid: (grid[0], grid[1], grid[2]),
+        block: (block[0], block[1], block[2]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safara_codegen::{lower_function, CodegenOptions};
+    use safara_gpusim::ptxas::allocate_registers;
+    use safara_ir::parse_program;
+
+    fn compile_all(src: &str, opts: &CodegenOptions) -> (Function, Vec<(CompiledKernel, RegAllocReport)>) {
+        let p = parse_program(src).unwrap();
+        let f = p.functions[0].clone();
+        let kernels = lower_function(&f, opts).unwrap();
+        let compiled = kernels
+            .into_iter()
+            .map(|k| {
+                let rep = allocate_registers(&k.vir, 255);
+                (k, rep)
+            })
+            .collect();
+        (f, compiled)
+    }
+
+    #[test]
+    fn axpy_end_to_end() {
+        let src = r#"
+        void axpy(int n, float alpha, const float x[n], float y[n]) {
+          #pragma acc kernels copyin(x) copy(y)
+          {
+            #pragma acc loop gang vector
+            for (int i = 0; i < n; i++) {
+              y[i] = y[i] + alpha * x[i];
+            }
+          }
+        }"#;
+        let (f, compiled) = compile_all(src, &CodegenOptions::default());
+        let n = 1000;
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i * 2) as f32).collect();
+        let mut args = Args::new().i32("n", n as i32).f32("alpha", 3.0).array_f32("x", &x).array_f32("y", &y);
+        let dev = DeviceConfig::k20xm();
+        let report = run_function(&dev, &f, &compiled, &mut args).unwrap();
+        let out = args.array("y").unwrap().as_f32();
+        for i in 0..n {
+            assert_eq!(out[i], y[i] + 3.0 * x[i], "i={i}");
+        }
+        assert_eq!(report.kernels.len(), 1);
+        assert!(report.total_cycles() > 0.0);
+        assert!(report.h2d_bytes > 0 && report.d2h_bytes > 0);
+    }
+
+    #[test]
+    fn two_dim_kernel_runs() {
+        let src = r#"
+        void transpose(int n, const float a[n][n], float b[n][n]) {
+          #pragma acc kernels
+          {
+            #pragma acc loop gang
+            for (int j = 0; j < n; j++) {
+              #pragma acc loop vector
+              for (int i = 0; i < n; i++) {
+                b[i][j] = a[j][i];
+              }
+            }
+          }
+        }"#;
+        let (f, compiled) = compile_all(src, &CodegenOptions::default());
+        let n = 33usize; // deliberately not a multiple of the block size
+        let a: Vec<f32> = (0..n * n).map(|i| i as f32).collect();
+        let b = vec![0.0f32; n * n];
+        let mut args = Args::new().i32("n", n as i32).array_f32("a", &a).array_f32("b", &b);
+        let dev = DeviceConfig::k20xm();
+        run_function(&dev, &f, &compiled, &mut args).unwrap();
+        let out = args.array("b").unwrap().as_f32();
+        for j in 0..n {
+            for i in 0..n {
+                assert_eq!(out[i * n + j], a[j * n + i], "({j},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_combines_with_host_seed() {
+        let src = r#"
+        void total(int n, const float x[n], float s) {
+          #pragma acc kernels
+          {
+            #pragma acc loop gang vector reduction(+:s)
+            for (int i = 0; i < n; i++) { s += x[i]; }
+          }
+        }"#;
+        let (f, compiled) = compile_all(src, &CodegenOptions::default());
+        let n = 500;
+        let x = vec![1.0f32; n];
+        let mut args = Args::new().i32("n", n as i32).f32("s", 10.0).array_f32("x", &x);
+        let dev = DeviceConfig::k20xm();
+        run_function(&dev, &f, &compiled, &mut args).unwrap();
+        match args.scalar("s") {
+            Some(ArgValue::F32(v)) => assert_eq!(v, 10.0 + n as f32),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fortran_lower_bounds_roundtrip() {
+        // Fortran-style arrays with lower bound 1 (as in 355.seismic).
+        let src = r#"
+        void shift(int n, const float a[1:n], float b[1:n]) {
+          #pragma acc kernels
+          {
+            #pragma acc loop gang vector
+            for (int i = 1; i <= n; i++) {
+              b[i] = a[i] * 2.0;
+            }
+          }
+        }"#;
+        let (f, compiled) = compile_all(src, &CodegenOptions::default());
+        let n = 100;
+        let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let b = vec![0.0f32; n];
+        let mut args = Args::new().i32("n", n as i32).array_f32("a", &a).array_f32("b", &b);
+        let dev = DeviceConfig::k20xm();
+        run_function(&dev, &f, &compiled, &mut args).unwrap();
+        let out = args.array("b").unwrap().as_f32();
+        for i in 0..n {
+            assert_eq!(out[i], a[i] * 2.0);
+        }
+    }
+
+    #[test]
+    fn missing_argument_reported() {
+        let src = r#"
+        void f(int n, float a[n]) {
+          #pragma acc kernels
+          {
+            #pragma acc loop gang vector
+            for (int i = 0; i < n; i++) { a[i] = 0.0; }
+          }
+        }"#;
+        let (f, compiled) = compile_all(src, &CodegenOptions::default());
+        let dev = DeviceConfig::k20xm();
+        let mut args = Args::new().i32("n", 8);
+        let err = run_function(&dev, &f, &compiled, &mut args).unwrap_err();
+        assert!(err.message.contains("missing array"), "{err}");
+    }
+
+    #[test]
+    fn size_mismatch_reported() {
+        let src = r#"
+        void f(int n, float a[n]) {
+          #pragma acc kernels
+          {
+            #pragma acc loop gang vector
+            for (int i = 0; i < n; i++) { a[i] = 0.0; }
+          }
+        }"#;
+        let (f, compiled) = compile_all(src, &CodegenOptions::default());
+        let dev = DeviceConfig::k20xm();
+        let mut args = Args::new().i32("n", 8).array_f32("a", &[0.0; 4]);
+        let err = run_function(&dev, &f, &compiled, &mut args).unwrap_err();
+        assert!(err.message.contains("size mismatch"), "{err}");
+    }
+
+    #[test]
+    fn vector_clause_controls_block_size() {
+        let src = r#"
+        void f(int n, float a[n]) {
+          #pragma acc kernels
+          {
+            #pragma acc loop gang vector(64)
+            for (int i = 0; i < n; i++) { a[i] = 1.0; }
+          }
+        }"#;
+        let (f, compiled) = compile_all(src, &CodegenOptions::default());
+        let dev = DeviceConfig::k20xm();
+        let mut args = Args::new().i32("n", 256).array_f32("a", &[0.0; 256]);
+        let report = run_function(&dev, &f, &compiled, &mut args).unwrap();
+        assert_eq!(report.kernels[0].config.block.0, 64);
+        assert_eq!(report.kernels[0].config.grid.0, 4);
+    }
+
+    #[test]
+    fn seq_only_kernel_runs_single_thread() {
+        let src = r#"
+        void init(int n, float a[n]) {
+          #pragma acc kernels
+          {
+            #pragma acc loop seq
+            for (int i = 0; i < n; i++) { a[i] = (float) i; }
+          }
+        }"#;
+        let (f, compiled) = compile_all(src, &CodegenOptions::default());
+        let dev = DeviceConfig::k20xm();
+        let mut args = Args::new().i32("n", 16).array_f32("a", &[0.0; 16]);
+        let report = run_function(&dev, &f, &compiled, &mut args).unwrap();
+        assert_eq!(report.kernels[0].config.total_threads(), 1);
+        let out = args.array("a").unwrap().as_f32();
+        assert_eq!(out[7], 7.0);
+    }
+}

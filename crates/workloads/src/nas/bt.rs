@@ -1,0 +1,88 @@
+//! NAS BT — block-tridiagonal sweeps (shares its kernel with
+//! [`crate::spec::bt`]; 370.bt is the NAS code in the SPEC suite).
+//!
+//! The paper singles BT out as the NAS benchmark that benefited from the
+//! `small` clause (§V-C).
+
+use crate::spec::bt::{bt_reference, bt_source};
+use crate::util::{check_close_f32, rand_f32};
+use crate::{Scale, Suite, Workload};
+use safara_core::Args;
+
+/// The NAS BT workload.
+pub struct NasBt;
+
+/// Edge length per scale.
+pub fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 8,
+        Scale::Bench => 32,
+    }
+}
+
+impl Workload for NasBt {
+    fn name(&self) -> &'static str {
+        "BT"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::NasAcc
+    }
+
+    fn entry(&self) -> &'static str {
+        "bt_sweep"
+    }
+
+    fn source(&self) -> String {
+        bt_source()
+    }
+
+    fn args(&self, scale: Scale) -> Args {
+        let n = size(scale);
+        let t = n * n * n;
+        Args::new()
+            .i32("nx", n as i32)
+            .i32("ny", n as i32)
+            .i32("nz", n as i32)
+            .array_f32("lhs", &rand_f32(630, t, 0.0, 0.5))
+            .array_f32("diag", &rand_f32(631, t, 0.5, 2.0))
+            .array_f32("rhs", &rand_f32(632, t, -1.0, 1.0))
+    }
+
+    fn check(&self, args: &Args, scale: Scale) -> Result<(), String> {
+        let n = size(scale);
+        let t = n * n * n;
+        let lhs = rand_f32(630, t, 0.0, 0.5);
+        let diag = rand_f32(631, t, 0.5, 2.0);
+        let mut rhs = rand_f32(632, t, -1.0, 1.0);
+        bt_reference(n, &lhs, &diag, &mut rhs);
+        check_close_f32(&args.array("rhs").ok_or("missing rhs")?.as_f32(), &rhs, 1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use safara_core::{CompilerConfig, DeviceConfig};
+
+    #[test]
+    fn nas_bt_correct() {
+        let dev = DeviceConfig::k20xm();
+        for cfg in [CompilerConfig::base(), CompilerConfig::safara_small()] {
+            run_workload(&NasBt, &cfg, Scale::Test, &dev)
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn small_reduces_bt_registers() {
+        let dev = DeviceConfig::k20xm();
+        let (_, base) = run_workload(&NasBt, &CompilerConfig::base(), Scale::Test, &dev).unwrap();
+        let (_, small) = run_workload(&NasBt, &CompilerConfig::small(), Scale::Test, &dev).unwrap();
+        assert!(
+            small.function("bt_sweep").unwrap().max_regs()
+                <= base.function("bt_sweep").unwrap().max_regs()
+        );
+    }
+}

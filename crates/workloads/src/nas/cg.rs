@@ -1,0 +1,69 @@
+//! NAS CG — conjugate gradient (shares its kernel with
+//! [`crate::spec::cg`]; 354.cg is the NAS code in the SPEC suite).
+
+use crate::spec::cg::{cg_inputs, cg_reference, cg_source};
+use crate::util::{check_close_f32, check_scalar};
+use crate::{Scale, Suite, Workload};
+use safara_core::Args;
+
+/// The NAS CG workload.
+pub struct NasCg;
+
+/// (rows, nnz-per-row) per scale.
+pub fn size(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (256, 8),
+        Scale::Bench => (8192, 16),
+    }
+}
+
+impl Workload for NasCg {
+    fn name(&self) -> &'static str {
+        "CG"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::NasAcc
+    }
+
+    fn entry(&self) -> &'static str {
+        "cg"
+    }
+
+    fn source(&self) -> String {
+        cg_source()
+    }
+
+    fn args(&self, scale: Scale) -> Args {
+        let (n, m) = size(scale);
+        let (val, col, p) = cg_inputs(n, m);
+        Args::new()
+            .i32("n", n as i32)
+            .i32("m", m as i32)
+            .array_f32("val", &val)
+            .array_i32("col", &col)
+            .array_f32("p", &p)
+            .array_f32("q", &vec![0.0; n])
+            .f32("dot", 0.0)
+    }
+
+    fn check(&self, args: &Args, scale: Scale) -> Result<(), String> {
+        let (n, m) = size(scale);
+        let (wq, wdot) = cg_reference(n, m);
+        check_close_f32(&args.array("q").ok_or("missing q")?.as_f32(), &wq, 1e-4)?;
+        check_scalar(args.scalar("dot").ok_or("missing dot")?.as_f64(), wdot, 1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use safara_core::{CompilerConfig, DeviceConfig};
+
+    #[test]
+    fn nas_cg_correct() {
+        run_workload(&NasCg, &CompilerConfig::safara_small(), Scale::Test, &DeviceConfig::k20xm())
+            .unwrap();
+    }
+}

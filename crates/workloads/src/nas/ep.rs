@@ -1,0 +1,62 @@
+//! NAS EP — embarrassingly parallel (shares its kernel with
+//! [`crate::spec::ep`]; the SPEC ACCEL benchmark is the NAS code).
+
+use crate::spec::ep::{ep_reference, ep_source};
+use crate::util::check_scalar;
+use crate::{Scale, Suite, Workload};
+use safara_core::Args;
+
+/// The NAS EP workload.
+pub struct NasEp;
+
+/// (threads, samples-per-thread) per scale — larger than the SPEC
+/// variant to mimic the class-C emphasis on raw compute.
+pub fn size(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (256, 8),
+        Scale::Bench => (16384, 24),
+    }
+}
+
+impl Workload for NasEp {
+    fn name(&self) -> &'static str {
+        "EP"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::NasAcc
+    }
+
+    fn entry(&self) -> &'static str {
+        "ep"
+    }
+
+    fn source(&self) -> String {
+        ep_source()
+    }
+
+    fn args(&self, scale: Scale) -> Args {
+        let (nt, m) = size(scale);
+        Args::new().i32("nt", nt as i32).i32("m", m as i32).f32("sx", 0.0).f32("sy", 0.0)
+    }
+
+    fn check(&self, args: &Args, scale: Scale) -> Result<(), String> {
+        let (nt, m) = size(scale);
+        let (wx, wy) = ep_reference(nt, m);
+        check_scalar(args.scalar("sx").ok_or("missing sx")?.as_f64(), wx, 1e-3)?;
+        check_scalar(args.scalar("sy").ok_or("missing sy")?.as_f64(), wy, 1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use safara_core::{CompilerConfig, DeviceConfig};
+
+    #[test]
+    fn nas_ep_correct() {
+        run_workload(&NasEp, &CompilerConfig::safara_small(), Scale::Test, &DeviceConfig::k20xm())
+            .unwrap();
+    }
+}

@@ -1,0 +1,142 @@
+//! NAS LU — SSOR-style lower/upper sweeps (C-modeled).
+//!
+//! A forward and a backward substitution along the sequential `k`
+//! direction, with read-only coefficient reuse across iterations. The
+//! backward sweep runs `k` downward (step −1), exercising the compiler's
+//! downward-loop path (where inter-iteration rotation is deliberately
+//! not applied).
+
+use crate::util::{check_close_f32, rand_f32};
+use crate::{Scale, Suite, Workload};
+use safara_core::Args;
+
+/// The NAS LU workload.
+pub struct NasLu;
+
+/// Edge length per scale.
+pub fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 8,
+        Scale::Bench => 32,
+    }
+}
+
+impl Workload for NasLu {
+    fn name(&self) -> &'static str {
+        "LU"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::NasAcc
+    }
+
+    fn entry(&self) -> &'static str {
+        "lu_ssor"
+    }
+
+    fn source(&self) -> String {
+        r#"
+void lu_ssor(int nx, int ny, int nz, const float a[nz][ny][nx],
+             const float b[nz][ny][nx], float x[nz][ny][nx]) {
+  #pragma acc kernels copyin(a, b) copy(x) small(a, b, x)
+  {
+    #pragma acc loop gang
+    for (int j = 0; j < ny; j++) {
+      #pragma acc loop vector
+      for (int i = 0; i < nx; i++) {
+        #pragma acc loop seq
+        for (int k = 1; k < nz; k++) {
+          x[k][j][i] = x[k][j][i]
+                     - 0.45 * (a[k][j][i] + a[k - 1][j][i]) * x[k - 1][j][i];
+        }
+      }
+    }
+    #pragma acc loop gang
+    for (int j = 0; j < ny; j++) {
+      #pragma acc loop vector
+      for (int i = 0; i < nx; i++) {
+        #pragma acc loop seq
+        for (int k = nz - 2; k >= 0; k--) {
+          x[k][j][i] = x[k][j][i]
+                     - 0.45 * (b[k][j][i] + b[k + 1][j][i]) * x[k + 1][j][i];
+        }
+      }
+    }
+  }
+}
+"#
+        .to_string()
+    }
+
+    fn args(&self, scale: Scale) -> Args {
+        let n = size(scale);
+        let t = n * n * n;
+        Args::new()
+            .i32("nx", n as i32)
+            .i32("ny", n as i32)
+            .i32("nz", n as i32)
+            .array_f32("a", &rand_f32(620, t, 0.0, 0.5))
+            .array_f32("b", &rand_f32(621, t, 0.0, 0.5))
+            .array_f32("x", &rand_f32(622, t, -1.0, 1.0))
+    }
+
+    fn check(&self, args: &Args, scale: Scale) -> Result<(), String> {
+        let n = size(scale);
+        let t = n * n * n;
+        let a = rand_f32(620, t, 0.0, 0.5);
+        let b = rand_f32(621, t, 0.0, 0.5);
+        let mut x = rand_f32(622, t, -1.0, 1.0);
+        reference(n, &a, &b, &mut x);
+        check_close_f32(&args.array("x").ok_or("missing x")?.as_f32(), &x, 1e-3)
+    }
+}
+
+/// Reference forward + backward substitution.
+pub fn reference(n: usize, a: &[f32], b: &[f32], x: &mut [f32]) {
+    let idx = |k: usize, j: usize, i: usize| (k * n + j) * n + i;
+    for j in 0..n {
+        for i in 0..n {
+            for k in 1..n {
+                x[idx(k, j, i)] -=
+                    0.45 * (a[idx(k, j, i)] + a[idx(k - 1, j, i)]) * x[idx(k - 1, j, i)];
+            }
+        }
+    }
+    for j in 0..n {
+        for i in 0..n {
+            for k in (0..n - 1).rev() {
+                x[idx(k, j, i)] -=
+                    0.45 * (b[idx(k, j, i)] + b[idx(k + 1, j, i)]) * x[idx(k + 1, j, i)];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use safara_core::{CompilerConfig, DeviceConfig};
+
+    #[test]
+    fn lu_correct_under_profiles() {
+        let dev = DeviceConfig::k20xm();
+        for cfg in [
+            CompilerConfig::base(),
+            CompilerConfig::safara_only(),
+            CompilerConfig::safara_small(),
+        ] {
+            run_workload(&NasLu, &cfg, Scale::Test, &dev)
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn downward_loop_still_correct_after_safara() {
+        // The backward sweep's step −1 loop must not be rotated (the
+        // transformation only supports step +1); correctness of the
+        // combined result proves it was skipped or handled safely.
+        run_workload(&NasLu, &CompilerConfig::safara_small(), Scale::Test, &DeviceConfig::k20xm())
+            .unwrap();
+    }
+}

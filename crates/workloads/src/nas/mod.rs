@@ -1,0 +1,13 @@
+//! NAS-OpenACC-like mini-applications (§V-B/§V-C of the paper).
+//!
+//! The six benchmarks the paper evaluates: EP, CG, MG, SP, LU, BT. All
+//! are C-modeled (the paper: "the six benchmarks are written in C
+//! language and do not use VLAs; so a `dim` clause is not useful"), so
+//! only the `small` clause and SAFARA apply.
+
+pub mod bt;
+pub mod cg;
+pub mod ep;
+pub mod lu;
+pub mod mg;
+pub mod sp;

@@ -1,0 +1,151 @@
+//! NAS SP — scalar-pentadiagonal line solves (C-modeled; the NAS
+//! counterpart of [`crate::spec::sp`] without allocatable arrays).
+//!
+//! One compute_rhs-style coalesced kernel plus x- and z-direction sweeps.
+//! The x sweep is uncoalesced (lanes stride by `nx`); the paper names SP,
+//! LU and BT as the kernels with uncoalesced accesses SAFARA prioritizes.
+
+use crate::util::{check_close_f32, rand_f32};
+use crate::{Scale, Suite, Workload};
+use safara_core::Args;
+
+/// The NAS SP workload.
+pub struct NasSp;
+
+/// Edge length per scale.
+pub fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 8,
+        Scale::Bench => 32,
+    }
+}
+
+impl Workload for NasSp {
+    fn name(&self) -> &'static str {
+        "SP"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::NasAcc
+    }
+
+    fn entry(&self) -> &'static str {
+        "sp_solve"
+    }
+
+    fn source(&self) -> String {
+        r#"
+void sp_solve(int nx, int ny, int nz, const float u[nz][ny][nx],
+              float rhs[nz][ny][nx], float lhs[nz][ny][nx]) {
+  #pragma acc kernels copyin(u) copy(rhs, lhs) small(u, rhs, lhs)
+  {
+    #pragma acc loop gang
+    for (int j = 1; j < ny - 1; j++) {
+      #pragma acc loop vector
+      for (int i = 1; i < nx - 1; i++) {
+        #pragma acc loop seq
+        for (int k = 1; k < nz - 1; k++) {
+          rhs[k][j][i] = u[k][j][i]
+                       + 0.1 * (u[k][j][i - 1] + u[k][j][i + 1])
+                       + 0.1 * (u[k - 1][j][i] + u[k + 1][j][i]);
+        }
+      }
+    }
+    #pragma acc loop gang
+    for (int k = 0; k < nz; k++) {
+      #pragma acc loop vector
+      for (int j = 0; j < ny; j++) {
+        #pragma acc loop seq
+        for (int i = 1; i < nx; i++) {
+          rhs[k][j][i] = rhs[k][j][i]
+                       - 0.4 * (lhs[k][j][i] + lhs[k][j][i - 1]) * rhs[k][j][i - 1];
+        }
+      }
+    }
+    #pragma acc loop gang
+    for (int j = 0; j < ny; j++) {
+      #pragma acc loop vector
+      for (int i = 0; i < nx; i++) {
+        #pragma acc loop seq
+        for (int k = 1; k < nz; k++) {
+          rhs[k][j][i] = rhs[k][j][i]
+                       - 0.4 * (lhs[k][j][i] + lhs[k - 1][j][i]) * rhs[k - 1][j][i];
+        }
+      }
+    }
+  }
+}
+"#
+        .to_string()
+    }
+
+    fn args(&self, scale: Scale) -> Args {
+        let n = size(scale);
+        let t = n * n * n;
+        Args::new()
+            .i32("nx", n as i32)
+            .i32("ny", n as i32)
+            .i32("nz", n as i32)
+            .array_f32("u", &rand_f32(610, t, -1.0, 1.0))
+            .array_f32("rhs", &rand_f32(611, t, -1.0, 1.0))
+            .array_f32("lhs", &rand_f32(612, t, 0.0, 0.5))
+    }
+
+    fn check(&self, args: &Args, scale: Scale) -> Result<(), String> {
+        let n = size(scale);
+        let t = n * n * n;
+        let u = rand_f32(610, t, -1.0, 1.0);
+        let mut rhs = rand_f32(611, t, -1.0, 1.0);
+        let lhs = rand_f32(612, t, 0.0, 0.5);
+        reference(n, &u, &mut rhs, &lhs);
+        check_close_f32(&args.array("rhs").ok_or("missing rhs")?.as_f32(), &rhs, 1e-3)
+    }
+}
+
+/// Reference: the three kernels in order.
+pub fn reference(n: usize, u: &[f32], rhs: &mut [f32], lhs: &[f32]) {
+    let idx = |k: usize, j: usize, i: usize| (k * n + j) * n + i;
+    for j in 1..n - 1 {
+        for i in 1..n - 1 {
+            for k in 1..n - 1 {
+                rhs[idx(k, j, i)] = u[idx(k, j, i)]
+                    + 0.1 * (u[idx(k, j, i - 1)] + u[idx(k, j, i + 1)])
+                    + 0.1 * (u[idx(k - 1, j, i)] + u[idx(k + 1, j, i)]);
+            }
+        }
+    }
+    for k in 0..n {
+        for j in 0..n {
+            for i in 1..n {
+                rhs[idx(k, j, i)] -= 0.4
+                    * (lhs[idx(k, j, i)] + lhs[idx(k, j, i - 1)])
+                    * rhs[idx(k, j, i - 1)];
+            }
+        }
+    }
+    for j in 0..n {
+        for i in 0..n {
+            for k in 1..n {
+                rhs[idx(k, j, i)] -= 0.4
+                    * (lhs[idx(k, j, i)] + lhs[idx(k - 1, j, i)])
+                    * rhs[idx(k - 1, j, i)];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use safara_core::{CompilerConfig, DeviceConfig};
+
+    #[test]
+    fn nas_sp_correct_under_profiles() {
+        let dev = DeviceConfig::k20xm();
+        for cfg in [CompilerConfig::base(), CompilerConfig::safara_small()] {
+            run_workload(&NasSp, &cfg, Scale::Test, &dev)
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! `354.cg` — conjugate-gradient core: CSR sparse matrix–vector product
+//! plus a dot product (C-modeled).
+//!
+//! The matrix values/columns are laid out row-major with a fixed
+//! row length, so lanes (consecutive rows) stride across memory —
+//! **uncoalesced** — and the `x[col[..]]` gather is statically
+//! unanalyzable (`Unknown`, treated as uncoalesced by the cost model).
+
+use crate::util::{check_close_f32, check_scalar, rand_f32, rand_i32};
+use crate::{Scale, Suite, Workload};
+use safara_core::Args;
+
+/// The 354.cg-like workload.
+pub struct SpecCg;
+
+/// (rows, nnz-per-row) per scale.
+pub fn size(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (256, 8),
+        Scale::Bench => (8192, 16),
+    }
+}
+
+/// Shared MiniACC source for the SPEC and NAS CG variants.
+pub fn cg_source() -> String {
+    r#"
+void cg(int n, int m, const float val[n][m], const int col[n][m],
+        const float p[n], float q[n], float dot) {
+  #pragma acc kernels copyin(val, col, p) copyout(q) small(val, col, p, q)
+  {
+    #pragma acc loop gang vector
+    for (int i = 0; i < n; i++) {
+      float sum = 0.0;
+      #pragma acc loop seq
+      for (int k = 0; k < m; k++) {
+        sum += val[i][k] * p[col[i][k]];
+      }
+      q[i] = sum;
+    }
+    #pragma acc loop gang vector reduction(+:dot)
+    for (int i = 0; i < n; i++) {
+      dot += p[i] * q[i];
+    }
+  }
+}
+"#
+    .to_string()
+}
+
+/// Deterministic CSR-like inputs: values in (0,1), columns in [0, n).
+pub fn cg_inputs(n: usize, m: usize) -> (Vec<f32>, Vec<i32>, Vec<f32>) {
+    let val = rand_f32(354, n * m, 0.01, 1.0);
+    let col = rand_i32(355, n * m, 0, n as i32);
+    let p = rand_f32(356, n, 0.01, 1.0);
+    (val, col, p)
+}
+
+/// Reference SpMV + dot.
+pub fn cg_reference(n: usize, m: usize) -> (Vec<f32>, f64) {
+    let (val, col, p) = cg_inputs(n, m);
+    let mut q = vec![0.0f32; n];
+    for i in 0..n {
+        let mut sum = 0.0f32;
+        for k in 0..m {
+            sum += val[i * m + k] * p[col[i * m + k] as usize];
+        }
+        q[i] = sum;
+    }
+    let dot: f64 = (0..n).map(|i| (p[i] * q[i]) as f64).sum();
+    (q, dot)
+}
+
+impl Workload for SpecCg {
+    fn name(&self) -> &'static str {
+        "354.cg"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::SpecAccel
+    }
+
+    fn entry(&self) -> &'static str {
+        "cg"
+    }
+
+    fn source(&self) -> String {
+        cg_source()
+    }
+
+    fn args(&self, scale: Scale) -> Args {
+        let (n, m) = size(scale);
+        let (val, col, p) = cg_inputs(n, m);
+        Args::new()
+            .i32("n", n as i32)
+            .i32("m", m as i32)
+            .array_f32("val", &val)
+            .array_i32("col", &col)
+            .array_f32("p", &p)
+            .array_f32("q", &vec![0.0; n])
+            .f32("dot", 0.0)
+    }
+
+    fn check(&self, args: &Args, scale: Scale) -> Result<(), String> {
+        let (n, m) = size(scale);
+        let (wq, wdot) = cg_reference(n, m);
+        check_close_f32(&args.array("q").ok_or("missing q")?.as_f32(), &wq, 1e-4)?;
+        check_scalar(args.scalar("dot").ok_or("missing dot")?.as_f64(), wdot, 1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use safara_core::{CompilerConfig, DeviceConfig};
+
+    #[test]
+    fn spmv_and_dot_match_reference() {
+        let dev = DeviceConfig::k20xm();
+        for cfg in [CompilerConfig::base(), CompilerConfig::safara_only()] {
+            run_workload(&SpecCg, &cfg, Scale::Test, &dev)
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn gather_is_uncoalesced() {
+        // The row-major fixed-width layout makes warp lanes stride:
+        // transactions far exceed requests.
+        let dev = DeviceConfig::k20xm();
+        let (report, _) = run_workload(&SpecCg, &CompilerConfig::base(), Scale::Test, &dev).unwrap();
+        let s = &report.kernels[0].stats;
+        let txn = s.global_transactions + s.readonly_transactions;
+        let req = s.global_ld_requests + s.global_st_requests + s.readonly_requests;
+        assert!(txn > 4 * req, "expected heavy uncoalescing: {txn} txns / {req} reqs");
+    }
+
+    #[test]
+    fn second_kernel_sees_first_kernels_q() {
+        // Cross-kernel dataflow through device memory (q written by the
+        // SpMV kernel feeds the dot kernel).
+        let dev = DeviceConfig::k20xm();
+        run_workload(&SpecCg, &CompilerConfig::safara_clauses(), Scale::Test, &dev).unwrap();
+    }
+}

@@ -1,0 +1,148 @@
+//! `357.csp` — the C port of the scalar-pentadiagonal solver.
+//!
+//! Same algorithmic skeleton as [`super::sp`] but C-modeled: zero-based
+//! arrays, pointer-style sizing, **no `dim` clause** (the paper: the C
+//! benchmarks' pointer operations preclude it). Three representative
+//! kernels: a k-smooth, an uncoalesced x-line sweep, and a combine.
+
+use crate::util::{check_close_f32, rand_f32};
+use crate::{Scale, Suite, Workload};
+use safara_core::Args;
+
+/// The 357.csp-like workload.
+pub struct Csp;
+
+/// Edge length per scale.
+pub fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 8,
+        Scale::Bench => 32,
+    }
+}
+
+impl Workload for Csp {
+    fn name(&self) -> &'static str {
+        "357.csp"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::SpecAccel
+    }
+
+    fn entry(&self) -> &'static str {
+        "csp_step"
+    }
+
+    fn source(&self) -> String {
+        r#"
+void csp_step(int nx, int ny, int nz, float u[nz][ny][nx], float v[nz][ny][nx],
+              float w[nz][ny][nx]) {
+  #pragma acc kernels copy(u, v, w) small(u, v, w)
+  {
+    #pragma acc loop gang
+    for (int j = 0; j < ny; j++) {
+      #pragma acc loop vector
+      for (int i = 0; i < nx; i++) {
+        #pragma acc loop seq
+        for (int k = 1; k < nz; k++) {
+          u[k][j][i] = 0.7 * u[k][j][i] + 0.3 * u[k - 1][j][i];
+        }
+      }
+    }
+    #pragma acc loop gang
+    for (int k = 0; k < nz; k++) {
+      #pragma acc loop vector
+      for (int j = 0; j < ny; j++) {
+        #pragma acc loop seq
+        for (int i = 1; i < nx; i++) {
+          v[k][j][i] = 0.5 * v[k][j][i - 1] + 0.25 * (u[k][j][i] + u[k][j][i - 1]);
+        }
+      }
+    }
+    #pragma acc loop gang
+    for (int j = 0; j < ny; j++) {
+      #pragma acc loop vector
+      for (int i = 0; i < nx; i++) {
+        #pragma acc loop seq
+        for (int k = 0; k < nz; k++) {
+          w[k][j][i] = u[k][j][i] + v[k][j][i] + 0.5 * w[k][j][i];
+        }
+      }
+    }
+  }
+}
+"#
+        .to_string()
+    }
+
+    fn args(&self, scale: Scale) -> Args {
+        let n = size(scale);
+        let t = n * n * n;
+        Args::new()
+            .i32("nx", n as i32)
+            .i32("ny", n as i32)
+            .i32("nz", n as i32)
+            .array_f32("u", &rand_f32(357, t, 0.1, 1.0))
+            .array_f32("v", &rand_f32(358, t, 0.1, 1.0))
+            .array_f32("w", &rand_f32(359, t, 0.1, 1.0))
+    }
+
+    fn check(&self, args: &Args, scale: Scale) -> Result<(), String> {
+        let n = size(scale);
+        let t = n * n * n;
+        let mut u = rand_f32(357, t, 0.1, 1.0);
+        let mut v = rand_f32(358, t, 0.1, 1.0);
+        let mut w = rand_f32(359, t, 0.1, 1.0);
+        reference(n, &mut u, &mut v, &mut w);
+        check_close_f32(&args.array("u").ok_or("missing u")?.as_f32(), &u, 5e-4)?;
+        check_close_f32(&args.array("v").ok_or("missing v")?.as_f32(), &v, 5e-4)?;
+        check_close_f32(&args.array("w").ok_or("missing w")?.as_f32(), &w, 5e-4)
+    }
+}
+
+/// Reference for the three kernels.
+pub fn reference(n: usize, u: &mut [f32], v: &mut [f32], w: &mut [f32]) {
+    let idx = |k: usize, j: usize, i: usize| (k * n + j) * n + i;
+    for j in 0..n {
+        for i in 0..n {
+            for k in 1..n {
+                u[idx(k, j, i)] = 0.7 * u[idx(k, j, i)] + 0.3 * u[idx(k - 1, j, i)];
+            }
+        }
+    }
+    for k in 0..n {
+        for j in 0..n {
+            for i in 1..n {
+                v[idx(k, j, i)] =
+                    0.5 * v[idx(k, j, i - 1)] + 0.25 * (u[idx(k, j, i)] + u[idx(k, j, i - 1)]);
+            }
+        }
+    }
+    for j in 0..n {
+        for i in 0..n {
+            for k in 0..n {
+                w[idx(k, j, i)] = u[idx(k, j, i)] + v[idx(k, j, i)] + 0.5 * w[idx(k, j, i)];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use safara_core::{CompilerConfig, DeviceConfig};
+
+    #[test]
+    fn csp_correct_under_profiles() {
+        let dev = DeviceConfig::k20xm();
+        for cfg in [
+            CompilerConfig::base(),
+            CompilerConfig::small(),
+            CompilerConfig::safara_small(),
+        ] {
+            run_workload(&Csp, &cfg, Scale::Test, &dev)
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+}

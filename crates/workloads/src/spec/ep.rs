@@ -1,0 +1,140 @@
+//! `352.ep` — embarrassingly parallel Gaussian-pair generation
+//! (C-modeled, compute-bound, reduction-heavy).
+//!
+//! Each thread derives pseudo-random uniforms from a hash of its sample
+//! index (`fract(sin(n)·K)`), converts them Box–Muller style, and
+//! accumulates magnitude sums via `+` reductions. Little memory traffic:
+//! register optimizations barely move it (the figures' low bars for EP).
+
+use crate::util::check_scalar;
+use crate::{Scale, Suite, Workload};
+use safara_core::Args;
+
+/// The 352.ep-like workload.
+pub struct SpecEp;
+
+/// (threads, samples-per-thread) per scale.
+pub fn size(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (256, 8),
+        Scale::Bench => (16384, 24),
+    }
+}
+
+/// Shared MiniACC source for the SPEC and NAS EP variants.
+pub fn ep_source() -> String {
+    r#"
+void ep(int nt, int m, float sx, float sy) {
+  #pragma acc kernels
+  {
+    #pragma acc loop gang vector reduction(+:sx) reduction(+:sy)
+    for (int i = 0; i < nt; i++) {
+      #pragma acc loop seq
+      for (int k = 0; k < m; k++) {
+        float n1 = (float) (i * m + k);
+        float u1 = sin(n1 * 12.9898) * 43758.547;
+        u1 = u1 - floor(u1);
+        float u2 = sin(n1 * 78.233) * 12543.123;
+        u2 = u2 - floor(u2);
+        u1 = max(u1, 0.000001);
+        float r = sqrt(0.0 - 2.0 * log(u1));
+        float c = cos(6.2831853 * u2);
+        float s = sin(6.2831853 * u2);
+        sx += fabs(r * c);
+        sy += fabs(r * s);
+      }
+    }
+  }
+}
+"#
+    .to_string()
+}
+
+/// Reference computation shared by both EP variants.
+///
+/// Mirrors the device's mixed precision exactly: MiniACC float literals
+/// are `double`, so products with them are evaluated in f64 and rounded
+/// back to f32 on assignment — the hash is chaotic, so the reference must
+/// follow the same rounding. Each thread accumulates in f32 (as the
+/// generated kernel does) before the f32 atomic combine.
+pub fn ep_reference(nt: usize, m: usize) -> (f64, f64) {
+    let (mut sx, mut sy) = (0.0f64, 0.0f64);
+    for i in 0..nt {
+        let (mut tx, mut ty) = (0.0f32, 0.0f32);
+        for k in 0..m {
+            let n1 = (i * m + k) as f32;
+            let mut u1 = (((n1 as f64) * 12.9898).sin() * 43758.547) as f32;
+            u1 -= u1.floor();
+            let mut u2 = (((n1 as f64) * 78.233).sin() * 12543.123) as f32;
+            u2 -= u2.floor();
+            u1 = ((u1 as f64).max(0.000001)) as f32;
+            let r = ((0.0f64 - 2.0 * (u1.ln() as f64)).sqrt()) as f32;
+            let c = ((6.2831853f64 * (u2 as f64)).cos()) as f32;
+            let s = ((6.2831853f64 * (u2 as f64)).sin()) as f32;
+            tx += (r * c).abs();
+            ty += (r * s).abs();
+        }
+        sx += tx as f64;
+        sy += ty as f64;
+    }
+    (sx, sy)
+}
+
+impl Workload for SpecEp {
+    fn name(&self) -> &'static str {
+        "352.ep"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::SpecAccel
+    }
+
+    fn entry(&self) -> &'static str {
+        "ep"
+    }
+
+    fn source(&self) -> String {
+        ep_source()
+    }
+
+    fn args(&self, scale: Scale) -> Args {
+        let (nt, m) = size(scale);
+        Args::new().i32("nt", nt as i32).i32("m", m as i32).f32("sx", 0.0).f32("sy", 0.0)
+    }
+
+    fn check(&self, args: &Args, scale: Scale) -> Result<(), String> {
+        let (nt, m) = size(scale);
+        let (wx, wy) = ep_reference(nt, m);
+        let gx = args.scalar("sx").ok_or("missing sx")?.as_f64();
+        let gy = args.scalar("sy").ok_or("missing sy")?.as_f64();
+        check_scalar(gx, wx, 1e-3)?;
+        check_scalar(gy, wy, 1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use safara_core::{CompilerConfig, DeviceConfig};
+
+    #[test]
+    fn reductions_match_reference() {
+        let dev = DeviceConfig::k20xm();
+        for cfg in [CompilerConfig::base(), CompilerConfig::safara_clauses()] {
+            run_workload(&SpecEp, &cfg, Scale::Test, &dev)
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn ep_is_compute_heavy() {
+        // EP touches no arrays: its only memory traffic is the two final
+        // reduction atomics per thread, dwarfed by SFU work.
+        let dev = DeviceConfig::k20xm();
+        let (report, _) = run_workload(&SpecEp, &CompilerConfig::base(), Scale::Test, &dev).unwrap();
+        let s = &report.kernels[0].stats;
+        assert!(s.sfu_insts > s.total_mem_requests(), "{s:?}");
+        assert_eq!(s.global_ld_requests + s.readonly_requests, 0);
+    }
+}

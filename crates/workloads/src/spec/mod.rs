@@ -1,0 +1,12 @@
+//! SPEC-ACCEL-like mini-applications (§V-B of the paper).
+
+pub mod bt;
+pub mod cg;
+pub mod csp;
+pub mod ep;
+pub mod olbm;
+pub mod omriq;
+pub mod ostencil;
+pub mod seismic;
+pub mod sp;
+pub mod swim;

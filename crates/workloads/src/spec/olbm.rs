@@ -1,0 +1,164 @@
+//! `304.olbm` — D2Q9-style lattice Boltzmann collide step (C-modeled).
+//!
+//! Nine distribution-function arrays share dimensions, but as a C
+//! benchmark the `dim` clause is not used (the paper notes 303/304/314
+//! use pointer operations). Each distribution is read twice per site
+//! (density and momentum sums), giving SAFARA intra-iteration reuse.
+
+use crate::util::{check_close_f32, rand_f32};
+use crate::{Scale, Suite, Workload};
+use safara_core::Args;
+
+/// The 304.olbm-like workload.
+pub struct OLbm;
+
+/// Lattice edge per scale.
+pub fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 16,
+        Scale::Bench => 160,
+    }
+}
+
+const DIRS: [&str; 9] = ["f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8"];
+/// Lattice weights for D2Q9.
+const W: [f32; 9] = [
+    4.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+
+impl Workload for OLbm {
+    fn name(&self) -> &'static str {
+        "304.olbm"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::SpecAccel
+    }
+
+    fn entry(&self) -> &'static str {
+        "olbm_collide"
+    }
+
+    fn source(&self) -> String {
+        let params: Vec<String> = DIRS.iter().map(|d| format!("float {d}[ny][nx]")).collect();
+        let list = DIRS.join(", ");
+        let rho_sum = DIRS
+            .iter()
+            .map(|d| format!("{d}[j][i]"))
+            .collect::<Vec<_>>()
+            .join(" + ");
+        let relax: Vec<String> = DIRS
+            .iter()
+            .enumerate()
+            .map(|(q, d)| {
+                format!(
+                    "          {d}[j][i] = (1.0 - omega) * {d}[j][i] + omega * {w} * rho;",
+                    w = W[q]
+                )
+            })
+            .collect();
+        format!(
+            r#"
+void olbm_collide(int nx, int ny, float omega, {params}) {{
+  #pragma acc kernels copy({list}) small({list})
+  {{
+    #pragma acc loop gang
+    for (int j = 0; j < ny; j++) {{
+      #pragma acc loop vector
+      for (int i = 0; i < nx; i++) {{
+        float rho = {rho_sum};
+{relax}
+      }}
+    }}
+  }}
+}}
+"#,
+            params = params.join(", "),
+            list = list,
+            rho_sum = rho_sum,
+            relax = relax.join("\n"),
+        )
+    }
+
+    fn args(&self, scale: Scale) -> Args {
+        let n = size(scale);
+        let mut args = Args::new().i32("nx", n as i32).i32("ny", n as i32).f32("omega", 0.6);
+        for (q, d) in DIRS.iter().enumerate() {
+            args = args.array_f32(d, &rand_f32(304 + q as u64, n * n, 0.01, 1.0));
+        }
+        args
+    }
+
+    fn check(&self, args: &Args, scale: Scale) -> Result<(), String> {
+        let n = size(scale);
+        let mut fs: Vec<Vec<f32>> = DIRS
+            .iter()
+            .enumerate()
+            .map(|(q, _)| rand_f32(304 + q as u64, n * n, 0.01, 1.0))
+            .collect();
+        reference(n, 0.6, &mut fs);
+        for (q, d) in DIRS.iter().enumerate() {
+            let got = args.array(d).ok_or_else(|| format!("missing {d}"))?.as_f32();
+            check_close_f32(&got, &fs[q], 1e-4).map_err(|m| format!("{d}: {m}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Reference collide step.
+pub fn reference(n: usize, omega: f32, fs: &mut [Vec<f32>]) {
+    for j in 0..n {
+        for i in 0..n {
+            let site = j * n + i;
+            let rho: f32 = fs.iter().map(|f| f[site]).sum();
+            for (q, f) in fs.iter_mut().enumerate() {
+                f[site] = (1.0 - omega) * f[site] + omega * W[q] * rho;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use safara_core::{CompilerConfig, DeviceConfig};
+
+    #[test]
+    fn correct_under_all_core_profiles() {
+        let dev = DeviceConfig::k20xm();
+        for cfg in [
+            CompilerConfig::base(),
+            CompilerConfig::safara_only(),
+            CompilerConfig::safara_clauses(),
+            CompilerConfig::pgi_like(),
+        ] {
+            run_workload(&OLbm, &cfg, Scale::Test, &dev)
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn intra_reuse_found() {
+        // Each f is read twice per site (rho sum + relax) — SAFARA must
+        // collapse that to one load.
+        let dev = DeviceConfig::k20xm();
+        let (base, _) = run_workload(&OLbm, &CompilerConfig::base(), Scale::Test, &dev).unwrap();
+        let (saf, _) =
+            run_workload(&OLbm, &CompilerConfig::safara_only(), Scale::Test, &dev).unwrap();
+        assert!(
+            saf.kernels[0].stats.global_ld_requests < base.kernels[0].stats.global_ld_requests,
+            "{} vs {}",
+            saf.kernels[0].stats.global_ld_requests,
+            base.kernels[0].stats.global_ld_requests
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! `314.omriq` — MRI-Q reconstruction inner loop (C-modeled).
+//!
+//! Compute-bound: per-voxel sequential loop over k-space samples with
+//! `sin`/`cos` per sample. The voxel coordinates `x[i]`, `y[i]`, `z[i]`
+//! are invariant in the sample loop (hoisting reuse); the sample arrays
+//! are broadcast reads. Memory optimization buys little here — the
+//! paper's figures show 314 near 1.0×, a useful negative control.
+
+use crate::util::{check_close_f32, rand_f32};
+use crate::{Scale, Suite, Workload};
+use safara_core::Args;
+
+/// The 314.omriq-like workload.
+pub struct OMriq;
+
+/// (voxels, samples) per scale.
+pub fn size(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (128, 24),
+        Scale::Bench => (8192, 96),
+    }
+}
+
+impl Workload for OMriq {
+    fn name(&self) -> &'static str {
+        "314.omriq"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::SpecAccel
+    }
+
+    fn entry(&self) -> &'static str {
+        "mriq"
+    }
+
+    fn source(&self) -> String {
+        r#"
+void mriq(int nvox, int nk, const float x[nvox], const float y[nvox],
+          const float z[nvox], const float kx[nk], const float ky[nk],
+          const float kz[nk], const float phir[nk], const float phii[nk],
+          float qr[nvox], float qi[nvox]) {
+  #pragma acc kernels copyin(x, y, z, kx, ky, kz, phir, phii) copyout(qr, qi) \
+      small(x, y, z, kx, ky, kz, phir, phii, qr, qi)
+  {
+    #pragma acc loop gang vector
+    for (int i = 0; i < nvox; i++) {
+      float sr = 0.0;
+      float si = 0.0;
+      #pragma acc loop seq
+      for (int k = 0; k < nk; k++) {
+        float arg = 6.2831853 * (kx[k] * x[i] + ky[k] * y[i] + kz[k] * z[i]);
+        float c = cos(arg);
+        float s = sin(arg);
+        sr += phir[k] * c - phii[k] * s;
+        si += phir[k] * s + phii[k] * c;
+      }
+      qr[i] = sr;
+      qi[i] = si;
+    }
+  }
+}
+"#
+        .to_string()
+    }
+
+    fn args(&self, scale: Scale) -> Args {
+        let (nv, nk) = size(scale);
+        Args::new()
+            .i32("nvox", nv as i32)
+            .i32("nk", nk as i32)
+            .array_f32("x", &rand_f32(1, nv, -1.0, 1.0))
+            .array_f32("y", &rand_f32(2, nv, -1.0, 1.0))
+            .array_f32("z", &rand_f32(3, nv, -1.0, 1.0))
+            .array_f32("kx", &rand_f32(4, nk, -1.0, 1.0))
+            .array_f32("ky", &rand_f32(5, nk, -1.0, 1.0))
+            .array_f32("kz", &rand_f32(6, nk, -1.0, 1.0))
+            .array_f32("phir", &rand_f32(7, nk, -1.0, 1.0))
+            .array_f32("phii", &rand_f32(8, nk, -1.0, 1.0))
+            .array_f32("qr", &vec![0.0; nv])
+            .array_f32("qi", &vec![0.0; nv])
+    }
+
+    fn check(&self, args: &Args, scale: Scale) -> Result<(), String> {
+        let (nv, nk) = size(scale);
+        let x = rand_f32(1, nv, -1.0, 1.0);
+        let y = rand_f32(2, nv, -1.0, 1.0);
+        let z = rand_f32(3, nv, -1.0, 1.0);
+        let kx = rand_f32(4, nk, -1.0, 1.0);
+        let ky = rand_f32(5, nk, -1.0, 1.0);
+        let kz = rand_f32(6, nk, -1.0, 1.0);
+        let phir = rand_f32(7, nk, -1.0, 1.0);
+        let phii = rand_f32(8, nk, -1.0, 1.0);
+        let (wr, wi) = reference(&x, &y, &z, &kx, &ky, &kz, &phir, &phii);
+        check_close_f32(&args.array("qr").ok_or("missing qr")?.as_f32(), &wr, 5e-3)?;
+        check_close_f32(&args.array("qi").ok_or("missing qi")?.as_f32(), &wi, 5e-3)
+    }
+}
+
+/// Reference Q computation.
+#[allow(clippy::too_many_arguments)]
+pub fn reference(
+    x: &[f32],
+    y: &[f32],
+    z: &[f32],
+    kx: &[f32],
+    ky: &[f32],
+    kz: &[f32],
+    phir: &[f32],
+    phii: &[f32],
+) -> (Vec<f32>, Vec<f32>) {
+    let mut qr = vec![0.0f32; x.len()];
+    let mut qi = vec![0.0f32; x.len()];
+    for i in 0..x.len() {
+        let (mut sr, mut si) = (0.0f32, 0.0f32);
+        for k in 0..kx.len() {
+            let arg = 6.283_185_3_f32 * (kx[k] * x[i] + ky[k] * y[i] + kz[k] * z[i]);
+            let (s, c) = (arg.sin(), arg.cos());
+            sr += phir[k] * c - phii[k] * s;
+            si += phir[k] * s + phii[k] * c;
+        }
+        qr[i] = sr;
+        qi[i] = si;
+    }
+    (qr, qi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use safara_core::{CompilerConfig, DeviceConfig};
+
+    #[test]
+    fn correct_and_compute_bound() {
+        let dev = DeviceConfig::k20xm();
+        let (report, _) =
+            run_workload(&OMriq, &CompilerConfig::base(), Scale::Test, &dev).unwrap();
+        assert!(report.kernels[0].stats.sfu_insts > 0);
+    }
+
+    #[test]
+    fn safara_hoists_voxel_coordinates() {
+        let dev = DeviceConfig::k20xm();
+        let (base, _) = run_workload(&OMriq, &CompilerConfig::base(), Scale::Test, &dev).unwrap();
+        let (saf, pg) =
+            run_workload(&OMriq, &CompilerConfig::safara_only(), Scale::Test, &dev).unwrap();
+        // x[i], y[i], z[i] are loop-invariant: SAFARA hoists them out of
+        // the k loop, eliminating ~3·(nk-1) loads per voxel.
+        let f = pg.function("mriq").unwrap();
+        assert!(f.sr_outcome.temps_added >= 3, "{:?}", f.sr_outcome);
+        assert!(
+            saf.kernels[0].stats.readonly_requests < base.kernels[0].stats.readonly_requests
+        );
+    }
+}

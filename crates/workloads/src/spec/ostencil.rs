@@ -1,0 +1,135 @@
+//! `303.ostencil` — 3-D 7-point Jacobi heat stencil (C-modeled).
+//!
+//! The z (`k`) loop is sequential inside each thread, so `in[k-1]`,
+//! `in[k]`, `in[k+1]` form an inter-iteration reuse chain (distance 2)
+//! that SAFARA serves with rotating temporaries. C benchmark: `small`
+//! applies, `dim` does not (§V-C).
+
+use crate::util::{check_close_f32, rand_f32};
+use crate::{Scale, Suite, Workload};
+use safara_core::Args;
+
+/// The 303.ostencil-like workload.
+pub struct OStencil;
+
+/// Grid edge per scale.
+pub fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 10,
+        Scale::Bench => 40,
+    }
+}
+
+impl Workload for OStencil {
+    fn name(&self) -> &'static str {
+        "303.ostencil"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::SpecAccel
+    }
+
+    fn entry(&self) -> &'static str {
+        "ostencil"
+    }
+
+    fn source(&self) -> String {
+        r#"
+void ostencil(int nx, int ny, int nz, float c0, float c1,
+              const float in[nz][ny][nx], float out[nz][ny][nx]) {
+  #pragma acc kernels copyin(in) copyout(out) small(in, out)
+  {
+    #pragma acc loop gang
+    for (int j = 1; j < ny - 1; j++) {
+      #pragma acc loop vector
+      for (int i = 1; i < nx - 1; i++) {
+        #pragma acc loop seq
+        for (int k = 1; k < nz - 1; k++) {
+          out[k][j][i] = c0 * in[k][j][i]
+                       + c1 * (in[k][j][i - 1] + in[k][j][i + 1]
+                             + in[k][j - 1][i] + in[k][j + 1][i]
+                             + in[k - 1][j][i] + in[k + 1][j][i]);
+        }
+      }
+    }
+  }
+}
+"#
+        .to_string()
+    }
+
+    fn args(&self, scale: Scale) -> Args {
+        let n = size(scale);
+        Args::new()
+            .i32("nx", n as i32)
+            .i32("ny", n as i32)
+            .i32("nz", n as i32)
+            .f32("c0", 0.5)
+            .f32("c1", 0.08)
+            .array_f32("in", &rand_f32(303, n * n * n, 0.0, 1.0))
+            .array_f32("out", &vec![0.0; n * n * n])
+    }
+
+    fn check(&self, args: &Args, scale: Scale) -> Result<(), String> {
+        let n = size(scale);
+        let input = rand_f32(303, n * n * n, 0.0, 1.0);
+        let want = reference(n, 0.5, 0.08, &input);
+        let got = args.array("out").ok_or("missing out")?.as_f32();
+        check_close_f32(&got, &want, 1e-4)
+    }
+}
+
+/// Reference 7-point stencil.
+pub fn reference(n: usize, c0: f32, c1: f32, input: &[f32]) -> Vec<f32> {
+    let idx = |k: usize, j: usize, i: usize| (k * n + j) * n + i;
+    let mut out = vec![0.0f32; n * n * n];
+    for j in 1..n - 1 {
+        for i in 1..n - 1 {
+            for k in 1..n - 1 {
+                out[idx(k, j, i)] = c0 * input[idx(k, j, i)]
+                    + c1 * (input[idx(k, j, i - 1)]
+                        + input[idx(k, j, i + 1)]
+                        + input[idx(k, j - 1, i)]
+                        + input[idx(k, j + 1, i)]
+                        + input[idx(k - 1, j, i)]
+                        + input[idx(k + 1, j, i)]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use safara_core::{CompilerConfig, DeviceConfig};
+
+    #[test]
+    fn correct_under_base_and_safara() {
+        let dev = DeviceConfig::k20xm();
+        for cfg in [CompilerConfig::base(), CompilerConfig::safara_only()] {
+            run_workload(&OStencil, &cfg, Scale::Test, &dev)
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn safara_eliminates_k_direction_loads() {
+        // The rotating-temporary chain must reduce read-only transactions.
+        let dev = DeviceConfig::k20xm();
+        let (base, _) =
+            run_workload(&OStencil, &CompilerConfig::base(), Scale::Test, &dev).unwrap();
+        let (saf, _) =
+            run_workload(&OStencil, &CompilerConfig::safara_only(), Scale::Test, &dev).unwrap();
+        let loads = |r: &safara_core::RunReport| {
+            r.kernels[0].stats.readonly_requests + r.kernels[0].stats.global_ld_requests
+        };
+        assert!(
+            loads(&saf) < loads(&base),
+            "SAFARA should remove loads: {} vs {}",
+            loads(&saf),
+            loads(&base)
+        );
+    }
+}

@@ -1,0 +1,365 @@
+//! `356.sp` — scalar-pentadiagonal solver (Fortran-modeled).
+//!
+//! Matches the paper's Table II setup: ten hot kernels over ten
+//! allocatable arrays with **two different dimension shapes** (five
+//! solution fields `u1…u5` of shape `nz×ny×nx` and three work fields
+//! `r1…r3` of shape `(nz+1)×(ny+1)×(nx+1)`, all lower-bound 1). Most
+//! kernels touch a single allocatable array (the table's `NA` rows for
+//! `dim`); HOT2/4/5/7/8/9 touch several same-shape arrays where `dim`
+//! applies. HOT7 is an x-direction line sweep whose lanes stride across
+//! memory — the uncoalesced accesses the paper blames for sp's modest
+//! end-to-end gains (§V-C: "the performance bottleneck is in exploiting
+//! first the memory access latency").
+
+use crate::util::{check_close_f32, rand_f32};
+use crate::{Scale, Suite, Workload};
+use safara_core::Args;
+
+/// The 356.sp-like workload.
+pub struct SpecSp;
+
+/// Interior edge length per scale.
+pub fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 8,
+        Scale::Bench => 28,
+    }
+}
+
+const U: [&str; 5] = ["u1", "u2", "u3", "u4", "u5"];
+const R: [&str; 3] = ["r1", "r2", "r3"];
+
+impl Workload for SpecSp {
+    fn name(&self) -> &'static str {
+        "356.sp"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::SpecAccel
+    }
+
+    fn entry(&self) -> &'static str {
+        "sp_step"
+    }
+
+    fn uses_dim(&self) -> bool {
+        true
+    }
+
+    fn source(&self) -> String {
+        source()
+    }
+
+    fn args(&self, scale: Scale) -> Args {
+        let n = size(scale);
+        let (na, nb) = (n * n * n, (n + 1) * (n + 1) * (n + 1));
+        let mut args = Args::new().i32("nx", n as i32).i32("ny", n as i32).i32("nz", n as i32);
+        for (s, name) in U.iter().enumerate() {
+            args = args.array_f32(name, &rand_f32(400 + s as u64, na, 0.1, 1.0));
+        }
+        for (s, name) in R.iter().enumerate() {
+            args = args.array_f32(name, &rand_f32(500 + s as u64, nb, 0.1, 1.0));
+        }
+        args
+    }
+
+    fn check(&self, args: &Args, scale: Scale) -> Result<(), String> {
+        let n = size(scale);
+        let (na, nb) = (n * n * n, (n + 1) * (n + 1) * (n + 1));
+        let mut us: Vec<Vec<f32>> =
+            (0..5).map(|s| rand_f32(400 + s as u64, na, 0.1, 1.0)).collect();
+        let mut rs: Vec<Vec<f32>> =
+            (0..3).map(|s| rand_f32(500 + s as u64, nb, 0.1, 1.0)).collect();
+        reference_step(n, &mut us, &mut rs);
+        for (s, name) in U.iter().enumerate() {
+            let got = args.array(name).ok_or_else(|| format!("missing {name}"))?.as_f32();
+            check_close_f32(&got, &us[s], 5e-4).map_err(|m| format!("{name}: {m}"))?;
+        }
+        for (s, name) in R.iter().enumerate() {
+            let got = args.array(name).ok_or_else(|| format!("missing {name}"))?.as_f32();
+            check_close_f32(&got, &rs[s], 5e-4).map_err(|m| format!("{name}: {m}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// The MiniACC source: one region, ten loop nests = HOT1…HOT10.
+pub fn source() -> String {
+    let mut params: Vec<String> =
+        U.iter().map(|a| format!("float {a}[1:nz][1:ny][1:nx]")).collect();
+    params.extend(R.iter().map(|a| format!("float {a}[1:nz+1][1:ny+1][1:nx+1]")));
+    let all: Vec<&str> = U.iter().chain(R.iter()).copied().collect();
+    format!(
+        r#"
+void sp_step(int nx, int ny, int nz, {params}) {{
+  #pragma acc kernels copy({all}) \
+      dim((1:nz, 1:ny, 1:nx)(u1, u2, u3, u4, u5), \
+          (1:nz+1, 1:ny+1, 1:nx+1)(r1, r2, r3)) \
+      small({all})
+  {{
+    // HOT1 (single array — dim NA): in-place k smoothing of u1.
+    #pragma acc loop gang
+    for (int j = 1; j <= ny; j++) {{
+      #pragma acc loop vector
+      for (int i = 1; i <= nx; i++) {{
+        #pragma acc loop seq
+        for (int k = 2; k <= nz; k++) {{
+          u1[k][j][i] = 0.8 * u1[k][j][i] + 0.2 * u1[k - 1][j][i];
+        }}
+      }}
+    }}
+    // HOT2 (u2, u3 share dims): k-difference coupling.
+    #pragma acc loop gang
+    for (int j = 1; j <= ny; j++) {{
+      #pragma acc loop vector
+      for (int i = 1; i <= nx; i++) {{
+        #pragma acc loop seq
+        for (int k = 2; k <= nz; k++) {{
+          u2[k][j][i] += 0.1 * (u3[k][j][i] - u3[k - 1][j][i]);
+        }}
+      }}
+    }}
+    // HOT3 (single array, other shape — dim NA).
+    #pragma acc loop gang
+    for (int j = 1; j <= ny + 1; j++) {{
+      #pragma acc loop vector
+      for (int i = 1; i <= nx + 1; i++) {{
+        #pragma acc loop seq
+        for (int k = 2; k <= nz + 1; k++) {{
+          r1[k][j][i] = 0.5 * (r1[k][j][i] + r1[k - 1][j][i]);
+        }}
+      }}
+    }}
+    // HOT4 (u1, u2, u4 share dims).
+    #pragma acc loop gang
+    for (int j = 1; j <= ny; j++) {{
+      #pragma acc loop vector
+      for (int i = 1; i <= nx; i++) {{
+        #pragma acc loop seq
+        for (int k = 1; k <= nz; k++) {{
+          u4[k][j][i] = u1[k][j][i] + 0.3 * u2[k][j][i];
+        }}
+      }}
+    }}
+    // HOT5 (five shared-dim arrays): the biggest dim win.
+    #pragma acc loop gang
+    for (int j = 1; j <= ny; j++) {{
+      #pragma acc loop vector
+      for (int i = 1; i <= nx; i++) {{
+        #pragma acc loop seq
+        for (int k = 1; k <= nz; k++) {{
+          u5[k][j][i] = 0.25 * (u1[k][j][i] + u2[k][j][i] + u3[k][j][i] + u4[k][j][i]);
+        }}
+      }}
+    }}
+    // HOT6 (single array — dim NA): pure scaling.
+    #pragma acc loop gang
+    for (int j = 1; j <= ny + 1; j++) {{
+      #pragma acc loop vector
+      for (int i = 1; i <= nx + 1; i++) {{
+        #pragma acc loop seq
+        for (int k = 1; k <= nz + 1; k++) {{
+          r2[k][j][i] *= 1.01;
+        }}
+      }}
+    }}
+    // HOT7 (x-direction line sweep — uncoalesced: lanes differ in j while
+    // each thread walks i sequentially).
+    #pragma acc loop gang
+    for (int k = 1; k <= nz; k++) {{
+      #pragma acc loop vector
+      for (int j = 1; j <= ny; j++) {{
+        #pragma acc loop seq
+        for (int i = 2; i <= nx; i++) {{
+          u5[k][j][i] = 0.6 * u5[k][j][i - 1]
+                      + 0.2 * (u1[k][j][i] + u1[k][j][i - 1])
+                      + 0.2 * u2[k][j][i];
+        }}
+      }}
+    }}
+    // HOT8 (all five u arrays differenced along k — the register-hungry
+    // kernel, Table II's 211-register row).
+    #pragma acc loop gang
+    for (int j = 1; j <= ny; j++) {{
+      #pragma acc loop vector
+      for (int i = 1; i <= nx; i++) {{
+        #pragma acc loop seq
+        for (int k = 2; k <= nz; k++) {{
+          r3[k][j][i] = (u1[k][j][i] + u1[k - 1][j][i])
+                      + (u2[k][j][i] + u2[k - 1][j][i])
+                      + (u3[k][j][i] + u3[k - 1][j][i])
+                      + (u4[k][j][i] + u4[k - 1][j][i])
+                      + (u5[k][j][i] + u5[k - 1][j][i]);
+        }}
+      }}
+    }}
+    // HOT9 (u1, u2, u3): z-direction solve.
+    #pragma acc loop gang
+    for (int j = 1; j <= ny; j++) {{
+      #pragma acc loop vector
+      for (int i = 1; i <= nx; i++) {{
+        #pragma acc loop seq
+        for (int k = 2; k <= nz; k++) {{
+          u3[k][j][i] += 0.05 * (u1[k][j][i] - u1[k - 1][j][i])
+                       + 0.05 * (u2[k][j][i] - u2[k - 1][j][i]);
+        }}
+      }}
+    }}
+    // HOT10 (single array — dim NA).
+    #pragma acc loop gang
+    for (int j = 1; j <= ny + 1; j++) {{
+      #pragma acc loop vector
+      for (int i = 1; i <= nx + 1; i++) {{
+        #pragma acc loop seq
+        for (int k = 1; k <= nz + 1; k++) {{
+          r3[k][j][i] = r3[k][j][i] * 0.9 + 0.1;
+        }}
+      }}
+    }}
+  }}
+}}
+"#,
+        params = params.join(", "),
+        all = all.join(", "),
+    )
+}
+
+/// Pure-Rust reference of the ten kernels, in launch order.
+pub fn reference_step(n: usize, us: &mut [Vec<f32>], rs: &mut [Vec<f32>]) {
+    let ia = |k: usize, j: usize, i: usize| ((k - 1) * n + (j - 1)) * n + (i - 1);
+    let nb = n + 1;
+    let ib = |k: usize, j: usize, i: usize| ((k - 1) * nb + (j - 1)) * nb + (i - 1);
+
+    // HOT1
+    for j in 1..=n {
+        for i in 1..=n {
+            for k in 2..=n {
+                us[0][ia(k, j, i)] = 0.8 * us[0][ia(k, j, i)] + 0.2 * us[0][ia(k - 1, j, i)];
+            }
+        }
+    }
+    // HOT2
+    for j in 1..=n {
+        for i in 1..=n {
+            for k in 2..=n {
+                us[1][ia(k, j, i)] += 0.1 * (us[2][ia(k, j, i)] - us[2][ia(k - 1, j, i)]);
+            }
+        }
+    }
+    // HOT3
+    for j in 1..=nb {
+        for i in 1..=nb {
+            for k in 2..=nb {
+                rs[0][ib(k, j, i)] = 0.5 * (rs[0][ib(k, j, i)] + rs[0][ib(k - 1, j, i)]);
+            }
+        }
+    }
+    // HOT4
+    for j in 1..=n {
+        for i in 1..=n {
+            for k in 1..=n {
+                us[3][ia(k, j, i)] = us[0][ia(k, j, i)] + 0.3 * us[1][ia(k, j, i)];
+            }
+        }
+    }
+    // HOT5
+    for j in 1..=n {
+        for i in 1..=n {
+            for k in 1..=n {
+                us[4][ia(k, j, i)] = 0.25
+                    * (us[0][ia(k, j, i)]
+                        + us[1][ia(k, j, i)]
+                        + us[2][ia(k, j, i)]
+                        + us[3][ia(k, j, i)]);
+            }
+        }
+    }
+    // HOT6
+    for v in rs[1].iter_mut() {
+        *v *= 1.01;
+    }
+    // HOT7
+    for k in 1..=n {
+        for j in 1..=n {
+            for i in 2..=n {
+                us[4][ia(k, j, i)] = 0.6 * us[4][ia(k, j, i - 1)]
+                    + 0.2 * (us[0][ia(k, j, i)] + us[0][ia(k, j, i - 1)])
+                    + 0.2 * us[1][ia(k, j, i)];
+            }
+        }
+    }
+    // HOT8
+    for j in 1..=n {
+        for i in 1..=n {
+            for k in 2..=n {
+                rs[2][ib(k, j, i)] = (us[0][ia(k, j, i)] + us[0][ia(k - 1, j, i)])
+                    + (us[1][ia(k, j, i)] + us[1][ia(k - 1, j, i)])
+                    + (us[2][ia(k, j, i)] + us[2][ia(k - 1, j, i)])
+                    + (us[3][ia(k, j, i)] + us[3][ia(k - 1, j, i)])
+                    + (us[4][ia(k, j, i)] + us[4][ia(k - 1, j, i)]);
+            }
+        }
+    }
+    // HOT9
+    for j in 1..=n {
+        for i in 1..=n {
+            for k in 2..=n {
+                us[2][ia(k, j, i)] += 0.05 * (us[0][ia(k, j, i)] - us[0][ia(k - 1, j, i)])
+                    + 0.05 * (us[1][ia(k, j, i)] - us[1][ia(k - 1, j, i)]);
+            }
+        }
+    }
+    // HOT10
+    for v in rs[2].iter_mut() {
+        *v = *v * 0.9 + 0.1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use safara_core::{CompilerConfig, DeviceConfig};
+
+    #[test]
+    fn sp_correct_under_base_and_full_clauses() {
+        let dev = DeviceConfig::k20xm();
+        for cfg in [CompilerConfig::base(), CompilerConfig::safara_clauses()] {
+            run_workload(&SpecSp, &cfg, Scale::Test, &dev)
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn sp_has_ten_kernels() {
+        let (_, program) =
+            run_workload(&SpecSp, &CompilerConfig::base(), Scale::Test, &DeviceConfig::k20xm())
+                .unwrap();
+        assert_eq!(program.function("sp_step").unwrap().kernels.len(), 10);
+    }
+
+    #[test]
+    fn hot7_is_uncoalesced() {
+        let dev = DeviceConfig::k20xm();
+        let (report, _) =
+            run_workload(&SpecSp, &CompilerConfig::base(), Scale::Test, &dev).unwrap();
+        let s = &report.kernels[6].stats; // HOT7
+        let req = s.global_ld_requests + s.global_st_requests + s.readonly_requests;
+        let txn = s.global_transactions + s.readonly_transactions;
+        // Lanes stride by nx floats; even at the tiny test size that means
+        // more transactions than requests (at bench sizes the ratio grows
+        // toward 32×).
+        assert!(txn > req, "HOT7 should be uncoalesced: {txn} txn / {req} req");
+    }
+
+    #[test]
+    fn hot8_uses_the_most_registers() {
+        let dev = DeviceConfig::k20xm();
+        let (_, program) =
+            run_workload(&SpecSp, &CompilerConfig::base(), Scale::Test, &dev).unwrap();
+        let f = program.function("sp_step").unwrap();
+        let regs: Vec<u32> = f.kernels.iter().map(|k| k.alloc.regs_used).collect();
+        let hot8 = regs[7];
+        assert_eq!(hot8, *regs.iter().max().unwrap(), "regs: {regs:?}");
+    }
+}

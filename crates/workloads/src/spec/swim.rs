@@ -1,0 +1,148 @@
+//! `363.swim` — shallow-water equations (Fortran-modeled, 2-D).
+//!
+//! Three same-dimension allocatable fields (`uf`, `vf`, `pf`) updated by
+//! neighbor stencils: a `dim`-friendly Fortran app with coalesced
+//! accesses and intra-iteration reuse (each field element feeds several
+//! terms).
+
+use crate::util::{check_close_f32, rand_f32};
+use crate::{Scale, Suite, Workload};
+use safara_core::Args;
+
+/// The 363.swim-like workload.
+pub struct Swim;
+
+/// Grid edge per scale.
+pub fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 16,
+        Scale::Bench => 192,
+    }
+}
+
+impl Workload for Swim {
+    fn name(&self) -> &'static str {
+        "363.swim"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::SpecAccel
+    }
+
+    fn entry(&self) -> &'static str {
+        "swim_step"
+    }
+
+    fn uses_dim(&self) -> bool {
+        true
+    }
+
+    fn source(&self) -> String {
+        r#"
+void swim_step(int nx, int ny, float c,
+               float uf[1:ny][1:nx], float vf[1:ny][1:nx], float pf[1:ny][1:nx],
+               float un[1:ny][1:nx], float vn[1:ny][1:nx], float pn[1:ny][1:nx]) {
+  #pragma acc kernels copyin(uf, vf, pf) copyout(un, vn, pn) \
+      dim((1:ny, 1:nx)(uf, vf, pf, un, vn, pn)) \
+      small(uf, vf, pf, un, vn, pn)
+  {
+    #pragma acc loop gang
+    for (int j = 2; j < ny; j++) {
+      #pragma acc loop vector
+      for (int i = 2; i < nx; i++) {
+        un[j][i] = uf[j][i] + c * (pf[j][i - 1] - pf[j][i + 1] + vf[j][i] * uf[j][i]);
+        vn[j][i] = vf[j][i] + c * (pf[j - 1][i] - pf[j + 1][i] + uf[j][i] * vf[j][i]);
+        pn[j][i] = pf[j][i]
+                 + c * (uf[j][i - 1] - uf[j][i + 1] + vf[j - 1][i] - vf[j + 1][i]);
+      }
+    }
+  }
+}
+"#
+        .to_string()
+    }
+
+    fn args(&self, scale: Scale) -> Args {
+        let n = size(scale);
+        let t = n * n;
+        Args::new()
+            .i32("nx", n as i32)
+            .i32("ny", n as i32)
+            .f32("c", 0.1)
+            .array_f32("uf", &rand_f32(363, t, -1.0, 1.0))
+            .array_f32("vf", &rand_f32(364, t, -1.0, 1.0))
+            .array_f32("pf", &rand_f32(365, t, -1.0, 1.0))
+            .array_f32("un", &vec![0.0; t])
+            .array_f32("vn", &vec![0.0; t])
+            .array_f32("pn", &vec![0.0; t])
+    }
+
+    fn check(&self, args: &Args, scale: Scale) -> Result<(), String> {
+        let n = size(scale);
+        let t = n * n;
+        let uf = rand_f32(363, t, -1.0, 1.0);
+        let vf = rand_f32(364, t, -1.0, 1.0);
+        let pf = rand_f32(365, t, -1.0, 1.0);
+        let (un, vn, pn) = reference(n, 0.1, &uf, &vf, &pf);
+        check_close_f32(&args.array("un").ok_or("missing un")?.as_f32(), &un, 1e-4)?;
+        check_close_f32(&args.array("vn").ok_or("missing vn")?.as_f32(), &vn, 1e-4)?;
+        check_close_f32(&args.array("pn").ok_or("missing pn")?.as_f32(), &pn, 1e-4)
+    }
+}
+
+/// Reference step.
+pub fn reference(
+    n: usize,
+    c: f32,
+    uf: &[f32],
+    vf: &[f32],
+    pf: &[f32],
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let idx = |j: usize, i: usize| (j - 1) * n + (i - 1);
+    let mut un = vec![0.0f32; n * n];
+    let mut vn = vec![0.0f32; n * n];
+    let mut pn = vec![0.0f32; n * n];
+    for j in 2..n {
+        for i in 2..n {
+            un[idx(j, i)] = uf[idx(j, i)]
+                + c * (pf[idx(j, i - 1)] - pf[idx(j, i + 1)] + vf[idx(j, i)] * uf[idx(j, i)]);
+            vn[idx(j, i)] = vf[idx(j, i)]
+                + c * (pf[idx(j - 1, i)] - pf[idx(j + 1, i)] + uf[idx(j, i)] * vf[idx(j, i)]);
+            pn[idx(j, i)] = pf[idx(j, i)]
+                + c * (uf[idx(j, i - 1)] - uf[idx(j, i + 1)] + vf[idx(j - 1, i)]
+                    - vf[idx(j + 1, i)]);
+        }
+    }
+    (un, vn, pn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use safara_core::{CompilerConfig, DeviceConfig};
+
+    #[test]
+    fn swim_correct_under_profiles() {
+        let dev = DeviceConfig::k20xm();
+        for cfg in [
+            CompilerConfig::base(),
+            CompilerConfig::small_dim(),
+            CompilerConfig::safara_clauses(),
+        ] {
+            run_workload(&Swim, &cfg, Scale::Test, &dev)
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn dim_reduces_registers() {
+        let dev = DeviceConfig::k20xm();
+        let (_, base) = run_workload(&Swim, &CompilerConfig::base(), Scale::Test, &dev).unwrap();
+        let (_, dim) = run_workload(&Swim, &CompilerConfig::small_dim(), Scale::Test, &dev).unwrap();
+        assert!(
+            dim.function("swim_step").unwrap().max_regs()
+                < base.function("swim_step").unwrap().max_regs()
+        );
+    }
+}

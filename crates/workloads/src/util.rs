@@ -1,0 +1,89 @@
+//! Shared helpers: deterministic data generation and tolerant comparison.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-random `f32` data in `[lo, hi)`.
+pub fn rand_f32(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Deterministic pseudo-random `f64` data in `[lo, hi)`.
+pub fn rand_f64(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Deterministic pseudo-random `i32` data in `[lo, hi)`.
+pub fn rand_i32(seed: u64, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Compare two `f32` slices with a mixed absolute/relative tolerance.
+pub fn check_close_f32(got: &[f32], want: &[f32], tol: f32) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("length mismatch: {} vs {}", got.len(), want.len()));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let err = (g - w).abs();
+        let bound = tol * w.abs().max(1.0);
+        if !(err <= bound) {
+            return Err(format!("element {i}: got {g}, want {w} (|err| {err} > {bound})"));
+        }
+    }
+    Ok(())
+}
+
+/// Compare two `f64` slices with a mixed absolute/relative tolerance.
+pub fn check_close_f64(got: &[f64], want: &[f64], tol: f64) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("length mismatch: {} vs {}", got.len(), want.len()));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let err = (g - w).abs();
+        let bound = tol * w.abs().max(1.0);
+        if !(err <= bound) {
+            return Err(format!("element {i}: got {g}, want {w} (|err| {err} > {bound})"));
+        }
+    }
+    Ok(())
+}
+
+/// Compare two scalars.
+pub fn check_scalar(got: f64, want: f64, tol: f64) -> Result<(), String> {
+    let err = (got - want).abs();
+    let bound = tol * want.abs().max(1.0);
+    if err <= bound {
+        Ok(())
+    } else {
+        Err(format!("scalar: got {got}, want {want} (|err| {err} > {bound})"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(rand_f32(7, 16, 0.0, 1.0), rand_f32(7, 16, 0.0, 1.0));
+        assert_ne!(rand_f32(7, 16, 0.0, 1.0), rand_f32(8, 16, 0.0, 1.0));
+        assert_eq!(rand_i32(1, 8, 0, 100), rand_i32(1, 8, 0, 100));
+    }
+
+    #[test]
+    fn comparison_tolerances() {
+        assert!(check_close_f32(&[1.0, 2.0], &[1.0, 2.0 + 1e-6], 1e-5).is_ok());
+        assert!(check_close_f32(&[1.0], &[1.1], 1e-3).is_err());
+        assert!(check_close_f32(&[1.0], &[1.0, 2.0], 1e-3).is_err());
+        assert!(check_scalar(100.0, 100.001, 1e-4).is_ok());
+        assert!(check_scalar(f64::NAN, 1.0, 1e-4).is_err());
+    }
+
+    #[test]
+    fn nan_rejected() {
+        assert!(check_close_f32(&[f32::NAN], &[1.0], 1e-3).is_err());
+    }
+}

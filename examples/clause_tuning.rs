@@ -1,0 +1,82 @@
+//! How a programmer would actually use the proposed clauses: take one
+//! kernel, try it with and without `small`/`dim`, and read the register
+//! and occupancy consequences off the compile reports — the workflow the
+//! paper's §IV envisions.
+//!
+//! ```sh
+//! cargo run --release -p safara-core --example clause_tuning
+//! ```
+
+use safara_core::{compile, Args, CompilerConfig, DeviceConfig};
+
+/// The same physics kernel written three ways.
+fn variant(clauses: &str) -> String {
+    format!(
+        r#"
+void update(int nx, int ny, int nz,
+            double p[1:nz][1:ny][1:nx], double q[1:nz][1:ny][1:nx],
+            double r[1:nz][1:ny][1:nx]) {{
+  #pragma acc kernels copy(p, q, r) {clauses}
+  {{
+    #pragma acc loop gang
+    for (int j = 1; j <= ny; j++) {{
+      #pragma acc loop vector
+      for (int i = 1; i <= nx; i++) {{
+        #pragma acc loop seq
+        for (int k = 2; k <= nz; k++) {{
+          r[k][j][i] = p[k][j][i] - p[k - 1][j][i]
+                     + q[k][j][i] - q[k - 1][j][i]
+                     + 0.5 * r[k][j][i];
+        }}
+      }}
+    }}
+  }}
+}}
+"#
+    )
+}
+
+fn main() {
+    let dev = DeviceConfig::k20xm();
+    let n = 16usize;
+    println!("clause tuning on a 3-array Fortran-style kernel ({})\n", dev.name);
+    println!(
+        "{:<44}{:>8}{:>12}{:>14}",
+        "clauses", "regs", "warps/SM", "cycles"
+    );
+    let cases = [
+        ("", "(none)"),
+        ("small(p, q, r)", "small"),
+        ("small(p, q, r) dim((1:nz, 1:ny, 1:nx)(p, q, r))", "small + dim"),
+    ];
+    let mut results = Vec::new();
+    for (clauses, label) in cases {
+        let src = variant(clauses);
+        // The compiler honors whatever clauses appear in the source; the
+        // profile just has to allow them.
+        let p = compile(&src, &CompilerConfig::safara_clauses()).expect("compiles");
+        let f = p.function("update").expect("exists");
+        let regs = f.max_regs();
+        let occ = dev.occupancy(regs.max(16), 256);
+        let mut args = Args::new().i32("nx", n as i32).i32("ny", n as i32).i32("nz", n as i32);
+        for name in ["p", "q", "r"] {
+            let data: Vec<f64> = (0..n * n * n).map(|i| (i % 11) as f64 * 0.25).collect();
+            args = args.array_f64(name, &data);
+        }
+        let rep = p.run("update", &mut args, &dev).expect("runs");
+        println!(
+            "{:<44}{:>8}{:>12}{:>14.0}",
+            label,
+            regs,
+            occ.active_warps_per_sm,
+            rep.total_cycles()
+        );
+        results.push((label, args.array("r").unwrap().as_f64()));
+    }
+    // All three variants compute identical results.
+    for (label, r) in &results[1..] {
+        assert_eq!(r, &results[0].1, "{label} changed the numerics!");
+    }
+    println!("\nall three variants produce bit-identical results;");
+    println!("the clauses only change the registers the kernel needs.");
+}

@@ -1,0 +1,45 @@
+//! The paper's motivating example, end to end: compile the
+//! 355.seismic-like workload under Base / +small / +small+dim /
+//! +SAFARA, print the Table-I-style register usage, and run each
+//! configuration on the simulator.
+//!
+//! ```sh
+//! cargo run --release -p safara-core --example seismic_registers
+//! ```
+
+use safara_core::report::{format_register_table, register_table};
+use safara_core::{compile, CompilerConfig, DeviceConfig};
+use safara_workloads::spec::seismic::Seismic;
+use safara_workloads::{run_workload, Scale, Workload};
+
+fn main() {
+    let src = Seismic.source();
+    let configs = [
+        CompilerConfig::base(),
+        CompilerConfig::small(),
+        CompilerConfig::small_dim(),
+        CompilerConfig::safara_clauses(),
+    ];
+    let programs: Vec<_> = configs
+        .iter()
+        .map(|c| compile(&src, c).expect("seismic compiles"))
+        .collect();
+    let refs: Vec<&safara_core::CompiledProgram> = programs.iter().collect();
+    println!("355.seismic — registers per hot kernel, per configuration\n");
+    let rows = register_table("seismic_step", &refs);
+    print!(
+        "{}",
+        format_register_table(&["Base", "+small", "+small+dim", "+SAFARA"], &rows)
+    );
+
+    println!("\nmodelled execution (validated against the Rust reference):");
+    let dev = DeviceConfig::k20xm();
+    let mut base_cycles = None;
+    for cfg in &configs {
+        let (report, _) =
+            run_workload(&Seismic, cfg, Scale::Bench, &dev).expect("runs and validates");
+        let c = report.total_cycles();
+        let speedup = base_cycles.get_or_insert(c);
+        println!("  {:<28} {:>12.0} cycles   {:>5.2}x", cfg.name, c, *speedup / c);
+    }
+}

@@ -1,0 +1,109 @@
+//! Invariants of SAFARA's iterative feedback loop (§III-B.2), checked
+//! across the whole SPEC-like suite:
+//!
+//! * the loop never leaves a kernel spilling (a spilling round reverts);
+//! * register usage never exceeds the hardware cap;
+//! * scalar replacement trades registers monotonically: the optimized
+//!   build never uses fewer than zero extra temps, and its registers stay
+//!   within the cap the device imposes;
+//! * when the cap is artificially tightened, SAFARA admits fewer (or
+//!   equal) temporaries — the "moderation of register pressure".
+
+use safara_core::{compile, CompilerConfig, DeviceConfig};
+use safara_workloads::{spec_suite, Workload};
+
+#[test]
+fn feedback_never_leaves_spills() {
+    for w in spec_suite() {
+        let p = compile(&w.source(), &CompilerConfig::safara_clauses())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        for f in &p.functions {
+            for k in &f.kernels {
+                assert!(
+                    k.alloc.fits(),
+                    "{}::{} spills {} vregs after feedback",
+                    w.name(),
+                    k.kernel.name,
+                    k.alloc.spilled.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn registers_respect_the_hardware_cap() {
+    let dev = DeviceConfig::k20xm();
+    for w in spec_suite() {
+        for cfg in [CompilerConfig::base(), CompilerConfig::safara_only()] {
+            let p = compile(&w.source(), &cfg).unwrap();
+            for f in &p.functions {
+                assert!(
+                    f.max_regs() <= dev.max_regs_per_thread,
+                    "{} under {}: {} regs",
+                    w.name(),
+                    cfg.name,
+                    f.max_regs()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tighter_cap_admits_fewer_temps() {
+    let src = safara_workloads::spec::seismic::Seismic.source();
+    let mut last = u32::MAX;
+    for cap in [255u32, 64, 40, 24] {
+        let cfg = CompilerConfig { reg_cap: cap, ..CompilerConfig::safara_clauses() };
+        let p = compile(&src, &cfg).unwrap();
+        let f = p.function("seismic_step").unwrap();
+        assert!(
+            f.sr_outcome.temps_added <= last,
+            "cap {cap}: {} temps > previous {last}",
+            f.sr_outcome.temps_added
+        );
+        last = f.sr_outcome.temps_added;
+    }
+    // The tightest cap must have cut something relative to the loosest.
+    let loose = compile(&src, &CompilerConfig::safara_clauses()).unwrap();
+    let tight = compile(
+        &src,
+        &CompilerConfig { reg_cap: 24, ..CompilerConfig::safara_clauses() },
+    )
+    .unwrap();
+    assert!(
+        tight.function("seismic_step").unwrap().sr_outcome.temps_added
+            < loose.function("seismic_step").unwrap().sr_outcome.temps_added
+    );
+}
+
+#[test]
+fn feedback_loop_terminates_within_bound() {
+    for w in spec_suite() {
+        let cfg = CompilerConfig::safara_clauses();
+        let p = compile(&w.source(), &cfg).unwrap();
+        for f in &p.functions {
+            assert!(
+                f.feedback_rounds <= cfg.max_feedback_iters,
+                "{}: {} rounds",
+                w.name(),
+                f.feedback_rounds
+            );
+        }
+    }
+}
+
+#[test]
+fn safara_transformed_source_reparses() {
+    // Source-to-source output must always be valid MiniACC (the paper's
+    // transformation is source-level in OpenUH too).
+    for w in spec_suite() {
+        let p = compile(&w.source(), &CompilerConfig::safara_clauses()).unwrap();
+        for f in &p.functions {
+            let txt = f.transformed_source();
+            safara_core::ir::parse_program(&txt)
+                .unwrap_or_else(|e| panic!("{}: invalid output: {e}\n{txt}", w.name()));
+        }
+    }
+}

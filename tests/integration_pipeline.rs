@@ -1,0 +1,98 @@
+//! Cross-crate integration: every workload of both suites, compiled under
+//! every compiler configuration, must run on the simulator and validate
+//! against its pure-Rust reference. This is the repository's master
+//! differential test — any unsound transformation in any pass fails it.
+
+use safara_core::{CompilerConfig, DeviceConfig};
+use safara_workloads::{all_workloads, nas_suite, run_workload, spec_suite, Scale};
+
+fn all_correct_under(cfg: CompilerConfig) {
+    let dev = DeviceConfig::k20xm();
+    for w in all_workloads() {
+        run_workload(w.as_ref(), &cfg, Scale::Test, &dev)
+            .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name(), cfg.name));
+    }
+}
+
+#[test]
+fn every_workload_correct_under_base() {
+    all_correct_under(CompilerConfig::base());
+}
+
+#[test]
+fn every_workload_correct_under_safara_only() {
+    all_correct_under(CompilerConfig::safara_only());
+}
+
+#[test]
+fn every_workload_correct_under_small() {
+    all_correct_under(CompilerConfig::small());
+}
+
+#[test]
+fn every_workload_correct_under_small_dim() {
+    all_correct_under(CompilerConfig::small_dim());
+}
+
+#[test]
+fn every_workload_correct_under_full_pipeline() {
+    all_correct_under(CompilerConfig::safara_clauses());
+}
+
+#[test]
+fn every_workload_correct_under_safara_small() {
+    all_correct_under(CompilerConfig::safara_small());
+}
+
+#[test]
+fn every_workload_correct_under_pgi_like() {
+    all_correct_under(CompilerConfig::pgi_like());
+}
+
+#[test]
+fn every_workload_correct_under_count_only_ablation() {
+    all_correct_under(CompilerConfig::safara_count_only());
+}
+
+#[test]
+fn every_workload_correct_under_no_feedback_ablation() {
+    all_correct_under(CompilerConfig::safara_no_feedback());
+}
+
+#[test]
+fn every_workload_correct_under_unrolling_extension() {
+    // The §VII future-work extension must preserve semantics everywhere.
+    all_correct_under(CompilerConfig::safara_unroll(2));
+    all_correct_under(CompilerConfig::safara_unroll(4));
+}
+
+#[test]
+fn carr_kennedy_is_slower_but_correct() {
+    // The classical algorithm must still produce right answers even when
+    // it sequentializes parallel loops (Fig. 4); it just pays for it.
+    let dev = DeviceConfig::k20xm();
+    for w in all_workloads() {
+        run_workload(w.as_ref(), &CompilerConfig::carr_kennedy(), Scale::Test, &dev)
+            .unwrap_or_else(|e| panic!("{} under CK: {e}", w.name()));
+    }
+}
+
+#[test]
+fn suites_have_the_papers_benchmark_counts() {
+    assert_eq!(spec_suite().len(), 10);
+    assert_eq!(nas_suite().len(), 6);
+    let names: Vec<&str> = nas_suite().iter().map(|w| w.name()).collect();
+    assert_eq!(names, ["EP", "CG", "MG", "SP", "LU", "BT"]);
+}
+
+#[test]
+fn dim_marked_workloads_are_the_fortran_modeled_ones() {
+    let with_dim: Vec<&str> = spec_suite()
+        .iter()
+        .filter(|w| w.uses_dim())
+        .map(|w| w.name())
+        .collect();
+    assert_eq!(with_dim, ["355.seismic", "356.sp", "363.swim"]);
+    // The paper: NAS benchmarks are C without VLAs — no dim anywhere.
+    assert!(nas_suite().iter().all(|w| !w.uses_dim()));
+}

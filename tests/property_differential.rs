@@ -1,0 +1,214 @@
+//! Property-based differential testing of the whole compiler: random
+//! MiniACC kernels are compiled under the baseline, the full SAFARA
+//! pipeline, the Carr–Kennedy strategy and the PGI-like profile, and all
+//! four executions must produce **bit-identical** results (scalar
+//! replacement and clause lowering never reassociate arithmetic).
+//!
+//! Generated programs are race-free by construction (written arrays are
+//! only accessed at `[i]`, the thread's own element), so results cannot
+//! depend on thread count — which Carr–Kennedy changes when it
+//! sequentializes a loop.
+
+use proptest::prelude::*;
+use safara_core::{compile, Args, CompilerConfig, DeviceConfig};
+use std::fmt::Write as _;
+
+/// A generated expression (rendered to MiniACC text).
+#[derive(Debug, Clone)]
+enum GenExpr {
+    /// Float literal.
+    Lit(i8),
+    /// One of the scalar params s0/s1.
+    Scalar(bool),
+    /// Read-only array `a` at `i + delta` (delta in −2..=2).
+    ReadA(i8),
+    /// Read-only array `a` at `i + k` (only valid inside the seq loop).
+    ReadAK,
+    /// Own element of a written array (`b[i]` or `c[i]`).
+    ReadOwn(bool),
+    /// The seq loop variable as a float (0 outside the loop).
+    KAsFloat,
+    /// Binary node.
+    Bin(u8, Box<GenExpr>, Box<GenExpr>),
+}
+
+impl GenExpr {
+    fn render(&self, in_seq: bool, out: &mut String) {
+        match self {
+            GenExpr::Lit(v) => write!(out, "{}.0", *v as i32).unwrap(),
+            GenExpr::Scalar(a) => out.push_str(if *a { "s0" } else { "s1" }),
+            GenExpr::ReadA(d) => match *d as i32 {
+                0 => out.push_str("a[i]"),
+                d if d > 0 => write!(out, "a[i + {d}]").unwrap(),
+                d => write!(out, "a[i - {}]", -d).unwrap(),
+            },
+            GenExpr::ReadAK => {
+                if in_seq {
+                    out.push_str("a[i + k]")
+                } else {
+                    out.push_str("a[i]")
+                }
+            }
+            GenExpr::ReadOwn(b) => out.push_str(if *b { "b[i]" } else { "c[i]" }),
+            GenExpr::KAsFloat => {
+                if in_seq {
+                    out.push_str("(float) k")
+                } else {
+                    out.push_str("0.0")
+                }
+            }
+            GenExpr::Bin(op, l, r) => {
+                out.push('(');
+                l.render(in_seq, out);
+                out.push_str(match op % 3 {
+                    0 => " + ",
+                    1 => " - ",
+                    _ => " * ",
+                });
+                r.render(in_seq, out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// A generated statement.
+#[derive(Debug, Clone)]
+enum GenStmt {
+    /// `b[i] op= expr;` / `c[i] op= expr;`
+    Assign {
+        to_b: bool,
+        compound: bool,
+        rhs: GenExpr,
+    },
+}
+
+fn expr_strategy() -> impl Strategy<Value = GenExpr> {
+    let leaf = prop_oneof![
+        (-4i8..=4).prop_map(GenExpr::Lit),
+        any::<bool>().prop_map(GenExpr::Scalar),
+        (-2i8..=2).prop_map(GenExpr::ReadA),
+        Just(GenExpr::ReadAK),
+        any::<bool>().prop_map(GenExpr::ReadOwn),
+        Just(GenExpr::KAsFloat),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (any::<u8>(), inner.clone(), inner)
+            .prop_map(|(op, l, r)| GenExpr::Bin(op, Box::new(l), Box::new(r)))
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = GenStmt> {
+    (any::<bool>(), any::<bool>(), expr_strategy())
+        .prop_map(|(to_b, compound, rhs)| GenStmt::Assign { to_b, compound, rhs })
+}
+
+/// Render a whole program.
+fn render(par_stmts: &[GenStmt], seq_stmts: &[GenStmt], seq_trip: u8, small: bool) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "void gen(int n, float s0, float s1, const float a[n], float b[n], float c[n]) {\n",
+    );
+    write!(
+        s,
+        "  #pragma acc kernels copyin(a) copy(b, c){}\n  {{\n",
+        if small { " small(a, b, c)" } else { "" }
+    )
+    .unwrap();
+    s.push_str("    #pragma acc loop gang vector\n    for (int i = 2; i < n - 6; i++) {\n");
+    for st in par_stmts {
+        render_stmt(st, false, &mut s);
+    }
+    if seq_trip > 0 && !seq_stmts.is_empty() {
+        writeln!(s, "      #pragma acc loop seq\n      for (int k = 0; k < {seq_trip}; k++) {{")
+            .unwrap();
+        for st in seq_stmts {
+            render_stmt(st, true, &mut s);
+        }
+        s.push_str("      }\n");
+    }
+    s.push_str("    }\n  }\n}\n");
+    s
+}
+
+fn render_stmt(st: &GenStmt, in_seq: bool, out: &mut String) {
+    let GenStmt::Assign { to_b, compound, rhs } = st;
+    out.push_str("        ");
+    out.push_str(if *to_b { "b[i]" } else { "c[i]" });
+    out.push_str(if *compound { " += " } else { " = " });
+    rhs.render(in_seq, out);
+    out.push_str(";\n");
+}
+
+fn run_config(src: &str, cfg: &CompilerConfig, n: usize) -> (Vec<u32>, Vec<u32>) {
+    let p = compile(src, cfg).unwrap_or_else(|e| panic!("{}: {e}\n{src}", cfg.name));
+    let a: Vec<f32> = (0..n).map(|i| ((i * 7 + 3) % 23) as f32 * 0.25 - 2.0).collect();
+    let b: Vec<f32> = (0..n).map(|i| ((i * 5 + 1) % 17) as f32 * 0.5 - 3.0).collect();
+    let c: Vec<f32> = (0..n).map(|i| ((i * 11 + 4) % 13) as f32 * 0.75 - 4.0).collect();
+    let mut args = Args::new()
+        .i32("n", n as i32)
+        .f32("s0", 1.25)
+        .f32("s1", -0.5)
+        .array_f32("a", &a)
+        .array_f32("b", &b)
+        .array_f32("c", &c);
+    p.run("gen", &mut args, &DeviceConfig::k20xm())
+        .unwrap_or_else(|e| panic!("{}: {e}\n{src}", cfg.name));
+    // Compare as bit patterns so NaNs (possible under inf−inf) still
+    // compare meaningfully.
+    let bits = |name: &str| -> Vec<u32> {
+        args.array(name).unwrap().as_f32().iter().map(|v| v.to_bits()).collect()
+    };
+    (bits("b"), bits("c"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// All compiler configurations agree bit-for-bit on random kernels.
+    #[test]
+    fn all_profiles_agree(
+        par in prop::collection::vec(stmt_strategy(), 1..4),
+        seq in prop::collection::vec(stmt_strategy(), 0..4),
+        trip in 0u8..5,
+        small in any::<bool>(),
+    ) {
+        let src = render(&par, &seq, trip, small);
+        let n = 64usize;
+        let reference = run_config(&src, &CompilerConfig::base(), n);
+        for cfg in [
+            CompilerConfig::safara_clauses(),
+            CompilerConfig::safara_only(),
+            CompilerConfig::carr_kennedy(),
+            CompilerConfig::pgi_like(),
+            CompilerConfig::safara_no_feedback(),
+            CompilerConfig::safara_unroll(2),
+            CompilerConfig::safara_unroll(4),
+        ] {
+            let got = run_config(&src, &cfg, n);
+            prop_assert_eq!(
+                &got, &reference,
+                "{} diverged from base on:\n{}", cfg.name, src
+            );
+        }
+    }
+
+    /// The transformed source under SAFARA always re-parses and, when
+    /// re-compiled from text, still matches the baseline.
+    #[test]
+    fn transformed_source_is_stable(
+        par in prop::collection::vec(stmt_strategy(), 1..3),
+        seq in prop::collection::vec(stmt_strategy(), 1..3),
+        trip in 2u8..5,
+    ) {
+        let src = render(&par, &seq, trip, true);
+        let n = 64usize;
+        let reference = run_config(&src, &CompilerConfig::base(), n);
+        let p = compile(&src, &CompilerConfig::safara_clauses()).unwrap();
+        let txt = p.function("gen").unwrap().transformed_source();
+        // Recompile the *transformed* text with SR disabled: semantics
+        // must be unchanged (round-trip through the printer included).
+        let got = run_config(&txt, &CompilerConfig::base(), n);
+        prop_assert_eq!(&got, &reference, "reparsed transform diverged:\n{}", txt);
+    }
+}

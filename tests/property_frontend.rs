@@ -1,0 +1,195 @@
+//! Property tests of the front-end and the core analyses:
+//!
+//! * printer round-trips are fixed points (parse → print → parse → print);
+//! * `affine_of` recovers coefficients of randomly *constructed* affine
+//!   expressions exactly, and the affine form evaluates equal to the
+//!   expression at random points;
+//! * the GCD dependence test is sound (never reports "independent" when a
+//!   brute-force search finds a solution);
+//! * the lexer never panics on arbitrary ASCII input.
+
+use proptest::prelude::*;
+use safara_core::analysis::affine::{affine_of, AffineExpr};
+use safara_core::analysis::depend::{gcd, gcd_test};
+use safara_core::ir::printer::print_program;
+use safara_core::ir::{lexer, parse_program, BinOp, Expr, Ident, UnOp};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------- affine
+
+/// Build a random *known-affine* expression and its expected form.
+fn affine_pair() -> impl Strategy<Value = (Expr, AffineExpr)> {
+    // Terms over variables i, j, k with small coefficients plus constant.
+    (
+        -5i64..=5,
+        -5i64..=5,
+        -5i64..=5,
+        -20i64..=20,
+        prop::collection::vec(0usize..3, 0..4),
+    )
+        .prop_map(|(ci, cj, ck, c0, shuffle)| {
+            let vars = ["i", "j", "k"];
+            let coeffs = [ci, cj, ck];
+            let mut expr = Expr::IntLit(c0);
+            for (v, &c) in vars.iter().zip(&coeffs) {
+                // c * v, built a few different ways for syntactic variety.
+                let term = Expr::bin(BinOp::Mul, Expr::IntLit(c), Expr::var(*v));
+                expr = Expr::bin(BinOp::Add, expr, term);
+            }
+            // Extra no-op shuffles: add then subtract a variable.
+            for s in shuffle {
+                let v = Expr::var(vars[s]);
+                expr = Expr::bin(
+                    BinOp::Sub,
+                    Expr::bin(BinOp::Add, expr, v.clone()),
+                    v,
+                );
+            }
+            let mut want = AffineExpr::constant(c0);
+            for (v, &c) in vars.iter().zip(&coeffs) {
+                want = want.add(&AffineExpr::variable(Ident::new(*v)).scale(c));
+            }
+            (expr, want)
+        })
+}
+
+fn eval_expr(e: &Expr, env: &BTreeMap<&str, i64>) -> i64 {
+    match e {
+        Expr::IntLit(v) => *v,
+        Expr::Var(v) => env[v.as_str()],
+        Expr::Unary(UnOp::Neg, x) => -eval_expr(x, env),
+        Expr::Binary(BinOp::Add, l, r) => eval_expr(l, env) + eval_expr(r, env),
+        Expr::Binary(BinOp::Sub, l, r) => eval_expr(l, env) - eval_expr(r, env),
+        Expr::Binary(BinOp::Mul, l, r) => eval_expr(l, env) * eval_expr(r, env),
+        other => panic!("unexpected node {other:?}"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn affine_of_recovers_constructed_coefficients((expr, want) in affine_pair()) {
+        let got = affine_of(&expr);
+        prop_assert!(!got.nonaffine);
+        prop_assert_eq!(&got, &want, "expr: {:?}", expr);
+    }
+
+    #[test]
+    fn affine_form_evaluates_like_the_expression(
+        (expr, _) in affine_pair(),
+        i in -10i64..10, j in -10i64..10, k in -10i64..10,
+    ) {
+        let env: BTreeMap<&str, i64> = [("i", i), ("j", j), ("k", k)].into();
+        let form = affine_of(&expr);
+        let by_form: i64 = form.konst
+            + form.terms.iter().map(|(v, c)| c * env[v.as_str()]).sum::<i64>();
+        prop_assert_eq!(by_form, eval_expr(&expr, &env));
+    }
+
+    /// GCD-test soundness: if a brute-force search finds `a1·x + c1 ==
+    /// a2·y + c2`, the test must not have ruled a dependence out.
+    #[test]
+    fn gcd_test_is_sound(a1 in -6i64..=6, c1 in -30i64..=30, a2 in -6i64..=6, c2 in -30i64..=30) {
+        let mut found = false;
+        'outer: for x in -60..=60i64 {
+            for y in -60..=60i64 {
+                if a1 * x + c1 == a2 * y + c2 {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        if found {
+            prop_assert!(gcd_test(a1, c1, a2, c2), "missed dependence: {a1}x+{c1} == {a2}y+{c2}");
+        }
+    }
+
+    #[test]
+    fn gcd_agrees_with_euclid_properties(a in 0u64..1000, b in 0u64..1000) {
+        let g = gcd(a, b);
+        if a != 0 || b != 0 {
+            prop_assert!(g > 0);
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        } else {
+            prop_assert_eq!(g, 0);
+        }
+    }
+
+    /// The lexer terminates without panicking on arbitrary ASCII soup.
+    #[test]
+    fn lexer_never_panics(src in "[ -~\\n\\t]{0,200}") {
+        let _ = lexer::lex(&src);
+    }
+
+    /// The whole front-end (lex + parse + sema) returns `Err` rather than
+    /// panicking on arbitrary input.
+    #[test]
+    fn frontend_never_panics(src in "[ -~\\n\\t]{0,300}") {
+        let _ = parse_program(&src);
+    }
+
+    /// Mutated-but-plausible source: splice random punctuation into a
+    /// valid program; the front-end must still never panic.
+    #[test]
+    fn frontend_survives_mutations(pos in 0usize..200, punct in "[(){};:,+*-]{1,4}") {
+        let base = "void f(int n, float a[n]) {\n  #pragma acc kernels copy(a)\n  {\n    #pragma acc loop gang vector\n    for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }\n  }\n}\n";
+        let cut = pos.min(base.len());
+        // The base is ASCII, so any byte offset is a char boundary.
+        let mutated = format!("{}{}{}", &base[..cut], punct, &base[cut..]);
+        let _ = parse_program(&mutated);
+    }
+}
+
+// ------------------------------------------------------------- roundtrip
+
+/// Random-but-valid MiniACC programs for printer round-trips, built from
+/// string templates (statement bodies come from a tiny grammar).
+fn program_strategy() -> impl Strategy<Value = String> {
+    let expr = prop_oneof![
+        Just("a[i]".to_string()),
+        Just("a[i + 1]".to_string()),
+        Just("b[i]".to_string()),
+        Just("s0 * 2.0".to_string()),
+        Just("(a[i] - s1) / (s0 + 4.0)".to_string()),
+        Just("min(a[i], b[i]) + fabs(s1)".to_string()),
+        Just("(float) (i % 7)".to_string()),
+    ];
+    (
+        prop::collection::vec((any::<bool>(), expr), 1..5),
+        any::<bool>(),
+        1u8..4,
+    )
+        .prop_map(|(stmts, with_seq, trip)| {
+            let mut body = String::new();
+            for (to_b, e) in &stmts {
+                body.push_str(if *to_b { "        b[i] = " } else { "        b[i] += " });
+                body.push_str(e);
+                body.push_str(";\n");
+            }
+            let seq = if with_seq {
+                format!(
+                    "        #pragma acc loop seq\n        for (int k = 0; k < {trip}; k++) \
+                     {{ b[i] += a[i] * 0.5; }}\n"
+                )
+            } else {
+                String::new()
+            };
+            format!(
+                "void f(int n, float s0, float s1, const float a[n], float b[n]) {{\n\
+                 #pragma acc kernels copyin(a) copy(b) small(a, b)\n{{\n\
+                 #pragma acc loop gang vector\nfor (int i = 0; i < n - 2; i++) {{\n\
+                 {body}{seq}}}\n}}\n}}\n"
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn printer_roundtrip_is_fixed_point(src in program_strategy()) {
+        let p1 = parse_program(&src).expect("generated source parses");
+        let t1 = print_program(&p1);
+        let p2 = parse_program(&t1).expect("printed source parses");
+        let t2 = print_program(&p2);
+        prop_assert_eq!(t1, t2);
+    }
+}
