@@ -93,7 +93,7 @@ pub fn gcd_test(a1: i64, c1: i64, a2: i64, c2: i64) -> bool {
     if g == 0 {
         return c1 == c2;
     }
-    (c2 - c1).unsigned_abs() % g == 0
+    (c2 - c1).unsigned_abs().is_multiple_of(g)
 }
 
 /// Greatest common divisor.

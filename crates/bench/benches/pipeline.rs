@@ -1,37 +1,40 @@
-//! Criterion benchmarks of the compiler pipeline itself: front-end,
+//! Wall-clock benchmarks of the compiler pipeline itself: front-end,
 //! analyses, SAFARA (with feedback), code generation and register
 //! allocation — the compile-time cost of the paper's approach, per
 //! DESIGN.md's "compile-time cost of the passes" entry.
+//!
+//! Plain `std::time` harness (the workspace builds offline, so there is
+//! no criterion); gated behind the `heavy-tests` feature:
+//! `cargo bench -p safara-bench --features heavy-tests`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use safara_bench::harness::bench_fn;
 use safara_core::{compile, CompilerConfig};
 use safara_workloads::{spec_suite, Workload};
 use std::hint::black_box;
 
-fn bench_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compile");
-    g.sample_size(10);
+fn bench_compile() {
     for w in spec_suite() {
         if !["355.seismic", "356.sp", "303.ostencil"].contains(&w.name()) {
             continue;
         }
         let src = w.source();
-        g.bench_function(format!("{}/base", w.name()), |b| {
-            b.iter(|| compile(black_box(&src), &CompilerConfig::base()).unwrap())
+        bench_fn(&format!("compile/{}/base", w.name()), 10, || {
+            compile(black_box(&src), &CompilerConfig::base()).unwrap()
         });
-        g.bench_function(format!("{}/safara+clauses", w.name()), |b| {
-            b.iter(|| compile(black_box(&src), &CompilerConfig::safara_clauses()).unwrap())
+        bench_fn(&format!("compile/{}/safara+clauses", w.name()), 10, || {
+            compile(black_box(&src), &CompilerConfig::safara_clauses()).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_frontend(c: &mut Criterion) {
+fn bench_frontend() {
     let src = safara_workloads::spec::sp::SpecSp.source();
-    c.bench_function("frontend/parse_sp", |b| {
-        b.iter(|| safara_core::ir::parse_program(black_box(&src)).unwrap())
+    bench_fn("frontend/parse_sp", 50, || {
+        safara_core::ir::parse_program(black_box(&src)).unwrap()
     });
 }
 
-criterion_group!(benches, bench_compile, bench_frontend);
-criterion_main!(benches);
+fn main() {
+    bench_compile();
+    bench_frontend();
+}

@@ -1,16 +1,18 @@
-//! Criterion benchmarks of the GPU-simulator substrate: interpreter
+//! Wall-clock benchmarks of the GPU-simulator substrate: interpreter
 //! throughput, register allocation, and one end-to-end figure point per
 //! suite (the harness cost behind each figure binary).
+//!
+//! Plain `std::time` harness (the workspace builds offline, so there is
+//! no criterion); gated behind the `heavy-tests` feature:
+//! `cargo bench -p safara-bench --features heavy-tests`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use safara_bench::harness::bench_fn;
 use safara_core::gpusim::ptxas::allocate_registers;
 use safara_core::{compile, CompilerConfig, DeviceConfig};
 use safara_workloads::{run_workload, Scale, Workload};
 use std::hint::black_box;
 
-fn bench_execution(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate");
-    g.sample_size(10);
+fn bench_execution() {
     let dev = DeviceConfig::k20xm();
     // One representative workload per figure: fig7/9 (SPEC) and fig10/12
     // (NAS) execution points, at test scale so the suite stays quick.
@@ -20,28 +22,25 @@ fn bench_execution(c: &mut Criterion) {
         ("table2/356.sp", Box::new(safara_workloads::spec::sp::SpecSp)),
         ("fig10_fig12/BT", Box::new(safara_workloads::nas::bt::NasBt)),
     ] {
-        g.bench_function(format!("{label}/base"), |b| {
-            b.iter(|| run_workload(black_box(w.as_ref()), &CompilerConfig::base(), Scale::Test, &dev).unwrap())
+        bench_fn(&format!("simulate/{label}/base"), 10, || {
+            run_workload(black_box(w.as_ref()), &CompilerConfig::base(), Scale::Test, &dev).unwrap()
         });
-        g.bench_function(format!("{label}/safara"), |b| {
-            b.iter(|| {
-                run_workload(black_box(w.as_ref()), &CompilerConfig::safara_small(), Scale::Test, &dev)
-                    .unwrap()
-            })
+        bench_fn(&format!("simulate/{label}/safara"), 10, || {
+            run_workload(black_box(w.as_ref()), &CompilerConfig::safara_small(), Scale::Test, &dev)
+                .unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_ptxas(c: &mut Criterion) {
+fn bench_ptxas() {
     let src = safara_workloads::spec::sp::SpecSp.source();
     let p = compile(&src, &CompilerConfig::base()).unwrap();
     let f = p.function("sp_step").unwrap();
     let vir = &f.kernels[7].kernel.vir; // HOT8, the largest kernel
-    c.bench_function("ptxas/allocate_hot8", |b| {
-        b.iter(|| allocate_registers(black_box(vir), 255))
-    });
+    bench_fn("ptxas/allocate_hot8", 50, || allocate_registers(black_box(vir), 255));
 }
 
-criterion_group!(benches, bench_execution, bench_ptxas);
-criterion_main!(benches);
+fn main() {
+    bench_execution();
+    bench_ptxas();
+}

@@ -1,0 +1,112 @@
+//! Wall-clock benchmark of the simulator engines on the fig7 SPEC suite
+//! (workloads × {base, SAFARA-only} at `Scale::Bench`), writing
+//! `BENCH_sim.json`.
+//!
+//! Four configurations are timed:
+//!
+//! 1. `seed_reference_serial` — the pre-decoded-engine baseline: the
+//!    reference tree-walking interpreter, one cell at a time,
+//! 2. `decoded_serial` — the flat-opcode decoded engine, serial,
+//! 3. `decoded_memoized_cold` — decoded engine + launch memoization
+//!    starting from an empty cache (pays hashing + recording),
+//! 4. `decoded_memoized_warm` — the same run again with the populated
+//!    cache: every launch replays, no simulation at all.
+//!
+//! Between every pair of configurations the outputs are checked to be
+//! identical (each workload's `check` validates results, and stats feed
+//! the same figure pipeline), so the speedups below are for
+//! *stats-identical* runs. The parallel `measure()` path is timed last;
+//! on single-core machines it falls back to serial and reports ~1×.
+//!
+//! Usage: `cargo run --release --bin bench_wallclock [cache-file]`
+//! (default cache file: `target/bench_launch_cache.bin`; delete it to
+//! re-measure cold).
+
+use safara_bench::measure;
+use safara_core::gpusim::interp::set_reference_engine;
+use safara_core::{CompilerConfig, DeviceConfig, LaunchCache};
+use safara_workloads::{run_workload, run_workload_cached, spec_suite, Scale};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn time_suite(f: &mut dyn FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let cache_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/bench_launch_cache.bin".to_string());
+    let configs = [CompilerConfig::base(), CompilerConfig::safara_only()];
+    let suite = spec_suite();
+    let dev = DeviceConfig::k20xm();
+
+    let serial = |cached: Option<&mut LaunchCache>| {
+        let mut cache = cached;
+        for w in &suite {
+            for cfg in &configs {
+                match cache.as_deref_mut() {
+                    Some(c) => run_workload_cached(w.as_ref(), cfg, Scale::Bench, &dev, c),
+                    None => run_workload(w.as_ref(), cfg, Scale::Bench, &dev),
+                }
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name(), cfg.name));
+            }
+        }
+    };
+
+    eprintln!("[1/5] seed reference interpreter, serial…");
+    set_reference_engine(true);
+    let t_seed = time_suite(&mut || serial(None));
+    set_reference_engine(false);
+
+    eprintln!("[2/5] decoded engine, serial…");
+    let t_decoded = time_suite(&mut || serial(None));
+
+    eprintln!("[3/5] decoded + memoization, cold cache…");
+    let _ = std::fs::remove_file(&cache_path);
+    let mut cache = LaunchCache::with_disk(&cache_path);
+    let t_cold = time_suite(&mut || serial(Some(&mut cache)));
+    let (cold_hits, cold_misses) = (cache.hits, cache.misses);
+    cache.save().expect("save launch cache");
+
+    eprintln!("[4/5] decoded + memoization, warm cache…");
+    let mut cache = LaunchCache::with_disk(&cache_path);
+    let t_warm = time_suite(&mut || serial(Some(&mut cache)));
+    let (warm_hits, warm_misses) = (cache.hits, cache.misses);
+
+    eprintln!("[5/5] parallel measure()…");
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let t_parallel = time_suite(&mut || {
+        let _ = measure(&suite, &configs, Scale::Bench);
+    });
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"fig7 SPEC suite, workloads x [base, safara_only], Scale::Bench\",");
+    let _ = writeln!(json, "  \"workloads\": {},", suite.len());
+    let _ = writeln!(json, "  \"threads_available\": {threads},");
+    let _ = writeln!(json, "  \"seconds\": {{");
+    let _ = writeln!(json, "    \"seed_reference_serial\": {t_seed:.3},");
+    let _ = writeln!(json, "    \"decoded_serial\": {t_decoded:.3},");
+    let _ = writeln!(json, "    \"decoded_memoized_cold\": {t_cold:.3},");
+    let _ = writeln!(json, "    \"decoded_memoized_warm\": {t_warm:.3},");
+    let _ = writeln!(json, "    \"parallel_measure\": {t_parallel:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"speedup_vs_seed\": {{");
+    let _ = writeln!(json, "    \"decoded_serial\": {:.2},", t_seed / t_decoded);
+    let _ = writeln!(json, "    \"decoded_memoized_cold\": {:.2},", t_seed / t_cold);
+    let _ = writeln!(json, "    \"decoded_memoized_warm\": {:.2},", t_seed / t_warm);
+    let _ = writeln!(json, "    \"parallel_measure\": {:.2}", t_seed / t_parallel);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"cache\": {{ \"cold_hits\": {cold_hits}, \"cold_misses\": {cold_misses}, \"warm_hits\": {warm_hits}, \"warm_misses\": {warm_misses} }}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_sim.json");
+}

@@ -40,7 +40,76 @@ pub struct Measurement {
 /// Run `workloads` under every configuration; panics (with the workload
 /// and configuration named) if any run fails validation — figures are only
 /// produced from verified-correct executions.
+///
+/// The workload × configuration matrix runs in parallel: every cell is an
+/// independent compile + simulate + validate with its own `DeviceMemory`,
+/// so cells are spread over `std::thread::scope` threads and joined back
+/// in input order. The output is deterministic and identical to
+/// [`measure_serial`] regardless of thread count or scheduling.
 pub fn measure(
+    workloads: &[Box<dyn Workload>],
+    configs: &[CompilerConfig],
+    scale: Scale,
+) -> Vec<Measurement> {
+    let dev = DeviceConfig::k20xm();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if threads <= 1 || workloads.len() * configs.len() <= 1 {
+        return measure_serial(workloads, configs, scale);
+    }
+    // One scoped thread per matrix cell, throttled by chunking: cell
+    // (i, k) lands at flat index i * ncols + k, and each thread walks a
+    // strided slice of the flat index space. Results are written into a
+    // preallocated slot table, so join order cannot reorder them.
+    let ncols = configs.len();
+    let ncells = workloads.len() * ncols;
+    let nthreads = threads.min(ncells);
+    let mut cells: Vec<Option<f64>> = vec![None; ncells];
+    let panicked = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(nthreads);
+        // Strided assignment: thread t owns flat indices t, t+n, t+2n, …
+        // so long-running workloads spread across threads.
+        let mut slots: Vec<Vec<(usize, &mut Option<f64>)>> =
+            (0..nthreads).map(|_| Vec::new()).collect();
+        for (flat, slot) in cells.iter_mut().enumerate() {
+            slots[flat % nthreads].push((flat, slot));
+        }
+        for thread_slots in slots {
+            let dev = &dev;
+            handles.push(s.spawn(move || {
+                for (flat, slot) in thread_slots {
+                    let w = &workloads[flat / ncols];
+                    let cfg = &configs[flat % ncols];
+                    let (report, _) = run_workload(w.as_ref(), cfg, scale, dev)
+                        .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name(), cfg.name));
+                    *slot = Some(report.total_cycles());
+                }
+            }));
+        }
+        let mut panicked = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                panicked.get_or_insert(p);
+            }
+        }
+        panicked
+    });
+    if let Some(p) = panicked {
+        std::panic::resume_unwind(p);
+    }
+    workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| Measurement {
+            workload: w.name(),
+            cycles: (0..ncols).map(|k| cells[i * ncols + k].expect("cell computed")).collect(),
+        })
+        .collect()
+}
+
+/// The sequential reference implementation of [`measure`]: one cell at a
+/// time in row-major input order. Used for determinism A/B tests and as
+/// the fallback on single-core machines.
+pub fn measure_serial(
     workloads: &[Box<dyn Workload>],
     configs: &[CompilerConfig],
     scale: Scale,
@@ -66,6 +135,9 @@ pub fn measure(
 /// (baseline = first configuration), plus a geometric-mean "average" row
 /// — the shape of the paper's Figs. 7, 9 and 10.
 pub fn speedup_table(headers: &[&str], rows: &[Measurement]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
     let mut s = String::new();
     write!(s, "{:<16}", "benchmark").unwrap();
     for h in &headers[1..] {
@@ -76,9 +148,9 @@ pub fn speedup_table(headers: &[&str], rows: &[Measurement]) -> String {
     let mut geo = vec![0.0f64; ncols];
     for m in rows {
         write!(s, "{:<16}", m.workload).unwrap();
-        for k in 0..ncols {
-            let sp = m.cycles[0] / m.cycles[k + 1];
-            geo[k] += sp.ln();
+        for (g, c) in geo.iter_mut().zip(&m.cycles[1..]) {
+            let sp = m.cycles[0] / c;
+            *g += sp.ln();
             write!(s, "{sp:>24.3}").unwrap();
         }
         s.push('\n');
@@ -116,6 +188,9 @@ pub fn normalized_table(headers: &[&str], rows: &[Measurement]) -> String {
 /// Geometric-mean speedup of column `k` (vs column 0) across rows —
 /// convenience for EXPERIMENTS.md reporting and for tests.
 pub fn geomean_speedup(rows: &[Measurement], k: usize) -> f64 {
+    if rows.is_empty() {
+        return 1.0;
+    }
     let sum: f64 = rows.iter().map(|m| (m.cycles[0] / m.cycles[k]).ln()).sum();
     (sum / rows.len() as f64).exp()
 }
@@ -127,6 +202,27 @@ pub fn best_speedup(rows: &[Measurement], k: usize) -> (f64, &'static str) {
         .map(|m| (m.cycles[0] / m.cycles[k], m.workload))
         .max_by(|a, b| a.0.total_cmp(&b.0))
         .unwrap_or((1.0, "-"))
+}
+
+/// A minimal wall-clock micro-bench harness (criterion replacement for
+/// the offline build): warm up once, time `iters` iterations, print the
+/// mean per-iteration time.
+pub mod harness {
+    use std::time::Instant;
+
+    /// Time `f` over `iters` iterations (after one warm-up call) and
+    /// print `name: <mean>/iter`. Returns the mean seconds per iteration.
+    pub fn bench_fn<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+        assert!(iters > 0);
+        std::hint::black_box(f());
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / iters as f64;
+        println!("{name}: {:.3} ms/iter ({iters} iters)", per_iter * 1e3);
+        per_iter
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +251,13 @@ mod tests {
         let (s, w) = best_speedup(&rows(), 2);
         assert_eq!(w, "a");
         assert!((s - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        assert_eq!(speedup_table(&["base", "opt"], &[]), "");
+        assert_eq!(geomean_speedup(&[], 1), 1.0);
+        assert_eq!(best_speedup(&[], 1), (1.0, "-"));
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! The parallel `measure()` must be bit-for-bit identical to the serial
+//! reference: same rows, same order, same cycle values, regardless of
+//! thread count or scheduling.
+
+use safara_bench::{measure, measure_serial};
+use safara_core::CompilerConfig;
+use safara_workloads::{Scale, Workload};
+
+fn suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(safara_workloads::spec::ep::SpecEp),
+        Box::new(safara_workloads::spec::ostencil::OStencil),
+        Box::new(safara_workloads::nas::bt::NasBt),
+    ]
+}
+
+#[test]
+fn parallel_measure_matches_serial_bitwise() {
+    let configs = [CompilerConfig::base(), CompilerConfig::safara_only()];
+    let par = measure(&suite(), &configs, Scale::Test);
+    let ser = measure_serial(&suite(), &configs, Scale::Test);
+    assert_eq!(par.len(), ser.len());
+    for (p, s) in par.iter().zip(&ser) {
+        assert_eq!(p.workload, s.workload, "row order must be input order");
+        assert_eq!(p.cycles.len(), s.cycles.len());
+        for (a, b) in p.cycles.iter().zip(&s.cycles) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{}: {a} != {b}", p.workload);
+        }
+    }
+}

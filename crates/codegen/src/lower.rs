@@ -1111,8 +1111,7 @@ mod tests {
 
     #[test]
     fn readonly_disabled_uses_global() {
-        let mut opts = CodegenOptions::default();
-        opts.use_readonly_cache = false;
+        let opts = CodegenOptions { use_readonly_cache: false, ..Default::default() };
         let ks = compile(AXPY, &opts);
         assert!(ks[0]
             .vir
@@ -1182,8 +1181,7 @@ mod tests {
     #[test]
     fn dim_clause_reduces_param_count_and_instructions() {
         let with = compile(SMALL3D, &CodegenOptions::default());
-        let mut no_dim = CodegenOptions::default();
-        no_dim.honor_dim = false;
+        let no_dim = CodegenOptions { honor_dim: false, ..Default::default() };
         let without = compile(SMALL3D, &no_dim);
         // Shared dope params: the grouped arrays contribute one extent set.
         let dope_params = |k: &CompiledKernel| {
@@ -1210,8 +1208,7 @@ mod tests {
     #[test]
     fn cse_collapses_repeated_loads_of_dope() {
         // Without CSE the same offset math is emitted per reference.
-        let mut no_cse = CodegenOptions::default();
-        no_cse.local_cse = false;
+        let no_cse = CodegenOptions { local_cse: false, ..Default::default() };
         let with = compile(SMALL3D, &CodegenOptions::default());
         let without = compile(SMALL3D, &no_cse);
         assert!(with[0].vir.insts.len() < without[0].vir.insts.len());

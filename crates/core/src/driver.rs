@@ -8,7 +8,7 @@ use safara_ir::printer::print_function;
 use safara_ir::{parse_program, Function, Stmt};
 use safara_opt::transform::TempNamer;
 use safara_opt::{carr_kennedy_pass, safara_pass, SrOutcome};
-use safara_runtime::{run_function, Args, RunReport, RuntimeError};
+use safara_runtime::{run_function, run_function_cached, Args, LaunchCache, RunReport, RuntimeError};
 use std::fmt;
 
 /// Driver errors.
@@ -110,6 +110,20 @@ impl CompiledProgram {
         let compiled: Vec<(CompiledKernel, RegAllocReport)> =
             f.kernels.iter().map(|k| (k.kernel.clone(), k.alloc.clone())).collect();
         Ok(run_function(dev, &f.transformed, &compiled, args)?)
+    }
+
+    /// [`CompiledProgram::run`] with launch memoization through `cache`.
+    pub fn run_cached(
+        &self,
+        name: &str,
+        args: &mut Args,
+        dev: &DeviceConfig,
+        cache: &mut LaunchCache,
+    ) -> Result<RunReport, CoreError> {
+        let f = self.function(name)?;
+        let compiled: Vec<(CompiledKernel, RegAllocReport)> =
+            f.kernels.iter().map(|k| (k.kernel.clone(), k.alloc.clone())).collect();
+        Ok(run_function_cached(dev, &f.transformed, &compiled, args, Some(cache))?)
     }
 }
 

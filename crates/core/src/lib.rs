@@ -63,5 +63,7 @@ pub use safara_opt as opt;
 pub use safara_runtime as runtime;
 
 pub use safara_gpusim::device::DeviceConfig;
+pub use safara_gpusim::memo::LaunchCache;
+pub use safara_gpusim::rng::SplitMix64;
 pub use safara_gpusim::timing::TimingBreakdown;
 pub use safara_runtime::{Args, RunReport};

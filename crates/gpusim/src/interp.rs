@@ -12,6 +12,7 @@ use crate::memory::{DeviceMemory, MemFault};
 use crate::stats::KernelStats;
 use crate::vir::*;
 use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Kernel launch geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,35 +103,35 @@ impl From<MemFault> for SimError {
 }
 
 /// Per-thread dynamic instruction budget (runaway guard).
-const MAX_INSTS_PER_THREAD: u64 = 50_000_000;
+pub(crate) const MAX_INSTS_PER_THREAD: u64 = 50_000_000;
 
 /// One logged memory event of a lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct MemEvent {
-    inst: u32,
-    addr: u64,
-    bytes: u8,
-    space_store: u8, // space in low 4 bits, is_store in bit 4, atomic bit 5
+pub(crate) struct MemEvent {
+    pub(crate) inst: u32,
+    pub(crate) addr: u64,
+    pub(crate) bytes: u8,
+    pub(crate) space_store: u8, // space in low 4 bits, is_store in bit 4, atomic bit 5
 }
 
-const SPACE_GLOBAL: u8 = 0;
-const SPACE_READONLY: u8 = 1;
-const SPACE_LOCAL: u8 = 2;
-const FLAG_STORE: u8 = 0x10;
-const FLAG_ATOMIC: u8 = 0x20;
+pub(crate) const SPACE_GLOBAL: u8 = 0;
+pub(crate) const SPACE_READONLY: u8 = 1;
+pub(crate) const SPACE_LOCAL: u8 = 2;
+pub(crate) const FLAG_STORE: u8 = 0x10;
+pub(crate) const FLAG_ATOMIC: u8 = 0x20;
 
 /// Per-lane instruction-class counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct LaneCounts {
-    simple: u64,
-    int64: u64,
-    fp64: u64,
-    sfu: u64,
-    spill_touches: u64,
+pub(crate) struct LaneCounts {
+    pub(crate) simple: u64,
+    pub(crate) int64: u64,
+    pub(crate) fp64: u64,
+    pub(crate) sfu: u64,
+    pub(crate) spill_touches: u64,
 }
 
 impl LaneCounts {
-    fn max_with(&mut self, o: &LaneCounts) {
+    pub(crate) fn max_with(&mut self, o: &LaneCounts) {
         self.simple = self.simple.max(o.simple);
         self.int64 = self.int64.max(o.int64);
         self.fp64 = self.fp64.max(o.fp64);
@@ -139,13 +140,63 @@ impl LaneCounts {
     }
 }
 
+/// When set, [`launch`] routes through the original lane-at-a-time
+/// reference interpreter instead of the decoded engine. The two are
+/// stats- and memory-identical (asserted by differential tests); the
+/// flag exists so benchmarks can time one against the other and so any
+/// future regression can be bisected to an engine.
+static REFERENCE_ENGINE: AtomicBool = AtomicBool::new(false);
+
+/// Select the execution engine for subsequent [`launch`] calls:
+/// `true` = the original (reference) interpreter, `false` (default) =
+/// the pre-decoded direct-threaded engine.
+pub fn set_reference_engine(on: bool) {
+    REFERENCE_ENGINE.store(on, Ordering::Relaxed);
+}
+
+/// Is the reference engine currently selected? On first call the
+/// default is taken from the `SAFARA_REFERENCE_ENGINE` environment
+/// variable (`1` / `true` selects the reference interpreter), so every
+/// binary in the workspace can be A/B-timed without code changes.
+pub fn reference_engine_enabled() -> bool {
+    static ENV_INIT: std::sync::Once = std::sync::Once::new();
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("SAFARA_REFERENCE_ENGINE") {
+            if v == "1" || v.eq_ignore_ascii_case("true") {
+                REFERENCE_ENGINE.store(true, Ordering::Relaxed);
+            }
+        }
+    });
+    REFERENCE_ENGINE.load(Ordering::Relaxed)
+}
+
 /// Execute a kernel launch.
 ///
 /// `spilled` lists virtual registers the register allocator spilled; the
 /// interpreter still keeps their values in the (unlimited) virtual file
 /// for functional correctness but counts their touches as local-memory
 /// traffic, mirroring what PTXAS-inserted reload/spill code would do.
+///
+/// Dispatches to the pre-decoded engine ([`crate::decode`]) unless the
+/// reference engine was selected via [`set_reference_engine`].
 pub fn launch(
+    kernel: &KernelVir,
+    config: &LaunchConfig,
+    params: &[ParamVal],
+    mem: &mut DeviceMemory,
+    spilled: &[VReg],
+) -> Result<LaunchResult, SimError> {
+    if reference_engine_enabled() {
+        launch_reference(kernel, config, params, mem, spilled)
+    } else {
+        crate::decode::launch_decoded(kernel, config, params, mem, spilled)
+    }
+}
+
+/// The original lane-at-a-time interpreter, retained verbatim as the
+/// reference semantics the decoded engine is differentially tested
+/// against (and as the baseline for wall-clock comparisons).
+pub fn launch_reference(
     kernel: &KernelVir,
     config: &LaunchConfig,
     params: &[ParamVal],
@@ -257,7 +308,13 @@ fn merge_warp(logs: &[Vec<MemEvent>], counts: &[LaneCounts], stats: &mut KernelS
         return;
     }
 
-    // Divergent path: align by (inst, per-inst occurrence).
+    merge_divergent(logs, stats);
+}
+
+/// Divergent-warp merge: align the lanes' logs by (inst, per-inst
+/// occurrence) and account each group. Shared with the decoded engine's
+/// fallback path so both engines group identically.
+pub(crate) fn merge_divergent(logs: &[Vec<MemEvent>], stats: &mut KernelStats) {
     let mut groups: BTreeMap<(u32, u32), (MemEvent, Vec<u64>)> = BTreeMap::new();
     for log in logs {
         let mut occ: BTreeMap<u32, u32> = BTreeMap::new();
@@ -275,7 +332,18 @@ fn merge_warp(logs: &[Vec<MemEvent>], counts: &[LaneCounts], stats: &mut KernelS
 
 /// Account one warp-level access group: compute 128-byte transactions
 /// from the participating addresses.
-fn account_group(ev: MemEvent, addrs: &[u64], stats: &mut KernelStats) {
+pub(crate) fn account_group(ev: MemEvent, addrs: &[u64], stats: &mut KernelStats) {
+    account_group_with(ev, addrs, &mut Vec::new(), stats)
+}
+
+/// [`account_group`] with a caller-provided segment scratch buffer, so
+/// hot merge loops don't allocate per group.
+pub(crate) fn account_group_with(
+    ev: MemEvent,
+    addrs: &[u64],
+    segs: &mut Vec<u64>,
+    stats: &mut KernelStats,
+) {
     let space = ev.space_store & 0x0F;
     let is_store = ev.space_store & FLAG_STORE != 0;
     let is_atomic = ev.space_store & FLAG_ATOMIC != 0;
@@ -289,18 +357,33 @@ fn account_group(ev: MemEvent, addrs: &[u64], stats: &mut KernelStats) {
             stats.local_accesses += 1;
         }
         _ => {
-            let mut segs: Vec<u64> = addrs
-                .iter()
-                .flat_map(|&a| {
-                    // An access can straddle a segment boundary.
-                    let first = a / 128;
-                    let last = (a + ev.bytes as u64 - 1) / 128;
-                    [first, last]
-                })
-                .collect();
-            segs.sort_unstable();
-            segs.dedup();
-            let txns = segs.len() as u64;
+            segs.clear();
+            let mut sorted = true;
+            let mut prev = 0u64;
+            for &a in addrs {
+                // An access can straddle a segment boundary.
+                let first = a / 128;
+                let last = (a + ev.bytes as u64 - 1) / 128;
+                sorted &= first >= prev;
+                prev = last;
+                segs.push(first);
+                segs.push(last);
+            }
+            // Coalesced accesses arrive in ascending order; count their
+            // distinct segments in one pass and only sort otherwise.
+            let txns = if sorted {
+                let mut n = 0u64;
+                let mut prev = u64::MAX;
+                for &s in segs.iter() {
+                    n += u64::from(s != prev);
+                    prev = s;
+                }
+                n
+            } else {
+                segs.sort_unstable();
+                segs.dedup();
+                segs.len() as u64
+            };
             if space == SPACE_READONLY {
                 stats.readonly_requests += 1;
                 stats.readonly_transactions += txns;
@@ -373,13 +456,7 @@ fn run_lane(
             Inst::Neg { ty, d, a } => {
                 count_class(counts, *ty);
                 let x = val!(a, *ty);
-                regs[d.0 as usize] = match ty {
-                    VType::B32 => (-(x as u32 as i32)) as u32 as u64,
-                    VType::B64 => (-(x as i64)) as u64,
-                    VType::F32 => (-f32::from_bits(x as u32)).to_bits() as u64,
-                    VType::F64 => (-f64::from_bits(x)).to_bits(),
-                    VType::Pred => u64::from(x == 0),
-                };
+                regs[d.0 as usize] = neg(*ty, x);
             }
             Inst::Not { d, a } => {
                 counts.simple += 1;
@@ -470,14 +547,7 @@ fn run_lane(
                 let bytes = ty.size_bytes();
                 let old = mem.read(ad, bytes)?;
                 let add = val!(a, *ty);
-                let new = match ty {
-                    VType::F32 => (f32::from_bits(old as u32) + f32::from_bits(add as u32))
-                        .to_bits() as u64,
-                    VType::F64 => (f64::from_bits(old) + f64::from_bits(add)).to_bits(),
-                    VType::B32 => ((old as u32).wrapping_add(add as u32)) as u64,
-                    _ => old.wrapping_add(add),
-                };
-                mem.write(ad, bytes, new)?;
+                mem.write(ad, bytes, atom_add(*ty, old, add))?;
                 log.push(MemEvent {
                     inst: pc as u32,
                     addr: ad,
@@ -492,7 +562,28 @@ fn run_lane(
     Ok(())
 }
 
-fn space_code(s: MemSpace) -> u8 {
+#[inline(always)]
+pub(crate) fn neg(ty: VType, x: u64) -> u64 {
+    match ty {
+        VType::B32 => (-(x as u32 as i32)) as u32 as u64,
+        VType::B64 => (-(x as i64)) as u64,
+        VType::F32 => (-f32::from_bits(x as u32)).to_bits() as u64,
+        VType::F64 => (-f64::from_bits(x)).to_bits(),
+        VType::Pred => u64::from(x == 0),
+    }
+}
+
+#[inline(always)]
+pub(crate) fn atom_add(ty: VType, old: u64, add: u64) -> u64 {
+    match ty {
+        VType::F32 => (f32::from_bits(old as u32) + f32::from_bits(add as u32)).to_bits() as u64,
+        VType::F64 => (f64::from_bits(old) + f64::from_bits(add)).to_bits(),
+        VType::B32 => ((old as u32).wrapping_add(add as u32)) as u64,
+        _ => old.wrapping_add(add),
+    }
+}
+
+pub(crate) fn space_code(s: MemSpace) -> u8 {
     match s {
         MemSpace::Global => SPACE_GLOBAL,
         MemSpace::ReadOnly => SPACE_READONLY,
@@ -500,7 +591,7 @@ fn space_code(s: MemSpace) -> u8 {
     }
 }
 
-fn count_class(c: &mut LaneCounts, ty: VType) {
+pub(crate) fn count_class(c: &mut LaneCounts, ty: VType) {
     match ty {
         VType::B64 => c.int64 += 1,
         VType::F64 => c.fp64 += 1,
@@ -508,7 +599,7 @@ fn count_class(c: &mut LaneCounts, ty: VType) {
     }
 }
 
-fn operand_bits(op: &Operand, regs: &[u64], ty: VType) -> u64 {
+pub(crate) fn operand_bits(op: &Operand, regs: &[u64], ty: VType) -> u64 {
     match op {
         Operand::Reg(r) => regs[r.0 as usize],
         Operand::ImmI(v) => match ty {
@@ -524,7 +615,7 @@ fn operand_bits(op: &Operand, regs: &[u64], ty: VType) -> u64 {
     }
 }
 
-fn param_bits(p: &ParamVal, ty: VType) -> Result<u64, SimError> {
+pub(crate) fn param_bits(p: &ParamVal, ty: VType) -> Result<u64, SimError> {
     Ok(match (p, ty) {
         (ParamVal::I32(v), VType::B32) => *v as u32 as u64,
         (ParamVal::I32(v), VType::B64) => *v as i64 as u64,
@@ -538,7 +629,8 @@ fn param_bits(p: &ParamVal, ty: VType) -> Result<u64, SimError> {
     })
 }
 
-fn alu(op: AluOp, ty: VType, x: u64, y: u64) -> u64 {
+#[inline(always)]
+pub(crate) fn alu(op: AluOp, ty: VType, x: u64, y: u64) -> u64 {
     match ty {
         VType::F32 => {
             let (a, b) = (f32::from_bits(x as u32), f32::from_bits(y as u32));
@@ -642,7 +734,8 @@ fn int_alu64(op: AluOp, x: u64, y: u64) -> u64 {
     }) as u64
 }
 
-fn compare(op: CmpOp, ty: VType, x: u64, y: u64) -> bool {
+#[inline(always)]
+pub(crate) fn compare(op: CmpOp, ty: VType, x: u64, y: u64) -> bool {
     match ty {
         VType::F32 => {
             let (a, b) = (f32::from_bits(x as u32), f32::from_bits(y as u32));
@@ -676,7 +769,8 @@ fn cmp_i(op: CmpOp, a: i64, b: i64) -> bool {
     }
 }
 
-fn math(op: MathOp, ty: VType, x: u64, y: Option<u64>) -> u64 {
+#[inline]
+pub(crate) fn math(op: MathOp, ty: VType, x: u64, y: Option<u64>) -> u64 {
     match ty {
         VType::F32 => {
             let a = f32::from_bits(x as u32);
@@ -709,7 +803,8 @@ fn math(op: MathOp, ty: VType, x: u64, y: Option<u64>) -> u64 {
     }
 }
 
-fn convert(aty: VType, dty: VType, x: u64) -> u64 {
+#[inline(always)]
+pub(crate) fn convert(aty: VType, dty: VType, x: u64) -> u64 {
     // Normalize the source to a canonical value first.
     #[derive(Clone, Copy)]
     enum V {

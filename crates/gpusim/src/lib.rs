@@ -25,19 +25,24 @@
 //!   latency table from the device model, standing in for the Wong et al.
 //!   microbenchmarks the paper's cost model cites.
 
+pub(crate) mod decode;
 pub mod device;
 pub mod interp;
+pub mod memo;
 pub mod memory;
 pub mod microbench;
 pub mod ptxas;
+pub mod rng;
 pub mod stats;
 pub mod timing;
 pub mod vir;
 
 pub use device::{DeviceConfig, Occupancy};
 pub use interp::{launch, LaunchConfig, LaunchResult};
+pub use memo::{launch_cached, LaunchCache};
 pub use memory::{BufferId, DeviceMemory};
 pub use ptxas::{allocate_registers, RegAllocReport};
+pub use rng::SplitMix64;
 pub use stats::KernelStats;
 pub use timing::{estimate_time, TimingBreakdown};
 pub use vir::{Inst, KernelVir, VReg, VType};

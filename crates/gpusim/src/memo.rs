@@ -1,0 +1,435 @@
+//! Content-hash launch memoization.
+//!
+//! A kernel launch is a pure function of (VIR, spill set, launch
+//! configuration, parameter values, input buffer contents): the
+//! interpreter has no hidden state and no randomness. That makes every
+//! launch memoizable by *content* — the cache key is a hash of exactly
+//! the inputs the interpreter reads, so a cached entry can never go
+//! stale: change anything the simulation depends on and the key changes
+//! with it.
+//!
+//! On a cache hit [`launch_cached`] replays the launch without running
+//! the interpreter: it restores the recorded post-launch contents of
+//! every buffer the kernel mutated and returns the recorded
+//! [`KernelStats`] — byte-for-byte and count-for-count identical to
+//! re-executing.
+//!
+//! The cache is in-memory by default; [`LaunchCache::with_disk`] adds a
+//! persistent backing file so repeated benchmark runs skip simulation
+//! entirely (the "warm" numbers in `BENCH_sim.json`). The on-disk format
+//! is a private little-endian serialization; a missing or unparseable
+//! file simply starts the cache empty.
+
+use crate::interp::{launch, LaunchConfig, LaunchResult, ParamVal, SimError};
+use crate::memory::DeviceMemory;
+use crate::stats::KernelStats;
+use crate::vir::{KernelVir, VReg};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// 64-bit FNV-1a processed 8 bytes at a time with a final avalanche.
+///
+/// Word-at-a-time FNV is not cryptographic, but the keyspace here is a
+/// handful of launches per benchmark run; what matters is speed over
+/// multi-megabyte input buffers and stability across runs (no
+/// `DefaultHasher` random seed).
+struct ContentHash(u64);
+
+impl ContentHash {
+    fn new() -> Self {
+        ContentHash(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.0 = (self.0 ^ w).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(8);
+        for c in &mut chunks {
+            self.word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let mut tail = 0u64;
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            tail |= (b as u64) << (8 * i);
+        }
+        self.word(tail ^ (data.len() as u64) << 56);
+    }
+
+    fn finish(mut self) -> u64 {
+        // xorshift-multiply avalanche so nearby inputs spread.
+        self.0 ^= self.0 >> 33;
+        self.0 = self.0.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        self.0 ^= self.0 >> 33;
+        self.0
+    }
+}
+
+/// Compute the content key for one launch.
+///
+/// Hashes the kernel body (via its `Debug` form, which covers every
+/// instruction, operand, and type), the spill set, the launch geometry,
+/// the parameter values, and the full contents of device memory. The
+/// `Debug` detour costs microseconds per launch; the buffer bytes
+/// dominate and go through the word-at-a-time path.
+pub fn launch_key(
+    kernel: &KernelVir,
+    config: &LaunchConfig,
+    params: &[ParamVal],
+    mem: &DeviceMemory,
+    spilled: &[VReg],
+) -> u64 {
+    let mut h = ContentHash::new();
+    h.bytes(format!("{kernel:?}").as_bytes());
+    h.bytes(format!("{spilled:?}").as_bytes());
+    h.bytes(format!("{config:?}").as_bytes());
+    h.bytes(format!("{params:?}").as_bytes());
+    h.word(mem.buffer_count() as u64);
+    for i in 0..mem.buffer_count() {
+        let buf = mem.buffer_bytes(i);
+        h.word(buf.len() as u64);
+        h.bytes(buf);
+    }
+    h.finish()
+}
+
+/// Recorded outcome of one launch: the stats plus the post-launch
+/// contents of every buffer the kernel wrote.
+#[derive(Debug, Clone, PartialEq)]
+struct CachedLaunch {
+    stats: KernelStats,
+    /// `(buffer index, full post-launch contents)` per mutated buffer.
+    writes: Vec<(u32, Vec<u8>)>,
+}
+
+/// Memoization cache for kernel launches, optionally disk-backed.
+#[derive(Debug, Default)]
+pub struct LaunchCache {
+    entries: HashMap<u64, CachedLaunch>,
+    disk: Option<PathBuf>,
+    dirty: bool,
+    /// Launches answered from the cache.
+    pub hits: u64,
+    /// Launches that ran the interpreter (and populated the cache).
+    pub misses: u64,
+}
+
+const MAGIC: &[u8] = b"SAFARAMEMO1\n";
+const STATS_WORDS: usize = 13;
+
+fn stats_to_words(s: &KernelStats) -> [u64; STATS_WORDS] {
+    [
+        s.simple_insts,
+        s.int64_insts,
+        s.fp64_insts,
+        s.sfu_insts,
+        s.global_ld_requests,
+        s.global_st_requests,
+        s.global_transactions,
+        s.readonly_requests,
+        s.readonly_transactions,
+        s.local_accesses,
+        s.atomics,
+        s.warps,
+        s.threads,
+    ]
+}
+
+fn stats_from_words(w: &[u64; STATS_WORDS]) -> KernelStats {
+    KernelStats {
+        simple_insts: w[0],
+        int64_insts: w[1],
+        fp64_insts: w[2],
+        sfu_insts: w[3],
+        global_ld_requests: w[4],
+        global_st_requests: w[5],
+        global_transactions: w[6],
+        readonly_requests: w[7],
+        readonly_transactions: w[8],
+        local_accesses: w[9],
+        atomics: w[10],
+        warps: w[11],
+        threads: w[12],
+    }
+}
+
+impl LaunchCache {
+    /// An empty in-memory cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cache backed by `path`: existing entries are loaded (a missing
+    /// or unparseable file starts empty) and [`LaunchCache::save`]
+    /// writes back.
+    pub fn with_disk(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let mut cache = Self { disk: Some(path.clone()), ..Self::default() };
+        if let Ok(data) = std::fs::read(&path) {
+            if let Some(entries) = parse_disk(&data) {
+                cache.entries = entries;
+            }
+        }
+        cache
+    }
+
+    /// Number of cached launches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Persist to the backing file, if one was configured and anything
+    /// changed. Entries are written in sorted key order so the file is
+    /// deterministic for a given cache content.
+    pub fn save(&mut self) -> std::io::Result<()> {
+        let Some(path) = &self.disk else { return Ok(()) };
+        if !self.dirty {
+            return Ok(());
+        }
+        let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        let mut keys: Vec<u64> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            let e = &self.entries[&k];
+            out.extend_from_slice(&k.to_le_bytes());
+            for w in stats_to_words(&e.stats) {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            out.extend_from_slice(&(e.writes.len() as u32).to_le_bytes());
+            for (idx, bytes) in &e.writes {
+                out.extend_from_slice(&idx.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+        }
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&out)?;
+        self.dirty = false;
+        Ok(())
+    }
+}
+
+fn parse_disk(data: &[u8]) -> Option<HashMap<u64, CachedLaunch>> {
+    let mut p = data.strip_prefix(MAGIC)?;
+    let u64_at = |p: &mut &[u8]| -> Option<u64> {
+        let (head, rest) = p.split_first_chunk::<8>()?;
+        *p = rest;
+        Some(u64::from_le_bytes(*head))
+    };
+    let u32_at = |p: &mut &[u8]| -> Option<u32> {
+        let (head, rest) = p.split_first_chunk::<4>()?;
+        *p = rest;
+        Some(u32::from_le_bytes(*head))
+    };
+    let count = u64_at(&mut p)?;
+    let mut entries = HashMap::with_capacity(count as usize);
+    for _ in 0..count {
+        let key = u64_at(&mut p)?;
+        let mut words = [0u64; STATS_WORDS];
+        for w in &mut words {
+            *w = u64_at(&mut p)?;
+        }
+        let n_writes = u32_at(&mut p)?;
+        let mut writes = Vec::with_capacity(n_writes as usize);
+        for _ in 0..n_writes {
+            let idx = u32_at(&mut p)?;
+            let len = u64_at(&mut p)? as usize;
+            if p.len() < len {
+                return None;
+            }
+            let (bytes, rest) = p.split_at(len);
+            p = rest;
+            writes.push((idx, bytes.to_vec()));
+        }
+        entries.insert(key, CachedLaunch { stats: stats_from_words(&words), writes });
+    }
+    if p.is_empty() {
+        Some(entries)
+    } else {
+        None
+    }
+}
+
+/// [`launch`] with memoization: on a content-hash hit the recorded
+/// buffer writes are replayed and the recorded stats returned without
+/// running the interpreter; on a miss the interpreter runs and its
+/// outcome is recorded.
+///
+/// Errors are never cached — a faulting launch reaches the interpreter
+/// every time.
+pub fn launch_cached(
+    cache: &mut LaunchCache,
+    kernel: &KernelVir,
+    config: &LaunchConfig,
+    params: &[ParamVal],
+    mem: &mut DeviceMemory,
+    spilled: &[VReg],
+) -> Result<LaunchResult, SimError> {
+    let key = launch_key(kernel, config, params, mem, spilled);
+    if let Some(entry) = cache.entries.get(&key) {
+        cache.hits += 1;
+        for (idx, bytes) in &entry.writes {
+            mem.buffer_bytes_mut(*idx as usize).copy_from_slice(bytes);
+        }
+        return Ok(LaunchResult { stats: entry.stats });
+    }
+    cache.misses += 1;
+    let before: Vec<Vec<u8>> =
+        (0..mem.buffer_count()).map(|i| mem.buffer_bytes(i).to_vec()).collect();
+    let result = launch(kernel, config, params, mem, spilled)?;
+    let writes: Vec<(u32, Vec<u8>)> = before
+        .iter()
+        .enumerate()
+        .filter(|(i, old)| mem.buffer_bytes(*i) != old.as_slice())
+        .map(|(i, _)| (i as u32, mem.buffer_bytes(i).to_vec()))
+        .collect();
+    cache.entries.insert(key, CachedLaunch { stats: result.stats, writes });
+    cache.dirty = true;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vir::{Inst, MemSpace, Operand, ParamDecl, SpecialReg, VType};
+
+    /// out[tid] = a[tid] + 1.0f
+    fn add_one_kernel() -> KernelVir {
+        use crate::vir::AluOp;
+        KernelVir {
+            name: "add_one".into(),
+            params: vec![ParamDecl::Ptr, ParamDecl::Ptr],
+            vregs: vec![VType::B32, VType::B64, VType::B64, VType::F32, VType::B64, VType::F32],
+            insts: vec![
+                Inst::Special { d: VReg(0), r: SpecialReg::Tid(0) },
+                Inst::Cvt { dty: VType::B64, d: VReg(1), aty: VType::B32, a: Operand::Reg(VReg(0)) },
+                Inst::Alu {
+                    op: AluOp::Mul,
+                    ty: VType::B64,
+                    d: VReg(1),
+                    a: Operand::Reg(VReg(1)),
+                    b: Operand::ImmI(4),
+                },
+                Inst::LdParam { ty: VType::B64, d: VReg(2), index: 0 },
+                Inst::Alu {
+                    op: AluOp::Add,
+                    ty: VType::B64,
+                    d: VReg(2),
+                    a: Operand::Reg(VReg(2)),
+                    b: Operand::Reg(VReg(1)),
+                },
+                Inst::Ld { space: MemSpace::Global, ty: VType::F32, d: VReg(3), addr: VReg(2) },
+                Inst::Alu {
+                    op: AluOp::Add,
+                    ty: VType::F32,
+                    d: VReg(3),
+                    a: Operand::Reg(VReg(3)),
+                    b: Operand::ImmF(1.0),
+                },
+                Inst::LdParam { ty: VType::B64, d: VReg(4), index: 1 },
+                Inst::Alu {
+                    op: AluOp::Add,
+                    ty: VType::B64,
+                    d: VReg(4),
+                    a: Operand::Reg(VReg(4)),
+                    b: Operand::Reg(VReg(1)),
+                },
+                Inst::St { space: MemSpace::Global, ty: VType::F32, addr: VReg(4), a: Operand::Reg(VReg(3)) },
+                Inst::Ret,
+            ],
+        }
+    }
+
+    fn setup() -> (DeviceMemory, Vec<ParamVal>, LaunchConfig) {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc(32 * 4);
+        let out = mem.alloc(32 * 4);
+        let data: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        mem.copy_in_f32(a, &data);
+        let params = vec![ParamVal::Ptr(mem.base_addr(a)), ParamVal::Ptr(mem.base_addr(out))];
+        let config = LaunchConfig::d1(1, 32);
+        (mem, params, config)
+    }
+
+    #[test]
+    fn hit_replays_identical_memory_and_stats() {
+        let k = add_one_kernel();
+        let mut cache = LaunchCache::new();
+
+        let (mut mem1, params, config) = setup();
+        let r1 = launch_cached(&mut cache, &k, &config, &params, &mut mem1, &[]).unwrap();
+        assert_eq!((cache.hits, cache.misses), (0, 1));
+
+        let (mut mem2, params2, config2) = setup();
+        let r2 = launch_cached(&mut cache, &k, &config2, &params2, &mut mem2, &[]).unwrap();
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+        assert_eq!(r1.stats, r2.stats);
+        for i in 0..mem1.buffer_count() {
+            assert_eq!(mem1.buffer_bytes(i), mem2.buffer_bytes(i), "buffer {i}");
+        }
+    }
+
+    #[test]
+    fn different_inputs_miss() {
+        let k = add_one_kernel();
+        let mut cache = LaunchCache::new();
+        let (mut mem1, params, config) = setup();
+        launch_cached(&mut cache, &k, &config, &params, &mut mem1, &[]).unwrap();
+        let (mut mem2, params2, config2) = setup();
+        mem2.copy_in_f32(crate::memory::BufferId(0), &[99.0]);
+        launch_cached(&mut cache, &k, &config2, &params2, &mut mem2, &[]).unwrap();
+        assert_eq!((cache.hits, cache.misses), (0, 2));
+        assert_eq!(mem2.copy_out_f32(crate::memory::BufferId(1))[0], 100.0);
+    }
+
+    #[test]
+    fn disk_roundtrip_replays() {
+        let dir = std::env::temp_dir().join("safara_memo_test");
+        let path = dir.join("launches.bin");
+        let _ = std::fs::remove_file(&path);
+        let k = add_one_kernel();
+
+        let r1 = {
+            let mut cache = LaunchCache::with_disk(&path);
+            let (mut mem, params, config) = setup();
+            let r = launch_cached(&mut cache, &k, &config, &params, &mut mem, &[]).unwrap();
+            assert_eq!(cache.misses, 1);
+            cache.save().unwrap();
+            r
+        };
+
+        let mut cache = LaunchCache::with_disk(&path);
+        assert_eq!(cache.len(), 1);
+        let (mut mem, params, config) = setup();
+        let r2 = launch_cached(&mut cache, &k, &config, &params, &mut mem, &[]).unwrap();
+        assert_eq!((cache.hits, cache.misses), (1, 0));
+        assert_eq!(r1.stats, r2.stats);
+        assert_eq!(mem.copy_out_f32(crate::memory::BufferId(1))[5], 6.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_disk_file_starts_empty() {
+        let dir = std::env::temp_dir().join("safara_memo_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.bin");
+        std::fs::write(&path, b"not a cache file").unwrap();
+        let cache = LaunchCache::with_disk(&path);
+        assert!(cache.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

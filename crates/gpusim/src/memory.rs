@@ -89,24 +89,54 @@ impl DeviceMemory {
     }
 
     /// Read `bytes` (4 or 8) at `addr`, little-endian, zero-extended.
+    #[inline]
     pub fn read(&self, addr: u64, bytes: u32) -> Result<u64, MemFault> {
         let (b, off) = self.decode(addr, bytes)?;
         let buf = &self.buffers[b];
-        let mut v = 0u64;
-        for i in 0..bytes as usize {
-            v |= (buf[off + i] as u64) << (8 * i);
-        }
-        Ok(v)
+        // decode() guarantees off + bytes <= len, so the word-sized slices exist.
+        Ok(match bytes {
+            4 => u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as u64,
+            8 => u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
+            _ => {
+                let mut v = 0u64;
+                for i in 0..bytes as usize {
+                    v |= (buf[off + i] as u64) << (8 * i);
+                }
+                v
+            }
+        })
     }
 
     /// Write the low `bytes` bytes of `value` at `addr`, little-endian.
+    #[inline]
     pub fn write(&mut self, addr: u64, bytes: u32, value: u64) -> Result<(), MemFault> {
         let (b, off) = self.decode(addr, bytes)?;
         let buf = &mut self.buffers[b];
-        for i in 0..bytes as usize {
-            buf[off + i] = (value >> (8 * i)) as u8;
+        match bytes {
+            4 => buf[off..off + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+            8 => buf[off..off + 8].copy_from_slice(&value.to_le_bytes()),
+            _ => {
+                for i in 0..bytes as usize {
+                    buf[off + i] = (value >> (8 * i)) as u8;
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Number of allocated buffers (for content hashing / snapshots).
+    pub(crate) fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Raw bytes of buffer `i` (for content hashing / snapshots).
+    pub(crate) fn buffer_bytes(&self, i: usize) -> &[u8] {
+        &self.buffers[i]
+    }
+
+    /// Mutable raw bytes of buffer `i` (for memoized replay).
+    pub(crate) fn buffer_bytes_mut(&mut self, i: usize) -> &mut [u8] {
+        &mut self.buffers[i]
     }
 
     /// Copy a host slice into a buffer (host→device transfer).

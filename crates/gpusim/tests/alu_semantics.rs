@@ -2,11 +2,33 @@
 //! against native Rust arithmetic: for every ALU operation, comparison,
 //! and numeric conversion, a one-instruction kernel must compute exactly
 //! what the corresponding Rust expression computes.
+//!
+//! Inputs are drawn from the in-tree [`SplitMix64`] generator (no
+//! crates.io dependency); each case is a pure function of its index, so
+//! failures reproduce exactly. Build with `--features heavy-tests` for a
+//! much larger case count.
 
-use proptest::prelude::*;
 use safara_gpusim::interp::{launch, LaunchConfig, ParamVal};
 use safara_gpusim::memory::DeviceMemory;
+use safara_gpusim::rng::SplitMix64;
 use safara_gpusim::vir::*;
+
+fn cases() -> u64 {
+    if cfg!(feature = "heavy-tests") {
+        2048
+    } else {
+        128
+    }
+}
+
+/// An i32 drawn from the full range, biased toward interesting values.
+fn any_i32(rng: &mut SplitMix64) -> i32 {
+    const SPECIAL: [i32; 8] = [0, 1, -1, i32::MIN, i32::MAX, 2, -2, 31];
+    match rng.gen_index(8) {
+        0 => SPECIAL[rng.gen_index(SPECIAL.len())],
+        _ => rng.next_u32() as i32,
+    }
+}
 
 /// Run a single binary ALU op on two i32 params, return the i32 result.
 fn run_alu_i32(op: AluOp, a: i32, b: i32) -> i32 {
@@ -106,55 +128,72 @@ fn run_cmp_i32(op: CmpOp, a: i32, b: i32) -> i32 {
     mem.copy_out_i32(buf)[0]
 }
 
-proptest! {
-    #[test]
-    fn int32_alu_matches_rust(a in any::<i32>(), b in any::<i32>()) {
-        prop_assert_eq!(run_alu_i32(AluOp::Add, a, b), a.wrapping_add(b));
-        prop_assert_eq!(run_alu_i32(AluOp::Sub, a, b), a.wrapping_sub(b));
-        prop_assert_eq!(run_alu_i32(AluOp::Mul, a, b), a.wrapping_mul(b));
-        prop_assert_eq!(run_alu_i32(AluOp::Min, a, b), a.min(b));
-        prop_assert_eq!(run_alu_i32(AluOp::Max, a, b), a.max(b));
-        prop_assert_eq!(run_alu_i32(AluOp::And, a, b), a & b);
-        prop_assert_eq!(run_alu_i32(AluOp::Or, a, b), a | b);
-        prop_assert_eq!(run_alu_i32(AluOp::Xor, a, b), a ^ b);
+#[test]
+fn int32_alu_matches_rust() {
+    for case in 0..cases() {
+        let mut rng = SplitMix64::new(0xA100_0000 + case);
+        let a = any_i32(&mut rng);
+        let b = any_i32(&mut rng);
+        assert_eq!(run_alu_i32(AluOp::Add, a, b), a.wrapping_add(b));
+        assert_eq!(run_alu_i32(AluOp::Sub, a, b), a.wrapping_sub(b));
+        assert_eq!(run_alu_i32(AluOp::Mul, a, b), a.wrapping_mul(b));
+        assert_eq!(run_alu_i32(AluOp::Min, a, b), a.min(b));
+        assert_eq!(run_alu_i32(AluOp::Max, a, b), a.max(b));
+        assert_eq!(run_alu_i32(AluOp::And, a, b), a & b);
+        assert_eq!(run_alu_i32(AluOp::Or, a, b), a | b);
+        assert_eq!(run_alu_i32(AluOp::Xor, a, b), a ^ b);
         // Division and remainder: zero divisor yields 0 (GPU-style safe
         // division in the interpreter).
         if b != 0 {
-            prop_assert_eq!(run_alu_i32(AluOp::Div, a, b), a.wrapping_div(b));
-            prop_assert_eq!(run_alu_i32(AluOp::Rem, a, b), a.wrapping_rem(b));
+            assert_eq!(run_alu_i32(AluOp::Div, a, b), a.wrapping_div(b));
+            assert_eq!(run_alu_i32(AluOp::Rem, a, b), a.wrapping_rem(b));
         } else {
-            prop_assert_eq!(run_alu_i32(AluOp::Div, a, b), 0);
-            prop_assert_eq!(run_alu_i32(AluOp::Rem, a, b), 0);
+            assert_eq!(run_alu_i32(AluOp::Div, a, b), 0);
+            assert_eq!(run_alu_i32(AluOp::Rem, a, b), 0);
         }
         // Shifts mask the count to 5 bits, as PTX does.
-        prop_assert_eq!(run_alu_i32(AluOp::Shl, a, b), a.wrapping_shl(b as u32 & 31));
-        prop_assert_eq!(run_alu_i32(AluOp::Shr, a, b), a.wrapping_shr(b as u32 & 31));
+        assert_eq!(run_alu_i32(AluOp::Shl, a, b), a.wrapping_shl(b as u32 & 31));
+        assert_eq!(run_alu_i32(AluOp::Shr, a, b), a.wrapping_shr(b as u32 & 31));
     }
+}
 
-    #[test]
-    fn f64_alu_matches_rust(a in -1e12f64..1e12, b in -1e12f64..1e12) {
-        prop_assert_eq!(run_alu_f64(AluOp::Add, a, b).to_bits(), (a + b).to_bits());
-        prop_assert_eq!(run_alu_f64(AluOp::Sub, a, b).to_bits(), (a - b).to_bits());
-        prop_assert_eq!(run_alu_f64(AluOp::Mul, a, b).to_bits(), (a * b).to_bits());
-        prop_assert_eq!(run_alu_f64(AluOp::Div, a, b).to_bits(), (a / b).to_bits());
-        prop_assert_eq!(run_alu_f64(AluOp::Min, a, b).to_bits(), a.min(b).to_bits());
-        prop_assert_eq!(run_alu_f64(AluOp::Max, a, b).to_bits(), a.max(b).to_bits());
+#[test]
+fn f64_alu_matches_rust() {
+    for case in 0..cases() {
+        let mut rng = SplitMix64::new(0xA164_0000 + case);
+        let a = rng.gen_range_f64(-1e12, 1e12);
+        let b = rng.gen_range_f64(-1e12, 1e12);
+        assert_eq!(run_alu_f64(AluOp::Add, a, b).to_bits(), (a + b).to_bits());
+        assert_eq!(run_alu_f64(AluOp::Sub, a, b).to_bits(), (a - b).to_bits());
+        assert_eq!(run_alu_f64(AluOp::Mul, a, b).to_bits(), (a * b).to_bits());
+        assert_eq!(run_alu_f64(AluOp::Div, a, b).to_bits(), (a / b).to_bits());
+        assert_eq!(run_alu_f64(AluOp::Min, a, b).to_bits(), a.min(b).to_bits());
+        assert_eq!(run_alu_f64(AluOp::Max, a, b).to_bits(), a.max(b).to_bits());
     }
+}
 
-    #[test]
-    fn comparisons_match_rust(a in any::<i32>(), b in any::<i32>()) {
-        prop_assert_eq!(run_cmp_i32(CmpOp::Lt, a, b), i32::from(a < b));
-        prop_assert_eq!(run_cmp_i32(CmpOp::Le, a, b), i32::from(a <= b));
-        prop_assert_eq!(run_cmp_i32(CmpOp::Gt, a, b), i32::from(a > b));
-        prop_assert_eq!(run_cmp_i32(CmpOp::Ge, a, b), i32::from(a >= b));
-        prop_assert_eq!(run_cmp_i32(CmpOp::Eq, a, b), i32::from(a == b));
-        prop_assert_eq!(run_cmp_i32(CmpOp::Ne, a, b), i32::from(a != b));
+#[test]
+fn comparisons_match_rust() {
+    for case in 0..cases() {
+        let mut rng = SplitMix64::new(0xC390_0000 + case);
+        let a = any_i32(&mut rng);
+        let b = any_i32(&mut rng);
+        assert_eq!(run_cmp_i32(CmpOp::Lt, a, b), i32::from(a < b));
+        assert_eq!(run_cmp_i32(CmpOp::Le, a, b), i32::from(a <= b));
+        assert_eq!(run_cmp_i32(CmpOp::Gt, a, b), i32::from(a > b));
+        assert_eq!(run_cmp_i32(CmpOp::Ge, a, b), i32::from(a >= b));
+        assert_eq!(run_cmp_i32(CmpOp::Eq, a, b), i32::from(a == b));
+        assert_eq!(run_cmp_i32(CmpOp::Ne, a, b), i32::from(a != b));
     }
+}
 
-    /// Conversions: i32 → f64 → i32 round-trips exactly; i32 → f32 rounds
-    /// as Rust does; f64 → i32 truncates toward zero.
-    #[test]
-    fn conversions_match_rust(v in any::<i32>()) {
+/// Conversions: i32 → f64 → i32 round-trips exactly; i32 → f32 rounds
+/// as Rust does; f64 → i32 truncates toward zero.
+#[test]
+fn conversions_match_rust() {
+    for case in 0..cases() {
+        let mut rng = SplitMix64::new(0xC040_0000 + case);
+        let v = any_i32(&mut rng);
         let mut k = KernelVir {
             name: "cvt".into(),
             params: vec![ParamDecl::Scalar(VType::B32), ParamDecl::Ptr],
@@ -188,9 +227,9 @@ proptest! {
         )
         .expect("runs");
         let ints = mem.copy_out_i32(buf);
-        prop_assert_eq!(ints[0], v, "i32→f64→i32 must round-trip");
+        assert_eq!(ints[0], v, "i32→f64→i32 must round-trip");
         let f32_bits = ints[1] as u32;
-        prop_assert_eq!(f32::from_bits(f32_bits).to_bits(), (v as f32).to_bits());
+        assert_eq!(f32::from_bits(f32_bits).to_bits(), (v as f32).to_bits());
     }
 }
 

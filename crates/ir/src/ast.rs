@@ -130,7 +130,7 @@ impl Dim {
 
     /// True if both bound and extent are compile-time constants.
     pub fn is_static(&self) -> bool {
-        self.lower.as_ref().map_or(true, |e| e.as_const().is_some())
+        self.lower.as_ref().is_none_or(|e| e.as_const().is_some())
             && matches!(self.extent, Extent::Const(_))
     }
 }

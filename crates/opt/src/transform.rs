@@ -560,7 +560,7 @@ mod tests {
         }
         let txt = print_function(&p.functions[0]);
         // Must still parse and type-check.
-        parse_program(&format!("{txt}"))
+        parse_program(&txt)
             .unwrap_or_else(|e| panic!("transformed source invalid: {e}\n{txt}"));
         (p, txt)
     }

@@ -91,7 +91,7 @@ fn walk(
 fn eligible(f: &ForLoop) -> bool {
     f.step == 1
         && matches!(f.cmp, LoopCmp::Lt | LoopCmp::Le)
-        && f.directive.as_ref().map_or(true, |d| d.reductions.is_empty() && d.seq)
+        && f.directive.as_ref().is_none_or(|d| d.reductions.is_empty() && d.seq)
         && !contains_loop(&f.body)
 }
 

@@ -5,6 +5,7 @@ use safara_codegen::abi::{AbiParam, DimOwner};
 use safara_codegen::lower::{CompiledKernel, MappedLoopSpec};
 use safara_gpusim::device::DeviceConfig;
 use safara_gpusim::interp::{launch, LaunchConfig, ParamVal};
+use safara_gpusim::memo::{launch_cached, LaunchCache};
 use safara_gpusim::memory::{BufferId, DeviceMemory};
 use safara_gpusim::ptxas::RegAllocReport;
 use safara_gpusim::stats::KernelStats;
@@ -82,6 +83,20 @@ pub fn run_function(
     func: &Function,
     compiled: &[(CompiledKernel, RegAllocReport)],
     args: &mut Args,
+) -> Result<RunReport, RuntimeError> {
+    run_function_cached(dev, func, compiled, args, None)
+}
+
+/// [`run_function`] with optional launch memoization: pass a
+/// [`LaunchCache`] and each kernel launch is answered from the cache
+/// when its content key (VIR, spills, geometry, params, input buffers)
+/// has been seen before — see [`safara_gpusim::memo`].
+pub fn run_function_cached(
+    dev: &DeviceConfig,
+    func: &Function,
+    compiled: &[(CompiledKernel, RegAllocReport)],
+    args: &mut Args,
+    mut cache: Option<&mut LaunchCache>,
 ) -> Result<RunReport, RuntimeError> {
     // ---- resolve array shapes and upload -------------------------------
     let scalar_env = build_scalar_env(func, args)?;
@@ -179,8 +194,11 @@ pub fn run_function(
             });
         }
 
-        let result = launch(&kernel.vir, &config, &params, &mut mem, &alloc.spilled)
-            .map_err(|e| RuntimeError::new(format!("kernel `{}`: {e}", kernel.name)))?;
+        let result = match cache.as_deref_mut() {
+            Some(c) => launch_cached(c, &kernel.vir, &config, &params, &mut mem, &alloc.spilled),
+            None => launch(&kernel.vir, &config, &params, &mut mem, &alloc.spilled),
+        }
+        .map_err(|e| RuntimeError::new(format!("kernel `{}`: {e}", kernel.name)))?;
         let timing = estimate_time(
             dev,
             &result.stats,

@@ -16,4 +16,5 @@ pub mod args;
 pub mod exec;
 
 pub use args::{ArgValue, Args, HostArray};
-pub use exec::{run_function, KernelRun, RunReport, RuntimeError};
+pub use exec::{run_function, run_function_cached, KernelRun, RunReport, RuntimeError};
+pub use safara_gpusim::memo::LaunchCache;

@@ -57,6 +57,7 @@ void ep(int nt, int m, float sx, float sy) {
 /// back to f32 on assignment — the hash is chaotic, so the reference must
 /// follow the same rounding. Each thread accumulates in f32 (as the
 /// generated kernel does) before the f32 atomic combine.
+#[allow(clippy::approx_constant)] // matches the kernel's truncated 2π literal
 pub fn ep_reference(nt: usize, m: usize) -> (f64, f64) {
     let (mut sx, mut sy) = (0.0f64, 0.0f64);
     for i in 0..nt {

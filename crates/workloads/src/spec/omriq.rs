@@ -99,6 +99,7 @@ void mriq(int nvox, int nk, const float x[nvox], const float y[nvox],
 
 /// Reference Q computation.
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::approx_constant)] // matches the kernel's truncated 2π literal
 pub fn reference(
     x: &[f32],
     y: &[f32],

@@ -278,6 +278,7 @@ pub fn reference_step(n: usize, h: f64, dt: f64, state: &mut [Vec<f64>]) {
         }
     }
     // HOT5/6/7 — shear stresses.
+    #[allow(clippy::type_complexity)]
     let run = |state: &mut [Vec<f64>],
                target: usize,
                f: &dyn Fn(&[Vec<f64>], usize, usize, usize) -> f64| {

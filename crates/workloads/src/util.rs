@@ -1,27 +1,31 @@
 //! Shared helpers: deterministic data generation and tolerant comparison.
+//!
+//! Data generation is backed by the in-tree [`SplitMix64`] generator so
+//! the whole workspace builds and tests offline; every workload's input
+//! is a pure function of its seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use safara_core::SplitMix64;
 
 /// Deterministic pseudo-random `f32` data in `[lo, hi)`.
 pub fn rand_f32(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.gen_range_f32(lo, hi)).collect()
 }
 
 /// Deterministic pseudo-random `f64` data in `[lo, hi)`.
 pub fn rand_f64(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.gen_range_f64(lo, hi)).collect()
 }
 
 /// Deterministic pseudo-random `i32` data in `[lo, hi)`.
 pub fn rand_i32(seed: u64, n: usize, lo: i32, hi: i32) -> Vec<i32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.gen_range_i32(lo, hi)).collect()
 }
 
 /// Compare two `f32` slices with a mixed absolute/relative tolerance.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(err <= bound)` also catches NaN
 pub fn check_close_f32(got: &[f32], want: &[f32], tol: f32) -> Result<(), String> {
     if got.len() != want.len() {
         return Err(format!("length mismatch: {} vs {}", got.len(), want.len()));
@@ -37,6 +41,7 @@ pub fn check_close_f32(got: &[f32], want: &[f32], tol: f32) -> Result<(), String
 }
 
 /// Compare two `f64` slices with a mixed absolute/relative tolerance.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(err <= bound)` also catches NaN
 pub fn check_close_f64(got: &[f64], want: &[f64], tol: f64) -> Result<(), String> {
     if got.len() != want.len() {
         return Err(format!("length mismatch: {} vs {}", got.len(), want.len()));

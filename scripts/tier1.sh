@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: offline release build, full test suite, and clippy with
+# warnings as errors. No network access is required — the workspace has
+# no external dependencies (SplitMix64 replaces `rand`; criterion and
+# proptest are gated behind the off-by-default `heavy-tests` feature).
+#
+# Usage: scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== test (release) =="
+cargo test --release --offline -q
+
+echo "== clippy (-D warnings) =="
+cargo clippy --release --offline --all-targets -- -D warnings
+
+echo "tier-1 OK"
