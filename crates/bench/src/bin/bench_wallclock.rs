@@ -22,7 +22,7 @@
 //! (default cache file: `target/bench_launch_cache.bin`; delete it to
 //! re-measure cold).
 
-use safara_bench::measure;
+use safara_bench::{measure, pool_threads};
 use safara_core::gpusim::interp::set_reference_engine;
 use safara_core::{CompilerConfig, DeviceConfig, LaunchCache};
 use safara_workloads::{run_workload, run_workload_cached, spec_suite, Scale};
@@ -77,7 +77,7 @@ fn main() {
     let (warm_hits, warm_misses) = (cache.hits, cache.misses);
 
     eprintln!("[5/5] parallel measure()…");
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = pool_threads();
     let t_parallel = time_suite(&mut || {
         let _ = measure(&suite, &configs, Scale::Bench);
     });

@@ -1,0 +1,182 @@
+//! Replay the fig7 SPEC suite through `safara-server` and validate
+//! every response against the workloads' own `check` functions.
+//!
+//! Each pass sends every (workload, profile) pair as a `run` request
+//! with `return_arrays: true`, rebuilds the post-run arguments from the
+//! returned bit patterns, and runs the workload's validator on them —
+//! so this exercises the full wire round-trip, not just status codes.
+//! Two passes by default: the second must be served from the shared
+//! launch cache (warm hits are printed from the server's `stats`).
+//!
+//! Usage:
+//!
+//! ```text
+//! server_bench [--addr HOST:PORT] [--passes N] [--bench]
+//! ```
+//!
+//! With no `--addr` an in-process server is started on an ephemeral
+//! port. `--bench` uses `Scale::Bench` sizes (slow; default is the test
+//! scale).
+
+use safara_core::runtime::{ArgValue, HostArray};
+use safara_core::{Args, CompilerConfig};
+use safara_server::json::Json;
+use safara_server::protocol::build_run_request;
+use safara_server::service::EngineConfig;
+use safara_workloads::{spec_suite, Scale};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Instant;
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut passes = 2usize;
+    let mut scale = Scale::Test;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(argv.next().expect("--addr needs HOST:PORT")),
+            "--passes" => {
+                passes = argv.next().and_then(|v| v.parse().ok()).expect("--passes needs N")
+            }
+            "--bench" => scale = Scale::Bench,
+            other => {
+                eprintln!("server_bench: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // No address: run the server in-process on an ephemeral port.
+    let own = match &addr {
+        Some(_) => None,
+        None => Some(
+            safara_server::serve("127.0.0.1:0", EngineConfig::default())
+                .expect("start in-process server"),
+        ),
+    };
+    let addr = addr.unwrap_or_else(|| own.as_ref().expect("own server").addr.to_string());
+    eprintln!("replaying fig7 suite against {addr} ({passes} passes)");
+
+    let suite = spec_suite();
+    let profiles = ["base", "safara_only"];
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut next_id = 1i64;
+    let mut send = |line: &str| {
+        writer.write_all(line.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+        writer.flush().expect("flush");
+    };
+    let mut recv_line = String::new();
+    let mut recv = move |reader: &mut BufReader<TcpStream>| -> Json {
+        recv_line.clear();
+        let n = reader.read_line(&mut recv_line).expect("recv");
+        assert!(n > 0, "server closed the connection");
+        Json::parse(recv_line.trim()).expect("response parses")
+    };
+
+    for pass in 1..=passes {
+        let t0 = Instant::now();
+        let mut ok = 0usize;
+        for w in &suite {
+            let source = w.source();
+            for profile in profiles {
+                assert!(CompilerConfig::by_name(profile).is_some());
+                let request_args = w.args(scale);
+                let id = next_id;
+                next_id += 1;
+                send(&build_run_request(id, &source, w.entry(), profile, &request_args, true));
+                let v = recv(&mut reader);
+                assert_eq!(v.get("id").and_then(Json::as_i64), Some(id));
+                let status = v.get("status").and_then(Json::as_str);
+                assert_eq!(status, Some("ok"), "{} under {profile}: {v}", w.name());
+                let after = rebuild_args(&request_args, &v);
+                w.check(&after, scale)
+                    .unwrap_or_else(|e| panic!("{} under {profile}: {e}", w.name()));
+                ok += 1;
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "pass {pass}: {ok} responses ok + validated in {secs:.3} s ({:.1} req/s)",
+            ok as f64 / secs
+        );
+    }
+
+    send(r#"{"id":0,"op":"stats"}"#);
+    let stats = recv(&mut reader);
+    let cache = stats.get("cache").expect("cache stats");
+    let hits = cache.get("hits").and_then(Json::as_i64).unwrap_or(0);
+    let misses = cache.get("misses").and_then(Json::as_i64).unwrap_or(0);
+    println!(
+        "cache: {hits} hits / {misses} misses over {} requests",
+        (next_id - 1)
+    );
+    if passes > 1 {
+        assert!(hits > 0, "repeat passes must warm the shared cache: {stats}");
+    }
+
+    if let Some(own) = own {
+        send(r#"{"id":-1,"op":"shutdown"}"#);
+        let _ = recv(&mut reader);
+        own.join();
+    }
+}
+
+/// Rebuild post-run [`Args`] from a response: request args with every
+/// array (and any reduction-updated scalar) replaced by the returned
+/// bit-exact values.
+fn rebuild_args(request: &Args, response: &Json) -> Args {
+    let mut after = request.clone();
+    let arrays = response.get("arrays").expect("return_arrays was set");
+    for (name, arr) in after.arrays.iter_mut() {
+        let payload = arrays.get(name.as_str()).expect("array echoed");
+        let bits = payload.get("bits").and_then(Json::as_arr).expect("bits");
+        let elem = payload.get("elem").and_then(Json::as_str).expect("elem");
+        *arr = match elem {
+            "f32" => HostArray::from_f32_bits(
+                &bits.iter().map(|b| b.as_i64().expect("bit") as u32).collect::<Vec<_>>(),
+            ),
+            "f64" => HostArray::from_f64_bits(
+                &bits
+                    .iter()
+                    .map(|b| {
+                        let s = b.as_str().expect("hex bits");
+                        u64::from_str_radix(s.trim_start_matches("0x"), 16).expect("hex")
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+            _ => HostArray::from_i32(
+                &bits.iter().map(|b| b.as_i64().expect("bit") as i32).collect::<Vec<_>>(),
+            ),
+        };
+    }
+    if let Some(scalars) = response.get("scalars") {
+        for (name, value) in after.scalars.iter_mut() {
+            let Some(v) = scalars.get(name.as_str()) else { continue };
+            // Decode whatever variant the server replied with (it
+            // normalizes request scalars, so this can differ from the
+            // variant we sent), then coerce to the variant `check`
+            // expects.
+            let decoded: ArgValue = match v {
+                Json::Int(i) => ArgValue::I64(*i),
+                obj => match obj.get("bits") {
+                    Some(Json::Int(b)) => ArgValue::F32(f32::from_bits(*b as u32)),
+                    Some(Json::Str(s)) => ArgValue::F64(f64::from_bits(
+                        u64::from_str_radix(s.trim_start_matches("0x"), 16).expect("hex"),
+                    )),
+                    _ => panic!("unrecognized scalar encoding: {obj}"),
+                },
+            };
+            *value = match value {
+                ArgValue::I32(_) => ArgValue::I32(decoded.as_i64() as i32),
+                ArgValue::I64(_) => ArgValue::I64(decoded.as_i64()),
+                ArgValue::F32(_) => ArgValue::F32(decoded.as_f64() as f32),
+                ArgValue::F64(_) => ArgValue::F64(decoded.as_f64()),
+            };
+        }
+    }
+    after
+}

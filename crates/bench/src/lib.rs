@@ -29,6 +29,14 @@ use safara_core::{CompilerConfig, DeviceConfig};
 use safara_workloads::{run_workload, Scale, Workload};
 use std::fmt::Write as _;
 
+/// The thread count the parallel [`measure`] pool actually uses — one
+/// place for the `available_parallelism()` policy so reports (e.g.
+/// `BENCH_sim.json`'s `threads_available`) cannot drift from the pool.
+/// The worker-pool sizing in `safara-server` follows the same default.
+pub fn pool_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Per-workload modelled kernel time under one configuration.
 pub struct Measurement {
     /// Workload name.
@@ -52,7 +60,7 @@ pub fn measure(
     scale: Scale,
 ) -> Vec<Measurement> {
     let dev = DeviceConfig::k20xm();
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = pool_threads();
     if threads <= 1 || workloads.len() * configs.len() <= 1 {
         return measure_serial(workloads, configs, scale);
     }

@@ -8,7 +8,10 @@ use safara_ir::printer::print_function;
 use safara_ir::{parse_program, Function, Stmt};
 use safara_opt::transform::TempNamer;
 use safara_opt::{carr_kennedy_pass, safara_pass, SrOutcome};
-use safara_runtime::{run_function, run_function_cached, Args, LaunchCache, RunReport, RuntimeError};
+use safara_runtime::{
+    run_function, run_function_cached, run_function_shared, Args, LaunchCache, RunReport,
+    RuntimeError, SharedLaunchCache,
+};
 use std::fmt;
 
 /// Driver errors.
@@ -124,6 +127,22 @@ impl CompiledProgram {
         let compiled: Vec<(CompiledKernel, RegAllocReport)> =
             f.kernels.iter().map(|k| (k.kernel.clone(), k.alloc.clone())).collect();
         Ok(run_function_cached(dev, &f.transformed, &compiled, args, Some(cache))?)
+    }
+
+    /// [`CompiledProgram::run`] with launch memoization through a
+    /// thread-shared cache — the concurrent-service path: many worker
+    /// threads run against one process-wide [`SharedLaunchCache`].
+    pub fn run_shared(
+        &self,
+        name: &str,
+        args: &mut Args,
+        dev: &DeviceConfig,
+        cache: &SharedLaunchCache,
+    ) -> Result<RunReport, CoreError> {
+        let f = self.function(name)?;
+        let compiled: Vec<(CompiledKernel, RegAllocReport)> =
+            f.kernels.iter().map(|k| (k.kernel.clone(), k.alloc.clone())).collect();
+        Ok(run_function_shared(dev, &f.transformed, &compiled, args, cache)?)
     }
 }
 

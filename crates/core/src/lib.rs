@@ -45,11 +45,13 @@
 
 pub mod calibrate;
 pub mod driver;
+pub mod pipeline;
 pub mod profile;
 pub mod report;
 
 pub use calibrate::{calibrated_config, calibrated_cost_model};
 pub use driver::{compile, CompiledFunction, CompiledProgram, CoreError, KernelArtifact};
+pub use pipeline::{compile_and_run, run_compiled, KernelSummary, RunOutcome};
 pub use profile::{CompilerConfig, SrStrategy};
 pub use report::{register_table, RegisterRow};
 
@@ -63,7 +65,7 @@ pub use safara_opt as opt;
 pub use safara_runtime as runtime;
 
 pub use safara_gpusim::device::DeviceConfig;
-pub use safara_gpusim::memo::LaunchCache;
+pub use safara_gpusim::memo::{LaunchCache, SharedLaunchCache};
 pub use safara_gpusim::rng::SplitMix64;
 pub use safara_gpusim::timing::TimingBreakdown;
 pub use safara_runtime::{Args, RunReport};

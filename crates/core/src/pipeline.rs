@@ -1,0 +1,212 @@
+//! A reusable one-request pipeline entry point.
+//!
+//! The bench binaries drive the ir → analysis → opt → codegen → gpusim
+//! pipeline through per-figure `main`s; a long-lived service needs the
+//! same flow packaged as a single call that takes *one* request
+//! (source, profile, arguments) and returns everything a client wants
+//! to know: register counts, launch geometry, modelled cycles, and the
+//! scalar-replacement story. [`compile_and_run`] is that call;
+//! [`run_compiled`] is the half that skips compilation, for callers
+//! (like `safara-server`) that cache [`CompiledProgram`]s across
+//! requests and only re-execute.
+
+use crate::driver::{compile, CompiledProgram, CoreError};
+use crate::profile::CompilerConfig;
+use safara_gpusim::device::DeviceConfig;
+use safara_gpusim::memo::SharedLaunchCache;
+use safara_runtime::Args;
+
+/// One kernel's outcome, flattened for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSummary {
+    /// Kernel name.
+    pub name: String,
+    /// Hardware registers per thread.
+    pub regs_used: u32,
+    /// Virtual registers spilled to local memory.
+    pub spills: u32,
+    /// Launch grid (blocks).
+    pub grid: (u32, u32, u32),
+    /// Launch block (threads).
+    pub block: (u32, u32, u32),
+    /// Modelled cycles for this launch.
+    pub cycles: f64,
+}
+
+/// Everything one compile-and-simulate request produces (besides the
+/// mutated [`Args`], which the caller owns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The function that ran.
+    pub function: String,
+    /// The profile it was compiled under.
+    pub profile: &'static str,
+    /// Per-kernel outcomes in launch order.
+    pub kernels: Vec<KernelSummary>,
+    /// Sum of modelled kernel cycles.
+    pub total_cycles: f64,
+    /// Bytes uploaded host→device.
+    pub h2d_bytes: u64,
+    /// Bytes downloaded device→host.
+    pub d2h_bytes: u64,
+    /// Maximum registers used by any kernel.
+    pub max_regs: u32,
+    /// Scalar-replacement temporaries SAFARA introduced.
+    pub sr_temps_added: u32,
+    /// Feedback-loop iterations executed.
+    pub feedback_rounds: u32,
+}
+
+/// Execute `entry` from an already-compiled program against `args`,
+/// optionally memoizing launches through a thread-shared cache, and
+/// summarize the run.
+pub fn run_compiled(
+    program: &CompiledProgram,
+    entry: &str,
+    args: &mut Args,
+    dev: &DeviceConfig,
+    cache: Option<&SharedLaunchCache>,
+) -> Result<RunOutcome, CoreError> {
+    let report = match cache {
+        Some(c) => program.run_shared(entry, args, dev, c)?,
+        None => program.run(entry, args, dev)?,
+    };
+    let f = program.function(entry)?;
+    let kernels = report
+        .kernels
+        .iter()
+        .zip(&f.kernels)
+        .map(|(run, art)| KernelSummary {
+            name: run.name.clone(),
+            regs_used: run.regs_used,
+            spills: art.alloc.spilled.len() as u32,
+            grid: run.config.grid,
+            block: run.config.block,
+            cycles: run.timing.total_cycles,
+        })
+        .collect();
+    Ok(RunOutcome {
+        function: f.name.clone(),
+        profile: program.config.name,
+        kernels,
+        total_cycles: report.total_cycles(),
+        h2d_bytes: report.h2d_bytes,
+        d2h_bytes: report.d2h_bytes,
+        max_regs: f.max_regs(),
+        sr_temps_added: f.sr_outcome.temps_added,
+        feedback_rounds: f.feedback_rounds,
+    })
+}
+
+/// The full one-request pipeline: compile `source` under `config`, run
+/// `entry` against `args`, and summarize. Returns the compiled program
+/// too so callers can keep it for subsequent requests.
+pub fn compile_and_run(
+    source: &str,
+    entry: &str,
+    config: &CompilerConfig,
+    args: &mut Args,
+    dev: &DeviceConfig,
+    cache: Option<&SharedLaunchCache>,
+) -> Result<(CompiledProgram, RunOutcome), CoreError> {
+    let program = compile(source, config)?;
+    let outcome = run_compiled(&program, entry, args, dev, cache)?;
+    Ok((program, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safara_runtime::ArgValue;
+
+    const AXPY: &str = r#"
+    void axpy(int n, float alpha, const float x[n], float y[n]) {
+      #pragma acc kernels copyin(x) copy(y)
+      {
+        #pragma acc loop gang vector
+        for (int i = 0; i < n; i++) { y[i] = y[i] + alpha * x[i]; }
+      }
+    }"#;
+
+    fn axpy_args(n: usize) -> Args {
+        Args::new()
+            .i32("n", n as i32)
+            .f32("alpha", 2.0)
+            .array_f32("x", &(0..n).map(|i| i as f32).collect::<Vec<_>>())
+            .array_f32("y", &vec![1.0; n])
+    }
+
+    #[test]
+    fn one_request_pipeline_summarizes_a_run() {
+        let dev = DeviceConfig::k20xm();
+        let mut args = axpy_args(256);
+        let (program, outcome) =
+            compile_and_run(AXPY, "axpy", &CompilerConfig::safara_only(), &mut args, &dev, None)
+                .unwrap();
+        assert_eq!(outcome.function, "axpy");
+        assert_eq!(outcome.profile, "OpenUH(SAFARA)");
+        assert_eq!(outcome.kernels.len(), 1);
+        assert!(outcome.total_cycles > 0.0);
+        assert!(outcome.max_regs > 0);
+        assert_eq!(args.array("y").unwrap().as_f32()[3], 1.0 + 2.0 * 3.0);
+
+        // The compiled program is reusable without recompiling.
+        let mut args2 = axpy_args(256);
+        let outcome2 = run_compiled(&program, "axpy", &mut args2, &dev, None).unwrap();
+        assert_eq!(outcome, outcome2);
+        assert_eq!(args.array("y"), args2.array("y"));
+    }
+
+    #[test]
+    fn shared_cache_path_is_bit_identical_and_warms() {
+        let dev = DeviceConfig::k20xm();
+        let cache = SharedLaunchCache::new(4);
+        let mut cold = axpy_args(128);
+        let (program, _) =
+            compile_and_run(AXPY, "axpy", &CompilerConfig::base(), &mut cold, &dev, Some(&cache))
+                .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let mut warm = axpy_args(128);
+        run_compiled(&program, "axpy", &mut warm, &dev, Some(&cache)).unwrap();
+        assert_eq!(cache.hits(), 1, "second identical request replays");
+        assert_eq!(
+            cold.array("y").unwrap().as_f32_bits(),
+            warm.array("y").unwrap().as_f32_bits()
+        );
+
+        // And the replayed output matches an uncached run bitwise.
+        let mut plain = axpy_args(128);
+        run_compiled(&program, "axpy", &mut plain, &dev, None).unwrap();
+        assert_eq!(plain.array("y").unwrap().as_f32_bits(), warm.array("y").unwrap().as_f32_bits());
+    }
+
+    #[test]
+    fn pipeline_errors_propagate() {
+        let dev = DeviceConfig::k20xm();
+        let mut args = Args::new();
+        let err = compile_and_run("void f(", "f", &CompilerConfig::base(), &mut args, &dev, None)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Frontend(_)));
+        let mut args = axpy_args(8);
+        let err = compile_and_run(AXPY, "nope", &CompilerConfig::base(), &mut args, &dev, None)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NoSuchFunction(_)));
+    }
+
+    #[test]
+    fn reductions_surface_through_args() {
+        let src = r#"
+        void total(int n, const float x[n], float s) {
+          #pragma acc kernels
+          {
+            #pragma acc loop gang vector reduction(+:s)
+            for (int i = 0; i < n; i++) { s += x[i]; }
+          }
+        }"#;
+        let dev = DeviceConfig::k20xm();
+        let mut args = Args::new().i32("n", 64).f32("s", 1.0).array_f32("x", &[1.0; 64]);
+        compile_and_run(src, "total", &CompilerConfig::base(), &mut args, &dev, None).unwrap();
+        assert_eq!(args.scalar("s"), Some(ArgValue::F32(65.0)));
+    }
+}

@@ -156,6 +156,40 @@ impl CompilerConfig {
             ..Self::base()
         }
     }
+
+    /// The stable lookup keys services accept, one per named profile —
+    /// see [`CompilerConfig::by_name`].
+    pub const PROFILE_KEYS: [&'static str; 10] = [
+        "base",
+        "safara_only",
+        "small",
+        "small_dim",
+        "safara_clauses",
+        "safara_small",
+        "carr_kennedy",
+        "pgi_like",
+        "safara_count_only",
+        "safara_no_feedback",
+    ];
+
+    /// Resolve a profile by wire-protocol key (case-insensitive, `-`
+    /// treated as `_`; a few aliases accepted). `None` for unknown keys.
+    pub fn by_name(key: &str) -> Option<CompilerConfig> {
+        let k = key.trim().to_ascii_lowercase().replace('-', "_");
+        Some(match k.as_str() {
+            "base" | "openuh" => Self::base(),
+            "safara" | "safara_only" => Self::safara_only(),
+            "small" => Self::small(),
+            "small_dim" => Self::small_dim(),
+            "safara_clauses" | "safara_small_dim" => Self::safara_clauses(),
+            "safara_small" => Self::safara_small(),
+            "carr_kennedy" | "ck" => Self::carr_kennedy(),
+            "pgi" | "pgi_like" => Self::pgi_like(),
+            "safara_count_only" => Self::safara_count_only(),
+            "safara_no_feedback" => Self::safara_no_feedback(),
+            _ => return None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +206,18 @@ mod tests {
         assert!(matches!(CompilerConfig::safara_only().sr, SrStrategy::Safara { .. }));
         assert!(matches!(CompilerConfig::carr_kennedy().sr, SrStrategy::CarrKennedy));
         assert!(!CompilerConfig::pgi_like().codegen.use_readonly_cache);
+    }
+
+    #[test]
+    fn by_name_resolves_every_key_and_rejects_unknown() {
+        for key in CompilerConfig::PROFILE_KEYS {
+            assert!(CompilerConfig::by_name(key).is_some(), "{key}");
+        }
+        // Aliases and normalization.
+        assert_eq!(CompilerConfig::by_name("SAFARA").unwrap().name, "OpenUH(SAFARA)");
+        assert_eq!(CompilerConfig::by_name("carr-kennedy").unwrap().name, "CarrKennedy");
+        assert_eq!(CompilerConfig::by_name(" pgi ").unwrap().name, "PGI(simulated)");
+        assert!(CompilerConfig::by_name("nvcc").is_none());
     }
 
     #[test]

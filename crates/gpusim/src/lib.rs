@@ -39,7 +39,7 @@ pub mod vir;
 
 pub use device::{DeviceConfig, Occupancy};
 pub use interp::{launch, LaunchConfig, LaunchResult};
-pub use memo::{launch_cached, LaunchCache};
+pub use memo::{launch_cached, LaunchCache, SharedLaunchCache};
 pub use memory::{BufferId, DeviceMemory};
 pub use ptxas::{allocate_registers, RegAllocReport};
 pub use rng::SplitMix64;

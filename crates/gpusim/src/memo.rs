@@ -24,9 +24,10 @@ use crate::interp::{launch, LaunchConfig, LaunchResult, ParamVal, SimError};
 use crate::memory::DeviceMemory;
 use crate::stats::KernelStats;
 use crate::vir::{KernelVir, VReg};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// 64-bit FNV-1a processed 8 bytes at a time with a final avalanche.
 ///
@@ -104,16 +105,44 @@ struct CachedLaunch {
     writes: Vec<(u32, Vec<u8>)>,
 }
 
+/// Default [`LaunchCache`] entry cap: far above any one benchmark run,
+/// but a hard bound so a long-lived process (the server) cannot grow the
+/// cache — whose entries hold full buffer snapshots — without limit.
+pub const DEFAULT_ENTRY_CAP: usize = 4096;
+
 /// Memoization cache for kernel launches, optionally disk-backed.
-#[derive(Debug, Default)]
+///
+/// The cache is bounded: once it holds [`LaunchCache::entry_cap`]
+/// entries, inserting a new one evicts the oldest (first-inserted)
+/// entry. Insertion order is preserved by [`LaunchCache::save`] /
+/// [`LaunchCache::with_disk`], so the cap keeps evicting oldest-first
+/// across a persist/reload cycle.
+#[derive(Debug)]
 pub struct LaunchCache {
     entries: HashMap<u64, CachedLaunch>,
+    /// Keys in insertion order (front = oldest), for capped eviction.
+    order: VecDeque<u64>,
+    cap: usize,
     disk: Option<PathBuf>,
     dirty: bool,
     /// Launches answered from the cache.
     pub hits: u64,
     /// Launches that ran the interpreter (and populated the cache).
     pub misses: u64,
+}
+
+impl Default for LaunchCache {
+    fn default() -> Self {
+        LaunchCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            cap: DEFAULT_ENTRY_CAP,
+            disk: None,
+            dirty: false,
+            hits: 0,
+            misses: 0,
+        }
+    }
 }
 
 const MAGIC: &[u8] = b"SAFARAMEMO1\n";
@@ -163,16 +192,33 @@ impl LaunchCache {
 
     /// A cache backed by `path`: existing entries are loaded (a missing
     /// or unparseable file starts empty) and [`LaunchCache::save`]
-    /// writes back.
+    /// writes back. The file stores entries oldest-first, so loading
+    /// under a cap keeps the newest entries.
     pub fn with_disk(path: impl Into<PathBuf>) -> Self {
         let path = path.into();
         let mut cache = Self { disk: Some(path.clone()), ..Self::default() };
         if let Ok(data) = std::fs::read(&path) {
             if let Some(entries) = parse_disk(&data) {
-                cache.entries = entries;
+                for (key, entry) in entries {
+                    cache.insert_entry(key, entry);
+                }
+                cache.dirty = false;
             }
         }
         cache
+    }
+
+    /// Set the entry cap (minimum 1). Inserting past the cap evicts the
+    /// oldest entry.
+    pub fn with_entry_cap(mut self, cap: usize) -> Self {
+        self.cap = cap.max(1);
+        self.enforce_cap();
+        self
+    }
+
+    /// The configured entry cap.
+    pub fn entry_cap(&self) -> usize {
+        self.cap
     }
 
     /// Number of cached launches.
@@ -185,9 +231,38 @@ impl LaunchCache {
         self.entries.is_empty()
     }
 
+    /// Replay the entry for `key` into `mem`, if present: restores the
+    /// recorded post-launch buffer contents and returns the recorded
+    /// stats, bumping the hit counter.
+    fn replay(&mut self, key: u64, mem: &mut DeviceMemory) -> Option<LaunchResult> {
+        let entry = self.entries.get(&key)?;
+        for (idx, bytes) in &entry.writes {
+            mem.buffer_bytes_mut(*idx as usize).copy_from_slice(bytes);
+        }
+        self.hits += 1;
+        Some(LaunchResult { stats: entry.stats })
+    }
+
+    /// Insert (or overwrite) an entry, evicting oldest-first past the cap.
+    fn insert_entry(&mut self, key: u64, entry: CachedLaunch) {
+        if self.entries.insert(key, entry).is_none() {
+            self.order.push_back(key);
+        }
+        self.dirty = true;
+        self.enforce_cap();
+    }
+
+    fn enforce_cap(&mut self) {
+        while self.entries.len() > self.cap {
+            let Some(oldest) = self.order.pop_front() else { break };
+            self.entries.remove(&oldest);
+        }
+    }
+
     /// Persist to the backing file, if one was configured and anything
-    /// changed. Entries are written in sorted key order so the file is
-    /// deterministic for a given cache content.
+    /// changed. Entries are written oldest-first (insertion order) so a
+    /// reload preserves eviction order and the file is deterministic for
+    /// a given cache history.
     pub fn save(&mut self) -> std::io::Result<()> {
         let Some(path) = &self.disk else { return Ok(()) };
         if !self.dirty {
@@ -196,9 +271,7 @@ impl LaunchCache {
         let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
-        let mut keys: Vec<u64> = self.entries.keys().copied().collect();
-        keys.sort_unstable();
-        for k in keys {
+        for &k in &self.order {
             let e = &self.entries[&k];
             out.extend_from_slice(&k.to_le_bytes());
             for w in stats_to_words(&e.stats) {
@@ -223,7 +296,7 @@ impl LaunchCache {
     }
 }
 
-fn parse_disk(data: &[u8]) -> Option<HashMap<u64, CachedLaunch>> {
+fn parse_disk(data: &[u8]) -> Option<Vec<(u64, CachedLaunch)>> {
     let mut p = data.strip_prefix(MAGIC)?;
     let u64_at = |p: &mut &[u8]| -> Option<u64> {
         let (head, rest) = p.split_first_chunk::<8>()?;
@@ -236,7 +309,7 @@ fn parse_disk(data: &[u8]) -> Option<HashMap<u64, CachedLaunch>> {
         Some(u32::from_le_bytes(*head))
     };
     let count = u64_at(&mut p)?;
-    let mut entries = HashMap::with_capacity(count as usize);
+    let mut entries = Vec::with_capacity(count as usize);
     for _ in 0..count {
         let key = u64_at(&mut p)?;
         let mut words = [0u64; STATS_WORDS];
@@ -255,7 +328,7 @@ fn parse_disk(data: &[u8]) -> Option<HashMap<u64, CachedLaunch>> {
             p = rest;
             writes.push((idx, bytes.to_vec()));
         }
-        entries.insert(key, CachedLaunch { stats: stats_from_words(&words), writes });
+        entries.push((key, CachedLaunch { stats: stats_from_words(&words), writes }));
     }
     if p.is_empty() {
         Some(entries)
@@ -280,14 +353,24 @@ pub fn launch_cached(
     spilled: &[VReg],
 ) -> Result<LaunchResult, SimError> {
     let key = launch_key(kernel, config, params, mem, spilled);
-    if let Some(entry) = cache.entries.get(&key) {
-        cache.hits += 1;
-        for (idx, bytes) in &entry.writes {
-            mem.buffer_bytes_mut(*idx as usize).copy_from_slice(bytes);
-        }
-        return Ok(LaunchResult { stats: entry.stats });
+    if let Some(result) = cache.replay(key, mem) {
+        return Ok(result);
     }
     cache.misses += 1;
+    let (result, entry) = run_and_record(kernel, config, params, mem, spilled)?;
+    cache.insert_entry(key, entry);
+    Ok(result)
+}
+
+/// Run the interpreter and capture the outcome as a cache entry (stats
+/// plus the post-launch contents of every buffer the kernel mutated).
+fn run_and_record(
+    kernel: &KernelVir,
+    config: &LaunchConfig,
+    params: &[ParamVal],
+    mem: &mut DeviceMemory,
+    spilled: &[VReg],
+) -> Result<(LaunchResult, CachedLaunch), SimError> {
     let before: Vec<Vec<u8>> =
         (0..mem.buffer_count()).map(|i| mem.buffer_bytes(i).to_vec()).collect();
     let result = launch(kernel, config, params, mem, spilled)?;
@@ -297,9 +380,115 @@ pub fn launch_cached(
         .filter(|(i, old)| mem.buffer_bytes(*i) != old.as_slice())
         .map(|(i, _)| (i as u32, mem.buffer_bytes(i).to_vec()))
         .collect();
-    cache.entries.insert(key, CachedLaunch { stats: result.stats, writes });
-    cache.dirty = true;
-    Ok(result)
+    let stats = result.stats;
+    Ok((result, CachedLaunch { stats, writes }))
+}
+
+/// A [`LaunchCache`] shareable between threads, sharded by content-hash
+/// so concurrent lookups on different keys rarely contend.
+///
+/// Each shard is an independent capped `LaunchCache` behind its own
+/// mutex. A lookup locks only its shard; on a miss the interpreter runs
+/// *outside* the lock (simulation dominates, often by milliseconds), and
+/// the result is inserted afterwards. Two threads missing on the same
+/// key may both simulate — the launch is pure, so both compute the same
+/// entry and both count as misses: `hits() + misses()` always equals the
+/// number of launches submitted.
+#[derive(Debug)]
+pub struct SharedLaunchCache {
+    /// Power-of-two shard set; a key's low bits (post-avalanche, so
+    /// uniformly spread) select its shard.
+    shards: Vec<Mutex<LaunchCache>>,
+    mask: u64,
+}
+
+impl Default for SharedLaunchCache {
+    fn default() -> Self {
+        Self::new(16)
+    }
+}
+
+impl SharedLaunchCache {
+    /// A shared cache with `nshards` shards (rounded up to a power of
+    /// two) and the default total entry cap.
+    pub fn new(nshards: usize) -> Self {
+        Self::with_entry_cap(nshards, DEFAULT_ENTRY_CAP)
+    }
+
+    /// A shared cache capping *total* entries at roughly `cap`
+    /// (distributed evenly across shards, at least one per shard).
+    pub fn with_entry_cap(nshards: usize, cap: usize) -> Self {
+        let n = nshards.max(1).next_power_of_two();
+        let per_shard = (cap / n).max(1);
+        SharedLaunchCache {
+            shards: (0..n)
+                .map(|_| Mutex::new(LaunchCache::new().with_entry_cap(per_shard)))
+                .collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<LaunchCache> {
+        &self.shards[(key & self.mask) as usize]
+    }
+
+    fn lock(m: &Mutex<LaunchCache>) -> std::sync::MutexGuard<'_, LaunchCache> {
+        // A panic while holding the lock leaves a consistent cache (the
+        // entry map is only touched through replay/insert), so poisoning
+        // is safe to bypass.
+        m.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Launches answered from the cache, across all shards.
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| Self::lock(s).hits).sum()
+    }
+
+    /// Launches that ran the interpreter, across all shards.
+    pub fn misses(&self) -> u64 {
+        self.shards.iter().map(|s| Self::lock(s).misses).sum()
+    }
+
+    /// Total cached launches across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| Self::lock(s).len()).sum()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// [`launch_cached`] against the shared cache. Only the owning shard
+    /// is locked, and never while the interpreter runs.
+    pub fn launch_cached(
+        &self,
+        kernel: &KernelVir,
+        config: &LaunchConfig,
+        params: &[ParamVal],
+        mem: &mut DeviceMemory,
+        spilled: &[VReg],
+    ) -> Result<LaunchResult, SimError> {
+        let key = launch_key(kernel, config, params, mem, spilled);
+        let shard = self.shard(key);
+        if let Some(result) = Self::lock(shard).replay(key, mem) {
+            return Ok(result);
+        }
+        match run_and_record(kernel, config, params, mem, spilled) {
+            Ok((result, entry)) => {
+                let mut c = Self::lock(shard);
+                c.misses += 1;
+                c.insert_entry(key, entry);
+                Ok(result)
+            }
+            Err(e) => {
+                // Errors are never cached, but still count as misses so
+                // the counters account for every submitted launch.
+                Self::lock(shard).misses += 1;
+                Err(e)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -420,6 +609,91 @@ mod tests {
         assert_eq!(r1.stats, r2.stats);
         assert_eq!(mem.copy_out_f32(crate::memory::BufferId(1))[5], 6.0);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Distinct-input launches to populate a cache: variant `v` perturbs
+    /// the input buffer so every `v` produces a distinct content key.
+    fn run_variant(cache: &mut LaunchCache, k: &KernelVir, v: u32) {
+        let (mut mem, params, config) = setup();
+        mem.copy_in_f32(crate::memory::BufferId(0), &[v as f32 * 10.0 + 1.0]);
+        launch_cached(cache, k, &config, &params, &mut mem, &[]).unwrap();
+    }
+
+    #[test]
+    fn entry_cap_evicts_oldest_first() {
+        let k = add_one_kernel();
+        let mut cache = LaunchCache::new().with_entry_cap(3);
+        for v in 0..5 {
+            run_variant(&mut cache, &k, v);
+        }
+        assert_eq!(cache.len(), 3, "cap holds");
+        assert_eq!(cache.misses, 5);
+        // The two oldest variants (0, 1) were evicted: running them again
+        // misses; the three newest (2, 3, 4) hit.
+        for v in [2, 3, 4] {
+            run_variant(&mut cache, &k, v);
+        }
+        assert_eq!((cache.hits, cache.misses), (3, 5));
+        for v in [0, 1] {
+            run_variant(&mut cache, &k, v);
+        }
+        assert_eq!(cache.misses, 7, "evicted entries re-simulate");
+    }
+
+    #[test]
+    fn entry_cap_holds_across_persist_reload() {
+        let dir = std::env::temp_dir().join("safara_memo_cap_test");
+        let path = dir.join("capped.bin");
+        let _ = std::fs::remove_file(&path);
+        let k = add_one_kernel();
+
+        {
+            let mut cache = LaunchCache::with_disk(&path).with_entry_cap(3);
+            for v in 0..5 {
+                run_variant(&mut cache, &k, v);
+            }
+            assert_eq!(cache.len(), 3);
+            cache.save().unwrap();
+        }
+
+        // Reload with the same cap: the cap still holds, the survivors
+        // are the newest entries (2, 3, 4), and inserting one more still
+        // evicts oldest-first (2 goes, 6 stays).
+        let mut cache = LaunchCache::with_disk(&path).with_entry_cap(3);
+        assert_eq!(cache.len(), 3, "cap holds after reload");
+        for v in [2, 3, 4] {
+            run_variant(&mut cache, &k, v);
+        }
+        assert_eq!((cache.hits, cache.misses), (3, 0), "newest entries survived");
+        run_variant(&mut cache, &k, 6);
+        assert_eq!(cache.len(), 3);
+        run_variant(&mut cache, &k, 2);
+        assert_eq!(cache.misses, 2, "oldest survivor was the one evicted");
+
+        // Reloading under a *smaller* cap keeps only the newest.
+        cache.save().unwrap();
+        let cache = LaunchCache::with_disk(&path).with_entry_cap(1);
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_cache_hits_and_replays_like_exclusive() {
+        let k = add_one_kernel();
+        let shared = SharedLaunchCache::new(4);
+
+        let (mut mem1, params, config) = setup();
+        let r1 = shared.launch_cached(&k, &config, &params, &mut mem1, &[]).unwrap();
+        assert_eq!((shared.hits(), shared.misses()), (0, 1));
+
+        let (mut mem2, params2, config2) = setup();
+        let r2 = shared.launch_cached(&k, &config2, &params2, &mut mem2, &[]).unwrap();
+        assert_eq!((shared.hits(), shared.misses()), (1, 1));
+        assert_eq!(r1.stats, r2.stats);
+        for i in 0..mem1.buffer_count() {
+            assert_eq!(mem1.buffer_bytes(i), mem2.buffer_bytes(i), "buffer {i}");
+        }
+        assert_eq!(shared.len(), 1);
     }
 
     #[test]

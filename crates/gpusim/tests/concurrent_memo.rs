@@ -1,0 +1,175 @@
+//! Concurrent `SharedLaunchCache` use: N threads submitting identical
+//! and distinct launches must (a) keep hit/miss counters summing to the
+//! number of submissions, and (b) produce buffers byte-identical to a
+//! serial run through an exclusive `LaunchCache`.
+
+use safara_gpusim::interp::{LaunchConfig, ParamVal};
+use safara_gpusim::memo::{launch_cached, LaunchCache, SharedLaunchCache};
+use safara_gpusim::memory::{BufferId, DeviceMemory};
+use safara_gpusim::vir::{AluOp, Inst, KernelVir, MemSpace, Operand, ParamDecl, SpecialReg, VReg, VType};
+
+/// out[tid] = a[tid] * 2.0f + 1.0f
+fn scale_kernel() -> KernelVir {
+    KernelVir {
+        name: "scale".into(),
+        params: vec![ParamDecl::Ptr, ParamDecl::Ptr],
+        vregs: vec![VType::B32, VType::B64, VType::B64, VType::F32, VType::B64],
+        insts: vec![
+            Inst::Special { d: VReg(0), r: SpecialReg::Tid(0) },
+            Inst::Cvt { dty: VType::B64, d: VReg(1), aty: VType::B32, a: Operand::Reg(VReg(0)) },
+            Inst::Alu {
+                op: AluOp::Mul,
+                ty: VType::B64,
+                d: VReg(1),
+                a: Operand::Reg(VReg(1)),
+                b: Operand::ImmI(4),
+            },
+            Inst::LdParam { ty: VType::B64, d: VReg(2), index: 0 },
+            Inst::Alu {
+                op: AluOp::Add,
+                ty: VType::B64,
+                d: VReg(2),
+                a: Operand::Reg(VReg(2)),
+                b: Operand::Reg(VReg(1)),
+            },
+            Inst::Ld { space: MemSpace::Global, ty: VType::F32, d: VReg(3), addr: VReg(2) },
+            Inst::Alu {
+                op: AluOp::Mul,
+                ty: VType::F32,
+                d: VReg(3),
+                a: Operand::Reg(VReg(3)),
+                b: Operand::ImmF(2.0),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                ty: VType::F32,
+                d: VReg(3),
+                a: Operand::Reg(VReg(3)),
+                b: Operand::ImmF(1.0),
+            },
+            Inst::LdParam { ty: VType::B64, d: VReg(4), index: 1 },
+            Inst::Alu {
+                op: AluOp::Add,
+                ty: VType::B64,
+                d: VReg(4),
+                a: Operand::Reg(VReg(4)),
+                b: Operand::Reg(VReg(1)),
+            },
+            Inst::St { space: MemSpace::Global, ty: VType::F32, addr: VReg(4), a: Operand::Reg(VReg(3)) },
+            Inst::Ret,
+        ],
+    }
+}
+
+const LANES: usize = 32;
+
+/// Build the device memory + params for input variant `v` (each variant
+/// is a distinct input buffer, hence a distinct content key).
+fn setup(v: u32) -> (DeviceMemory, Vec<ParamVal>, LaunchConfig) {
+    let mut mem = DeviceMemory::new();
+    let a = mem.alloc(LANES * 4);
+    let out = mem.alloc(LANES * 4);
+    let data: Vec<f32> = (0..LANES).map(|i| i as f32 + v as f32 * 0.5).collect();
+    mem.copy_in_f32(a, &data);
+    let params = vec![ParamVal::Ptr(mem.base_addr(a)), ParamVal::Ptr(mem.base_addr(out))];
+    (mem, params, LaunchConfig::d1(1, LANES as u32))
+}
+
+#[test]
+fn n_threads_identical_and_distinct_launches() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 12;
+    const VARIANTS: u32 = 4; // distinct inputs; everything else is identical resubmission
+
+    let kernel = scale_kernel();
+
+    // Serial reference: one exclusive cache, same submission multiset.
+    let mut serial_outputs: Vec<Vec<f32>> = Vec::new();
+    let mut serial = LaunchCache::new();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let v = ((t * PER_THREAD + i) as u32) % VARIANTS;
+            let (mut mem, params, config) = setup(v);
+            launch_cached(&mut serial, &kernel, &config, &params, &mut mem, &[]).unwrap();
+            serial_outputs.push(mem.copy_out_f32(BufferId(1)));
+        }
+    }
+    assert_eq!(serial.misses, VARIANTS as u64);
+    assert_eq!(serial.hits, (THREADS * PER_THREAD) as u64 - VARIANTS as u64);
+
+    // Concurrent: THREADS threads hammer one shared cache with the same
+    // per-thread submission sequence.
+    let shared = SharedLaunchCache::new(8);
+    let concurrent_outputs = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let shared = &shared;
+            let kernel = &kernel;
+            handles.push(s.spawn(move || {
+                let mut outs = Vec::with_capacity(PER_THREAD);
+                for i in 0..PER_THREAD {
+                    let v = ((t * PER_THREAD + i) as u32) % VARIANTS;
+                    let (mut mem, params, config) = setup(v);
+                    shared
+                        .launch_cached(kernel, &config, &params, &mut mem, &[])
+                        .unwrap();
+                    outs.push((v, mem.copy_out_f32(BufferId(1))));
+                }
+                outs
+            }));
+        }
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect::<Vec<_>>()
+    });
+
+    // Counters sum to the number of submissions; at least one miss per
+    // distinct variant, and plenty of warm hits.
+    let (hits, misses) = (shared.hits(), shared.misses());
+    assert_eq!(hits + misses, (THREADS * PER_THREAD) as u64, "every launch counted once");
+    assert!(misses >= VARIANTS as u64, "each distinct input simulated at least once");
+    assert!(hits > 0, "identical resubmissions hit");
+    assert!(shared.len() <= misses as usize, "entries only come from misses");
+
+    // Outputs stay byte-identical to the serial run for every variant.
+    let expected_for = |v: u32| {
+        let (mut mem, params, config) = setup(v);
+        let mut solo = LaunchCache::new();
+        launch_cached(&mut solo, &kernel, &config, &params, &mut mem, &[]).unwrap();
+        mem.copy_out_f32(BufferId(1))
+    };
+    let expected: Vec<Vec<f32>> = (0..VARIANTS).map(expected_for).collect();
+    for (v, out) in &concurrent_outputs {
+        let want = &expected[*v as usize];
+        assert_eq!(
+            out.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            "variant {v} output must be byte-identical to serial"
+        );
+    }
+    // And the serial run's outputs, grouped by variant, match too.
+    for (flat, out) in serial_outputs.iter().enumerate() {
+        let v = (flat as u32) % VARIANTS;
+        assert_eq!(out, &expected[v as usize]);
+    }
+}
+
+#[test]
+fn shared_cache_cap_bounds_entries_under_concurrency() {
+    const THREADS: usize = 4;
+    let kernel = scale_kernel();
+    // Total cap 8 over 2 shards → 4 per shard.
+    let shared = SharedLaunchCache::with_entry_cap(2, 8);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let shared = &shared;
+            let kernel = &kernel;
+            s.spawn(move || {
+                for i in 0..10u32 {
+                    let (mut mem, params, config) = setup(t as u32 * 100 + i);
+                    shared.launch_cached(kernel, &config, &params, &mut mem, &[]).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(shared.misses(), (THREADS * 10) as u64, "all distinct inputs simulate");
+    assert!(shared.len() <= 8, "total cap holds: {}", shared.len());
+}

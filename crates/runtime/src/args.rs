@@ -72,6 +72,39 @@ impl HostArray {
         }
     }
 
+    /// Build `f32` data from raw IEEE-754 bit patterns — the lossless
+    /// encoding wire protocols use (decimal text can round).
+    pub fn from_f32_bits(bits: &[u32]) -> Self {
+        HostArray {
+            elem: ScalarTy::F32,
+            bytes: bits.iter().flat_map(|b| b.to_le_bytes()).collect(),
+        }
+    }
+
+    /// Build `f64` data from raw IEEE-754 bit patterns.
+    pub fn from_f64_bits(bits: &[u64]) -> Self {
+        HostArray {
+            elem: ScalarTy::F64,
+            bytes: bits.iter().flat_map(|b| b.to_le_bytes()).collect(),
+        }
+    }
+
+    /// The `f32` elements as raw IEEE-754 bit patterns.
+    pub fn as_f32_bits(&self) -> Vec<u32> {
+        self.bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// The `f64` elements as raw IEEE-754 bit patterns.
+    pub fn as_f64_bits(&self) -> Vec<u64> {
+        self.bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect()
+    }
+
     /// View as `f32`s.
     pub fn as_f32(&self) -> Vec<f32> {
         self.bytes
@@ -190,6 +223,16 @@ mod tests {
         assert_eq!(b.as_f64(), vec![1e-3]);
         let c = HostArray::from_i32(&[-1, 2]);
         assert_eq!(c.as_i32(), vec![-1, 2]);
+    }
+
+    #[test]
+    fn bit_pattern_roundtrips_are_lossless() {
+        let vals = [0.1f32, -0.0, f32::MIN_POSITIVE / 2.0, 1.0e30];
+        let a = HostArray::from_f32(&vals);
+        let bits = a.as_f32_bits();
+        assert_eq!(HostArray::from_f32_bits(&bits), a);
+        let d = HostArray::from_f64(&[0.1, -1.0e-300]);
+        assert_eq!(HostArray::from_f64_bits(&d.as_f64_bits()), d);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use safara_codegen::abi::{AbiParam, DimOwner};
 use safara_codegen::lower::{CompiledKernel, MappedLoopSpec};
 use safara_gpusim::device::DeviceConfig;
 use safara_gpusim::interp::{launch, LaunchConfig, ParamVal};
-use safara_gpusim::memo::{launch_cached, LaunchCache};
+use safara_gpusim::memo::{launch_cached, LaunchCache, SharedLaunchCache};
 use safara_gpusim::memory::{BufferId, DeviceMemory};
 use safara_gpusim::ptxas::RegAllocReport;
 use safara_gpusim::stats::KernelStats;
@@ -84,7 +84,7 @@ pub fn run_function(
     compiled: &[(CompiledKernel, RegAllocReport)],
     args: &mut Args,
 ) -> Result<RunReport, RuntimeError> {
-    run_function_cached(dev, func, compiled, args, None)
+    run_function_impl(dev, func, compiled, args, CacheRef::None)
 }
 
 /// [`run_function`] with optional launch memoization: pass a
@@ -96,7 +96,41 @@ pub fn run_function_cached(
     func: &Function,
     compiled: &[(CompiledKernel, RegAllocReport)],
     args: &mut Args,
-    mut cache: Option<&mut LaunchCache>,
+    cache: Option<&mut LaunchCache>,
+) -> Result<RunReport, RuntimeError> {
+    let cache = match cache {
+        Some(c) => CacheRef::Exclusive(c),
+        None => CacheRef::None,
+    };
+    run_function_impl(dev, func, compiled, args, cache)
+}
+
+/// [`run_function`] with launch memoization through a thread-shared
+/// [`SharedLaunchCache`] — the long-lived-service path: many concurrent
+/// runs amortize into one process-wide cache.
+pub fn run_function_shared(
+    dev: &DeviceConfig,
+    func: &Function,
+    compiled: &[(CompiledKernel, RegAllocReport)],
+    args: &mut Args,
+    cache: &SharedLaunchCache,
+) -> Result<RunReport, RuntimeError> {
+    run_function_impl(dev, func, compiled, args, CacheRef::Shared(cache))
+}
+
+/// How launches consult the memo cache, if at all.
+enum CacheRef<'a> {
+    None,
+    Exclusive(&'a mut LaunchCache),
+    Shared(&'a SharedLaunchCache),
+}
+
+fn run_function_impl(
+    dev: &DeviceConfig,
+    func: &Function,
+    compiled: &[(CompiledKernel, RegAllocReport)],
+    args: &mut Args,
+    mut cache: CacheRef<'_>,
 ) -> Result<RunReport, RuntimeError> {
     // ---- resolve array shapes and upload -------------------------------
     let scalar_env = build_scalar_env(func, args)?;
@@ -194,9 +228,14 @@ pub fn run_function_cached(
             });
         }
 
-        let result = match cache.as_deref_mut() {
-            Some(c) => launch_cached(c, &kernel.vir, &config, &params, &mut mem, &alloc.spilled),
-            None => launch(&kernel.vir, &config, &params, &mut mem, &alloc.spilled),
+        let result = match &mut cache {
+            CacheRef::None => launch(&kernel.vir, &config, &params, &mut mem, &alloc.spilled),
+            CacheRef::Exclusive(c) => {
+                launch_cached(c, &kernel.vir, &config, &params, &mut mem, &alloc.spilled)
+            }
+            CacheRef::Shared(s) => {
+                s.launch_cached(&kernel.vir, &config, &params, &mut mem, &alloc.spilled)
+            }
         }
         .map_err(|e| RuntimeError::new(format!("kernel `{}`: {e}", kernel.name)))?;
         let timing = estimate_time(

@@ -16,5 +16,7 @@ pub mod args;
 pub mod exec;
 
 pub use args::{ArgValue, Args, HostArray};
-pub use exec::{run_function, run_function_cached, KernelRun, RunReport, RuntimeError};
-pub use safara_gpusim::memo::LaunchCache;
+pub use exec::{
+    run_function, run_function_cached, run_function_shared, KernelRun, RunReport, RuntimeError,
+};
+pub use safara_gpusim::memo::{LaunchCache, SharedLaunchCache};

@@ -1,0 +1,508 @@
+//! A minimal JSON layer for the wire protocol.
+//!
+//! The build is offline (no serde), so this module hand-rolls exactly
+//! what newline-delimited JSON needs: a recursive-descent parser with a
+//! depth bound and full string-escape handling, and a writer whose
+//! float formatting uses Rust's shortest-roundtrip `Display` (so a
+//! value survives serialize → parse unchanged). Integers and floats are
+//! distinct variants — the protocol cares whether `3` or `3.0` arrived.
+//! Objects preserve insertion order, which keeps responses byte-stable.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number with no fraction or exponent, in `i64` range.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (duplicate keys keep the last).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+const MAX_DEPTH: u32 = 128;
+
+impl Json {
+    /// Parse one JSON document (trailing whitespace allowed, nothing else).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { b: input.as_bytes(), i: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (None for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String content, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer value, if an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object fields, if an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialize to a compact single-line string.
+    pub fn dump(&self) -> String {
+        let mut out = String::with_capacity(128);
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(v) => {
+                let mut buf = [0u8; 20];
+                out.push_str(fmt_i64(*v, &mut buf));
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // `Display` for floats is shortest-roundtrip; force a
+                    // fraction marker so the value re-parses as Float.
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.dump())
+    }
+}
+
+fn fmt_i64(v: i64, buf: &mut [u8; 20]) -> &str {
+    use std::io::Write as _;
+    let mut cur = std::io::Cursor::new(&mut buf[..]);
+    write!(cur, "{v}").expect("20 bytes fit any i64");
+    let n = cur.position() as usize;
+    std::str::from_utf8(&buf[..n]).expect("ascii")
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, m: impl Into<String>) -> JsonError {
+        JsonError { at: self.i, message: m.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value(depth + 1)?;
+            fields.push((key, val));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            return Ok(Json::Obj(fields));
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(Json::Arr(items));
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut run_start = self.i;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(self.raw_str(run_start, self.i)?);
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.raw_str(run_start, self.i)?);
+                    self.i += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.eat(b'\\') && self.eat(b'u') {
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                    } else {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        c => return Err(self.err(format!("bad escape `\\{}`", c as char))),
+                    }
+                    run_start = self.i;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn raw_str(&self, from: usize, to: usize) -> Result<&'a str, JsonError> {
+        std::str::from_utf8(&self.b[from..to])
+            .map_err(|_| JsonError { at: from, message: "invalid utf-8 in string".into() })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char).to_digit(16).ok_or_else(|| self.err("bad hex digit"))?;
+            v = v * 16 + d;
+            self.i += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.i;
+        let _ = self.eat(b'-');
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        let mut is_float = false;
+        if self.eat(b'.') {
+            is_float = true;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.i += 1;
+            if !self.eat(b'+') {
+                let _ = self.eat(b'-');
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        let text = self.raw_str(start, self.i)?;
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| JsonError { at: start, message: format!("bad number `{text}`") })
+    }
+}
+
+/// Convenience constructor: an object from key/value pairs.
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for s in ["null", "true", "false", "0", "-42", "3.25", "1e3"] {
+            let v = Json::parse(s).unwrap();
+            assert_eq!(Json::parse(&v.dump()).unwrap(), v, "{s}");
+        }
+        assert_eq!(Json::parse("3").unwrap(), Json::Int(3));
+        assert_eq!(Json::parse("3.0").unwrap(), Json::Float(3.0));
+        assert_eq!(Json::parse("9223372036854775807").unwrap(), Json::Int(i64::MAX));
+        // Out-of-range integers fall back to float rather than failing.
+        assert!(matches!(Json::parse("18446744073709551615").unwrap(), Json::Float(_)));
+    }
+
+    #[test]
+    fn floats_survive_roundtrip_exactly() {
+        for v in [0.1f64, -1.0e-300, std::f64::consts::PI, 1.5e300, -0.0] {
+            let dumped = Json::Float(v).dump();
+            match Json::parse(&dumped).unwrap() {
+                Json::Float(w) => assert_eq!(v.to_bits(), w.to_bits(), "{dumped}"),
+                other => panic!("expected float from {dumped}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a\"b\\c\nd\te\u{8}\u{c}\r — ünïcode 😀";
+        let v = Json::Str(s.to_string());
+        assert_eq!(Json::parse(&v.dump()).unwrap(), v);
+        // Escapes parse from foreign producers too.
+        assert_eq!(
+            Json::parse(r#""\u0041\u00e9\ud83d\ude00\/""#).unwrap(),
+            Json::Str("Aé😀/".into())
+        );
+    }
+
+    #[test]
+    fn nested_structures_roundtrip_and_lookup() {
+        let src = r#"{"op":"run","n":3,"xs":[1,2.5,null],"inner":{"ok":true},"op":"last-wins"}"#;
+        let v = Json::parse(src).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("last-wins"));
+        assert_eq!(v.get("n").and_then(Json::as_i64), Some(3));
+        assert_eq!(v.get("inner").and_then(|i| i.get("ok")).and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("xs").and_then(Json::as_arr).map(|a| a.len()), Some(3));
+        assert_eq!(Json::parse(&v.dump()).unwrap(), v);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "tru", "\"unterminated", "01x", "{\"a\":1}trailing",
+            "\"\\q\"", "\"\\ud800\"", "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?}");
+        }
+        // Depth bound holds instead of blowing the stack.
+        let deep = "[".repeat(4000) + &"]".repeat(4000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn source_with_pragma_newlines_roundtrips() {
+        let src = "void f(int n) {\n  #pragma acc kernels\n  { }\n}";
+        let line = obj(vec![("source", Json::Str(src.into()))]).dump();
+        assert!(!line.contains('\n'), "newline-delimited transport needs single lines");
+        let back = Json::parse(&line).unwrap();
+        assert_eq!(back.get("source").and_then(Json::as_str), Some(src));
+    }
+}

@@ -1,0 +1,578 @@
+//! The request/response wire protocol.
+//!
+//! One request or response per line, each a JSON object. Requests:
+//!
+//! ```json
+//! {"id":1,"op":"ping"}
+//! {"id":2,"op":"stats"}
+//! {"id":3,"op":"compile","source":"…","profile":"safara_only"}
+//! {"id":4,"op":"run","source":"…","entry":"axpy","profile":"base",
+//!  "scalars":{"n":8,"alpha":2.0},
+//!  "arrays":{"x":{"elem":"f32","data":[1,2,3]},
+//!            "y":{"elem":"f32","bits":[1065353216]}},
+//!  "return_arrays":true,"timeout_ms":5000}
+//! {"id":5,"op":"shutdown"}
+//! ```
+//!
+//! Array payloads carry either `data` (plain JSON numbers — convenient
+//! by hand) or `bits` (raw IEEE-754 bit patterns — lossless; `f64` bits
+//! are hex strings like `"0x3fb999999999999a"` since they overflow JSON
+//! integers). Responses echo `id` and carry `"status"`: `ok`, `error`,
+//! `overloaded` (admission control rejected the request), `timeout`
+//! (the request expired before a worker started it), or
+//! `shutting_down`. Run responses always include per-array content
+//! digests; full array contents (bits encoding) are returned when the
+//! request set `"return_arrays": true`.
+
+use crate::json::{obj, Json};
+use safara_core::{Args, CompilerConfig, RunOutcome};
+use safara_core::runtime::HostArray;
+use safara_core::ir::ScalarTy;
+
+/// Default per-request timeout when the request does not set one.
+pub const DEFAULT_TIMEOUT_MS: u64 = 30_000;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen id, echoed on the response (responses may arrive
+    /// out of submission order on a pipelined connection).
+    pub id: Option<i64>,
+    /// Per-request deadline override (milliseconds from admission).
+    pub timeout_ms: Option<u64>,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Request operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Liveness check.
+    Ping,
+    /// Server counters + cache statistics.
+    Stats,
+    /// Diagnostic: hold a worker for `ms` milliseconds (testing
+    /// admission control and timeouts).
+    Sleep {
+        /// How long to hold the worker (clamped server-side).
+        ms: u64,
+    },
+    /// Compile only; reports register counts per kernel.
+    Compile(CompileRequest),
+    /// The full compile-and-simulate pipeline.
+    Run(RunRequest),
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// `op: "compile"` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileRequest {
+    /// MiniACC source.
+    pub source: String,
+    /// Profile key (see [`CompilerConfig::by_name`]).
+    pub profile: String,
+    /// Restrict the report to one function (default: all).
+    pub entry: Option<String>,
+}
+
+/// `op: "run"` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// MiniACC source.
+    pub source: String,
+    /// Function to execute.
+    pub entry: String,
+    /// Profile key (see [`CompilerConfig::by_name`]).
+    pub profile: String,
+    /// Marshaled scalar and array arguments.
+    pub args: Args,
+    /// Return full post-run array contents (bits encoding), not just
+    /// digests.
+    pub return_arrays: bool,
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Json::parse(line).map_err(|e| e.to_string())?;
+    let id = v.get("id").and_then(Json::as_i64);
+    let timeout_ms = match v.get("timeout_ms") {
+        None | Some(Json::Null) => None,
+        Some(t) => Some(
+            t.as_i64()
+                .filter(|ms| *ms >= 0)
+                .ok_or("`timeout_ms` must be a non-negative integer")? as u64,
+        ),
+    };
+    let op_key = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `op`")?;
+    let op = match op_key {
+        "ping" => Op::Ping,
+        "stats" => Op::Stats,
+        "sleep" => Op::Sleep {
+            ms: v.get("ms").and_then(Json::as_i64).unwrap_or(0).max(0) as u64,
+        },
+        "compile" => Op::Compile(CompileRequest {
+            source: required_str(&v, "source")?,
+            profile: required_str(&v, "profile")?,
+            entry: v.get("entry").and_then(Json::as_str).map(str::to_string),
+        }),
+        "run" => Op::Run(RunRequest {
+            source: required_str(&v, "source")?,
+            entry: required_str(&v, "entry")?,
+            profile: required_str(&v, "profile")?,
+            args: parse_args(&v)?,
+            return_arrays: v.get("return_arrays").and_then(Json::as_bool).unwrap_or(false),
+        }),
+        "shutdown" => Op::Shutdown,
+        other => return Err(format!("unknown op `{other}`")),
+    };
+    Ok(Request { id, timeout_ms, op })
+}
+
+fn required_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+fn parse_args(v: &Json) -> Result<Args, String> {
+    let mut args = Args::new();
+    if let Some(scalars) = v.get("scalars") {
+        let fields = scalars.as_obj().ok_or("`scalars` must be an object")?;
+        for (name, val) in fields {
+            args = match val {
+                Json::Int(i) => args.i64(name, *i),
+                Json::Float(f) => args.f64(name, *f),
+                _ => return Err(format!("scalar `{name}` must be a number")),
+            };
+        }
+    }
+    if let Some(arrays) = v.get("arrays") {
+        let fields = arrays.as_obj().ok_or("`arrays` must be an object")?;
+        for (name, payload) in fields {
+            let arr = parse_array(payload).map_err(|m| format!("array `{name}`: {m}"))?;
+            args.arrays.insert(safara_core::ir::Ident::new(name), arr);
+        }
+    }
+    Ok(args)
+}
+
+fn parse_array(payload: &Json) -> Result<HostArray, String> {
+    let elem = payload
+        .get("elem")
+        .and_then(Json::as_str)
+        .ok_or("missing `elem` (one of f32, f64, i32)")?;
+    let data = payload.get("data").and_then(Json::as_arr);
+    let bits = payload.get("bits").and_then(Json::as_arr);
+    match (elem, data, bits) {
+        ("f32", Some(d), None) => {
+            let vals = numeric(d)?;
+            Ok(HostArray::from_f32(&vals.iter().map(|v| *v as f32).collect::<Vec<_>>()))
+        }
+        ("f64", Some(d), None) => Ok(HostArray::from_f64(&numeric(d)?)),
+        ("i32", Some(d), None) => {
+            let vals: Result<Vec<i32>, String> = d
+                .iter()
+                .map(|v| v.as_i64().map(|i| i as i32).ok_or("non-integer element".to_string()))
+                .collect();
+            Ok(HostArray::from_i32(&vals?))
+        }
+        ("f32", None, Some(b)) => {
+            let raw: Result<Vec<u32>, String> =
+                b.iter().map(|v| bits_u64(v).map(|x| x as u32)).collect();
+            Ok(HostArray::from_f32_bits(&raw?))
+        }
+        ("f64", None, Some(b)) => {
+            let raw: Result<Vec<u64>, String> = b.iter().map(bits_u64).collect();
+            Ok(HostArray::from_f64_bits(&raw?))
+        }
+        ("i32", None, Some(b)) => {
+            // i32 "bits" are just the values; negatives are legal.
+            let raw: Result<Vec<i32>, String> = b
+                .iter()
+                .map(|v| {
+                    v.as_i64()
+                        .filter(|x| i32::try_from(*x).is_ok())
+                        .map(|x| x as i32)
+                        .ok_or_else(|| "i32 out of range".to_string())
+                })
+                .collect();
+            Ok(HostArray::from_i32(&raw?))
+        }
+        ("f32" | "f64" | "i32", None, None) => Err("missing `data` or `bits`".into()),
+        ("f32" | "f64" | "i32", Some(_), Some(_)) => Err("give `data` or `bits`, not both".into()),
+        (other, _, _) => Err(format!("unknown element type `{other}`")),
+    }
+}
+
+fn numeric(items: &[Json]) -> Result<Vec<f64>, String> {
+    items
+        .iter()
+        .map(|v| v.as_f64().ok_or_else(|| "non-numeric element".to_string()))
+        .collect()
+}
+
+/// A bit pattern: a JSON integer, or a `"0x…"` hex string for values
+/// that overflow `i64` (any `f64` with the sign bit set).
+fn bits_u64(v: &Json) -> Result<u64, String> {
+    match v {
+        Json::Int(i) if *i >= 0 => Ok(*i as u64),
+        Json::Str(s) => {
+            let hex = s.strip_prefix("0x").ok_or("bit strings must start with 0x")?;
+            u64::from_str_radix(hex, 16).map_err(|e| format!("bad bit string `{s}`: {e}"))
+        }
+        _ => Err("bits must be non-negative integers or 0x-hex strings".into()),
+    }
+}
+
+/// Serialize a [`HostArray`] as a lossless `bits` payload.
+pub fn array_to_json(arr: &HostArray) -> Json {
+    let (elem, bits) = match arr.elem {
+        ScalarTy::F32 => (
+            "f32",
+            Json::Arr(arr.as_f32_bits().iter().map(|b| Json::Int(*b as i64)).collect()),
+        ),
+        ScalarTy::F64 => (
+            "f64",
+            Json::Arr(
+                arr.as_f64_bits().iter().map(|b| Json::Str(format!("0x{b:016x}"))).collect(),
+            ),
+        ),
+        ScalarTy::I32 | ScalarTy::I64 => (
+            "i32",
+            Json::Arr(arr.as_i32().iter().map(|v| Json::Int(*v as i64)).collect()),
+        ),
+    };
+    obj(vec![("elem", Json::Str(elem.into())), ("bits", bits)])
+}
+
+/// Content digest of an array: FNV-1a over the element tag and raw
+/// bytes, printed as 16 hex digits. Two arrays digest equal iff their
+/// bytes (and element type) are identical.
+pub fn digest(arr: &HostArray) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    step(arr.elem as u8);
+    for &b in &arr.bytes {
+        step(b);
+    }
+    format!("{h:016x}")
+}
+
+/// Build a run request line — the client-side counterpart of
+/// [`parse_request`], used by `server_bench` and the integration tests.
+/// Arrays are encoded losslessly (`bits`).
+pub fn build_run_request(
+    id: i64,
+    source: &str,
+    entry: &str,
+    profile: &str,
+    args: &Args,
+    return_arrays: bool,
+) -> String {
+    let scalars = Json::Obj(
+        args.scalars
+            .iter()
+            .map(|(k, v)| {
+                let jv = match v {
+                    safara_core::runtime::ArgValue::I32(i) => Json::Int(*i as i64),
+                    safara_core::runtime::ArgValue::I64(i) => Json::Int(*i),
+                    safara_core::runtime::ArgValue::F32(f) => Json::Float(*f as f64),
+                    safara_core::runtime::ArgValue::F64(f) => Json::Float(*f),
+                };
+                (k.to_string(), jv)
+            })
+            .collect(),
+    );
+    let arrays =
+        Json::Obj(args.arrays.iter().map(|(k, a)| (k.to_string(), array_to_json(a))).collect());
+    obj(vec![
+        ("id", Json::Int(id)),
+        ("op", Json::Str("run".into())),
+        ("source", Json::Str(source.into())),
+        ("entry", Json::Str(entry.into())),
+        ("profile", Json::Str(profile.into())),
+        ("scalars", scalars),
+        ("arrays", arrays),
+        ("return_arrays", Json::Bool(return_arrays)),
+    ])
+    .dump()
+}
+
+/// A minimal status response line.
+pub fn status_line(id: Option<i64>, status: &str) -> String {
+    response_base(id, status).dump()
+}
+
+/// An error response line.
+pub fn error_line(id: Option<i64>, message: &str) -> String {
+    let mut base = response_base(id, "error");
+    if let Json::Obj(fields) = &mut base {
+        fields.push(("message".into(), Json::Str(message.into())));
+    }
+    base.dump()
+}
+
+/// The common response skeleton: `{"id":…,"status":…}`.
+pub fn response_base(id: Option<i64>, status: &str) -> Json {
+    let id_json = match id {
+        Some(i) => Json::Int(i),
+        None => Json::Null,
+    };
+    obj(vec![("id", id_json), ("status", Json::Str(status.into()))])
+}
+
+/// Render a [`RunOutcome`] + post-run [`Args`] as an `ok` response.
+pub fn run_response(id: Option<i64>, outcome: &RunOutcome, args: &Args, return_arrays: bool) -> String {
+    let mut base = response_base(id, "ok");
+    let Json::Obj(fields) = &mut base else { unreachable!("response_base builds an object") };
+    fields.push(("op".into(), Json::Str("run".into())));
+    fields.push(("function".into(), Json::Str(outcome.function.clone())));
+    fields.push(("profile".into(), Json::Str(outcome.profile.into())));
+    let kernels = outcome
+        .kernels
+        .iter()
+        .map(|k| {
+            obj(vec![
+                ("name", Json::Str(k.name.clone())),
+                ("regs", Json::Int(k.regs_used as i64)),
+                ("spills", Json::Int(k.spills as i64)),
+                (
+                    "grid",
+                    Json::Arr(
+                        [k.grid.0, k.grid.1, k.grid.2]
+                            .iter()
+                            .map(|v| Json::Int(*v as i64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "block",
+                    Json::Arr(
+                        [k.block.0, k.block.1, k.block.2]
+                            .iter()
+                            .map(|v| Json::Int(*v as i64))
+                            .collect(),
+                    ),
+                ),
+                ("cycles", Json::Float(k.cycles)),
+            ])
+        })
+        .collect();
+    fields.push(("kernels".into(), Json::Arr(kernels)));
+    fields.push(("total_cycles".into(), Json::Float(outcome.total_cycles)));
+    fields.push(("max_regs".into(), Json::Int(outcome.max_regs as i64)));
+    fields.push(("sr_temps".into(), Json::Int(outcome.sr_temps_added as i64)));
+    fields.push(("feedback_rounds".into(), Json::Int(outcome.feedback_rounds as i64)));
+    fields.push((
+        "scalars".into(),
+        Json::Obj(
+            args.scalars
+                .iter()
+                .map(|(k, v)| {
+                    let jv = match v {
+                        safara_core::runtime::ArgValue::I32(i) => Json::Int(*i as i64),
+                        safara_core::runtime::ArgValue::I64(i) => Json::Int(*i),
+                        safara_core::runtime::ArgValue::F32(f) => {
+                            obj(vec![("bits", Json::Int(f.to_bits() as i64))])
+                        }
+                        safara_core::runtime::ArgValue::F64(f) => {
+                            obj(vec![("bits", Json::Str(format!("0x{:016x}", f.to_bits())))])
+                        }
+                    };
+                    (k.to_string(), jv)
+                })
+                .collect(),
+        ),
+    ));
+    fields.push((
+        "digests".into(),
+        Json::Obj(args.arrays.iter().map(|(k, a)| (k.to_string(), Json::Str(digest(a)))).collect()),
+    ));
+    if return_arrays {
+        fields.push((
+            "arrays".into(),
+            Json::Obj(args.arrays.iter().map(|(k, a)| (k.to_string(), array_to_json(a))).collect()),
+        ));
+    }
+    base.dump()
+}
+
+/// Render a compile-only report as an `ok` response.
+pub fn compile_response(
+    id: Option<i64>,
+    program: &safara_core::CompiledProgram,
+    entry: Option<&str>,
+) -> Result<String, String> {
+    let mut base = response_base(id, "ok");
+    let Json::Obj(fields) = &mut base else { unreachable!("response_base builds an object") };
+    fields.push(("op".into(), Json::Str("compile".into())));
+    fields.push(("profile".into(), Json::Str(program.config.name.into())));
+    let mut funcs = Vec::new();
+    for f in &program.functions {
+        if entry.is_some_and(|e| e != f.name) {
+            continue;
+        }
+        funcs.push(obj(vec![
+            ("name", Json::Str(f.name.clone())),
+            (
+                "kernels",
+                Json::Arr(
+                    f.kernels
+                        .iter()
+                        .map(|k| {
+                            obj(vec![
+                                ("name", Json::Str(k.kernel.name.clone())),
+                                ("regs", Json::Int(k.alloc.regs_used as i64)),
+                                ("demand", Json::Int(k.alloc.demand as i64)),
+                                ("spills", Json::Int(k.alloc.spilled.len() as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("max_regs", Json::Int(f.max_regs() as i64)),
+            ("sr_temps", Json::Int(f.sr_outcome.temps_added as i64)),
+            ("feedback_rounds", Json::Int(f.feedback_rounds as i64)),
+        ]));
+    }
+    if funcs.is_empty() {
+        return Err(match entry {
+            Some(e) => format!("no such function `{e}`"),
+            None => "program has no functions".to_string(),
+        });
+    }
+    fields.push(("functions".into(), Json::Arr(funcs)));
+    Ok(base.dump())
+}
+
+/// Resolve a profile key or build the standard error message.
+pub fn resolve_profile(key: &str) -> Result<CompilerConfig, String> {
+    CompilerConfig::by_name(key).ok_or_else(|| {
+        format!("unknown profile `{key}` (expected one of: {})", CompilerConfig::PROFILE_KEYS.join(", "))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safara_core::runtime::ArgValue;
+
+    #[test]
+    fn run_request_roundtrips_through_builder_and_parser() {
+        let args = Args::new()
+            .i32("n", 8)
+            .f32("alpha", 0.1) // 0.1f32 is inexact in decimal — bits keep it
+            .array_f32("x", &[1.0, 0.1, -0.0])
+            .array_i32("idx", &[3, -1]);
+        let line = build_run_request(7, "void f() {}", "f", "base", &args, true);
+        let req = parse_request(&line).unwrap();
+        assert_eq!(req.id, Some(7));
+        match req.op {
+            Op::Run(r) => {
+                assert_eq!(r.entry, "f");
+                assert_eq!(r.profile, "base");
+                assert!(r.return_arrays);
+                assert_eq!(r.args.array("x"), args.array("x"), "bit-exact arrays");
+                assert_eq!(r.args.array("idx"), args.array("idx"));
+                assert_eq!(r.args.scalar("n"), Some(ArgValue::I64(8)));
+                match r.args.scalar("alpha") {
+                    Some(ArgValue::F64(v)) => assert_eq!(v, 0.1f32 as f64),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn f64_bits_roundtrip_via_hex_strings() {
+        let args = Args::new().array_f64("d", &[-0.1, 1.0e308]);
+        let line = build_run_request(1, "s", "e", "base", &args, false);
+        let req = parse_request(&line).unwrap();
+        let Op::Run(r) = req.op else { panic!() };
+        assert_eq!(r.args.array("d"), args.array("d"));
+    }
+
+    #[test]
+    fn decimal_data_arrays_parse() {
+        let req = parse_request(
+            r#"{"op":"run","source":"s","entry":"e","profile":"base",
+                "arrays":{"x":{"elem":"f32","data":[1,2.5]},"k":{"elem":"i32","data":[4]}}}"#
+                .replace('\n', " ")
+                .as_str(),
+        )
+        .unwrap();
+        assert_eq!(req.timeout_ms, None);
+        let Op::Run(r) = req.op else { panic!() };
+        assert_eq!(r.args.array("x").unwrap().as_f32(), vec![1.0, 2.5]);
+        assert_eq!(r.args.array("k").unwrap().as_i32(), vec![4]);
+        assert!(!r.return_arrays);
+    }
+
+    #[test]
+    fn malformed_requests_report_errors() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"op":"dance"}"#,
+            r#"{"op":"run","entry":"e","profile":"base"}"#,
+            r#"{"op":"run","source":"s","entry":"e","profile":"base","arrays":{"x":{"elem":"f99","data":[]}}}"#,
+            r#"{"op":"run","source":"s","entry":"e","profile":"base","arrays":{"x":{"elem":"f32"}}}"#,
+            r#"{"op":"ping","timeout_ms":-5}"#,
+            r#"{"op":"run","source":"s","entry":"e","profile":"base","scalars":{"n":"x"}}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn ops_parse() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap().op, Op::Ping);
+        assert_eq!(parse_request(r#"{"op":"stats","id":9}"#).unwrap().id, Some(9));
+        assert_eq!(parse_request(r#"{"op":"sleep","ms":50}"#).unwrap().op, Op::Sleep { ms: 50 });
+        assert_eq!(parse_request(r#"{"op":"shutdown"}"#).unwrap().op, Op::Shutdown);
+        let c = parse_request(r#"{"op":"compile","source":"s","profile":"base"}"#).unwrap();
+        assert!(matches!(c.op, Op::Compile(_)));
+        assert_eq!(
+            parse_request(r#"{"op":"ping","timeout_ms":250}"#).unwrap().timeout_ms,
+            Some(250)
+        );
+    }
+
+    #[test]
+    fn digests_discriminate_content_and_type() {
+        let a = HostArray::from_f32(&[1.0, 2.0]);
+        let b = HostArray::from_f32(&[1.0, 2.0]);
+        let c = HostArray::from_f32(&[1.0, 2.5]);
+        assert_eq!(digest(&a), digest(&b));
+        assert_ne!(digest(&a), digest(&c));
+        let as_ints = HostArray::from_i32(&[1065353216, 1073741824]); // same bytes, different elem
+        assert_ne!(digest(&a), digest(&as_ints));
+    }
+
+    #[test]
+    fn status_and_error_lines_are_single_line_json() {
+        let s = status_line(Some(3), "overloaded");
+        assert_eq!(Json::parse(&s).unwrap().get("status").and_then(Json::as_str), Some("overloaded"));
+        let e = error_line(None, "boom\nwith newline");
+        assert!(!e.contains('\n'));
+        let v = Json::parse(&e).unwrap();
+        assert_eq!(v.get("id"), Some(&Json::Null));
+        assert_eq!(v.get("message").and_then(Json::as_str), Some("boom\nwith newline"));
+    }
+
+    #[test]
+    fn unknown_profile_message_lists_keys() {
+        let m = resolve_profile("nvcc").unwrap_err();
+        assert!(m.contains("safara_only") && m.contains("carr_kennedy"), "{m}");
+        assert!(resolve_profile("safara_clauses").is_ok());
+    }
+}

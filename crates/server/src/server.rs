@@ -1,0 +1,168 @@
+//! The TCP transport: newline-delimited JSON over `std::net`.
+//!
+//! The accept loop runs nonblocking and polls so it can notice shutdown
+//! (a `shutdown` request, or [`ServerHandle::stop`]) promptly. Each
+//! connection gets a reader thread (parses lines, submits to the
+//! engine) and a writer thread (drains the connection's reply channel);
+//! responses stream back as workers finish, so a pipelined client may
+//! see them out of submission order and must match on `id`.
+
+use crate::protocol::{error_line, parse_request};
+use crate::service::{Engine, EngineConfig, Submit};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Control handle for a running server.
+pub struct ServerHandle {
+    /// The bound address (useful with port 0).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Ask the accept loop to wind down and wait for a clean exit:
+    /// connections close, the engine drains admitted jobs, workers join.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.accept.join();
+    }
+
+    /// Block until the server exits on its own (a `shutdown` request).
+    pub fn join(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`), start the engine, and serve.
+pub fn serve(addr: &str, config: EngineConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let accept = std::thread::Builder::new()
+        .name("safara-accept".into())
+        .spawn(move || accept_loop(listener, config, &stop_flag))
+        .expect("spawn accept loop");
+    Ok(ServerHandle { addr, stop, accept })
+}
+
+fn accept_loop(listener: TcpListener, config: EngineConfig, stop: &AtomicBool) {
+    let engine = Arc::new(Engine::start(config));
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst)
+            || engine.shared().shutdown_requested.load(Ordering::SeqCst)
+        {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = Arc::clone(&engine);
+                let h = std::thread::Builder::new()
+                    .name("safara-conn".into())
+                    .spawn(move || handle_connection(stream, &engine))
+                    .expect("spawn connection handler");
+                connections.push(h);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+        connections.retain(|h| !h.is_finished());
+    }
+    // Drain. Readers poll the flag (100 ms read timeout) and exit; the
+    // still-running workers finish each connection's in-flight jobs, so
+    // joining a connection waits for its responses to be written. Only
+    // then is the engine Arc unique and the pool can be joined.
+    engine.shared().shutdown_requested.store(true, Ordering::SeqCst);
+    for h in connections {
+        let _ = h.join();
+    }
+    if let Ok(engine) = Arc::try_unwrap(engine) {
+        engine.shutdown();
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &Engine) {
+    // Short read timeout: the reader must notice shutdown even when the
+    // client keeps the connection open but idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("safara-conn-writer".into())
+        .spawn(move || writer_loop(write_half, &rx))
+        .expect("spawn connection writer");
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if engine.shared().shutdown_requested.load(Ordering::SeqCst) {
+            break;
+        }
+        // `read_line` appends, so a line split across read-timeout
+        // ticks accumulates in `line` until its `\n` arrives (a
+        // timeout surfaces as `WouldBlock` below with the partial
+        // bytes retained). `Ok` with no trailing `\n` means EOF cut
+        // the final line short — still process it, then exit on the
+        // `Ok(0)` that follows.
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    dispatch(engine, trimmed, &tx);
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                // Idle poll tick; loop to re-check the shutdown flag.
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    drop(tx); // writer exits once workers drop their senders too
+    let _ = writer.join();
+}
+
+/// Parse one line and submit it; failures answer immediately on `tx`.
+pub fn dispatch(engine: &Engine, line: &str, tx: &mpsc::Sender<String>) {
+    match parse_request(line) {
+        Ok(req) => {
+            // Answer `stats` inline: it must reflect queue state even
+            // (especially) when the queue is full.
+            if matches!(req.op, crate::protocol::Op::Stats) {
+                let _ = tx.send(engine.stats_line(req.id));
+                return;
+            }
+            if let Submit::Rejected { response, .. } = engine.submit(req, tx.clone()) {
+                let _ = tx.send(response);
+            }
+        }
+        Err(m) => {
+            let _ = tx.send(error_line(None, &m));
+        }
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<String>) {
+    while let Ok(line) = rx.recv() {
+        if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+            return;
+        }
+        let _ = stream.flush();
+    }
+}

@@ -1,0 +1,499 @@
+//! The engine: a fixed worker pool executing requests from a bounded
+//! queue against one process-wide shared launch cache.
+//!
+//! Transports (TCP, stdin) parse lines into [`Request`]s and call
+//! [`Engine::submit`]; each job carries an `mpsc::Sender<String>` the
+//! worker answers on, so a transport can multiplex many in-flight
+//! requests per connection and write responses as they finish.
+//! Admission control happens in `submit` (bounded queue, non-blocking
+//! push → `overloaded`); deadlines are checked when a worker *dequeues*
+//! a job — a request that waited past its timeout is answered `timeout`
+//! without touching the pipeline.
+
+use crate::protocol::{
+    self, error_line, status_line, Op, Request, DEFAULT_TIMEOUT_MS,
+};
+use crate::queue::{Bounded, PushError};
+use safara_core::gpusim::device::DeviceConfig;
+use safara_core::{CompiledProgram, SharedLaunchCache};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine sizing and policy.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Bounded queue depth (≥ 1) — jobs admitted but not yet running.
+    pub queue_depth: usize,
+    /// Deadline for requests that set no `timeout_ms`.
+    pub default_timeout_ms: u64,
+    /// Shard count for the shared launch cache.
+    pub cache_shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            queue_depth: 64,
+            default_timeout_ms: DEFAULT_TIMEOUT_MS,
+            cache_shards: 16,
+        }
+    }
+}
+
+/// One admitted unit of work.
+pub struct Job {
+    /// The parsed request.
+    pub request: Request,
+    /// Absolute deadline (admission time + effective timeout).
+    pub deadline: Instant,
+    /// Where the worker sends the response line.
+    pub reply: mpsc::Sender<String>,
+}
+
+/// State shared by workers and transports.
+pub struct EngineShared {
+    /// Pool size (fixed at start).
+    pub workers: usize,
+    /// The process-wide launch cache all workers memoize through.
+    pub cache: SharedLaunchCache,
+    /// Compiled programs keyed by FNV(source ‖ profile name).
+    programs: Mutex<HashMap<u64, Arc<CompiledProgram>>>,
+    /// Requests admitted to the queue.
+    pub submitted: AtomicU64,
+    /// Requests answered `ok`.
+    pub completed: AtomicU64,
+    /// Requests shed by admission control.
+    pub rejected_overload: AtomicU64,
+    /// Requests that expired waiting in the queue.
+    pub timed_out: AtomicU64,
+    /// Requests answered `error`.
+    pub errors: AtomicU64,
+    /// Set by a `shutdown` request; transports watch it.
+    pub shutdown_requested: AtomicBool,
+}
+
+impl EngineShared {
+    fn program_for(
+        &self,
+        source: &str,
+        profile_key: &str,
+    ) -> Result<Arc<CompiledProgram>, String> {
+        let config = protocol::resolve_profile(profile_key)?;
+        let key = fnv_pair(source, config.name);
+        if let Some(p) = self.programs.lock().unwrap_or_else(|p| p.into_inner()).get(&key) {
+            return Ok(Arc::clone(p));
+        }
+        // Compile outside the lock: compilation is the expensive half
+        // and two workers racing on the same source just do it twice.
+        let program = safara_core::compile(source, &config).map_err(|e| e.to_string())?;
+        let program = Arc::new(program);
+        self.programs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&program));
+        Ok(program)
+    }
+
+    /// Distinct compiled programs currently cached.
+    pub fn programs_cached(&self) -> usize {
+        self.programs.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
+fn fnv_pair(a: &str, b: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in a.as_bytes().iter().chain([0xffu8].iter()).chain(b.as_bytes()) {
+        h ^= *byte as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// What [`Engine::submit`] did with a request.
+pub enum Submit {
+    /// Admitted; the response will arrive on the job's reply channel.
+    Queued,
+    /// Shed. The request is handed back (so a transport that *can*
+    /// wait, like stdin batch mode, may retry) together with the
+    /// ready-made `overloaded`/`shutting_down` response line.
+    Rejected {
+        /// The request admission control refused.
+        request: Request,
+        /// The response line to send if the caller does not retry.
+        response: String,
+    },
+}
+
+/// The running service: worker pool + queue + shared state.
+pub struct Engine {
+    shared: Arc<EngineShared>,
+    queue: Arc<Bounded<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    default_timeout_ms: u64,
+}
+
+impl Engine {
+    /// Spawn the worker pool.
+    pub fn start(config: EngineConfig) -> Engine {
+        let shared = Arc::new(EngineShared {
+            workers: config.workers.max(1),
+            cache: SharedLaunchCache::new(config.cache_shards),
+            programs: Mutex::new(HashMap::new()),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            shutdown_requested: AtomicBool::new(false),
+        });
+        let queue = Arc::new(Bounded::new(config.queue_depth));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("safara-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &queue))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Engine { shared, queue, workers, default_timeout_ms: config.default_timeout_ms }
+    }
+
+    /// The shared state (cache, counters, shutdown flag).
+    pub fn shared(&self) -> &Arc<EngineShared> {
+        &self.shared
+    }
+
+    /// Submit a parsed request. Non-blocking: at capacity the request
+    /// comes straight back with an `overloaded` response line.
+    pub fn submit(&self, request: Request, reply: mpsc::Sender<String>) -> Submit {
+        let timeout =
+            Duration::from_millis(request.timeout_ms.unwrap_or(self.default_timeout_ms));
+        let job = Job { request, deadline: Instant::now() + timeout, reply };
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                Submit::Queued
+            }
+            Err(PushError::Full(job)) => {
+                self.shared.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                let response = status_line(job.request.id, "overloaded");
+                Submit::Rejected { request: job.request, response }
+            }
+            Err(PushError::Closed(job)) => {
+                let response = status_line(job.request.id, "shutting_down");
+                Submit::Rejected { request: job.request, response }
+            }
+        }
+    }
+
+    /// The deadline `submit` applies when a request sets no timeout.
+    pub fn default_timeout_ms(&self) -> u64 {
+        self.default_timeout_ms
+    }
+
+    /// Render the `stats` response (also available as the `stats` op).
+    pub fn stats_line(&self, id: Option<i64>) -> String {
+        stats_line_for(&self.shared, self.queue.len(), id)
+    }
+
+    /// Stop admitting, drain admitted jobs, join the pool.
+    pub fn shutdown(self) {
+        self.queue.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn stats_line_for(shared: &EngineShared, queue_len: usize, id: Option<i64>) -> String {
+    use crate::json::{obj, Json};
+    let mut base = protocol::response_base(id, "ok");
+    let Json::Obj(fields) = &mut base else { unreachable!("response_base builds an object") };
+    fields.push(("op".into(), Json::Str("stats".into())));
+    fields.push((
+        "server".into(),
+        obj(vec![
+            ("workers", Json::Int(shared.workers as i64)),
+            ("queue_len", Json::Int(queue_len as i64)),
+            ("submitted", Json::Int(shared.submitted.load(Ordering::Relaxed) as i64)),
+            ("completed", Json::Int(shared.completed.load(Ordering::Relaxed) as i64)),
+            (
+                "rejected_overload",
+                Json::Int(shared.rejected_overload.load(Ordering::Relaxed) as i64),
+            ),
+            ("timed_out", Json::Int(shared.timed_out.load(Ordering::Relaxed) as i64)),
+            ("errors", Json::Int(shared.errors.load(Ordering::Relaxed) as i64)),
+            ("programs_cached", Json::Int(shared.programs_cached() as i64)),
+        ]),
+    ));
+    fields.push((
+        "cache".into(),
+        obj(vec![
+            ("hits", Json::Int(shared.cache.hits() as i64)),
+            ("misses", Json::Int(shared.cache.misses() as i64)),
+            ("entries", Json::Int(shared.cache.len() as i64)),
+        ]),
+    ));
+    base.dump()
+}
+
+fn worker_loop(shared: &EngineShared, queue: &Bounded<Job>) {
+    while let Some(job) = queue.pop() {
+        let id = job.request.id;
+        if Instant::now() > job.deadline {
+            shared.timed_out.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(status_line(id, "timeout"));
+            continue;
+        }
+        let line = execute(shared, queue, &job.request);
+        match &line {
+            Ok(_) => shared.completed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => shared.errors.fetch_add(1, Ordering::Relaxed),
+        };
+        let line = line.unwrap_or_else(|m| error_line(id, &m));
+        // A send error means the client hung up; nothing to do.
+        let _ = job.reply.send(line);
+    }
+}
+
+fn execute(shared: &EngineShared, queue: &Bounded<Job>, request: &Request) -> Result<String, String> {
+    let id = request.id;
+    match &request.op {
+        Op::Ping => Ok(status_line(id, "ok")),
+        Op::Stats => Ok(stats_line_for(shared, queue.len(), id)),
+        Op::Sleep { ms } => {
+            // Diagnostic op for exercising admission control: clamp so a
+            // stray request cannot wedge a worker for long.
+            std::thread::sleep(Duration::from_millis((*ms).min(2_000)));
+            Ok(status_line(id, "ok"))
+        }
+        Op::Shutdown => {
+            shared.shutdown_requested.store(true, Ordering::SeqCst);
+            Ok(status_line(id, "shutting_down"))
+        }
+        Op::Compile(c) => {
+            let program = shared.program_for(&c.source, &c.profile)?;
+            protocol::compile_response(id, &program, c.entry.as_deref())
+        }
+        Op::Run(r) => {
+            let program = shared.program_for(&r.source, &r.profile)?;
+            let mut args = r.args.clone();
+            let outcome = safara_core::run_compiled(
+                &program,
+                &r.entry,
+                &mut args,
+                &DeviceConfig::k20xm(),
+                Some(&shared.cache),
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(protocol::run_response(id, &outcome, &args, r.return_arrays))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::protocol::parse_request;
+
+    fn status_of(line: &str) -> String {
+        Json::parse(line)
+            .unwrap()
+            .get("status")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string()
+    }
+
+    fn submit_line(engine: &Engine, line: &str, tx: &mpsc::Sender<String>) -> Option<String> {
+        match engine.submit(parse_request(line).unwrap(), tx.clone()) {
+            Submit::Queued => None,
+            Submit::Rejected { response, .. } => Some(response),
+        }
+    }
+
+    #[test]
+    fn ping_compile_and_run_roundtrip() {
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            queue_depth: 8,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let src = "void axpy(int n, float alpha, const float x[n], float y[n]) {\
+                   #pragma acc kernels copyin(x) copy(y)\n{\
+                   #pragma acc loop gang vector\n\
+                   for (int i = 0; i < n; i++) { y[i] = y[i] + alpha * x[i]; } } }";
+        let run = protocol::build_run_request(
+            2,
+            src,
+            "axpy",
+            "safara_only",
+            &safara_core::Args::new()
+                .i32("n", 16)
+                .f32("alpha", 3.0)
+                .array_f32("x", &[1.0; 16])
+                .array_f32("y", &[0.5; 16]),
+            true,
+        );
+        for line in [r#"{"id":1,"op":"ping"}"#, run.as_str()] {
+            assert!(submit_line(&engine, line, &tx).is_none());
+        }
+        let mut got = HashMap::new();
+        for _ in 0..2 {
+            let line = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            let v = Json::parse(&line).unwrap();
+            got.insert(v.get("id").and_then(Json::as_i64).unwrap(), line);
+        }
+        assert_eq!(status_of(&got[&1]), "ok");
+        let run_resp = Json::parse(&got[&2]).unwrap();
+        assert_eq!(run_resp.get("status").and_then(Json::as_str), Some("ok"));
+        let y_bits = run_resp
+            .get("arrays")
+            .and_then(|a| a.get("y"))
+            .and_then(|y| y.get("bits"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(y_bits.len(), 16);
+        assert_eq!(y_bits[0].as_i64().unwrap() as u32, 3.5f32.to_bits());
+        assert!(run_resp.get("max_regs").and_then(Json::as_i64).unwrap() > 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        // One worker held by a sleep + depth-1 queue: the third request
+        // must be shed deterministically.
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        assert!(submit_line(&engine, r#"{"id":1,"op":"sleep","ms":300}"#, &tx).is_none());
+        // Give the worker time to dequeue job 1 so job 2 occupies the
+        // queue slot; then job 3 must bounce.
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(submit_line(&engine, r#"{"id":2,"op":"ping"}"#, &tx).is_none());
+        let rejected = submit_line(&engine, r#"{"id":3,"op":"ping"}"#, &tx).unwrap();
+        assert_eq!(status_of(&rejected), "overloaded");
+        assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(5)).unwrap()), "ok");
+        assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(5)).unwrap()), "ok");
+        assert_eq!(engine.shared().rejected_overload.load(Ordering::Relaxed), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn stale_requests_time_out_at_dequeue() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 4,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        assert!(submit_line(&engine, r#"{"id":1,"op":"sleep","ms":300}"#, &tx).is_none());
+        // Queued behind the sleep with a 10 ms deadline: expired by the
+        // time the worker frees up.
+        assert!(
+            submit_line(&engine, r#"{"id":2,"op":"ping","timeout_ms":10}"#, &tx).is_none()
+        );
+        let first = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(status_of(&first), "ok");
+        let second = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(status_of(&second), "timeout");
+        assert_eq!(Json::parse(&second).unwrap().get("id").and_then(Json::as_i64), Some(2));
+        assert_eq!(engine.shared().timed_out.load(Ordering::Relaxed), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_jobs() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 8,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        for i in 0..5 {
+            let line = format!(r#"{{"id":{i},"op":"ping"}}"#);
+            assert!(submit_line(&engine, &line, &tx).is_none());
+        }
+        engine.shutdown(); // closes the queue, then joins: must drain all 5
+        let mut ok = 0;
+        while let Ok(line) = rx.try_recv() {
+            assert_eq!(status_of(&line), "ok");
+            ok += 1;
+        }
+        assert_eq!(ok, 5);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 4,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let bad = r#"{"id":1,"op":"run","source":"void f(","entry":"f","profile":"base"}"#;
+        assert!(submit_line(&engine, bad, &tx).is_none());
+        let unknown_profile =
+            r#"{"id":2,"op":"compile","source":"void f() {}","profile":"gcc"}"#;
+        assert!(submit_line(&engine, unknown_profile, &tx).is_none());
+        for _ in 0..2 {
+            let line = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert_eq!(status_of(&line), "error");
+            assert!(Json::parse(&line).unwrap().get("message").is_some());
+        }
+        assert_eq!(engine.shared().errors.load(Ordering::Relaxed), 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn identical_runs_share_the_cache_and_program_store() {
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            queue_depth: 16,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let src = "void dbl(int n, float x[n]) {\
+                   #pragma acc kernels copy(x)\n{\
+                   #pragma acc loop gang vector\n\
+                   for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } } }";
+        let args = safara_core::Args::new().i32("n", 8).array_f32("x", &[1.5; 8]);
+        let mut digests = Vec::new();
+        for i in 0..6 {
+            let line = protocol::build_run_request(i, src, "dbl", "base", &args, false);
+            assert!(submit_line(&engine, &line, &tx).is_none());
+        }
+        for _ in 0..6 {
+            let line = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            let v = Json::parse(&line).unwrap();
+            assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{line}");
+            digests.push(
+                v.get("digests")
+                    .and_then(|d| d.get("x"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string(),
+            );
+        }
+        assert!(digests.windows(2).all(|w| w[0] == w[1]), "{digests:?}");
+        let shared = engine.shared();
+        assert_eq!(shared.cache.hits() + shared.cache.misses(), 6);
+        assert!(shared.cache.hits() >= 4, "at least n-workers hits");
+        assert_eq!(shared.programs_cached(), 1);
+        engine.shutdown();
+    }
+}

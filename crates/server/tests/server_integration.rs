@@ -1,0 +1,257 @@
+//! End-to-end acceptance test: a live TCP server under concurrent
+//! client load, with every response checked bitwise against
+//! single-threaded reference runs made through `safara_core` directly.
+//!
+//! 4 client threads × 25 pipelined requests each, over 6 distinct
+//! (program, profile, inputs) combinations — so most requests repeat an
+//! earlier one and the shared launch cache must take warm hits. Zero
+//! dropped responses allowed; every array must match the reference
+//! bit for bit.
+
+use safara_core::gpusim::device::DeviceConfig;
+use safara_core::{run_compiled, Args, CompilerConfig};
+use safara_server::json::Json;
+use safara_server::protocol::{build_run_request, digest};
+use safara_server::service::EngineConfig;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+const SCALE: &str = r#"
+void scale(int n, float alpha, float x[n]) {
+  #pragma acc kernels copy(x)
+  {
+    #pragma acc loop gang vector
+    for (int i = 0; i < n; i++) { x[i] = x[i] * alpha + 1.0f; }
+  }
+}"#;
+
+const STENCIL: &str = r#"
+void stencil(int m, float a[66][66], float b[66][66]) {
+  #pragma acc kernels copyin(a) copy(b)
+  {
+    #pragma acc loop gang vector
+    for (int j = 1; j <= m; j++) {
+      #pragma acc loop seq
+      for (int i = 1; i <= m; i++) {
+        b[i][j] = a[i - 1][j] + a[i + 1][j] + a[i][j - 1] + a[i][j + 1];
+      }
+    }
+  }
+}"#;
+
+const SUMSQ: &str = r#"
+void sumsq(int n, const float x[n], float s) {
+  #pragma acc kernels copyin(x)
+  {
+    #pragma acc loop gang vector reduction(+:s)
+    for (int i = 0; i < n; i++) { s += x[i] * x[i]; }
+  }
+}"#;
+
+/// One distinct request shape: program + profile + inputs.
+struct Combo {
+    source: &'static str,
+    entry: &'static str,
+    profile: &'static str,
+    args: Args,
+}
+
+fn combos() -> Vec<Combo> {
+    let scale_args = |seed: f32| {
+        Args::new()
+            .i32("n", 64)
+            .f32("alpha", 1.5)
+            .array_f32("x", &(0..64).map(|i| seed + i as f32 * 0.25).collect::<Vec<_>>())
+    };
+    let grid: Vec<f32> = (0..66 * 66).map(|i| (i % 31) as f32 * 0.5 - 3.0).collect();
+    let stencil_args = Args::new()
+        .i32("m", 64)
+        .array_f32("a", &grid)
+        .array_f32("b", &vec![0.0f32; 66 * 66]);
+    let sumsq_args = Args::new()
+        .i32("n", 96)
+        .f32("s", 0.0)
+        .array_f32("x", &(0..96).map(|i| (i as f32 * 0.125).sin()).collect::<Vec<_>>());
+    vec![
+        Combo { source: SCALE, entry: "scale", profile: "base", args: scale_args(0.0) },
+        Combo { source: SCALE, entry: "scale", profile: "safara_only", args: scale_args(0.0) },
+        Combo { source: SCALE, entry: "scale", profile: "base", args: scale_args(100.0) },
+        Combo { source: STENCIL, entry: "stencil", profile: "safara_only", args: stencil_args.clone() },
+        Combo { source: STENCIL, entry: "stencil", profile: "carr_kennedy", args: stencil_args },
+        Combo { source: SUMSQ, entry: "sumsq", profile: "safara_clauses", args: sumsq_args },
+    ]
+}
+
+/// The single-threaded reference: run each combo through the core
+/// pipeline directly and keep the post-run arrays (bit patterns).
+fn reference_outputs(combos: &[Combo]) -> Vec<HashMap<String, Vec<u32>>> {
+    let dev = DeviceConfig::k20xm();
+    combos
+        .iter()
+        .map(|c| {
+            let config = CompilerConfig::by_name(c.profile).expect("known profile");
+            let program = safara_core::compile(c.source, &config).expect("compiles");
+            let mut args = c.args.clone();
+            run_compiled(&program, c.entry, &mut args, &dev, None).expect("runs");
+            args.arrays
+                .iter()
+                .map(|(k, a)| (k.to_string(), a.as_f32_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_get_bitwise_identical_results_with_warm_cache() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 25;
+
+    let combos = combos();
+    let reference = reference_outputs(&combos);
+
+    let handle = safara_server::serve(
+        "127.0.0.1:0",
+        EngineConfig { workers: 2, queue_depth: 256, ..EngineConfig::default() },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr;
+
+    // Pre-build every request line: client t sends requests with ids
+    // t*1000+i, cycling through the combos (25 % 6 != 0, so clients
+    // start at different offsets and collide on the cache).
+    let lines: Vec<Vec<(i64, usize, String)>> = (0..CLIENTS)
+        .map(|t| {
+            (0..PER_CLIENT)
+                .map(|i| {
+                    let combo_idx = (t + i) % combos.len();
+                    let c = &combos[combo_idx];
+                    let id = (t * 1000 + i) as i64;
+                    let line =
+                        build_run_request(id, c.source, c.entry, c.profile, &c.args, true);
+                    (id, combo_idx, line)
+                })
+                .collect()
+        })
+        .collect();
+
+    let per_client_responses: Vec<HashMap<i64, Json>> = std::thread::scope(|s| {
+        let handles: Vec<_> = lines
+            .iter()
+            .map(|batch| {
+                s.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut writer = stream.try_clone().expect("clone");
+                    let mut reader = BufReader::new(stream);
+                    // Pipeline: write everything, then read all replies.
+                    for (_, _, line) in batch {
+                        writer.write_all(line.as_bytes()).expect("write");
+                        writer.write_all(b"\n").expect("write");
+                    }
+                    writer.flush().expect("flush");
+                    let mut got = HashMap::new();
+                    let mut buf = String::new();
+                    while got.len() < batch.len() {
+                        buf.clear();
+                        let n = reader.read_line(&mut buf).expect("read response");
+                        assert!(n > 0, "server closed before all responses arrived");
+                        let v = Json::parse(buf.trim()).expect("response parses");
+                        let id = v.get("id").and_then(Json::as_i64).expect("id echoed");
+                        got.insert(id, v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    // Zero dropped responses, all ok, all bitwise equal to the
+    // single-threaded reference.
+    let mut checked = 0usize;
+    for (t, responses) in per_client_responses.iter().enumerate() {
+        assert_eq!(responses.len(), PER_CLIENT, "client {t} lost responses");
+        for (id, combo_idx, _) in &lines[t] {
+            let v = &responses[id];
+            assert_eq!(
+                v.get("status").and_then(Json::as_str),
+                Some("ok"),
+                "client {t} id {id}: {v}"
+            );
+            let want = &reference[*combo_idx];
+            let arrays = v.get("arrays").expect("return_arrays was set");
+            for (name, want_bits) in want {
+                let got_bits: Vec<u32> = arrays
+                    .get(name)
+                    .and_then(|a| a.get("bits"))
+                    .and_then(Json::as_arr)
+                    .unwrap_or_else(|| panic!("array `{name}` missing"))
+                    .iter()
+                    .map(|b| b.as_i64().expect("bit int") as u32)
+                    .collect();
+                assert_eq!(&got_bits, want_bits, "client {t} id {id} array `{name}`");
+                // Digests must agree with the arrays they summarize.
+                let want_digest = digest(&safara_core::runtime::HostArray::from_f32_bits(want_bits));
+                assert_eq!(
+                    v.get("digests").and_then(|d| d.get(name)).and_then(Json::as_str),
+                    Some(want_digest.as_str()),
+                    "client {t} id {id} digest `{name}`"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= CLIENTS * PER_CLIENT, "every response carried arrays");
+
+    // The shared cache must have taken warm hits: 100 requests over 6
+    // distinct launch keys.
+    let stream = TcpStream::connect(addr).expect("connect for stats");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"{\"id\":9000,\"op\":\"stats\"}\n").expect("write stats");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("stats response");
+    let stats = Json::parse(line.trim()).expect("stats parses");
+    let cache = stats.get("cache").expect("cache section");
+    let hits = cache.get("hits").and_then(Json::as_i64).expect("hits");
+    let misses = cache.get("misses").and_then(Json::as_i64).expect("misses");
+    assert!(hits > 0, "shared cache took no warm hits: {stats}");
+    assert_eq!(hits + misses, (CLIENTS * PER_CLIENT) as i64, "every run hit or missed");
+    let server = stats.get("server").expect("server section");
+    assert_eq!(
+        server.get("completed").and_then(Json::as_i64),
+        Some((CLIENTS * PER_CLIENT) as i64)
+    );
+    assert_eq!(server.get("rejected_overload").and_then(Json::as_i64), Some(0));
+
+    handle.stop();
+}
+
+#[test]
+fn shutdown_request_stops_the_server() {
+    let handle = safara_server::serve(
+        "127.0.0.1:0",
+        EngineConfig { workers: 1, queue_depth: 4, ..EngineConfig::default() },
+    )
+    .expect("bind");
+    let addr = handle.addr;
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"{\"id\":1,\"op\":\"ping\"}\n").expect("write");
+    writer.write_all(b"{\"id\":2,\"op\":\"shutdown\"}\n").expect("write");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("ping reply");
+    assert!(line.contains("\"ok\""), "{line}");
+    line.clear();
+    reader.read_line(&mut line).expect("shutdown reply");
+    assert!(line.contains("shutting_down"), "{line}");
+    // The accept loop notices the flag and exits on its own.
+    handle.join();
+    // And the port is released: a fresh connect now fails (or is
+    // refused after the listener closes).
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(TcpStream::connect(addr).is_err(), "listener should be gone");
+}

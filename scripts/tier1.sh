@@ -17,4 +17,17 @@ cargo test --release --offline -q
 echo "== clippy (-D warnings) =="
 cargo clippy --release --offline --all-targets -- -D warnings
 
+echo "== safara-serve stdin smoke =="
+# One request through the real service binary: parse, queue, worker
+# pool, pipeline, response — all via the wire protocol.
+smoke_out="$(printf '%s\n' \
+  '{"id":1,"op":"ping"}' \
+  '{"id":2,"op":"run","source":"void dbl(int n, float x[n]) { #pragma acc kernels copy(x)\n { #pragma acc loop gang vector\n for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } } }","entry":"dbl","profile":"safara_only","scalars":{"n":8},"arrays":{"x":{"elem":"f32","data":[1,2,3,4,5,6,7,8]}},"return_arrays":true}' \
+  | ./target/release/safara-serve --stdin --workers 2)"
+echo "$smoke_out"
+echo "$smoke_out" | grep -q '"id":1,"status":"ok"'
+echo "$smoke_out" | grep -q '"id":2,"status":"ok"'
+# 2.0f * 8.0f = 16.0f -> bit pattern 0x41800000 = 1098907648
+echo "$smoke_out" | grep -q '1098907648'
+
 echo "tier-1 OK"
