@@ -18,16 +18,77 @@
 //! *stats-identical* runs. The parallel `measure()` path is timed last;
 //! on single-core machines it falls back to serial and reports ~1×.
 //!
-//! Usage: `cargo run --release --bin bench_wallclock [cache-file]`
+//! Usage: `cargo run --release --bin bench_wallclock [--trace] [cache-file]`
 //! (default cache file: `target/bench_launch_cache.bin`; delete it to
-//! re-measure cold).
+//! re-measure cold). With `--trace`, an extra pass runs every workload ×
+//! config through the traced pipeline and writes a phase-level profile
+//! (parse → sema → analysis → opt → codegen → regalloc → sim, in µs) to
+//! `results/TRACE_sim.json`, so the BENCH numbers come with a breakdown
+//! of where the time goes.
 
 use safara_bench::{measure, pool_threads};
 use safara_core::gpusim::interp::set_reference_engine;
-use safara_core::{CompilerConfig, DeviceConfig, LaunchCache};
-use safara_workloads::{run_workload, run_workload_cached, spec_suite, Scale};
+use safara_core::obs::Tracer;
+use safara_core::{compile_and_run_traced, CompilerConfig, DeviceConfig, LaunchCache};
+use safara_workloads::{run_workload, run_workload_cached, spec_suite, Scale, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// The root phases `compile_and_run_traced` records, in pipeline order.
+const PHASES: [&str; 7] = ["parse", "sema", "analysis", "opt", "codegen", "regalloc", "sim"];
+
+/// Run every workload × config through the traced pipeline and write
+/// `results/TRACE_sim.json`: per-run phase durations plus aggregate
+/// per-phase totals.
+fn write_trace_profile(suite: &[Box<dyn Workload>], configs: &[CompilerConfig], dev: &DeviceConfig) {
+    let mut totals = [0u64; PHASES.len()];
+    let mut rows: Vec<String> = Vec::new();
+    for w in suite {
+        for cfg in configs {
+            let mut tracer = Tracer::new();
+            let mut args = w.args(Scale::Bench);
+            let (_, outcome) = compile_and_run_traced(
+                &w.source(),
+                w.entry(),
+                cfg,
+                &mut args,
+                dev,
+                None,
+                &mut tracer,
+            )
+            .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name(), cfg.name));
+            let spans = tracer.finish();
+            let mut phases = String::new();
+            for (i, phase) in PHASES.iter().enumerate() {
+                let us = spans.iter().find(|s| s.name == *phase).map_or(0, |s| s.dur_us);
+                totals[i] += us;
+                let _ = write!(phases, "{}\"{phase}\": {us}", if i == 0 { "" } else { ", " });
+            }
+            rows.push(format!(
+                "    {{ \"workload\": \"{}\", \"profile\": \"{}\", \"feedback_rounds\": {}, \"phases_us\": {{ {phases} }} }}",
+                w.name(),
+                cfg.name,
+                outcome.feedback_rounds,
+            ));
+        }
+    }
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"fig7 SPEC suite, workloads x [base, safara_only], Scale::Bench, traced\",");
+    let _ = writeln!(json, "  \"phase_totals_us\": {{");
+    for (i, phase) in PHASES.iter().enumerate() {
+        let comma = if i + 1 == PHASES.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{phase}\": {}{comma}", totals[i]);
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"runs\": [");
+    let _ = writeln!(json, "{}", rows.join(",\n"));
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/TRACE_sim.json", &json).expect("write results/TRACE_sim.json");
+    eprintln!("wrote results/TRACE_sim.json");
+}
 
 fn time_suite(f: &mut dyn FnMut()) -> f64 {
     let t0 = Instant::now();
@@ -36,8 +97,12 @@ fn time_suite(f: &mut dyn FnMut()) -> f64 {
 }
 
 fn main() {
-    let cache_path = std::env::args()
-        .nth(1)
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let trace = argv.iter().any(|a| a == "--trace");
+    let cache_path = argv
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "target/bench_launch_cache.bin".to_string());
     let configs = [CompilerConfig::base(), CompilerConfig::safara_only()];
     let suite = spec_suite();
@@ -109,4 +174,9 @@ fn main() {
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     print!("{json}");
     eprintln!("wrote BENCH_sim.json");
+
+    if trace {
+        eprintln!("[trace] phase-level profile…");
+        write_trace_profile(&suite, &configs, &dev);
+    }
 }

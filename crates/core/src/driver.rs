@@ -5,7 +5,8 @@ use safara_codegen::lower::{lower_function, CompiledKernel};
 use safara_gpusim::device::DeviceConfig;
 use safara_gpusim::ptxas::{allocate_registers, RegAllocReport};
 use safara_ir::printer::print_function;
-use safara_ir::{parse_program, Function, Stmt};
+use safara_ir::{parse_program_unchecked, Function, Stmt};
+use safara_obs::Tracer;
 use safara_opt::transform::TempNamer;
 use safara_opt::{carr_kennedy_pass, safara_pass, SrOutcome};
 use safara_runtime::{
@@ -148,11 +149,96 @@ impl CompiledProgram {
 
 /// Compile MiniACC source under a configuration.
 pub fn compile(src: &str, config: &CompilerConfig) -> Result<CompiledProgram, CoreError> {
-    let program = parse_program(src).map_err(|e| CoreError::Frontend(e.to_string()))?;
-    let mut functions = Vec::new();
-    for f in &program.functions {
-        functions.push(compile_function(f, config)?);
-    }
+    compile_traced(src, config, &mut Tracer::disabled())
+}
+
+/// [`compile`] recording one span per pipeline phase into `tracer`:
+/// `parse` → `sema` → `analysis` → `opt` (with one `round` child per
+/// feedback iteration, carrying `regs_used`/`budget` metadata) →
+/// `codegen` → `regalloc`. Each phase covers *all* functions of the
+/// translation unit, so a traced compile produces each phase exactly
+/// once. With a disabled tracer this **is** [`compile`]: same code
+/// path, same output.
+pub fn compile_traced(
+    src: &str,
+    config: &CompilerConfig,
+    tracer: &mut Tracer,
+) -> Result<CompiledProgram, CoreError> {
+    let program = tracer.span("parse", |t| {
+        let p = parse_program_unchecked(src).map_err(|e| CoreError::Frontend(e.to_string()))?;
+        t.meta_int("functions", p.functions.len() as i64);
+        Ok::<_, CoreError>(p)
+    })?;
+
+    tracer.span("sema", |_| {
+        safara_ir::sema::check_program(&program)
+            .map_err(|e| CoreError::Frontend(safara_ir::CompileError::Sema(e).to_string()))
+    })?;
+
+    // Reuse analysis over every offload region. The SR passes re-derive
+    // this per round; the phase measures the standalone analysis cost
+    // and reports what the optimizer has to work with.
+    tracer.span("analysis", |t| {
+        let (mut regions, mut groups) = (0i64, 0i64);
+        for f in &program.functions {
+            for_each_region_ref(f, |region| {
+                let info = safara_analysis::region::RegionInfo::analyze(region);
+                groups += safara_analysis::reuse::find_reuse_groups(region, &info).len() as i64;
+                regions += 1;
+            });
+        }
+        t.meta_int("regions", regions);
+        t.meta_int("reuse_groups", groups);
+    });
+
+    let mut optimized: Vec<(Function, SrOutcome, u32)> = Vec::new();
+    tracer.span("opt", |t| {
+        for f in &program.functions {
+            optimized.push(optimize_function(f, config, t)?);
+        }
+        Ok::<_, CoreError>(())
+    })?;
+
+    let mut lowered: Vec<Vec<CompiledKernel>> = Vec::new();
+    tracer.span("codegen", |t| {
+        for (work, _, _) in &optimized {
+            lowered
+                .push(lower_function(work, &config.codegen).map_err(|e| CoreError::Codegen(e.message))?);
+        }
+        t.meta_int("kernels", lowered.iter().map(Vec::len).sum::<usize>() as i64);
+        Ok::<_, CoreError>(())
+    })?;
+
+    let functions = tracer.span("regalloc", |t| {
+        let mut max_regs = 0u32;
+        let functions: Vec<CompiledFunction> = program
+            .functions
+            .iter()
+            .zip(optimized)
+            .zip(lowered)
+            .map(|((f, (work, outcome, rounds)), kernels)| {
+                let kernels: Vec<KernelArtifact> = kernels
+                    .into_iter()
+                    .map(|kernel| {
+                        let alloc = allocate_registers(&kernel.vir, config.reg_cap);
+                        max_regs = max_regs.max(alloc.regs_used);
+                        KernelArtifact { kernel, alloc }
+                    })
+                    .collect();
+                CompiledFunction {
+                    name: f.name.to_string(),
+                    transformed: work,
+                    kernels,
+                    sr_outcome: outcome,
+                    feedback_rounds: rounds,
+                }
+            })
+            .collect();
+        t.meta_int("max_regs", max_regs as i64);
+        t.meta_int("reg_cap", config.reg_cap as i64);
+        functions
+    });
+
     Ok(CompiledProgram { config: config.clone(), functions })
 }
 
@@ -167,7 +253,15 @@ fn codegen_all(f: &Function, config: &CompilerConfig) -> Result<Vec<KernelArtifa
         .collect())
 }
 
-fn compile_function(f: &Function, config: &CompilerConfig) -> Result<CompiledFunction, CoreError> {
+/// The optimization half of the pipeline: unroll plus the configured
+/// scalar-replacement strategy (including SAFARA's feedback loop, whose
+/// in-loop measurement compiles stay inside the `opt` span). Returns
+/// the transformed function, what SR did, and the rounds executed.
+fn optimize_function(
+    f: &Function,
+    config: &CompilerConfig,
+    tracer: &mut Tracer,
+) -> Result<(Function, SrOutcome, u32), CoreError> {
     let mut work = f.clone();
     let mut namer = TempNamer::default();
     let mut outcome = SrOutcome::default();
@@ -215,11 +309,21 @@ fn compile_function(f: &Function, config: &CompilerConfig) -> Result<CompiledFun
                         break;
                     }
                     rounds += 1;
+                    tracer.begin("round");
                     // 1. Backend compile, no further SR: measure registers.
-                    let arts = codegen_all(&work, config)?;
+                    let arts = match codegen_all(&work, config) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            tracer.end();
+                            return Err(e);
+                        }
+                    };
                     let used = arts.iter().map(|a| a.alloc.regs_used).max().unwrap_or(0);
                     let budget = config.reg_cap.saturating_sub(used);
+                    tracer.meta_int("regs_used", used as i64);
+                    tracer.meta_int("budget", budget as i64);
                     if budget == 0 {
+                        tracer.end();
                         break;
                     }
                     // 2. One SR round within the budget.
@@ -230,30 +334,34 @@ fn compile_function(f: &Function, config: &CompilerConfig) -> Result<CompiledFun
                         let o = safara_pass(&snapshot, region, budget, cost_model, &mut namer);
                         merge_outcome(&mut round_outcome, o);
                     });
+                    tracer.meta_int("temps_added", round_outcome.temps_added as i64);
                     if round_outcome.temps_added == 0 {
+                        tracer.end();
                         break; // all reused references are replaced
                     }
                     // 3. Recompile; revert the round if it now spills.
-                    let new_arts = codegen_all(&trial, config)?;
+                    let new_arts = match codegen_all(&trial, config) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            tracer.end();
+                            return Err(e);
+                        }
+                    };
                     let spills = new_arts.iter().any(|a| !a.alloc.fits());
                     if spills {
+                        tracer.meta_str("ended", "reverted_spill");
+                        tracer.end();
                         break; // registers saturated: keep previous state
                     }
                     work = trial;
                     merge_outcome(&mut outcome, round_outcome);
+                    tracer.end();
                 }
             }
         }
     }
 
-    let kernels = codegen_all(&work, config)?;
-    Ok(CompiledFunction {
-        name: f.name.to_string(),
-        transformed: work,
-        kernels,
-        sr_outcome: outcome,
-        feedback_rounds: rounds,
-    })
+    Ok((work, outcome, rounds))
 }
 
 fn merge_outcome(into: &mut SrOutcome, o: SrOutcome) {
@@ -265,6 +373,24 @@ fn merge_outcome(into: &mut SrOutcome, o: SrOutcome) {
             into.sequentialized.push(v);
         }
     }
+}
+
+fn for_each_region_ref(f: &Function, mut g: impl FnMut(&safara_ir::OffloadRegion)) {
+    fn walk(stmts: &[Stmt], g: &mut impl FnMut(&safara_ir::OffloadRegion)) {
+        for s in stmts {
+            match s {
+                Stmt::Region(r) => g(r),
+                Stmt::For(f) => walk(&f.body, g),
+                Stmt::If { then_body, else_body, .. } => {
+                    walk(then_body, g);
+                    walk(else_body, g);
+                }
+                Stmt::Block(b) => walk(b, g),
+                _ => {}
+            }
+        }
+    }
+    walk(&f.body, &mut g);
 }
 
 fn for_each_region(f: &mut Function, mut g: impl FnMut(&mut safara_ir::OffloadRegion)) {

@@ -50,8 +50,13 @@ pub mod profile;
 pub mod report;
 
 pub use calibrate::{calibrated_config, calibrated_cost_model};
-pub use driver::{compile, CompiledFunction, CompiledProgram, CoreError, KernelArtifact};
-pub use pipeline::{compile_and_run, run_compiled, KernelSummary, RunOutcome};
+pub use driver::{
+    compile, compile_traced, CompiledFunction, CompiledProgram, CoreError, KernelArtifact,
+};
+pub use pipeline::{
+    compile_and_run, compile_and_run_traced, run_compiled, run_compiled_traced, KernelSummary,
+    RunOutcome,
+};
 pub use profile::{CompilerConfig, SrStrategy};
 pub use report::{register_table, RegisterRow};
 
@@ -61,6 +66,7 @@ pub use safara_analysis as analysis;
 pub use safara_codegen as codegen;
 pub use safara_gpusim as gpusim;
 pub use safara_ir as ir;
+pub use safara_obs as obs;
 pub use safara_opt as opt;
 pub use safara_runtime as runtime;
 

@@ -10,11 +10,14 @@
 //! (like `safara-server`) that cache [`CompiledProgram`]s across
 //! requests and only re-execute.
 
-use crate::driver::{compile, CompiledProgram, CoreError};
+use crate::driver::{compile, compile_traced, CompiledProgram, CoreError};
 use crate::profile::CompilerConfig;
+use safara_codegen::lower::CompiledKernel;
 use safara_gpusim::device::DeviceConfig;
 use safara_gpusim::memo::SharedLaunchCache;
-use safara_runtime::Args;
+use safara_gpusim::ptxas::RegAllocReport;
+use safara_obs::Tracer;
+use safara_runtime::{run_function_traced, Args};
 
 /// One kernel's outcome, flattened for reporting.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +74,33 @@ pub fn run_compiled(
         Some(c) => program.run_shared(entry, args, dev, c)?,
         None => program.run(entry, args, dev)?,
     };
+    summarize(program, entry, report)
+}
+
+/// [`run_compiled`] recording a `sim` span (with `h2d`/`launch`/`d2h`
+/// children and per-launch cache hit/miss metadata) into `tracer`.
+pub fn run_compiled_traced(
+    program: &CompiledProgram,
+    entry: &str,
+    args: &mut Args,
+    dev: &DeviceConfig,
+    cache: Option<&SharedLaunchCache>,
+    tracer: &mut Tracer,
+) -> Result<RunOutcome, CoreError> {
+    let f = program.function(entry)?;
+    let compiled: Vec<(CompiledKernel, RegAllocReport)> =
+        f.kernels.iter().map(|k| (k.kernel.clone(), k.alloc.clone())).collect();
+    let report = tracer.span("sim", |t| {
+        run_function_traced(dev, &f.transformed, &compiled, args, cache, t)
+    })?;
+    summarize(program, entry, report)
+}
+
+fn summarize(
+    program: &CompiledProgram,
+    entry: &str,
+    report: safara_runtime::RunReport,
+) -> Result<RunOutcome, CoreError> {
     let f = program.function(entry)?;
     let kernels = report
         .kernels
@@ -111,6 +141,23 @@ pub fn compile_and_run(
 ) -> Result<(CompiledProgram, RunOutcome), CoreError> {
     let program = compile(source, config)?;
     let outcome = run_compiled(&program, entry, args, dev, cache)?;
+    Ok((program, outcome))
+}
+
+/// [`compile_and_run`] recording the full span tree into `tracer`:
+/// `parse` → `sema` → `analysis` → `opt` (feedback rounds) → `codegen`
+/// → `regalloc` → `sim`, each exactly once.
+pub fn compile_and_run_traced(
+    source: &str,
+    entry: &str,
+    config: &CompilerConfig,
+    args: &mut Args,
+    dev: &DeviceConfig,
+    cache: Option<&SharedLaunchCache>,
+    tracer: &mut Tracer,
+) -> Result<(CompiledProgram, RunOutcome), CoreError> {
+    let program = compile_traced(source, config, tracer)?;
+    let outcome = run_compiled_traced(&program, entry, args, dev, cache, tracer)?;
     Ok((program, outcome))
 }
 
@@ -179,6 +226,55 @@ mod tests {
         let mut plain = axpy_args(128);
         run_compiled(&program, "axpy", &mut plain, &dev, None).unwrap();
         assert_eq!(plain.array("y").unwrap().as_f32_bits(), warm.array("y").unwrap().as_f32_bits());
+    }
+
+    #[test]
+    fn traced_pipeline_records_every_phase_once_and_matches_untraced() {
+        let dev = DeviceConfig::k20xm();
+        let mut args = axpy_args(64);
+        let mut tracer = Tracer::new();
+        let (_, outcome) = compile_and_run_traced(
+            AXPY,
+            "axpy",
+            &CompilerConfig::safara_only(),
+            &mut args,
+            &dev,
+            None,
+            &mut tracer,
+        )
+        .unwrap();
+        let spans = tracer.finish();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["parse", "sema", "analysis", "opt", "codegen", "regalloc", "sim"]);
+
+        let opt = &spans[3];
+        assert_eq!(opt.count_named("round") as u32, outcome.feedback_rounds);
+        assert!(opt.children[0].meta_get("regs_used").is_some());
+        assert!(opt.children[0].meta_get("budget").is_some());
+
+        let sim = &spans[6];
+        assert_eq!(sim.count_named("h2d"), 1);
+        assert_eq!(sim.count_named("launch"), outcome.kernels.len());
+        assert_eq!(sim.count_named("d2h"), 1);
+        // Root spans do not overlap: starts are monotone.
+        for w in spans.windows(2) {
+            assert!(w[1].start_us >= w[0].start_us + w[0].dur_us.saturating_sub(1));
+        }
+
+        // Tracing is observation only: outcome and outputs are identical
+        // to the untraced pipeline.
+        let mut args2 = axpy_args(64);
+        let (_, outcome2) = compile_and_run(
+            AXPY,
+            "axpy",
+            &CompilerConfig::safara_only(),
+            &mut args2,
+            &dev,
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome, outcome2);
+        assert_eq!(args.array("y"), args2.array("y"));
     }
 
     #[test]

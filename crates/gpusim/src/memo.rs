@@ -129,6 +129,8 @@ pub struct LaunchCache {
     pub hits: u64,
     /// Launches that ran the interpreter (and populated the cache).
     pub misses: u64,
+    /// Entries dropped by the cap (oldest-first).
+    pub evictions: u64,
 }
 
 impl Default for LaunchCache {
@@ -141,6 +143,7 @@ impl Default for LaunchCache {
             dirty: false,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 }
@@ -244,10 +247,18 @@ impl LaunchCache {
     }
 
     /// Insert (or overwrite) an entry, evicting oldest-first past the cap.
+    ///
+    /// An overwrite refreshes the key's FIFO position: the entry's
+    /// contents are as new as a fresh insert, so leaving it at its old
+    /// slot would let the cap evict a just-rewritten entry as "oldest"
+    /// — and [`LaunchCache::save`] would then persist that wrong order.
     fn insert_entry(&mut self, key: u64, entry: CachedLaunch) {
-        if self.entries.insert(key, entry).is_none() {
-            self.order.push_back(key);
+        if self.entries.insert(key, entry).is_some() {
+            if let Some(pos) = self.order.iter().position(|&k| k == key) {
+                self.order.remove(pos);
+            }
         }
+        self.order.push_back(key);
         self.dirty = true;
         self.enforce_cap();
     }
@@ -256,6 +267,7 @@ impl LaunchCache {
         while self.entries.len() > self.cap {
             let Some(oldest) = self.order.pop_front() else { break };
             self.entries.remove(&oldest);
+            self.evictions += 1;
         }
     }
 
@@ -400,6 +412,8 @@ pub struct SharedLaunchCache {
     /// uniformly spread) select its shard.
     shards: Vec<Mutex<LaunchCache>>,
     mask: u64,
+    /// Shard-lock acquisitions that found the lock already held.
+    contention: std::sync::atomic::AtomicU64,
 }
 
 impl Default for SharedLaunchCache {
@@ -425,6 +439,7 @@ impl SharedLaunchCache {
                 .map(|_| Mutex::new(LaunchCache::new().with_entry_cap(per_shard)))
                 .collect(),
             mask: (n - 1) as u64,
+            contention: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -432,26 +447,46 @@ impl SharedLaunchCache {
         &self.shards[(key & self.mask) as usize]
     }
 
-    fn lock(m: &Mutex<LaunchCache>) -> std::sync::MutexGuard<'_, LaunchCache> {
+    fn lock<'a>(&self, m: &'a Mutex<LaunchCache>) -> std::sync::MutexGuard<'a, LaunchCache> {
+        use std::sync::atomic::Ordering;
+        // Try-first so contended acquisitions are observable: a failed
+        // try_lock means another thread holds this shard right now.
         // A panic while holding the lock leaves a consistent cache (the
         // entry map is only touched through replay/insert), so poisoning
         // is safe to bypass.
-        m.lock().unwrap_or_else(|p| p.into_inner())
+        match m.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                m.lock().unwrap_or_else(|p| p.into_inner())
+            }
+        }
     }
 
     /// Launches answered from the cache, across all shards.
     pub fn hits(&self) -> u64 {
-        self.shards.iter().map(|s| Self::lock(s).hits).sum()
+        self.shards.iter().map(|s| self.lock(s).hits).sum()
     }
 
     /// Launches that ran the interpreter, across all shards.
     pub fn misses(&self) -> u64 {
-        self.shards.iter().map(|s| Self::lock(s).misses).sum()
+        self.shards.iter().map(|s| self.lock(s).misses).sum()
+    }
+
+    /// Entries dropped by the per-shard caps, across all shards.
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| self.lock(s).evictions).sum()
+    }
+
+    /// Shard-lock acquisitions that had to wait for another thread.
+    pub fn contention(&self) -> u64 {
+        self.contention.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Total cached launches across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| Self::lock(s).len()).sum()
+        self.shards.iter().map(|s| self.lock(s).len()).sum()
     }
 
     /// True if nothing is cached.
@@ -469,22 +504,36 @@ impl SharedLaunchCache {
         mem: &mut DeviceMemory,
         spilled: &[VReg],
     ) -> Result<LaunchResult, SimError> {
+        self.launch_cached_info(kernel, config, params, mem, spilled).map(|(r, _)| r)
+    }
+
+    /// [`SharedLaunchCache::launch_cached`], also reporting whether the
+    /// launch was answered from the cache (`true` = hit) — per-launch
+    /// information the aggregate hit/miss counters cannot give a tracer.
+    pub fn launch_cached_info(
+        &self,
+        kernel: &KernelVir,
+        config: &LaunchConfig,
+        params: &[ParamVal],
+        mem: &mut DeviceMemory,
+        spilled: &[VReg],
+    ) -> Result<(LaunchResult, bool), SimError> {
         let key = launch_key(kernel, config, params, mem, spilled);
         let shard = self.shard(key);
-        if let Some(result) = Self::lock(shard).replay(key, mem) {
-            return Ok(result);
+        if let Some(result) = self.lock(shard).replay(key, mem) {
+            return Ok((result, true));
         }
         match run_and_record(kernel, config, params, mem, spilled) {
             Ok((result, entry)) => {
-                let mut c = Self::lock(shard);
+                let mut c = self.lock(shard);
                 c.misses += 1;
                 c.insert_entry(key, entry);
-                Ok(result)
+                Ok((result, false))
             }
             Err(e) => {
                 // Errors are never cached, but still count as misses so
                 // the counters account for every submitted launch.
-                Self::lock(shard).misses += 1;
+                self.lock(shard).misses += 1;
                 Err(e)
             }
         }
@@ -674,6 +723,61 @@ mod tests {
         cache.save().unwrap();
         let cache = LaunchCache::with_disk(&path).with_entry_cap(1);
         assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A synthetic entry, distinguishable by its write payload. Only
+    /// reachable in-module: through the public API an overwrite needs
+    /// two threads racing a miss on the same key.
+    fn synthetic(tag: u8) -> CachedLaunch {
+        CachedLaunch { stats: KernelStats::default(), writes: vec![(0, vec![tag])] }
+    }
+
+    #[test]
+    fn overwrite_refreshes_fifo_position() {
+        let mut cache = LaunchCache::new().with_entry_cap(3);
+        for key in [1, 2, 3] {
+            cache.insert_entry(key, synthetic(key as u8));
+        }
+        // Rewrite key 1: it is now the *newest* entry, so pushing past
+        // the cap must evict key 2, not the just-rewritten key 1.
+        cache.insert_entry(1, synthetic(101));
+        assert_eq!(cache.len(), 3, "overwrite does not grow the cache");
+        cache.insert_entry(4, synthetic(4));
+        assert!(cache.entries.contains_key(&1), "rewritten entry survives eviction");
+        assert!(!cache.entries.contains_key(&2), "true oldest entry was evicted");
+        assert_eq!(cache.entries[&1], synthetic(101), "rewrite took effect");
+        assert_eq!(cache.evictions, 1);
+        assert_eq!(cache.order.len(), cache.entries.len(), "order holds no duplicates");
+    }
+
+    #[test]
+    fn overwrite_then_evict_then_reload_persists_the_refreshed_order() {
+        let dir = std::env::temp_dir().join("safara_memo_overwrite_test");
+        let path = dir.join("overwrite.bin");
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let mut cache = LaunchCache::with_disk(&path).with_entry_cap(3);
+            for key in [1, 2, 3] {
+                cache.insert_entry(key, synthetic(key as u8));
+            }
+            cache.insert_entry(1, synthetic(101)); // refresh: order is now 2, 3, 1
+            cache.insert_entry(4, synthetic(4)); // evicts 2 → order 3, 1, 4
+            cache.save().unwrap();
+        }
+
+        let mut cache = LaunchCache::with_disk(&path).with_entry_cap(3);
+        assert_eq!(cache.len(), 3);
+        for key in [1, 3, 4] {
+            assert!(cache.entries.contains_key(&key), "key {key} survived the reload");
+        }
+        assert_eq!(cache.entries[&1], synthetic(101), "rewritten contents persisted");
+        // The reloaded FIFO order continues where the saved one left
+        // off: the next eviction takes 3, the oldest survivor.
+        cache.insert_entry(5, synthetic(5));
+        assert!(!cache.entries.contains_key(&3));
+        assert!(cache.entries.contains_key(&1));
         let _ = std::fs::remove_file(&path);
     }
 

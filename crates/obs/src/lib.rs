@@ -1,0 +1,279 @@
+//! # safara-obs — zero-dependency observability primitives
+//!
+//! The paper's whole premise is *measurement-driven* compilation: SAFARA
+//! iterates against register-allocator feedback, so the reproduction
+//! needs to see where time and registers go. This crate provides the two
+//! primitives the rest of the workspace instruments itself with:
+//!
+//! * [`Tracer`] / [`Span`] — a per-request span tree covering the
+//!   compile pipeline (parse → sema → analysis → opt feedback rounds →
+//!   codegen → regalloc → sim), built to be threaded through call stacks
+//!   as `&mut Tracer`. A [`Tracer::disabled`] tracer makes every call a
+//!   branch-predicted no-op, so untraced requests pay nothing
+//!   measurable.
+//! * [`Histogram`] — a lock-cheap (atomic, log₂-bucketed) latency
+//!   histogram for long-lived aggregation: queue-wait, service-time,
+//!   reply-write, per-op breakdowns.
+//!
+//! Everything here is hand-rolled in the spirit of `server/src/json.rs`:
+//! the build is offline, so no `tracing`, no `hdrhistogram`, no serde —
+//! consumers serialize [`Span`]s themselves.
+
+pub mod hist;
+
+pub use hist::{Histogram, HistogramSnapshot};
+
+use std::time::Instant;
+
+/// A metadata value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaValue {
+    /// An integer (counts, register numbers, byte totals).
+    Int(i64),
+    /// A float (cycles, ratios).
+    Float(f64),
+    /// A short string (cache outcome, kernel name).
+    Str(String),
+}
+
+/// One closed span: a named phase with a start offset and duration
+/// (microseconds, relative to the tracer's epoch), optional metadata,
+/// and nested children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Phase name (`parse`, `opt`, `round`, `sim`, …).
+    pub name: String,
+    /// Start, µs since the tracer was created.
+    pub start_us: u64,
+    /// Duration in µs (never negative by construction).
+    pub dur_us: u64,
+    /// Attached key/value metadata, in insertion order.
+    pub meta: Vec<(String, MetaValue)>,
+    /// Nested sub-spans, in start order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Look up a metadata value by key.
+    pub fn meta_get(&self, key: &str) -> Option<&MetaValue> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Depth-first count of spans named `name` in this subtree.
+    pub fn count_named(&self, name: &str) -> usize {
+        usize::from(self.name == name)
+            + self.children.iter().map(|c| c.count_named(name)).sum::<usize>()
+    }
+}
+
+/// Sum of root-span durations — the traced portion of a request.
+pub fn total_us(spans: &[Span]) -> u64 {
+    spans.iter().map(|s| s.dur_us).sum()
+}
+
+struct OpenSpan {
+    name: String,
+    start: Instant,
+    start_us: u64,
+    meta: Vec<(String, MetaValue)>,
+    children: Vec<Span>,
+}
+
+/// Records a span tree. Create one per traced request ([`Tracer::new`])
+/// or pass [`Tracer::disabled`] to make instrumented code paths free.
+///
+/// Spans close in LIFO order: [`Tracer::begin`]/[`Tracer::end`] pairs
+/// nest, and the scoped [`Tracer::span`] helper keeps them balanced.
+pub struct Tracer {
+    enabled: bool,
+    epoch: Instant,
+    stack: Vec<OpenSpan>,
+    roots: Vec<Span>,
+}
+
+impl Tracer {
+    /// A recording tracer.
+    pub fn new() -> Tracer {
+        Tracer { enabled: true, epoch: Instant::now(), stack: Vec::new(), roots: Vec::new() }
+    }
+
+    /// A no-op tracer: every method returns immediately.
+    pub fn disabled() -> Tracer {
+        Tracer { enabled: false, epoch: Instant::now(), stack: Vec::new(), roots: Vec::new() }
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Open a span. Pair with [`Tracer::end`].
+    pub fn begin(&mut self, name: &str) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        self.stack.push(OpenSpan {
+            name: name.to_string(),
+            start: now,
+            start_us: now.duration_since(self.epoch).as_micros() as u64,
+            meta: Vec::new(),
+            children: Vec::new(),
+        });
+    }
+
+    /// Close the innermost open span. A stray `end` with nothing open is
+    /// ignored rather than panicking — tracing must never take down the
+    /// pipeline it observes.
+    pub fn end(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        let Some(open) = self.stack.pop() else { return };
+        let span = Span {
+            name: open.name,
+            start_us: open.start_us,
+            dur_us: open.start.elapsed().as_micros() as u64,
+            meta: open.meta,
+            children: open.children,
+        };
+        match self.stack.last_mut() {
+            Some(parent) => parent.children.push(span),
+            None => self.roots.push(span),
+        }
+    }
+
+    /// Run `f` inside a span named `name`.
+    pub fn span<R>(&mut self, name: &str, f: impl FnOnce(&mut Tracer) -> R) -> R {
+        self.begin(name);
+        let r = f(self);
+        self.end();
+        r
+    }
+
+    /// Attach integer metadata to the innermost open span.
+    pub fn meta_int(&mut self, key: &str, v: i64) {
+        self.meta(key, MetaValue::Int(v));
+    }
+
+    /// Attach float metadata to the innermost open span.
+    pub fn meta_float(&mut self, key: &str, v: f64) {
+        self.meta(key, MetaValue::Float(v));
+    }
+
+    /// Attach string metadata to the innermost open span.
+    pub fn meta_str(&mut self, key: &str, v: impl Into<String>) {
+        self.meta(key, MetaValue::Str(v.into()));
+    }
+
+    fn meta(&mut self, key: &str, v: MetaValue) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(open) = self.stack.last_mut() {
+            open.meta.push((key.to_string(), v));
+        }
+    }
+
+    /// Close any spans left open (in LIFO order) and return the root
+    /// spans in start order.
+    pub fn finish(mut self) -> Vec<Span> {
+        while !self.stack.is_empty() {
+            self.end();
+        }
+        self.roots
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_close_in_lifo_order() {
+        let mut t = Tracer::new();
+        t.begin("compile");
+        t.meta_int("functions", 2);
+        t.begin("parse");
+        t.end();
+        t.span("opt", |t| {
+            t.span("round", |t| t.meta_int("regs_used", 21));
+            t.span("round", |t| t.meta_int("regs_used", 30));
+        });
+        t.end();
+        let roots = t.finish();
+        assert_eq!(roots.len(), 1);
+        let compile = &roots[0];
+        assert_eq!(compile.name, "compile");
+        assert_eq!(compile.meta_get("functions"), Some(&MetaValue::Int(2)));
+        assert_eq!(compile.children.len(), 2);
+        assert_eq!(compile.children[0].name, "parse");
+        let opt = &compile.children[1];
+        assert_eq!(opt.count_named("round"), 2);
+        assert_eq!(opt.children[1].meta_get("regs_used"), Some(&MetaValue::Int(30)));
+        // start offsets are monotone within a level.
+        assert!(opt.start_us >= compile.children[0].start_us);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_but_still_runs_closures() {
+        let mut t = Tracer::disabled();
+        let mut ran = false;
+        t.begin("x");
+        t.meta_str("k", "v");
+        let v = t.span("y", |t| {
+            t.meta_int("n", 1);
+            ran = true;
+            42
+        });
+        t.end();
+        assert_eq!(v, 42);
+        assert!(ran);
+        assert!(t.finish().is_empty());
+    }
+
+    #[test]
+    fn finish_closes_dangling_spans_and_stray_end_is_ignored() {
+        let mut t = Tracer::new();
+        t.end(); // stray: nothing open
+        t.begin("a");
+        t.begin("b"); // left open deliberately
+        let roots = t.finish();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "a");
+        assert_eq!(roots[0].children[0].name, "b");
+    }
+
+    #[test]
+    fn total_us_sums_roots_only() {
+        let mk = |d: u64| Span {
+            name: "p".into(),
+            start_us: 0,
+            dur_us: d,
+            meta: vec![],
+            children: vec![Span {
+                name: "c".into(),
+                start_us: 0,
+                dur_us: 999,
+                meta: vec![],
+                children: vec![],
+            }],
+        };
+        assert_eq!(total_us(&[mk(3), mk(4)]), 7);
+        assert_eq!(total_us(&[]), 0);
+    }
+
+    #[test]
+    fn durations_are_measured_not_negative() {
+        let mut t = Tracer::new();
+        t.span("sleep", |_| std::thread::sleep(std::time::Duration::from_millis(2)));
+        let roots = t.finish();
+        assert!(roots[0].dur_us >= 2_000, "{}", roots[0].dur_us);
+    }
+}

@@ -11,6 +11,7 @@ use safara_gpusim::ptxas::RegAllocReport;
 use safara_gpusim::stats::KernelStats;
 use safara_gpusim::timing::{estimate_time, TimingBreakdown};
 use safara_ir::*;
+use safara_obs::Tracer;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -84,7 +85,7 @@ pub fn run_function(
     compiled: &[(CompiledKernel, RegAllocReport)],
     args: &mut Args,
 ) -> Result<RunReport, RuntimeError> {
-    run_function_impl(dev, func, compiled, args, CacheRef::None)
+    run_function_impl(dev, func, compiled, args, CacheRef::None, &mut Tracer::disabled())
 }
 
 /// [`run_function`] with optional launch memoization: pass a
@@ -102,7 +103,7 @@ pub fn run_function_cached(
         Some(c) => CacheRef::Exclusive(c),
         None => CacheRef::None,
     };
-    run_function_impl(dev, func, compiled, args, cache)
+    run_function_impl(dev, func, compiled, args, cache, &mut Tracer::disabled())
 }
 
 /// [`run_function`] with launch memoization through a thread-shared
@@ -115,7 +116,26 @@ pub fn run_function_shared(
     args: &mut Args,
     cache: &SharedLaunchCache,
 ) -> Result<RunReport, RuntimeError> {
-    run_function_impl(dev, func, compiled, args, CacheRef::Shared(cache))
+    run_function_impl(dev, func, compiled, args, CacheRef::Shared(cache), &mut Tracer::disabled())
+}
+
+/// [`run_function`] recording `h2d` → one `launch` per kernel (with
+/// cache hit/miss metadata) → `d2h` spans into `tracer`, optionally
+/// memoizing through a thread-shared cache. With a disabled tracer this
+/// is exactly the untraced path.
+pub fn run_function_traced(
+    dev: &DeviceConfig,
+    func: &Function,
+    compiled: &[(CompiledKernel, RegAllocReport)],
+    args: &mut Args,
+    cache: Option<&SharedLaunchCache>,
+    tracer: &mut Tracer,
+) -> Result<RunReport, RuntimeError> {
+    let cache = match cache {
+        Some(c) => CacheRef::Shared(c),
+        None => CacheRef::None,
+    };
+    run_function_impl(dev, func, compiled, args, cache, tracer)
 }
 
 /// How launches consult the memo cache, if at all.
@@ -131,6 +151,7 @@ fn run_function_impl(
     compiled: &[(CompiledKernel, RegAllocReport)],
     args: &mut Args,
     mut cache: CacheRef<'_>,
+    tracer: &mut Tracer,
 ) -> Result<RunReport, RuntimeError> {
     // ---- resolve array shapes and upload -------------------------------
     let scalar_env = build_scalar_env(func, args)?;
@@ -138,6 +159,7 @@ fn run_function_impl(
     let mut buffers: BTreeMap<Ident, BufferId> = BTreeMap::new();
     let mut report = RunReport::default();
 
+    tracer.begin("h2d");
     let mut resolved_dims: BTreeMap<Ident, Vec<(i64, i64)>> = BTreeMap::new();
     for p in &func.params {
         if let Param::Array { name, ty, .. } = p {
@@ -167,10 +189,15 @@ fn run_function_impl(
             resolved_dims.insert(name.clone(), dims);
         }
     }
+    tracer.meta_int("bytes", report.h2d_bytes as i64);
+    tracer.meta_int("buffers", buffers.len() as i64);
+    tracer.end();
 
     // ---- launch each kernel --------------------------------------------
     for (kernel, alloc) in compiled {
-        let config = launch_geometry(dev, kernel, &scalar_env)?;
+        tracer.begin("launch");
+        tracer.meta_str("kernel", kernel.name.as_str());
+        let config = launch_geometry(dev, kernel, &scalar_env).inspect_err(|_| tracer.end())?;
         // Reduction slots: allocate + seed with the current scalar value.
         let mut red_bufs: Vec<(Ident, ScalarTy, BufferId)> = Vec::new();
         let mut params: Vec<ParamVal> = Vec::with_capacity(kernel.abi.params.len());
@@ -228,22 +255,39 @@ fn run_function_impl(
             });
         }
 
-        let result = match &mut cache {
-            CacheRef::None => launch(&kernel.vir, &config, &params, &mut mem, &alloc.spilled),
+        let (result, cache_note) = match &mut cache {
+            CacheRef::None => {
+                (launch(&kernel.vir, &config, &params, &mut mem, &alloc.spilled), "uncached")
+            }
             CacheRef::Exclusive(c) => {
-                launch_cached(c, &kernel.vir, &config, &params, &mut mem, &alloc.spilled)
+                let hits_before = c.hits;
+                let r = launch_cached(c, &kernel.vir, &config, &params, &mut mem, &alloc.spilled);
+                (r, if c.hits > hits_before { "hit" } else { "miss" })
             }
             CacheRef::Shared(s) => {
-                s.launch_cached(&kernel.vir, &config, &params, &mut mem, &alloc.spilled)
+                match s.launch_cached_info(&kernel.vir, &config, &params, &mut mem, &alloc.spilled)
+                {
+                    Ok((r, hit)) => (Ok(r), if hit { "hit" } else { "miss" }),
+                    Err(e) => (Err(e), "miss"),
+                }
             }
-        }
-        .map_err(|e| RuntimeError::new(format!("kernel `{}`: {e}", kernel.name)))?;
+        };
+        tracer.meta_str("cache", cache_note);
+        let result = match result {
+            Ok(r) => r,
+            Err(e) => {
+                tracer.end();
+                return Err(RuntimeError::new(format!("kernel `{}`: {e}", kernel.name)));
+            }
+        };
         let timing = estimate_time(
             dev,
             &result.stats,
             alloc.regs_used.max(16),
             config.threads_per_block(),
         );
+        tracer.meta_int("regs_used", alloc.regs_used as i64);
+        tracer.meta_float("cycles", timing.total_cycles);
         report.kernels.push(KernelRun {
             name: kernel.name.clone(),
             config,
@@ -266,9 +310,11 @@ fn run_function_impl(
             };
             args.scalars.insert(var.clone(), v);
         }
+        tracer.end();
     }
 
     // ---- download results ----------------------------------------------
+    tracer.begin("d2h");
     for (name, id) in &buffers {
         let bytes = mem.copy_out(*id);
         report.d2h_bytes += bytes.len() as u64;
@@ -276,6 +322,8 @@ fn run_function_impl(
             host.bytes = bytes;
         }
     }
+    tracer.meta_int("bytes", report.d2h_bytes as i64);
+    tracer.end();
     Ok(report)
 }
 

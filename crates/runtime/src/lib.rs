@@ -17,6 +17,7 @@ pub mod exec;
 
 pub use args::{ArgValue, Args, HostArray};
 pub use exec::{
-    run_function, run_function_cached, run_function_shared, KernelRun, RunReport, RuntimeError,
+    run_function, run_function_cached, run_function_shared, run_function_traced, KernelRun,
+    RunReport, RuntimeError,
 };
 pub use safara_gpusim::memo::{LaunchCache, SharedLaunchCache};

@@ -17,14 +17,18 @@
 //! Array payloads carry either `data` (plain JSON numbers — convenient
 //! by hand) or `bits` (raw IEEE-754 bit patterns — lossless; `f64` bits
 //! are hex strings like `"0x3fb999999999999a"` since they overflow JSON
-//! integers). Responses echo `id` and carry `"status"`: `ok`, `error`,
+//! integers). `compile` and `run` requests may add `"trace": true` to
+//! receive a `trace` span tree (see [`spans_to_json`]) covering every
+//! pipeline phase. Responses echo `id` and carry `"status"`: `ok`, `error`,
 //! `overloaded` (admission control rejected the request), `timeout`
-//! (the request expired before a worker started it), or
+//! (the request expired waiting in the queue, or its pipeline finished
+//! past the deadline — the stale result is discarded), or
 //! `shutting_down`. Run responses always include per-array content
 //! digests; full array contents (bits encoding) are returned when the
 //! request set `"return_arrays": true`.
 
 use crate::json::{obj, Json};
+use safara_core::obs::{MetaValue, Span};
 use safara_core::{Args, CompilerConfig, RunOutcome};
 use safara_core::runtime::HostArray;
 use safara_core::ir::ScalarTy;
@@ -40,6 +44,11 @@ pub struct Request {
     pub id: Option<i64>,
     /// Per-request deadline override (milliseconds from admission).
     pub timeout_ms: Option<u64>,
+    /// Opt-in pipeline tracing (`"trace": true`): the response carries a
+    /// `trace` span tree covering every pipeline phase. Traced compiles
+    /// bypass the compiled-program store so the compile phases are
+    /// always measured, not skipped.
+    pub trace: bool,
     /// The operation.
     pub op: Op,
 }
@@ -129,7 +138,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "shutdown" => Op::Shutdown,
         other => return Err(format!("unknown op `{other}`")),
     };
-    Ok(Request { id, timeout_ms, op })
+    let trace = match v.get("trace") {
+        None | Some(Json::Null) => false,
+        Some(t) => t.as_bool().ok_or("`trace` must be a boolean")?,
+    };
+    Ok(Request { id, timeout_ms, trace, op })
 }
 
 fn required_str(v: &Json, key: &str) -> Result<String, String> {
@@ -320,6 +333,42 @@ pub fn error_line(id: Option<i64>, message: &str) -> String {
     base.dump()
 }
 
+/// Serialize a span tree for the wire: an array of
+/// `{"name":…,"start_us":…,"dur_us":…,"meta":{…}?,"children":[…]?}`
+/// objects (`meta`/`children` omitted when empty).
+pub fn spans_to_json(spans: &[Span]) -> Json {
+    fn one(s: &Span) -> Json {
+        let mut fields = vec![
+            ("name", Json::Str(s.name.clone())),
+            ("start_us", Json::Int(s.start_us as i64)),
+            ("dur_us", Json::Int(s.dur_us as i64)),
+        ];
+        if !s.meta.is_empty() {
+            fields.push((
+                "meta",
+                Json::Obj(
+                    s.meta
+                        .iter()
+                        .map(|(k, v)| {
+                            let jv = match v {
+                                MetaValue::Int(i) => Json::Int(*i),
+                                MetaValue::Float(f) => Json::Float(*f),
+                                MetaValue::Str(t) => Json::Str(t.clone()),
+                            };
+                            (k.clone(), jv)
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if !s.children.is_empty() {
+            fields.push(("children", spans_to_json(&s.children)));
+        }
+        obj(fields)
+    }
+    Json::Arr(spans.iter().map(one).collect())
+}
+
 /// The common response skeleton: `{"id":…,"status":…}`.
 pub fn response_base(id: Option<i64>, status: &str) -> Json {
     let id_json = match id {
@@ -329,8 +378,15 @@ pub fn response_base(id: Option<i64>, status: &str) -> Json {
     obj(vec![("id", id_json), ("status", Json::Str(status.into()))])
 }
 
-/// Render a [`RunOutcome`] + post-run [`Args`] as an `ok` response.
-pub fn run_response(id: Option<i64>, outcome: &RunOutcome, args: &Args, return_arrays: bool) -> String {
+/// Render a [`RunOutcome`] + post-run [`Args`] as an `ok` response,
+/// attaching a `trace` span tree when the request opted in.
+pub fn run_response(
+    id: Option<i64>,
+    outcome: &RunOutcome,
+    args: &Args,
+    return_arrays: bool,
+    trace: Option<&[Span]>,
+) -> String {
     let mut base = response_base(id, "ok");
     let Json::Obj(fields) = &mut base else { unreachable!("response_base builds an object") };
     fields.push(("op".into(), Json::Str("run".into())));
@@ -402,14 +458,19 @@ pub fn run_response(id: Option<i64>, outcome: &RunOutcome, args: &Args, return_a
             Json::Obj(args.arrays.iter().map(|(k, a)| (k.to_string(), array_to_json(a))).collect()),
         ));
     }
+    if let Some(spans) = trace {
+        fields.push(("trace".into(), spans_to_json(spans)));
+    }
     base.dump()
 }
 
-/// Render a compile-only report as an `ok` response.
+/// Render a compile-only report as an `ok` response, attaching a
+/// `trace` span tree when the request opted in.
 pub fn compile_response(
     id: Option<i64>,
     program: &safara_core::CompiledProgram,
     entry: Option<&str>,
+    trace: Option<&[Span]>,
 ) -> Result<String, String> {
     let mut base = response_base(id, "ok");
     let Json::Obj(fields) = &mut base else { unreachable!("response_base builds an object") };
@@ -450,6 +511,9 @@ pub fn compile_response(
         });
     }
     fields.push(("functions".into(), Json::Arr(funcs)));
+    if let Some(spans) = trace {
+        fields.push(("trace".into(), spans_to_json(spans)));
+    }
     Ok(base.dump())
 }
 

@@ -99,9 +99,10 @@ fn handle_connection(stream: TcpStream, engine: &Engine) {
         Err(_) => return,
     };
     let (tx, rx) = mpsc::channel::<String>();
+    let shared = Arc::clone(engine.shared());
     let writer = std::thread::Builder::new()
         .name("safara-conn-writer".into())
-        .spawn(move || writer_loop(write_half, &rx))
+        .spawn(move || writer_loop(write_half, &rx, &shared))
         .expect("spawn connection writer");
 
     let mut reader = BufReader::new(stream);
@@ -158,11 +159,17 @@ pub fn dispatch(engine: &Engine, line: &str, tx: &mpsc::Sender<String>) {
     }
 }
 
-fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<String>) {
+fn writer_loop(
+    mut stream: TcpStream,
+    rx: &mpsc::Receiver<String>,
+    shared: &crate::service::EngineShared,
+) {
     while let Ok(line) = rx.recv() {
+        let start = std::time::Instant::now();
         if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
             return;
         }
         let _ = stream.flush();
+        shared.metrics.reply_write.record(start.elapsed().as_micros() as u64);
     }
 }

@@ -8,13 +8,20 @@
 //! Admission control happens in `submit` (bounded queue, non-blocking
 //! push → `overloaded`); deadlines are checked when a worker *dequeues*
 //! a job — a request that waited past its timeout is answered `timeout`
-//! without touching the pipeline.
+//! without touching the pipeline — and re-checked between compile and
+//! simulate and after simulate, so a request that *started* in time but
+//! ran long is answered `timeout` too (counted `timed_out_late`).
+//!
+//! Every request feeds the engine's [`Metrics`]: queue-wait,
+//! service-time (total and per-op), and reply-write latency histograms,
+//! surfaced by the `stats` op.
 
 use crate::protocol::{
     self, error_line, status_line, Op, Request, DEFAULT_TIMEOUT_MS,
 };
 use crate::queue::{Bounded, PushError};
 use safara_core::gpusim::device::DeviceConfig;
+use safara_core::obs::{Histogram, HistogramSnapshot, Tracer};
 use safara_core::{CompiledProgram, SharedLaunchCache};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,10 +57,69 @@ impl Default for EngineConfig {
 pub struct Job {
     /// The parsed request.
     pub request: Request,
+    /// When admission control accepted it (queue-wait starts here).
+    pub admitted: Instant,
     /// Absolute deadline (admission time + effective timeout).
     pub deadline: Instant,
     /// Where the worker sends the response line.
     pub reply: mpsc::Sender<String>,
+}
+
+/// Latency histograms the engine aggregates across all requests.
+/// Everything is atomic ([`Histogram`] is lock-free), so workers record
+/// without coordination.
+pub struct Metrics {
+    /// Admission → dequeue.
+    pub queue_wait: Histogram,
+    /// Dequeue → response line built, all ops.
+    pub service: Histogram,
+    /// Response handed to the transport → written to the peer.
+    pub reply_write: Histogram,
+    per_op: Vec<(&'static str, Histogram)>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            queue_wait: Histogram::new(),
+            service: Histogram::new(),
+            reply_write: Histogram::new(),
+            per_op: ["ping", "stats", "sleep", "compile", "run", "shutdown"]
+                .iter()
+                .map(|name| (*name, Histogram::new()))
+                .collect(),
+        }
+    }
+}
+
+impl Metrics {
+    fn op_name(op: &Op) -> &'static str {
+        match op {
+            Op::Ping => "ping",
+            Op::Stats => "stats",
+            Op::Sleep { .. } => "sleep",
+            Op::Compile(_) => "compile",
+            Op::Run(_) => "run",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    fn record_service(&self, op: &Op, us: u64) {
+        self.service.record(us);
+        let name = Self::op_name(op);
+        if let Some((_, h)) = self.per_op.iter().find(|(n, _)| *n == name) {
+            h.record(us);
+        }
+    }
+
+    /// Per-op service-time snapshots, ops that saw traffic only.
+    pub fn per_op_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        self.per_op
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(n, h)| (*n, h.snapshot()))
+            .collect()
+    }
 }
 
 /// State shared by workers and transports.
@@ -72,8 +138,18 @@ pub struct EngineShared {
     pub rejected_overload: AtomicU64,
     /// Requests that expired waiting in the queue.
     pub timed_out: AtomicU64,
+    /// Requests that started in time but finished past their deadline
+    /// (caught by the post-compile / post-simulate re-checks).
+    pub timed_out_late: AtomicU64,
     /// Requests answered `error`.
     pub errors: AtomicU64,
+    /// Responses that could not be delivered because the client hung up
+    /// (the reply channel was closed). Kept separate from the outcome
+    /// counters so `submitted == completed + errors + timed_out +
+    /// timed_out_late` stays a checkable invariant.
+    pub replies_dropped: AtomicU64,
+    /// Latency histograms (queue-wait, service, reply-write, per-op).
+    pub metrics: Metrics,
     /// Set by a `shutdown` request; transports watch it.
     pub shutdown_requested: AtomicBool,
 }
@@ -150,7 +226,10 @@ impl Engine {
             completed: AtomicU64::new(0),
             rejected_overload: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
+            timed_out_late: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            replies_dropped: AtomicU64::new(0),
+            metrics: Metrics::default(),
             shutdown_requested: AtomicBool::new(false),
         });
         let queue = Arc::new(Bounded::new(config.queue_depth));
@@ -177,7 +256,8 @@ impl Engine {
     pub fn submit(&self, request: Request, reply: mpsc::Sender<String>) -> Submit {
         let timeout =
             Duration::from_millis(request.timeout_ms.unwrap_or(self.default_timeout_ms));
-        let job = Job { request, deadline: Instant::now() + timeout, reply };
+        let admitted = Instant::now();
+        let job = Job { request, admitted, deadline: admitted + timeout, reply };
         match self.queue.try_push(job) {
             Ok(()) => {
                 self.shared.submitted.fetch_add(1, Ordering::Relaxed);
@@ -214,6 +294,17 @@ impl Engine {
     }
 }
 
+fn hist_json(snap: HistogramSnapshot) -> crate::json::Json {
+    use crate::json::{obj, Json};
+    obj(vec![
+        ("count", Json::Int(snap.count as i64)),
+        ("p50_us", Json::Int(snap.p50_us as i64)),
+        ("p95_us", Json::Int(snap.p95_us as i64)),
+        ("max_us", Json::Int(snap.max_us as i64)),
+        ("mean_us", Json::Int(snap.mean_us as i64)),
+    ])
+}
+
 fn stats_line_for(shared: &EngineShared, queue_len: usize, id: Option<i64>) -> String {
     use crate::json::{obj, Json};
     let mut base = protocol::response_base(id, "ok");
@@ -231,8 +322,31 @@ fn stats_line_for(shared: &EngineShared, queue_len: usize, id: Option<i64>) -> S
                 Json::Int(shared.rejected_overload.load(Ordering::Relaxed) as i64),
             ),
             ("timed_out", Json::Int(shared.timed_out.load(Ordering::Relaxed) as i64)),
+            (
+                "timed_out_late",
+                Json::Int(shared.timed_out_late.load(Ordering::Relaxed) as i64),
+            ),
             ("errors", Json::Int(shared.errors.load(Ordering::Relaxed) as i64)),
+            (
+                "replies_dropped",
+                Json::Int(shared.replies_dropped.load(Ordering::Relaxed) as i64),
+            ),
             ("programs_cached", Json::Int(shared.programs_cached() as i64)),
+        ]),
+    ));
+    let per_op: Vec<(String, Json)> = shared
+        .metrics
+        .per_op_snapshots()
+        .into_iter()
+        .map(|(name, snap)| (name.to_string(), hist_json(snap)))
+        .collect();
+    fields.push((
+        "latency".into(),
+        obj(vec![
+            ("queue_wait", hist_json(shared.metrics.queue_wait.snapshot())),
+            ("service", hist_json(shared.metrics.service.snapshot())),
+            ("reply_write", hist_json(shared.metrics.reply_write.snapshot())),
+            ("per_op", Json::Obj(per_op)),
         ]),
     ));
     fields.push((
@@ -241,51 +355,168 @@ fn stats_line_for(shared: &EngineShared, queue_len: usize, id: Option<i64>) -> S
             ("hits", Json::Int(shared.cache.hits() as i64)),
             ("misses", Json::Int(shared.cache.misses() as i64)),
             ("entries", Json::Int(shared.cache.len() as i64)),
+            ("evictions", Json::Int(shared.cache.evictions() as i64)),
+            ("contention", Json::Int(shared.cache.contention() as i64)),
         ]),
     ));
     base.dump()
 }
 
+/// What a worker's [`execute`] produced.
+enum ExecOutcome {
+    /// A complete response line (counted `completed`).
+    Reply(String),
+    /// A pipeline error message (counted `errors`, answered `error`).
+    Fail(String),
+    /// The pipeline finished past the job's deadline (counted
+    /// `timed_out_late`, answered `timeout`).
+    DeadlineExceeded,
+}
+
 fn worker_loop(shared: &EngineShared, queue: &Bounded<Job>) {
     while let Some(job) = queue.pop() {
         let id = job.request.id;
-        if Instant::now() > job.deadline {
+        let dequeued = Instant::now();
+        shared
+            .metrics
+            .queue_wait
+            .record(dequeued.duration_since(job.admitted).as_micros() as u64);
+        if dequeued > job.deadline {
             shared.timed_out.fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(status_line(id, "timeout"));
+            if job.reply.send(status_line(id, "timeout")).is_err() {
+                shared.replies_dropped.fetch_add(1, Ordering::Relaxed);
+            }
             continue;
         }
-        let line = execute(shared, queue, &job.request);
-        match &line {
-            Ok(_) => shared.completed.fetch_add(1, Ordering::Relaxed),
-            Err(_) => shared.errors.fetch_add(1, Ordering::Relaxed),
+        let outcome = execute(shared, queue, &job.request, job.deadline);
+        shared
+            .metrics
+            .record_service(&job.request.op, dequeued.elapsed().as_micros() as u64);
+        let line = match outcome {
+            ExecOutcome::Reply(line) => {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                line
+            }
+            ExecOutcome::Fail(message) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                error_line(id, &message)
+            }
+            ExecOutcome::DeadlineExceeded => {
+                shared.timed_out_late.fetch_add(1, Ordering::Relaxed);
+                status_line(id, "timeout")
+            }
         };
-        let line = line.unwrap_or_else(|m| error_line(id, &m));
-        // A send error means the client hung up; nothing to do.
-        let _ = job.reply.send(line);
+        // A send error means the client hung up; count the lost reply.
+        if job.reply.send(line).is_err() {
+            shared.replies_dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
-fn execute(shared: &EngineShared, queue: &Bounded<Job>, request: &Request) -> Result<String, String> {
+fn execute(
+    shared: &EngineShared,
+    queue: &Bounded<Job>,
+    request: &Request,
+    deadline: Instant,
+) -> ExecOutcome {
     let id = request.id;
     match &request.op {
-        Op::Ping => Ok(status_line(id, "ok")),
-        Op::Stats => Ok(stats_line_for(shared, queue.len(), id)),
+        Op::Ping => ExecOutcome::Reply(status_line(id, "ok")),
+        Op::Stats => ExecOutcome::Reply(stats_line_for(shared, queue.len(), id)),
         Op::Sleep { ms } => {
             // Diagnostic op for exercising admission control: clamp so a
             // stray request cannot wedge a worker for long.
             std::thread::sleep(Duration::from_millis((*ms).min(2_000)));
-            Ok(status_line(id, "ok"))
+            if Instant::now() > deadline {
+                return ExecOutcome::DeadlineExceeded;
+            }
+            ExecOutcome::Reply(status_line(id, "ok"))
         }
         Op::Shutdown => {
             shared.shutdown_requested.store(true, Ordering::SeqCst);
-            Ok(status_line(id, "shutting_down"))
+            ExecOutcome::Reply(status_line(id, "shutting_down"))
+        }
+        Op::Compile(c) if request.trace => {
+            let config = match protocol::resolve_profile(&c.profile) {
+                Ok(config) => config,
+                Err(m) => return ExecOutcome::Fail(m),
+            };
+            // Traced compiles bypass the program store: the point is to
+            // observe the pipeline, so compile fresh every time.
+            let mut tracer = Tracer::new();
+            let program = match safara_core::compile_traced(&c.source, &config, &mut tracer) {
+                Ok(p) => p,
+                Err(e) => return ExecOutcome::Fail(e.to_string()),
+            };
+            if Instant::now() > deadline {
+                return ExecOutcome::DeadlineExceeded;
+            }
+            let spans = tracer.finish();
+            match protocol::compile_response(id, &program, c.entry.as_deref(), Some(&spans)) {
+                Ok(line) => ExecOutcome::Reply(line),
+                Err(m) => ExecOutcome::Fail(m),
+            }
         }
         Op::Compile(c) => {
-            let program = shared.program_for(&c.source, &c.profile)?;
-            protocol::compile_response(id, &program, c.entry.as_deref())
+            let program = match shared.program_for(&c.source, &c.profile) {
+                Ok(p) => p,
+                Err(m) => return ExecOutcome::Fail(m),
+            };
+            match protocol::compile_response(id, &program, c.entry.as_deref(), None) {
+                Ok(line) => ExecOutcome::Reply(line),
+                Err(m) => ExecOutcome::Fail(m),
+            }
+        }
+        Op::Run(r) if request.trace => {
+            let config = match protocol::resolve_profile(&r.profile) {
+                Ok(config) => config,
+                Err(m) => return ExecOutcome::Fail(m),
+            };
+            // Traced runs also compile fresh (bypassing the program
+            // store) so the span tree always shows the compile phases.
+            let mut tracer = Tracer::new();
+            let program = match safara_core::compile_traced(&r.source, &config, &mut tracer) {
+                Ok(p) => p,
+                Err(e) => return ExecOutcome::Fail(e.to_string()),
+            };
+            if Instant::now() > deadline {
+                return ExecOutcome::DeadlineExceeded;
+            }
+            let mut args = r.args.clone();
+            let outcome = safara_core::run_compiled_traced(
+                &program,
+                &r.entry,
+                &mut args,
+                &DeviceConfig::k20xm(),
+                Some(&shared.cache),
+                &mut tracer,
+            );
+            let outcome = match outcome {
+                Ok(o) => o,
+                Err(e) => return ExecOutcome::Fail(e.to_string()),
+            };
+            if Instant::now() > deadline {
+                return ExecOutcome::DeadlineExceeded;
+            }
+            let spans = tracer.finish();
+            ExecOutcome::Reply(protocol::run_response(
+                id,
+                &outcome,
+                &args,
+                r.return_arrays,
+                Some(&spans),
+            ))
         }
         Op::Run(r) => {
-            let program = shared.program_for(&r.source, &r.profile)?;
+            let program = match shared.program_for(&r.source, &r.profile) {
+                Ok(p) => p,
+                Err(m) => return ExecOutcome::Fail(m),
+            };
+            // Compilation can be slow; a request may start in time and
+            // still blow its deadline here. Re-check before simulating.
+            if Instant::now() > deadline {
+                return ExecOutcome::DeadlineExceeded;
+            }
             let mut args = r.args.clone();
             let outcome = safara_core::run_compiled(
                 &program,
@@ -293,9 +524,15 @@ fn execute(shared: &EngineShared, queue: &Bounded<Job>, request: &Request) -> Re
                 &mut args,
                 &DeviceConfig::k20xm(),
                 Some(&shared.cache),
-            )
-            .map_err(|e| e.to_string())?;
-            Ok(protocol::run_response(id, &outcome, &args, r.return_arrays))
+            );
+            let outcome = match outcome {
+                Ok(o) => o,
+                Err(e) => return ExecOutcome::Fail(e.to_string()),
+            };
+            if Instant::now() > deadline {
+                return ExecOutcome::DeadlineExceeded;
+            }
+            ExecOutcome::Reply(protocol::run_response(id, &outcome, &args, r.return_arrays, None))
         }
     }
 }
@@ -413,6 +650,183 @@ mod tests {
         assert_eq!(status_of(&second), "timeout");
         assert_eq!(Json::parse(&second).unwrap().get("id").and_then(Json::as_i64), Some(2));
         assert_eq!(engine.shared().timed_out.load(Ordering::Relaxed), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn requests_that_start_in_time_but_finish_late_get_timeout() {
+        // A sleep that starts well inside its deadline but finishes past
+        // it: the pre-2026 server would answer `ok` because the deadline
+        // was only checked at dequeue.
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 4,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        assert!(
+            submit_line(&engine, r#"{"id":1,"op":"sleep","ms":300,"timeout_ms":100}"#, &tx)
+                .is_none()
+        );
+        let line = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(status_of(&line), "timeout");
+        assert_eq!(engine.shared().timed_out.load(Ordering::Relaxed), 0, "started in time");
+        assert_eq!(engine.shared().timed_out_late.load(Ordering::Relaxed), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn slow_pipeline_work_respects_the_deadline_too() {
+        // A real compile+simulate request with a 1 ms budget: whether it
+        // expires in the queue or mid-pipeline, the answer must be
+        // `timeout` and exactly one timeout counter must move.
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 4,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        // 64 lanes × 20k sequential iterations: slow enough that even a
+        // release-mode simulator cannot finish inside 1 ms.
+        let src = "void grind(int n, float x[n]) {\
+                   #pragma acc kernels copy(x)\n{\
+                   #pragma acc loop gang vector\n\
+                   for (int i = 0; i < n; i++) {\
+                   #pragma acc loop seq\n\
+                   for (int k = 0; k < 20000; k++) { x[i] = x[i] * 1.0001f + 0.5f; } } } }";
+        let mut line = protocol::build_run_request(
+            7,
+            src,
+            "grind",
+            "safara_only",
+            &safara_core::Args::new().i32("n", 64).array_f32("x", &[1.0; 64]),
+            false,
+        );
+        line = line.replacen("{", r#"{"timeout_ms":1,"#, 1);
+        assert!(submit_line(&engine, &line, &tx).is_none());
+        let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(status_of(&resp), "timeout");
+        let shared = engine.shared();
+        let early = shared.timed_out.load(Ordering::Relaxed);
+        let late = shared.timed_out_late.load(Ordering::Relaxed);
+        assert_eq!(early + late, 1, "one request, one timeout ({early} early, {late} late)");
+        assert_eq!(shared.completed.load(Ordering::Relaxed), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn hung_up_clients_count_as_replies_dropped() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 4,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        assert!(submit_line(&engine, r#"{"id":1,"op":"ping"}"#, &tx).is_none());
+        drop(rx); // client hangs up before the worker answers
+        drop(tx);
+        let shared = Arc::clone(engine.shared());
+        engine.shutdown(); // drains the queue: the send must have failed by now
+        assert_eq!(shared.replies_dropped.load(Ordering::Relaxed), 1);
+        // The outcome counters still balance: the request completed,
+        // only its delivery failed.
+        assert_eq!(shared.completed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn traced_run_response_carries_a_well_formed_span_tree() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 4,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let src = "void axpy(int n, float alpha, const float x[n], float y[n]) {\
+                   #pragma acc kernels copyin(x) copy(y)\n{\
+                   #pragma acc loop gang vector\n\
+                   for (int i = 0; i < n; i++) { y[i] = y[i] + alpha * x[i]; } } }";
+        let args = safara_core::Args::new()
+            .i32("n", 32)
+            .f32("alpha", 2.0)
+            .array_f32("x", &[1.0; 32])
+            .array_f32("y", &[0.0; 32]);
+        // Warm the program store first so the test proves traced runs
+        // compile fresh (the compile phases must still appear).
+        let warm = protocol::build_run_request(1, src, "axpy", "safara_only", &args, false);
+        assert!(submit_line(&engine, &warm, &tx).is_none());
+        assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(30)).unwrap()), "ok");
+
+        let mut traced = Json::parse(
+            &protocol::build_run_request(2, src, "axpy", "safara_only", &args, false),
+        )
+        .unwrap();
+        let Json::Obj(fields) = &mut traced else { unreachable!() };
+        fields.push(("trace".into(), Json::Bool(true)));
+        assert!(submit_line(&engine, &traced.dump(), &tx).is_none());
+        let line = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{line}");
+        let trace = v.get("trace").and_then(Json::as_arr).expect("trace span array");
+        let names: Vec<&str> =
+            trace.iter().map(|s| s.get("name").and_then(Json::as_str).unwrap()).collect();
+        for phase in ["parse", "sema", "analysis", "opt", "codegen", "regalloc", "sim"] {
+            assert_eq!(
+                names.iter().filter(|n| **n == phase).count(),
+                1,
+                "phase `{phase}` must appear exactly once in {names:?}"
+            );
+        }
+        for span in trace {
+            assert!(span.get("start_us").and_then(Json::as_i64).unwrap() >= 0);
+            assert!(span.get("dur_us").and_then(Json::as_i64).unwrap() >= 0);
+        }
+        // The sim span has the h2d → launch → d2h children.
+        let sim = trace.iter().find(|s| s.get("name").and_then(Json::as_str) == Some("sim"));
+        let kids = sim.unwrap().get("children").and_then(Json::as_arr).expect("sim children");
+        let kid_names: Vec<&str> =
+            kids.iter().map(|s| s.get("name").and_then(Json::as_str).unwrap()).collect();
+        assert_eq!(kid_names, ["h2d", "launch", "d2h"]);
+
+        // Untraced responses carry no trace field.
+        let plain = protocol::build_run_request(3, src, "axpy", "safara_only", &args, false);
+        assert!(submit_line(&engine, &plain, &tx).is_none());
+        let line = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(Json::parse(&line).unwrap().get("trace").is_none());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_latency_histograms_and_cache_counters() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 8,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        for i in 0..3 {
+            let line = format!(r#"{{"id":{i},"op":"ping"}}"#);
+            assert!(submit_line(&engine, &line, &tx).is_none());
+        }
+        for _ in 0..3 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let stats = Json::parse(&engine.stats_line(Some(99))).unwrap();
+        let latency = stats.get("latency").expect("latency section");
+        let qw = latency.get("queue_wait").expect("queue_wait");
+        assert_eq!(qw.get("count").and_then(Json::as_i64), Some(3));
+        assert!(qw.get("p50_us").and_then(Json::as_i64).is_some());
+        assert!(qw.get("p95_us").and_then(Json::as_i64).is_some());
+        assert!(qw.get("max_us").and_then(Json::as_i64).is_some());
+        assert_eq!(latency.get("service").and_then(|s| s.get("count")).and_then(Json::as_i64), Some(3));
+        let ping = latency.get("per_op").and_then(|p| p.get("ping")).expect("per-op ping");
+        assert_eq!(ping.get("count").and_then(Json::as_i64), Some(3));
+        assert!(latency.get("per_op").and_then(|p| p.get("run")).is_none(), "no runs yet");
+        let cache = stats.get("cache").expect("cache section");
+        assert_eq!(cache.get("evictions").and_then(Json::as_i64), Some(0));
+        assert!(cache.get("contention").and_then(Json::as_i64).is_some());
+        let server = stats.get("server").expect("server section");
+        assert_eq!(server.get("timed_out_late").and_then(Json::as_i64), Some(0));
+        assert_eq!(server.get("replies_dropped").and_then(Json::as_i64), Some(0));
         engine.shutdown();
     }
 

@@ -225,6 +225,31 @@ fn concurrent_clients_get_bitwise_identical_results_with_warm_cache() {
     );
     assert_eq!(server.get("rejected_overload").and_then(Json::as_i64), Some(0));
 
+    // Counter invariant: every admitted request is accounted for exactly
+    // once, and no reply was lost to a hung-up client.
+    let counter = |name: &str| server.get(name).and_then(Json::as_i64).expect(name);
+    assert_eq!(
+        counter("submitted"),
+        counter("completed")
+            + counter("errors")
+            + counter("timed_out")
+            + counter("timed_out_late"),
+        "{server}"
+    );
+    assert_eq!(counter("replies_dropped"), 0, "{server}");
+
+    // The latency section saw every request: queue-wait and service
+    // histograms cover all 100 runs, and responses were written back.
+    let latency = stats.get("latency").expect("latency section");
+    let hist_count = |name: &str| {
+        latency.get(name).and_then(|h| h.get("count")).and_then(Json::as_i64).expect(name)
+    };
+    assert_eq!(hist_count("queue_wait"), (CLIENTS * PER_CLIENT) as i64);
+    assert_eq!(hist_count("service"), (CLIENTS * PER_CLIENT) as i64);
+    assert!(hist_count("reply_write") >= (CLIENTS * PER_CLIENT) as i64, "{latency}");
+    let run_hist = latency.get("per_op").and_then(|p| p.get("run")).expect("per-op run");
+    assert_eq!(run_hist.get("count").and_then(Json::as_i64), Some((CLIENTS * PER_CLIENT) as i64));
+
     handle.stop();
 }
 

@@ -14,20 +14,37 @@ cargo build --release --offline
 echo "== test (release) =="
 cargo test --release --offline -q
 
-echo "== clippy (-D warnings) =="
-cargo clippy --release --offline --all-targets -- -D warnings
+if cargo clippy --version >/dev/null 2>&1; then
+  echo "== clippy (-D warnings) =="
+  cargo clippy -q --release --offline --workspace --all-targets -- -D warnings
+else
+  echo "== clippy not installed; skipping =="
+fi
 
 echo "== safara-serve stdin smoke =="
-# One request through the real service binary: parse, queue, worker
-# pool, pipeline, response — all via the wire protocol.
+# Three requests through the real service binary: parse, queue, worker
+# pool, pipeline, response — all via the wire protocol. Request 3 sets
+# "trace":true and must come back with the pipeline span tree.
 smoke_out="$(printf '%s\n' \
   '{"id":1,"op":"ping"}' \
   '{"id":2,"op":"run","source":"void dbl(int n, float x[n]) { #pragma acc kernels copy(x)\n { #pragma acc loop gang vector\n for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } } }","entry":"dbl","profile":"safara_only","scalars":{"n":8},"arrays":{"x":{"elem":"f32","data":[1,2,3,4,5,6,7,8]}},"return_arrays":true}' \
+  '{"id":3,"op":"run","trace":true,"source":"void dbl(int n, float x[n]) { #pragma acc kernels copy(x)\n { #pragma acc loop gang vector\n for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } } }","entry":"dbl","profile":"safara_only","scalars":{"n":8},"arrays":{"x":{"elem":"f32","data":[1,2,3,4,5,6,7,8]}}}' \
   | ./target/release/safara-serve --stdin --workers 2)"
 echo "$smoke_out"
 echo "$smoke_out" | grep -q '"id":1,"status":"ok"'
 echo "$smoke_out" | grep -q '"id":2,"status":"ok"'
 # 2.0f * 8.0f = 16.0f -> bit pattern 0x41800000 = 1098907648
 echo "$smoke_out" | grep -q '1098907648'
+# The traced response carries a well-formed span tree: a "trace" array
+# with every pipeline phase and duration fields.
+traced_line="$(echo "$smoke_out" | grep '"id":3')"
+echo "$traced_line" | grep -q '"status":"ok"'
+echo "$traced_line" | grep -q '"trace":\['
+for phase in parse sema analysis opt codegen regalloc sim; do
+  echo "$traced_line" | grep -q "\"name\":\"$phase\"" \
+    || { echo "traced smoke: phase $phase missing from span tree" >&2; exit 1; }
+done
+echo "$traced_line" | grep -q '"dur_us":'
+echo "$traced_line" | grep -q '"start_us":'
 
 echo "tier-1 OK"
