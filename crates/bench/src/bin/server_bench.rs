@@ -19,7 +19,7 @@
 //! scale).
 
 use safara_core::runtime::{ArgValue, HostArray};
-use safara_core::{Args, CompilerConfig};
+use safara_core::Args;
 use safara_server::json::Json;
 use safara_server::protocol::build_run_request;
 use safara_server::service::EngineConfig;
@@ -83,7 +83,7 @@ fn main() {
         for w in &suite {
             let source = w.source();
             for profile in profiles {
-                assert!(CompilerConfig::by_name(profile).is_some());
+                assert!(safara_server::protocol::resolve_profile(profile).is_ok());
                 let request_args = w.args(scale);
                 let id = next_id;
                 next_id += 1;

@@ -1,0 +1,390 @@
+//! Chaos acceptance tests: the robustness layer under seeded fault
+//! injection, end to end.
+//!
+//! Three escalating setups:
+//!
+//! 1. a seed sweep (0..30) driving an in-process [`Engine`] through a
+//!    probabilistic fault plan — parse failures, simulator faults,
+//!    injected delays and bounded hangs, worker panics, dropped
+//!    replies, poisoned cache entries — asserting, for **every** seed,
+//!    that nothing deadlocks, the accounting invariant
+//!    `submitted == completed + errors + timed_out + timed_out_late + shed`
+//!    holds exactly, and every `ok` response is byte-identical to the
+//!    same request against a fault-free server;
+//! 2. 4 TCP clients × 50 requests each against a faulty server, every
+//!    failure retried through the typed `retryable` contract until it
+//!    succeeds — proving retry-to-success and bit-exact results under
+//!    concurrency;
+//! 3. the circuit breaker observed from the client side: trip, reject
+//!    with a typed retryable error, recover after cooldown.
+
+use safara_client::{Client, ClientError, RetryPolicy};
+use safara_core::chaos::{FaultAction, FaultPlan, Fire, InjectionPoint};
+use safara_core::Args;
+use safara_server::json::Json;
+use safara_server::protocol::{build_run_request_v, parse_request};
+use safara_server::service::{Engine, EngineConfig};
+use safara_server::Submit;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const SCALE: &str = r#"
+void scale(int n, float alpha, float x[n]) {
+  #pragma acc kernels copy(x)
+  {
+    #pragma acc loop gang vector
+    for (int i = 0; i < n; i++) { x[i] = x[i] * alpha + 1.0f; }
+  }
+}"#;
+
+const SUMSQ: &str = r#"
+void sumsq(int n, const float x[n], float s) {
+  #pragma acc kernels copyin(x)
+  {
+    #pragma acc loop gang vector reduction(+:s)
+    for (int i = 0; i < n; i++) { s += x[i] * x[i]; }
+  }
+}"#;
+
+struct Combo {
+    source: &'static str,
+    entry: &'static str,
+    profile: &'static str,
+    args: Args,
+}
+
+fn combos() -> Vec<Combo> {
+    vec![
+        Combo {
+            source: SCALE,
+            entry: "scale",
+            profile: "base",
+            args: Args::new().i32("n", 32).f32("alpha", 1.5).array_f32(
+                "x",
+                &(0..32).map(|i| i as f32 * 0.25).collect::<Vec<_>>(),
+            ),
+        },
+        Combo {
+            source: SCALE,
+            entry: "scale",
+            profile: "safara_only",
+            args: Args::new().i32("n", 32).f32("alpha", -0.5).array_f32(
+                "x",
+                &(0..32).map(|i| (i as f32 * 0.4).sin()).collect::<Vec<_>>(),
+            ),
+        },
+        Combo {
+            source: SUMSQ,
+            entry: "sumsq",
+            profile: "safara_clauses",
+            args: Args::new().i32("n", 48).f32("s", 0.0).array_f32(
+                "x",
+                &(0..48).map(|i| (i as f32 * 0.125).cos()).collect::<Vec<_>>(),
+            ),
+        },
+    ]
+}
+
+/// The per-seed request schedule: the same ids and lines are replayed
+/// against a fault-free engine to obtain the expected responses.
+fn schedule(combos: &[Combo]) -> Vec<(i64, String)> {
+    let mut lines = Vec::new();
+    let mut id = 0i64;
+    for round in 0..10 {
+        for c in combos {
+            id += 1;
+            lines.push((id, build_run_request_v(2, id, c.source, c.entry, c.profile, &c.args, round % 2 == 0)));
+        }
+        id += 1;
+        lines.push((id, format!(r#"{{"id":{id},"v":2,"op":"ping"}}"#)));
+    }
+    lines
+}
+
+/// Run the schedule through an engine; `Ok` entries are response
+/// lines, `Err(())` marks a reply the server dropped (injected client
+/// hangup). A response not arriving within 10 s is a deadlock — fail.
+fn drive(engine: &Engine, lines: &[(i64, String)]) -> Vec<Result<String, ()>> {
+    let mut rxs = Vec::new();
+    for (id, line) in lines {
+        let (tx, rx) = mpsc::channel();
+        match engine.submit(parse_request(line).unwrap(), tx) {
+            Submit::Queued => rxs.push((*id, Err(()), Some(rx))),
+            Submit::Rejected { response, .. } => rxs.push((*id, Ok(response), None)),
+        }
+    }
+    rxs.into_iter()
+        .map(|(id, immediate, rx)| match rx {
+            None => immediate,
+            Some(rx) => match rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(line) => Ok(line),
+                // The sender is held by the engine until the reply is
+                // written or dropped; a disconnect IS the drop. A raw
+                // timeout with the sender still alive would be a hang.
+                Err(mpsc::RecvTimeoutError::Disconnected) => Err(()),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    panic!("request {id} hung: no reply and no hangup within 10s")
+                }
+            },
+        })
+        .collect()
+}
+
+fn assert_accounting(shared: &safara_server::service::EngineShared) {
+    let n = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+    assert_eq!(
+        n(&shared.submitted),
+        n(&shared.completed)
+            + n(&shared.errors)
+            + n(&shared.timed_out)
+            + n(&shared.timed_out_late)
+            + n(&shared.shed),
+        "accounting invariant"
+    );
+}
+
+#[test]
+fn seed_sweep_keeps_accounting_exact_and_ok_responses_bit_identical() {
+    let combos = combos();
+    let lines = schedule(&combos);
+
+    // The expected responses: the identical schedule against a
+    // fault-free engine. Everything must succeed there.
+    let reference = Engine::start(EngineConfig {
+        workers: 2,
+        queue_depth: 64,
+        verify_cache: true,
+        ..EngineConfig::default()
+    });
+    let expected: HashMap<i64, String> = lines
+        .iter()
+        .map(|(id, _)| *id)
+        .zip(drive(&reference, &lines))
+        .map(|(id, r)| (id, r.expect("fault-free run drops nothing")))
+        .collect();
+    for line in expected.values() {
+        assert!(line.contains(r#""status":"ok""#), "fault-free run all ok: {line}");
+    }
+    reference.shutdown();
+
+    for seed in 0..31u64 {
+        // Register-allocator faults are deliberately absent: a forced
+        // spill legitimately changes the winning allocation, so `ok`
+        // responses would no longer be byte-comparable. Those points
+        // are covered by the core pipeline tests instead.
+        let plan = FaultPlan::seeded(seed)
+            .with_max_delay_ms(25)
+            .with(InjectionPoint::Parse, FaultAction::Fail, Fire::Prob(0.04))
+            .with(InjectionPoint::Sim, FaultAction::Fail, Fire::Prob(0.10))
+            .with(InjectionPoint::Sim, FaultAction::Delay { ms: 15 }, Fire::Prob(0.08))
+            .with(InjectionPoint::Sim, FaultAction::Hang, Fire::Prob(0.02))
+            .with(InjectionPoint::WorkerJob, FaultAction::Panic, Fire::Prob(0.04))
+            .with(InjectionPoint::CacheRead, FaultAction::Poison, Fire::Prob(0.06))
+            .with(InjectionPoint::Reply, FaultAction::Hangup, Fire::Prob(0.04));
+        let engine = Engine::start(EngineConfig {
+            workers: 3,
+            queue_depth: 64,
+            fault_plan: Arc::new(plan),
+            verify_cache: true,
+            ..EngineConfig::default()
+        });
+        let outcomes = drive(&engine, &lines);
+
+        let mut dropped = 0u64;
+        let mut ok = 0u64;
+        for ((id, _), outcome) in lines.iter().zip(&outcomes) {
+            match outcome {
+                Err(()) => dropped += 1,
+                Ok(line) if line.contains(r#""status":"ok""#) => {
+                    ok += 1;
+                    assert_eq!(line, &expected[id], "seed {seed} id {id}: ok response drifted");
+                }
+                Ok(line) => {
+                    // Failures must be v2-structured with a known code.
+                    let v = Json::parse(line).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+                    let code = v
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Json::as_str)
+                        .unwrap_or_else(|| panic!("seed {seed} untyped failure: {line}"));
+                    assert!(
+                        safara_server::service::ERROR_CODES.contains(&code)
+                            || code == "timeout"
+                            || code == "shutting_down",
+                        "seed {seed} unknown code {code}"
+                    );
+                }
+            }
+        }
+        let shared = Arc::clone(engine.shared());
+        // Joining the (possibly respawned) pool proves no worker hung.
+        engine.shutdown();
+        assert_accounting(&shared);
+        assert_eq!(
+            shared.replies_dropped.load(Ordering::Relaxed),
+            dropped,
+            "seed {seed}: every missing reply is an accounted hangup"
+        );
+        assert_eq!(
+            shared.worker_panics.load(Ordering::Relaxed),
+            shared.worker_respawns.load(Ordering::Relaxed),
+            "seed {seed}: every panic respawned a worker"
+        );
+        assert!(ok > 0, "seed {seed}: the plan must not starve the engine entirely");
+    }
+}
+
+#[test]
+fn four_clients_fifty_requests_each_retry_every_fault_to_success() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 50;
+    let combos = combos();
+
+    // Expected digests straight from the core pipeline, no server.
+    let dev = safara_core::gpusim::device::DeviceConfig::k20xm();
+    let reference: Vec<HashMap<String, String>> = combos
+        .iter()
+        .map(|c| {
+            let config =
+                safara_server::protocol::resolve_profile(c.profile).expect("known profile");
+            let program = safara_core::compile(c.source, &config).expect("compiles");
+            let mut args = c.args.clone();
+            safara_core::run_compiled(&program, c.entry, &mut args, &dev, None).expect("runs");
+            args.arrays
+                .iter()
+                .map(|(k, a)| (k.to_string(), safara_server::protocol::digest(a)))
+                .collect()
+        })
+        .collect();
+
+    let plan = FaultPlan::seeded(11)
+        .with(InjectionPoint::Sim, FaultAction::Fail, Fire::Prob(0.15))
+        .with(InjectionPoint::WorkerJob, FaultAction::Panic, Fire::Prob(0.04));
+    let handle = safara_server::serve(
+        "127.0.0.1:0",
+        EngineConfig {
+            workers: 3,
+            queue_depth: 256,
+            fault_plan: Arc::new(plan),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr;
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let combos = &combos;
+                let reference = &reference;
+                s.spawn(move || {
+                    let client = Client::connect(addr).expect("connect");
+                    let policy =
+                        RetryPolicy { attempts: 25, base_ms: 1, cap_ms: 10, seed: t as u64 };
+                    for i in 0..PER_CLIENT {
+                        let idx = (t + i) % combos.len();
+                        let c = &combos[idx];
+                        let v = client
+                            .retry(&policy, || {
+                                client.run(c.source, c.entry, c.profile, &c.args, false)
+                            })
+                            .unwrap_or_else(|e| panic!("client {t} req {i}: gave up on {e}"));
+                        let digests = v.get("digests").expect("run response digests");
+                        for (name, want) in &reference[idx] {
+                            assert_eq!(
+                                digests.get(name.as_str()).and_then(Json::as_str),
+                                Some(want.as_str()),
+                                "client {t} req {i} array `{name}`"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+
+    let client = Client::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    let server = stats.get("server").expect("server section");
+    let counter = |name: &str| server.get(name).and_then(Json::as_i64).expect(name);
+    assert_eq!(
+        counter("submitted"),
+        counter("completed")
+            + counter("errors")
+            + counter("timed_out")
+            + counter("timed_out_late")
+            + counter("shed"),
+        "{server}"
+    );
+    // Retries inflate `submitted` past the 200 user-level requests by
+    // exactly the number of injected failures.
+    assert!(counter("errors") > 0, "the seeded plan fired: {server}");
+    assert_eq!(
+        counter("completed"),
+        (CLIENTS * PER_CLIENT) as i64,
+        "every user-level request eventually succeeded (stats is answered inline): {server}"
+    );
+    assert_eq!(counter("worker_panics"), counter("worker_respawns"), "{server}");
+    let by_code = stats.get("errors_by_code").expect("errors_by_code section");
+    assert!(by_code.get("sim").and_then(Json::as_i64).unwrap_or(0) > 0, "{by_code}");
+    drop(client);
+    handle.stop();
+}
+
+#[test]
+fn breaker_trips_and_recovers_observed_from_the_client() {
+    let handle = safara_server::serve(
+        "127.0.0.1:0",
+        EngineConfig {
+            workers: 1,
+            queue_depth: 16,
+            breaker_threshold: 2,
+            breaker_cooldown_ms: 100,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let client = Client::connect(handle.addr).expect("connect");
+
+    for _ in 0..2 {
+        let err = client.compile("void broken(", "base").unwrap_err();
+        assert_eq!(err.code(), Some("parse"));
+        assert!(!err.retryable());
+    }
+    // The breaker is now open for `base`: even a good program is
+    // refused, with the retryable contract telling the client to wait.
+    let err = client.compile("void fine() {}", "base").unwrap_err();
+    match &err {
+        ClientError::Remote { code, retryable, .. } => {
+            assert_eq!(code, "breaker_open");
+            assert!(retryable);
+        }
+        other => panic!("expected Remote, got {other:?}"),
+    }
+    // Retrying with backoff rides out the cooldown; the half-open
+    // probe succeeds and closes the breaker.
+    let policy = RetryPolicy { attempts: 6, base_ms: 60, cap_ms: 200, seed: 5 };
+    let v = client
+        .retry(&policy, || client.compile("void fine() {}", "base"))
+        .expect("recovers after cooldown");
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    // And it stays closed.
+    assert!(client.compile("void fine() {}", "base").is_ok());
+
+    let stats = client.stats().expect("stats");
+    let breaker = stats.get("breaker").expect("breaker section");
+    assert_eq!(breaker.get("trips").and_then(Json::as_i64), Some(1), "{breaker}");
+    assert!(breaker.get("rejections").and_then(Json::as_i64).unwrap_or(0) >= 1, "{breaker}");
+    assert_eq!(
+        breaker.get("open_profiles").and_then(Json::as_i64),
+        Some(0),
+        "recovered: {breaker}"
+    );
+    drop(client);
+    handle.stop();
+}

@@ -1,6 +1,8 @@
 //! The compile driver and SAFARA's iterative feedback loop.
 
+use crate::error::CompileError;
 use crate::profile::{CompilerConfig, SrStrategy};
+use safara_chaos::{FaultAction, FaultPlan, InjectionPoint};
 use safara_codegen::lower::{lower_function, CompiledKernel};
 use safara_gpusim::device::DeviceConfig;
 use safara_gpusim::ptxas::{allocate_registers, RegAllocReport};
@@ -11,40 +13,22 @@ use safara_opt::transform::TempNamer;
 use safara_opt::{carr_kennedy_pass, safara_pass, SrOutcome};
 use safara_runtime::{
     run_function, run_function_cached, run_function_shared, Args, LaunchCache, RunReport,
-    RuntimeError, SharedLaunchCache,
+    SharedLaunchCache,
 };
-use std::fmt;
 
-/// Driver errors.
-#[derive(Debug, Clone, PartialEq)]
-pub enum CoreError {
-    /// Front-end failure.
-    Frontend(String),
-    /// Back-end failure.
-    Codegen(String),
-    /// Execution failure.
-    Runtime(String),
-    /// Lookup failure.
-    NoSuchFunction(String),
-}
-
-impl fmt::Display for CoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CoreError::Frontend(m) => write!(f, "front-end: {m}"),
-            CoreError::Codegen(m) => write!(f, "codegen: {m}"),
-            CoreError::Runtime(m) => write!(f, "runtime: {m}"),
-            CoreError::NoSuchFunction(m) => write!(f, "no such function `{m}`"),
-        }
+/// Evaluate an injection point against an optional plan. `Delay`/`Hang`
+/// actions are absorbed here (the sleep *is* the fault); anything else
+/// is returned for the call site to turn into its typed failure.
+pub(crate) fn fault_at(
+    faults: Option<&FaultPlan>,
+    point: InjectionPoint,
+) -> Option<FaultAction> {
+    let plan = faults?;
+    let action = plan.check(point)?;
+    if plan.apply_delay(&action) {
+        return None;
     }
-}
-
-impl std::error::Error for CoreError {}
-
-impl From<RuntimeError> for CoreError {
-    fn from(e: RuntimeError) -> Self {
-        CoreError::Runtime(e.message)
-    }
+    Some(action)
 }
 
 /// A compiled kernel plus its register-allocation report — the pair the
@@ -96,11 +80,11 @@ pub struct CompiledProgram {
 
 impl CompiledProgram {
     /// Look up a compiled function.
-    pub fn function(&self, name: &str) -> Result<&CompiledFunction, CoreError> {
+    pub fn function(&self, name: &str) -> Result<&CompiledFunction, CompileError> {
         self.functions
             .iter()
             .find(|f| f.name == name)
-            .ok_or_else(|| CoreError::NoSuchFunction(name.to_string()))
+            .ok_or_else(|| CompileError::no_such_function(name))
     }
 
     /// Execute a function against `args` on `dev`.
@@ -109,7 +93,7 @@ impl CompiledProgram {
         name: &str,
         args: &mut Args,
         dev: &DeviceConfig,
-    ) -> Result<RunReport, CoreError> {
+    ) -> Result<RunReport, CompileError> {
         let f = self.function(name)?;
         let compiled: Vec<(CompiledKernel, RegAllocReport)> =
             f.kernels.iter().map(|k| (k.kernel.clone(), k.alloc.clone())).collect();
@@ -123,7 +107,7 @@ impl CompiledProgram {
         args: &mut Args,
         dev: &DeviceConfig,
         cache: &mut LaunchCache,
-    ) -> Result<RunReport, CoreError> {
+    ) -> Result<RunReport, CompileError> {
         let f = self.function(name)?;
         let compiled: Vec<(CompiledKernel, RegAllocReport)> =
             f.kernels.iter().map(|k| (k.kernel.clone(), k.alloc.clone())).collect();
@@ -139,7 +123,7 @@ impl CompiledProgram {
         args: &mut Args,
         dev: &DeviceConfig,
         cache: &SharedLaunchCache,
-    ) -> Result<RunReport, CoreError> {
+    ) -> Result<RunReport, CompileError> {
         let f = self.function(name)?;
         let compiled: Vec<(CompiledKernel, RegAllocReport)> =
             f.kernels.iter().map(|k| (k.kernel.clone(), k.alloc.clone())).collect();
@@ -148,8 +132,8 @@ impl CompiledProgram {
 }
 
 /// Compile MiniACC source under a configuration.
-pub fn compile(src: &str, config: &CompilerConfig) -> Result<CompiledProgram, CoreError> {
-    compile_traced(src, config, &mut Tracer::disabled())
+pub fn compile(src: &str, config: &CompilerConfig) -> Result<CompiledProgram, CompileError> {
+    compile_impl(src, config, &mut Tracer::disabled(), None)
 }
 
 /// [`compile`] recording one span per pipeline phase into `tracer`:
@@ -163,17 +147,55 @@ pub fn compile_traced(
     src: &str,
     config: &CompilerConfig,
     tracer: &mut Tracer,
-) -> Result<CompiledProgram, CoreError> {
+) -> Result<CompiledProgram, CompileError> {
+    compile_impl(src, config, tracer, None)
+}
+
+/// [`compile_traced`] evaluating `faults` at each phase's injection
+/// point. With an inert plan this is exactly [`compile_traced`]; with
+/// faults scheduled, phases fail with their typed error, feedback
+/// rounds are forced to spill (and reverted, as the loop always does),
+/// or phases stall — deterministically per the plan's seed.
+pub fn compile_with_faults(
+    src: &str,
+    config: &CompilerConfig,
+    tracer: &mut Tracer,
+    faults: &FaultPlan,
+) -> Result<CompiledProgram, CompileError> {
+    compile_impl(src, config, tracer, Some(faults))
+}
+
+pub(crate) fn compile_impl(
+    src: &str,
+    config: &CompilerConfig,
+    tracer: &mut Tracer,
+    faults: Option<&FaultPlan>,
+) -> Result<CompiledProgram, CompileError> {
     let program = tracer.span("parse", |t| {
-        let p = parse_program_unchecked(src).map_err(|e| CoreError::Frontend(e.to_string()))?;
+        if let Some(FaultAction::Fail) = fault_at(faults, InjectionPoint::Parse) {
+            return Err(CompileError::Parse {
+                message: "injected front-end fault".into(),
+                span: None,
+            });
+        }
+        let p = parse_program_unchecked(src).map_err(CompileError::from)?;
         t.meta_int("functions", p.functions.len() as i64);
-        Ok::<_, CoreError>(p)
+        Ok::<_, CompileError>(p)
     })?;
 
     tracer.span("sema", |_| {
+        if let Some(FaultAction::Fail) = fault_at(faults, InjectionPoint::Sema) {
+            return Err(CompileError::Sema { message: "injected sema fault".into(), span: None });
+        }
         safara_ir::sema::check_program(&program)
-            .map_err(|e| CoreError::Frontend(safara_ir::CompileError::Sema(e).to_string()))
+            .map_err(|e| CompileError::from(safara_ir::CompileError::Sema(e)))
     })?;
+
+    if let Some(FaultAction::Fail | FaultAction::Poison) =
+        fault_at(faults, InjectionPoint::Analysis)
+    {
+        return Err(CompileError::Analysis { message: "injected analysis fault".into() });
+    }
 
     // Reuse analysis over every offload region. The SR passes re-derive
     // this per round; the phase measures the standalone analysis cost
@@ -194,20 +216,35 @@ pub fn compile_traced(
     let mut optimized: Vec<(Function, SrOutcome, u32)> = Vec::new();
     tracer.span("opt", |t| {
         for f in &program.functions {
-            optimized.push(optimize_function(f, config, t)?);
+            optimized.push(optimize_function(f, config, t, faults)?);
         }
-        Ok::<_, CoreError>(())
+        Ok::<_, CompileError>(())
     })?;
 
     let mut lowered: Vec<Vec<CompiledKernel>> = Vec::new();
     tracer.span("codegen", |t| {
         for (work, _, _) in &optimized {
-            lowered
-                .push(lower_function(work, &config.codegen).map_err(|e| CoreError::Codegen(e.message))?);
+            lowered.push(lower_function(work, &config.codegen)?);
         }
         t.meta_int("kernels", lowered.iter().map(Vec::len).sum::<usize>() as i64);
-        Ok::<_, CoreError>(())
+        Ok::<_, CompileError>(())
     })?;
+
+    if let Some(FaultAction::Fail | FaultAction::Spill) =
+        fault_at(faults, InjectionPoint::RegAlloc)
+    {
+        let kernel = lowered
+            .iter()
+            .flatten()
+            .next()
+            .map(|k| k.name.clone())
+            .unwrap_or_else(|| "<no kernels>".into());
+        return Err(CompileError::RegAllocSpill {
+            kernel,
+            regs_used: config.reg_cap + 1,
+            reg_cap: config.reg_cap,
+        });
+    }
 
     let functions = tracer.span("regalloc", |t| {
         let mut max_regs = 0u32;
@@ -242,8 +279,11 @@ pub fn compile_traced(
     Ok(CompiledProgram { config: config.clone(), functions })
 }
 
-fn codegen_all(f: &Function, config: &CompilerConfig) -> Result<Vec<KernelArtifact>, CoreError> {
-    let kernels = lower_function(f, &config.codegen).map_err(|e| CoreError::Codegen(e.message))?;
+fn codegen_all(
+    f: &Function,
+    config: &CompilerConfig,
+) -> Result<Vec<KernelArtifact>, CompileError> {
+    let kernels = lower_function(f, &config.codegen)?;
     Ok(kernels
         .into_iter()
         .map(|kernel| {
@@ -261,7 +301,8 @@ fn optimize_function(
     f: &Function,
     config: &CompilerConfig,
     tracer: &mut Tracer,
-) -> Result<(Function, SrOutcome, u32), CoreError> {
+    faults: Option<&FaultPlan>,
+) -> Result<(Function, SrOutcome, u32), CompileError> {
     let mut work = f.clone();
     let mut namer = TempNamer::default();
     let mut outcome = SrOutcome::default();
@@ -309,6 +350,21 @@ fn optimize_function(
                         break;
                     }
                     rounds += 1;
+                    // Mid-loop fault injection: a `Fail` here models the
+                    // backend dying between rounds (typed as a budget
+                    // failure); a `Spill` forces this round down the
+                    // paper's revert path below.
+                    let forced_spill = match fault_at(faults, InjectionPoint::FeedbackRound) {
+                        Some(FaultAction::Fail) => {
+                            return Err(CompileError::Budget {
+                                message: format!(
+                                    "injected backend fault in feedback round {rounds}"
+                                ),
+                            });
+                        }
+                        Some(FaultAction::Spill) => true,
+                        _ => false,
+                    };
                     tracer.begin("round");
                     // 1. Backend compile, no further SR: measure registers.
                     let arts = match codegen_all(&work, config) {
@@ -347,7 +403,7 @@ fn optimize_function(
                             return Err(e);
                         }
                     };
-                    let spills = new_arts.iter().any(|a| !a.alloc.fits());
+                    let spills = forced_spill || new_arts.iter().any(|a| !a.alloc.fits());
                     if spills {
                         tracer.meta_str("ended", "reverted_spill");
                         tracer.end();
@@ -515,14 +571,93 @@ mod tests {
     #[test]
     fn missing_function_reported() {
         let p = compile(FIG5, &CompilerConfig::base()).unwrap();
-        assert!(matches!(p.function("nope"), Err(CoreError::NoSuchFunction(_))));
+        let err = p.function("nope").unwrap_err();
+        assert_eq!(err.code(), "sema");
+        assert!(err.to_string().contains("no such function `nope`"));
     }
 
     #[test]
-    fn bad_source_reports_frontend_error() {
-        assert!(matches!(
-            compile("void f(", &CompilerConfig::base()),
-            Err(CoreError::Frontend(_))
-        ));
+    fn bad_source_reports_parse_error_with_span() {
+        let err = compile("void f(", &CompilerConfig::base()).unwrap_err();
+        assert!(matches!(err, CompileError::Parse { .. }), "{err}");
+        assert!(err.span().is_some(), "front-end errors carry provenance");
+        assert!(!err.retryable());
+    }
+
+    #[test]
+    fn injected_front_end_faults_produce_typed_errors() {
+        use safara_chaos::Fire;
+        for (point, code) in [
+            (InjectionPoint::Parse, "parse"),
+            (InjectionPoint::Sema, "sema"),
+            (InjectionPoint::Analysis, "analysis"),
+            (InjectionPoint::RegAlloc, "regalloc_spill"),
+        ] {
+            let plan = FaultPlan::seeded(0).with(point, FaultAction::Fail, Fire::First(1));
+            let err = compile_with_faults(
+                FIG5,
+                &CompilerConfig::base(),
+                &mut Tracer::disabled(),
+                &plan,
+            )
+            .unwrap_err();
+            assert_eq!(err.code(), code, "{point:?}");
+            // The very next compile under the same plan is clean.
+            compile_with_faults(FIG5, &CompilerConfig::base(), &mut Tracer::disabled(), &plan)
+                .unwrap_or_else(|e| panic!("{point:?} second compile: {e}"));
+        }
+    }
+
+    #[test]
+    fn forced_feedback_spill_reverts_the_round_not_the_compile() {
+        use safara_chaos::Fire;
+        // Force the *first* feedback round to report spilling: the loop
+        // must revert it and terminate cleanly, like the paper's loop
+        // does for a genuinely spilling round.
+        let plan = FaultPlan::seeded(0).with(
+            InjectionPoint::FeedbackRound,
+            FaultAction::Spill,
+            Fire::First(1),
+        );
+        let faulted = compile_with_faults(
+            FIG5,
+            &CompilerConfig::safara_only(),
+            &mut Tracer::disabled(),
+            &plan,
+        )
+        .unwrap();
+        let f = faulted.function("fig5").unwrap();
+        assert_eq!(f.feedback_rounds, 1, "round 1 forced to spill ends the loop");
+        assert_eq!(f.sr_outcome.temps_added, 0, "the spilling round was reverted");
+        assert!(f.kernels.iter().all(|k| k.alloc.fits()));
+
+        // A mid-loop fail is a typed budget error, not a panic.
+        let plan = FaultPlan::seeded(0).with(
+            InjectionPoint::FeedbackRound,
+            FaultAction::Fail,
+            Fire::First(1),
+        );
+        let err = compile_with_faults(
+            FIG5,
+            &CompilerConfig::safara_only(),
+            &mut Tracer::disabled(),
+            &plan,
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "budget");
+        assert_eq!(err.phase().name(), "opt");
+    }
+
+    #[test]
+    fn inert_plan_output_is_identical_to_plain_compile() {
+        let plain = compile(FIG5, &CompilerConfig::safara_only()).unwrap();
+        let inert = compile_with_faults(
+            FIG5,
+            &CompilerConfig::safara_only(),
+            &mut Tracer::disabled(),
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert_eq!(plain, inert);
     }
 }

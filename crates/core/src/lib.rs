@@ -45,24 +45,28 @@
 
 pub mod calibrate;
 pub mod driver;
+pub mod error;
 pub mod pipeline;
 pub mod profile;
 pub mod report;
 
 pub use calibrate::{calibrated_config, calibrated_cost_model};
 pub use driver::{
-    compile, compile_traced, CompiledFunction, CompiledProgram, CoreError, KernelArtifact,
+    compile, compile_traced, compile_with_faults, CompiledFunction, CompiledProgram,
+    KernelArtifact,
 };
+pub use error::{CompileError, Phase};
 pub use pipeline::{
-    compile_and_run, compile_and_run_traced, run_compiled, run_compiled_traced, KernelSummary,
-    RunOutcome,
+    compile_and_run, compile_and_run_traced, compile_and_run_with_faults, run_compiled,
+    run_compiled_traced, run_compiled_with_faults, KernelSummary, RunOutcome,
 };
-pub use profile::{CompilerConfig, SrStrategy};
+pub use profile::{CompilerConfig, CompilerConfigBuilder, SrStrategy};
 pub use report::{register_table, RegisterRow};
 
 // Facade re-exports so downstream users (workloads, benches, examples)
 // need only this crate.
 pub use safara_analysis as analysis;
+pub use safara_chaos as chaos;
 pub use safara_codegen as codegen;
 pub use safara_gpusim as gpusim;
 pub use safara_ir as ir;

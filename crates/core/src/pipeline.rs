@@ -10,8 +10,10 @@
 //! (like `safara-server`) that cache [`CompiledProgram`]s across
 //! requests and only re-execute.
 
-use crate::driver::{compile, compile_traced, CompiledProgram, CoreError};
+use crate::driver::{compile, compile_impl, fault_at, CompiledProgram};
+use crate::error::CompileError;
 use crate::profile::CompilerConfig;
+use safara_chaos::{FaultAction, FaultPlan, InjectionPoint};
 use safara_codegen::lower::CompiledKernel;
 use safara_gpusim::device::DeviceConfig;
 use safara_gpusim::memo::SharedLaunchCache;
@@ -69,7 +71,35 @@ pub fn run_compiled(
     args: &mut Args,
     dev: &DeviceConfig,
     cache: Option<&SharedLaunchCache>,
-) -> Result<RunOutcome, CoreError> {
+) -> Result<RunOutcome, CompileError> {
+    run_compiled_impl(program, entry, args, dev, cache, None)
+}
+
+/// [`run_compiled`] evaluating `faults` at the `sim` injection point:
+/// a scheduled `Fail` becomes a typed (retryable) [`CompileError::Sim`]
+/// before any launch; `Delay`/`Hang` stall the simulation.
+pub fn run_compiled_with_faults(
+    program: &CompiledProgram,
+    entry: &str,
+    args: &mut Args,
+    dev: &DeviceConfig,
+    cache: Option<&SharedLaunchCache>,
+    faults: &FaultPlan,
+) -> Result<RunOutcome, CompileError> {
+    run_compiled_impl(program, entry, args, dev, cache, Some(faults))
+}
+
+fn run_compiled_impl(
+    program: &CompiledProgram,
+    entry: &str,
+    args: &mut Args,
+    dev: &DeviceConfig,
+    cache: Option<&SharedLaunchCache>,
+    faults: Option<&FaultPlan>,
+) -> Result<RunOutcome, CompileError> {
+    if let Some(FaultAction::Fail) = fault_at(faults, InjectionPoint::Sim) {
+        return Err(CompileError::Sim { message: "injected simulator fault".into() });
+    }
     let report = match cache {
         Some(c) => program.run_shared(entry, args, dev, c)?,
         None => program.run(entry, args, dev)?,
@@ -86,12 +116,13 @@ pub fn run_compiled_traced(
     dev: &DeviceConfig,
     cache: Option<&SharedLaunchCache>,
     tracer: &mut Tracer,
-) -> Result<RunOutcome, CoreError> {
+) -> Result<RunOutcome, CompileError> {
     let f = program.function(entry)?;
     let compiled: Vec<(CompiledKernel, RegAllocReport)> =
         f.kernels.iter().map(|k| (k.kernel.clone(), k.alloc.clone())).collect();
     let report = tracer.span("sim", |t| {
         run_function_traced(dev, &f.transformed, &compiled, args, cache, t)
+            .map_err(CompileError::from)
     })?;
     summarize(program, entry, report)
 }
@@ -100,7 +131,7 @@ fn summarize(
     program: &CompiledProgram,
     entry: &str,
     report: safara_runtime::RunReport,
-) -> Result<RunOutcome, CoreError> {
+) -> Result<RunOutcome, CompileError> {
     let f = program.function(entry)?;
     let kernels = report
         .kernels
@@ -138,9 +169,28 @@ pub fn compile_and_run(
     args: &mut Args,
     dev: &DeviceConfig,
     cache: Option<&SharedLaunchCache>,
-) -> Result<(CompiledProgram, RunOutcome), CoreError> {
+) -> Result<(CompiledProgram, RunOutcome), CompileError> {
     let program = compile(source, config)?;
     let outcome = run_compiled(&program, entry, args, dev, cache)?;
+    Ok((program, outcome))
+}
+
+/// [`compile_and_run`] threading a [`FaultPlan`] through every pipeline
+/// injection point (`parse` → ... → `regalloc` → `sim`). The chaos
+/// harness's front door: one call that can fail, stall, or spill at any
+/// scheduled phase — or, with an inert plan, behaves exactly like
+/// [`compile_and_run`].
+pub fn compile_and_run_with_faults(
+    source: &str,
+    entry: &str,
+    config: &CompilerConfig,
+    args: &mut Args,
+    dev: &DeviceConfig,
+    cache: Option<&SharedLaunchCache>,
+    faults: &FaultPlan,
+) -> Result<(CompiledProgram, RunOutcome), CompileError> {
+    let program = compile_impl(source, config, &mut Tracer::disabled(), Some(faults))?;
+    let outcome = run_compiled_impl(&program, entry, args, dev, cache, Some(faults))?;
     Ok((program, outcome))
 }
 
@@ -155,8 +205,8 @@ pub fn compile_and_run_traced(
     dev: &DeviceConfig,
     cache: Option<&SharedLaunchCache>,
     tracer: &mut Tracer,
-) -> Result<(CompiledProgram, RunOutcome), CoreError> {
-    let program = compile_traced(source, config, tracer)?;
+) -> Result<(CompiledProgram, RunOutcome), CompileError> {
+    let program = compile_impl(source, config, tracer, None)?;
     let outcome = run_compiled_traced(&program, entry, args, dev, cache, tracer)?;
     Ok((program, outcome))
 }
@@ -283,11 +333,57 @@ mod tests {
         let mut args = Args::new();
         let err = compile_and_run("void f(", "f", &CompilerConfig::base(), &mut args, &dev, None)
             .unwrap_err();
-        assert!(matches!(err, CoreError::Frontend(_)));
+        assert!(matches!(err, CompileError::Parse { .. }), "{err}");
         let mut args = axpy_args(8);
         let err = compile_and_run(AXPY, "nope", &CompilerConfig::base(), &mut args, &dev, None)
             .unwrap_err();
-        assert!(matches!(err, CoreError::NoSuchFunction(_)));
+        assert_eq!(err.code(), "sema");
+        assert!(!err.retryable());
+    }
+
+    #[test]
+    fn injected_sim_fault_is_retryable_and_transient() {
+        use safara_chaos::Fire;
+        let dev = DeviceConfig::k20xm();
+        let plan =
+            FaultPlan::seeded(3).with(InjectionPoint::Sim, FaultAction::Fail, Fire::First(1));
+
+        let mut args = axpy_args(32);
+        let err = compile_and_run_with_faults(
+            AXPY,
+            "axpy",
+            &CompilerConfig::base(),
+            &mut args,
+            &dev,
+            None,
+            &plan,
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "sim");
+        assert!(err.retryable(), "sim faults are worth retrying");
+
+        // The retry under the same (now-exhausted) plan succeeds and is
+        // bit-identical to a fault-free run.
+        let mut again = axpy_args(32);
+        let (_, outcome) = compile_and_run_with_faults(
+            AXPY,
+            "axpy",
+            &CompilerConfig::base(),
+            &mut again,
+            &dev,
+            None,
+            &plan,
+        )
+        .unwrap();
+        let mut clean = axpy_args(32);
+        let (_, want) =
+            compile_and_run(AXPY, "axpy", &CompilerConfig::base(), &mut clean, &dev, None)
+                .unwrap();
+        assert_eq!(outcome, want);
+        assert_eq!(
+            again.array("y").unwrap().as_f32_bits(),
+            clean.array("y").unwrap().as_f32_bits()
+        );
     }
 
     #[test]

@@ -172,23 +172,151 @@ impl CompilerConfig {
         "safara_no_feedback",
     ];
 
+    /// Start building a configuration from typed toggles — the
+    /// replacement for stringly-typed [`CompilerConfig::by_name`]
+    /// call sites. The builder starts at the OpenUH baseline; toggles
+    /// compose, and combinations matching a named evaluation point keep
+    /// that point's canonical name.
+    pub fn builder() -> CompilerConfigBuilder {
+        CompilerConfigBuilder::default()
+    }
+
     /// Resolve a profile by wire-protocol key (case-insensitive, `-`
     /// treated as `_`; a few aliases accepted). `None` for unknown keys.
+    ///
+    /// Kept as a thin shim over [`CompilerConfig::builder`] so wire
+    /// requests and bench binaries can still resolve names; new code
+    /// should use the builder's typed toggles.
+    #[deprecated(since = "0.1.0", note = "use CompilerConfig::builder() for typed toggles; \
+                                          only wire-facing name resolution should live here")]
     pub fn by_name(key: &str) -> Option<CompilerConfig> {
         let k = key.trim().to_ascii_lowercase().replace('-', "_");
+        let b = Self::builder();
         Some(match k.as_str() {
-            "base" | "openuh" => Self::base(),
-            "safara" | "safara_only" => Self::safara_only(),
-            "small" => Self::small(),
-            "small_dim" => Self::small_dim(),
-            "safara_clauses" | "safara_small_dim" => Self::safara_clauses(),
-            "safara_small" => Self::safara_small(),
-            "carr_kennedy" | "ck" => Self::carr_kennedy(),
+            "base" | "openuh" => b.build(),
+            "safara" | "safara_only" => b.safara(true).build(),
+            "small" => b.small(true).build(),
+            "small_dim" => b.small(true).dim(true).build(),
+            "safara_clauses" | "safara_small_dim" => b.safara(true).small(true).dim(true).build(),
+            "safara_small" => b.safara(true).small(true).build(),
+            "carr_kennedy" | "ck" => b.carr_kennedy(true).build(),
             "pgi" | "pgi_like" => Self::pgi_like(),
             "safara_count_only" => Self::safara_count_only(),
             "safara_no_feedback" => Self::safara_no_feedback(),
             _ => return None,
         })
+    }
+}
+
+/// Typed construction of a [`CompilerConfig`] (see
+/// [`CompilerConfig::builder`]).
+///
+/// ```
+/// use safara_core::CompilerConfig;
+/// let cfg = CompilerConfig::builder().safara(true).small(true).dim(true).build();
+/// assert_eq!(cfg, CompilerConfig::safara_clauses());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompilerConfigBuilder {
+    safara: bool,
+    carr_kennedy: bool,
+    small: bool,
+    dim: bool,
+    unroll: u32,
+}
+
+impl CompilerConfigBuilder {
+    /// Enable SAFARA scalar replacement with the iterative feedback
+    /// loop. Mutually exclusive with [`CompilerConfigBuilder::carr_kennedy`]
+    /// (the last one set wins).
+    pub fn safara(mut self, on: bool) -> Self {
+        self.safara = on;
+        if on {
+            self.carr_kennedy = false;
+        }
+        self
+    }
+
+    /// Enable classical Carr–Kennedy scalar replacement instead.
+    pub fn carr_kennedy(mut self, on: bool) -> Self {
+        self.carr_kennedy = on;
+        if on {
+            self.safara = false;
+        }
+        self
+    }
+
+    /// Honor `small` clauses (32-bit offset arithmetic).
+    pub fn small(mut self, on: bool) -> Self {
+        self.small = on;
+        self
+    }
+
+    /// Honor `dim` groups (shared dope scalars).
+    pub fn dim(mut self, on: bool) -> Self {
+        self.dim = on;
+        self
+    }
+
+    /// Unroll innermost sequential loops by `factor` before scalar
+    /// replacement (0/1 = off).
+    pub fn unroll(mut self, factor: u32) -> Self {
+        self.unroll = factor;
+        self
+    }
+
+    /// Build the configuration. Toggle combinations that match a named
+    /// evaluation point produce that exact config (same canonical
+    /// `name`); any other combination is named `"custom"`.
+    pub fn build(self) -> CompilerConfig {
+        let base = match self {
+            CompilerConfigBuilder { safara: false, carr_kennedy: false, small: false, dim: false, .. } => {
+                CompilerConfig::base()
+            }
+            CompilerConfigBuilder { safara: true, small: false, dim: false, .. } => {
+                CompilerConfig::safara_only()
+            }
+            CompilerConfigBuilder { safara: false, carr_kennedy: false, small: true, dim: false, .. } => {
+                CompilerConfig::small()
+            }
+            CompilerConfigBuilder { safara: false, carr_kennedy: false, small: true, dim: true, .. } => {
+                CompilerConfig::small_dim()
+            }
+            CompilerConfigBuilder { safara: true, small: true, dim: true, .. } => {
+                CompilerConfig::safara_clauses()
+            }
+            CompilerConfigBuilder { safara: true, small: true, dim: false, .. } => {
+                CompilerConfig::safara_small()
+            }
+            CompilerConfigBuilder { carr_kennedy: true, small: false, dim: false, .. } => {
+                CompilerConfig::carr_kennedy()
+            }
+            _ => {
+                // An off-menu combination: assemble it from the toggles.
+                CompilerConfig {
+                    name: "custom",
+                    codegen: CodegenOptions {
+                        honor_small: self.small,
+                        honor_dim: self.dim,
+                        ..CodegenOptions::base()
+                    },
+                    sr: if self.carr_kennedy {
+                        SrStrategy::CarrKennedy
+                    } else if self.safara {
+                        SrStrategy::Safara { cost_model: CostModel::default(), feedback: true }
+                    } else {
+                        SrStrategy::None
+                    },
+                    ..CompilerConfig::base()
+                }
+            }
+        };
+        match (self.unroll >= 2, base.name) {
+            (false, _) => base,
+            // The named unroll point keeps its canonical name.
+            (true, "OpenUH(SAFARA+small+dim)") => CompilerConfig::safara_unroll(self.unroll),
+            (true, _) => CompilerConfig { name: "custom", unroll: self.unroll, ..base },
+        }
     }
 }
 
@@ -209,6 +337,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shim must keep resolving wire keys
     fn by_name_resolves_every_key_and_rejects_unknown() {
         for key in CompilerConfig::PROFILE_KEYS {
             assert!(CompilerConfig::by_name(key).is_some(), "{key}");
@@ -218,6 +347,59 @@ mod tests {
         assert_eq!(CompilerConfig::by_name("carr-kennedy").unwrap().name, "CarrKennedy");
         assert_eq!(CompilerConfig::by_name(" pgi ").unwrap().name, "PGI(simulated)");
         assert!(CompilerConfig::by_name("nvcc").is_none());
+    }
+
+    #[test]
+    fn builder_reproduces_every_named_toggle_combination() {
+        let b = CompilerConfig::builder;
+        assert_eq!(b().build(), CompilerConfig::base());
+        assert_eq!(b().safara(true).build(), CompilerConfig::safara_only());
+        assert_eq!(b().small(true).build(), CompilerConfig::small());
+        assert_eq!(b().small(true).dim(true).build(), CompilerConfig::small_dim());
+        assert_eq!(
+            b().safara(true).small(true).dim(true).build(),
+            CompilerConfig::safara_clauses()
+        );
+        assert_eq!(b().safara(true).small(true).build(), CompilerConfig::safara_small());
+        assert_eq!(b().carr_kennedy(true).build(), CompilerConfig::carr_kennedy());
+        assert_eq!(
+            b().safara(true).small(true).dim(true).unroll(4).build(),
+            CompilerConfig::safara_unroll(4)
+        );
+    }
+
+    #[test]
+    fn builder_sr_strategies_are_mutually_exclusive_and_customs_are_labelled() {
+        let cfg = CompilerConfig::builder().safara(true).carr_kennedy(true).build();
+        assert!(matches!(cfg.sr, SrStrategy::CarrKennedy), "last strategy set wins");
+        let cfg = CompilerConfig::builder().carr_kennedy(true).safara(true).build();
+        assert!(matches!(cfg.sr, SrStrategy::Safara { .. }));
+
+        // Off-menu combinations still build, flagged as custom.
+        let cfg = CompilerConfig::builder().carr_kennedy(true).small(true).build();
+        assert_eq!(cfg.name, "custom");
+        assert!(cfg.codegen.honor_small);
+        assert!(matches!(cfg.sr, SrStrategy::CarrKennedy));
+        let cfg = CompilerConfig::builder().unroll(2).build();
+        assert_eq!(cfg.name, "custom");
+        assert_eq!(cfg.unroll, 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn by_name_shim_agrees_with_the_builder() {
+        for (key, want) in [
+            ("base", CompilerConfig::builder().build()),
+            ("safara_only", CompilerConfig::builder().safara(true).build()),
+            ("small_dim", CompilerConfig::builder().small(true).dim(true).build()),
+            (
+                "safara_clauses",
+                CompilerConfig::builder().safara(true).small(true).dim(true).build(),
+            ),
+            ("carr_kennedy", CompilerConfig::builder().carr_kennedy(true).build()),
+        ] {
+            assert_eq!(CompilerConfig::by_name(key).unwrap(), want, "{key}");
+        }
     }
 
     #[test]

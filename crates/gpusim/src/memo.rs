@@ -103,6 +103,25 @@ struct CachedLaunch {
     stats: KernelStats,
     /// `(buffer index, full post-launch contents)` per mutated buffer.
     writes: Vec<(u32, Vec<u8>)>,
+    /// Integrity checksum over `stats` and `writes`, computed at record
+    /// time (and recomputed on disk load — it is not part of the file
+    /// format). Verified on replay when the cache has verification on:
+    /// a mismatch means the entry was corrupted after recording.
+    checksum: u64,
+}
+
+/// The integrity checksum of an entry's payload.
+fn entry_checksum(stats: &KernelStats, writes: &[(u32, Vec<u8>)]) -> u64 {
+    let mut h = ContentHash::new();
+    for w in stats_to_words(stats) {
+        h.word(w);
+    }
+    h.word(writes.len() as u64);
+    for (idx, bytes) in writes {
+        h.word(*idx as u64);
+        h.bytes(bytes);
+    }
+    h.finish()
 }
 
 /// Default [`LaunchCache`] entry cap: far above any one benchmark run,
@@ -125,12 +144,20 @@ pub struct LaunchCache {
     cap: usize,
     disk: Option<PathBuf>,
     dirty: bool,
+    /// Verify entry checksums on replay (off by default: the hash costs
+    /// a pass over the buffers on every hit, and entries cannot corrupt
+    /// themselves — this guards against *external* corruption, so it is
+    /// opt-in for deployments that want detect-and-resimulate).
+    verify: bool,
     /// Launches answered from the cache.
     pub hits: u64,
     /// Launches that ran the interpreter (and populated the cache).
     pub misses: u64,
     /// Entries dropped by the cap (oldest-first).
     pub evictions: u64,
+    /// Replays that failed checksum verification: the corrupt entry was
+    /// dropped and the launch re-simulated (so results stayed correct).
+    pub integrity_failures: u64,
 }
 
 impl Default for LaunchCache {
@@ -141,9 +168,11 @@ impl Default for LaunchCache {
             cap: DEFAULT_ENTRY_CAP,
             disk: None,
             dirty: false,
+            verify: false,
             hits: 0,
             misses: 0,
             evictions: 0,
+            integrity_failures: 0,
         }
     }
 }
@@ -224,6 +253,31 @@ impl LaunchCache {
         self.cap
     }
 
+    /// Enable (or disable) checksum verification on replay. A replay
+    /// whose entry fails verification drops the entry, bumps
+    /// `integrity_failures`, and reports a miss — the launch then
+    /// re-simulates, so a corrupted entry degrades to a slow correct
+    /// answer instead of a fast wrong one.
+    pub fn with_verification(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Corrupt the payload of one cached entry *without* updating its
+    /// checksum — the chaos hook behind cache-poisoning fault injection.
+    /// Returns false when the cache has no corruptible entry.
+    pub fn poison_one(&mut self) -> bool {
+        for key in &self.order {
+            if let Some(e) = self.entries.get_mut(key) {
+                if let Some((_, bytes)) = e.writes.iter_mut().find(|(_, b)| !b.is_empty()) {
+                    bytes[0] ^= 0xff;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     /// Number of cached launches.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -239,6 +293,17 @@ impl LaunchCache {
     /// stats, bumping the hit counter.
     fn replay(&mut self, key: u64, mem: &mut DeviceMemory) -> Option<LaunchResult> {
         let entry = self.entries.get(&key)?;
+        if self.verify && entry_checksum(&entry.stats, &entry.writes) != entry.checksum {
+            // Detected corruption: drop the entry and report a miss so
+            // the caller re-simulates instead of replaying bad bytes.
+            self.entries.remove(&key);
+            if let Some(pos) = self.order.iter().position(|&k| k == key) {
+                self.order.remove(pos);
+            }
+            self.integrity_failures += 1;
+            self.dirty = true;
+            return None;
+        }
         for (idx, bytes) in &entry.writes {
             mem.buffer_bytes_mut(*idx as usize).copy_from_slice(bytes);
         }
@@ -340,7 +405,9 @@ fn parse_disk(data: &[u8]) -> Option<Vec<(u64, CachedLaunch)>> {
             p = rest;
             writes.push((idx, bytes.to_vec()));
         }
-        entries.push((key, CachedLaunch { stats: stats_from_words(&words), writes }));
+        let stats = stats_from_words(&words);
+        let checksum = entry_checksum(&stats, &writes);
+        entries.push((key, CachedLaunch { stats, writes, checksum }));
     }
     if p.is_empty() {
         Some(entries)
@@ -393,7 +460,8 @@ fn run_and_record(
         .map(|(i, _)| (i as u32, mem.buffer_bytes(i).to_vec()))
         .collect();
     let stats = result.stats;
-    Ok((result, CachedLaunch { stats, writes }))
+    let checksum = entry_checksum(&stats, &writes);
+    Ok((result, CachedLaunch { stats, writes, checksum }))
 }
 
 /// A [`LaunchCache`] shareable between threads, sharded by content-hash
@@ -432,15 +500,38 @@ impl SharedLaunchCache {
     /// A shared cache capping *total* entries at roughly `cap`
     /// (distributed evenly across shards, at least one per shard).
     pub fn with_entry_cap(nshards: usize, cap: usize) -> Self {
+        Self::with_options(nshards, cap, false)
+    }
+
+    /// [`SharedLaunchCache::with_entry_cap`] with replay-time checksum
+    /// verification configured per shard (see
+    /// [`LaunchCache::with_verification`]).
+    pub fn with_options(nshards: usize, cap: usize, verify: bool) -> Self {
         let n = nshards.max(1).next_power_of_two();
         let per_shard = (cap / n).max(1);
         SharedLaunchCache {
             shards: (0..n)
-                .map(|_| Mutex::new(LaunchCache::new().with_entry_cap(per_shard)))
+                .map(|_| {
+                    Mutex::new(
+                        LaunchCache::new().with_entry_cap(per_shard).with_verification(verify),
+                    )
+                })
                 .collect(),
             mask: (n - 1) as u64,
             contention: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Corrupt one cached entry somewhere in the cache without updating
+    /// its checksum — the chaos hook for cache-poisoning faults. Returns
+    /// false when every shard is empty.
+    pub fn poison_one(&self) -> bool {
+        self.shards.iter().any(|s| self.lock(s).poison_one())
+    }
+
+    /// Replays that failed checksum verification, across all shards.
+    pub fn integrity_failures(&self) -> u64 {
+        self.shards.iter().map(|s| self.lock(s).integrity_failures).sum()
     }
 
     fn shard(&self, key: u64) -> &Mutex<LaunchCache> {
@@ -730,7 +821,10 @@ mod tests {
     /// reachable in-module: through the public API an overwrite needs
     /// two threads racing a miss on the same key.
     fn synthetic(tag: u8) -> CachedLaunch {
-        CachedLaunch { stats: KernelStats::default(), writes: vec![(0, vec![tag])] }
+        let stats = KernelStats::default();
+        let writes = vec![(0, vec![tag])];
+        let checksum = entry_checksum(&stats, &writes);
+        CachedLaunch { stats, writes, checksum }
     }
 
     #[test]
@@ -798,6 +892,66 @@ mod tests {
             assert_eq!(mem1.buffer_bytes(i), mem2.buffer_bytes(i), "buffer {i}");
         }
         assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn poisoned_entry_is_detected_and_resimulated_bit_correct() {
+        let k = add_one_kernel();
+        let mut cache = LaunchCache::new().with_verification(true);
+
+        let (mut mem1, params, config) = setup();
+        launch_cached(&mut cache, &k, &config, &params, &mut mem1, &[]).unwrap();
+        assert!(cache.poison_one(), "one entry exists to poison");
+
+        // The poisoned replay is detected: dropped, re-simulated, and
+        // the output matches the original run byte-for-byte.
+        let (mut mem2, params2, config2) = setup();
+        launch_cached(&mut cache, &k, &config2, &params2, &mut mem2, &[]).unwrap();
+        assert_eq!(cache.integrity_failures, 1);
+        assert_eq!((cache.hits, cache.misses), (0, 2), "poisoned replay became a miss");
+        for i in 0..mem1.buffer_count() {
+            assert_eq!(mem1.buffer_bytes(i), mem2.buffer_bytes(i), "buffer {i}");
+        }
+
+        // The re-simulated entry is healthy again: next lookup hits.
+        let (mut mem3, params3, config3) = setup();
+        launch_cached(&mut cache, &k, &config3, &params3, &mut mem3, &[]).unwrap();
+        assert_eq!((cache.hits, cache.misses), (1, 2));
+    }
+
+    #[test]
+    fn poison_without_verification_replays_bad_bytes() {
+        // The control experiment for the test above: with verification
+        // off (the default), poisoning silently corrupts replays — which
+        // is exactly why the detect-and-resimulate path exists.
+        let k = add_one_kernel();
+        let mut cache = LaunchCache::new();
+        let (mut mem1, params, config) = setup();
+        launch_cached(&mut cache, &k, &config, &params, &mut mem1, &[]).unwrap();
+        cache.poison_one();
+        let (mut mem2, params2, config2) = setup();
+        launch_cached(&mut cache, &k, &config2, &params2, &mut mem2, &[]).unwrap();
+        assert_eq!(cache.hits, 1, "unverified replay hits");
+        assert_eq!(cache.integrity_failures, 0);
+        let differs = (0..mem1.buffer_count())
+            .any(|i| mem1.buffer_bytes(i) != mem2.buffer_bytes(i));
+        assert!(differs, "unverified poison corrupts the replayed output");
+    }
+
+    #[test]
+    fn shared_cache_detects_poison_too() {
+        let k = add_one_kernel();
+        let shared = SharedLaunchCache::with_options(4, DEFAULT_ENTRY_CAP, true);
+        let (mut mem1, params, config) = setup();
+        shared.launch_cached(&k, &config, &params, &mut mem1, &[]).unwrap();
+        assert!(shared.poison_one());
+        let (mut mem2, params2, config2) = setup();
+        shared.launch_cached(&k, &config2, &params2, &mut mem2, &[]).unwrap();
+        assert_eq!(shared.integrity_failures(), 1);
+        assert_eq!((shared.hits(), shared.misses()), (0, 2));
+        for i in 0..mem1.buffer_count() {
+            assert_eq!(mem1.buffer_bytes(i), mem2.buffer_bytes(i), "buffer {i}");
+        }
     }
 
     #[test]

@@ -4,6 +4,9 @@
 //! ```text
 //! safara-serve [--listen ADDR] [--stdin] [--workers N]
 //!              [--queue-depth N] [--timeout-ms N]
+//!              [--shed-watermark N] [--breaker-threshold N]
+//!              [--breaker-cooldown-ms N] [--verify-cache]
+//!              [--fault POINT:ACTION[:COUNT][:MS]] [--fault-seed N]
 //! ```
 //!
 //! TCP mode (default) prints the bound address (useful with port 0)
@@ -14,7 +17,14 @@
 //! ```text
 //! echo '{"id":1,"op":"ping"}' | safara-serve --stdin
 //! ```
+//!
+//! `--fault` (repeatable) installs a deterministic fault-injection
+//! plan — e.g. `--fault sim:fail:1` fails the first simulation with a
+//! retryable `sim` error, `--fault worker:panic:0.05` panics ~5% of
+//! jobs (seeded by `--fault-seed`, so reruns fault identically). See
+//! `safara_chaos::FaultSpec::parse` for the grammar.
 
+use safara_core::chaos::{FaultPlan, FaultSpec};
 use safara_server::service::{Engine, EngineConfig, Submit};
 use safara_server::protocol::{error_line, parse_request, Op};
 use std::io::{BufRead, Write};
@@ -24,6 +34,8 @@ fn main() {
     let mut listen = "127.0.0.1:4860".to_string();
     let mut stdin_mode = false;
     let mut config = EngineConfig::default();
+    let mut fault_specs: Vec<FaultSpec> = Vec::new();
+    let mut fault_seed: u64 = 0;
 
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -33,15 +45,40 @@ fn main() {
             "--workers" => config.workers = num(argv.next(), "--workers").max(1),
             "--queue-depth" => config.queue_depth = num(argv.next(), "--queue-depth").max(1),
             "--timeout-ms" => config.default_timeout_ms = num(argv.next(), "--timeout-ms") as u64,
+            "--shed-watermark" => {
+                config.shed_watermark = Some(num(argv.next(), "--shed-watermark"))
+            }
+            "--breaker-threshold" => {
+                config.breaker_threshold = num(argv.next(), "--breaker-threshold") as u32
+            }
+            "--breaker-cooldown-ms" => {
+                config.breaker_cooldown_ms = num(argv.next(), "--breaker-cooldown-ms") as u64
+            }
+            "--verify-cache" => config.verify_cache = true,
+            "--fault" => {
+                let spec = argv.next().unwrap_or_else(|| die("--fault needs POINT:ACTION[:COUNT]"));
+                fault_specs
+                    .push(FaultSpec::parse(&spec).unwrap_or_else(|e| die(&format!("--fault: {e}"))));
+            }
+            "--fault-seed" => fault_seed = num(argv.next(), "--fault-seed") as u64,
             "--help" | "-h" => {
                 println!(
                     "usage: safara-serve [--listen ADDR] [--stdin] [--workers N] \
-                     [--queue-depth N] [--timeout-ms N]"
+                     [--queue-depth N] [--timeout-ms N] [--shed-watermark N] \
+                     [--breaker-threshold N] [--breaker-cooldown-ms N] [--verify-cache] \
+                     [--fault POINT:ACTION[:COUNT][:MS]]... [--fault-seed N]"
                 );
                 return;
             }
             other => die(&format!("unknown flag `{other}` (try --help)")),
         }
+    }
+    if !fault_specs.is_empty() {
+        let mut plan = FaultPlan::seeded(fault_seed);
+        for spec in fault_specs {
+            plan = plan.with_spec(spec);
+        }
+        config.fault_plan = std::sync::Arc::new(plan);
     }
 
     if stdin_mode {

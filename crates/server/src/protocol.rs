@@ -27,9 +27,28 @@
 //! digests; full array contents (bits encoding) are returned when the
 //! request set `"return_arrays": true`.
 
+//!
+//! ## Protocol versions
+//!
+//! Requests may carry `"v": 2` to opt into protocol v2. The only
+//! difference is the failure shape: a v1 failure is a bare status (plus
+//! a `message` string when `status` is `error`), while every v2 failure
+//! carries a structured [`WireError`] object —
+//!
+//! ```json
+//! {"id":4,"v":2,"status":"error",
+//!  "error":{"code":"sim","message":"sim: injected simulator fault",
+//!           "phase":"sim","retryable":true}}
+//! ```
+//!
+//! `code` is stable and machine-matchable (see [`WireError`]);
+//! `retryable` tells a client whether resending the identical request
+//! can succeed. Requests without `"v"` (or with `"v": 1`) get the
+//! legacy shapes unchanged.
+
 use crate::json::{obj, Json};
 use safara_core::obs::{MetaValue, Span};
-use safara_core::{Args, CompilerConfig, RunOutcome};
+use safara_core::{Args, CompileError, CompilerConfig, RunOutcome};
 use safara_core::runtime::HostArray;
 use safara_core::ir::ScalarTy;
 
@@ -49,6 +68,9 @@ pub struct Request {
     /// bypass the compiled-program store so the compile phases are
     /// always measured, not skipped.
     pub trace: bool,
+    /// Protocol version (`"v"` field; 1 when absent). Version 2 renders
+    /// failures as structured [`WireError`] objects.
+    pub v: u8,
     /// The operation.
     pub op: Op,
 }
@@ -142,7 +164,31 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         None | Some(Json::Null) => false,
         Some(t) => t.as_bool().ok_or("`trace` must be a boolean")?,
     };
-    Ok(Request { id, timeout_ms, trace, op })
+    let version = match v.get("v") {
+        None | Some(Json::Null) => 1,
+        Some(t) => t
+            .as_i64()
+            .filter(|n| (1..=2).contains(n))
+            .ok_or("`v` must be 1 or 2")? as u8,
+    };
+    Ok(Request { id, timeout_ms, trace, v: version, op })
+}
+
+/// Best-effort `(id, v)` extraction from a possibly malformed request
+/// line, so even a `bad_request` reply can echo the id and speak the
+/// client's protocol version. Unparseable input defaults to `(None, 1)`.
+pub fn request_meta(line: &str) -> (Option<i64>, u8) {
+    match Json::parse(line) {
+        Ok(v) => {
+            let id = v.get("id").and_then(Json::as_i64);
+            let version = match v.get("v").and_then(Json::as_i64) {
+                Some(2) => 2,
+                _ => 1,
+            };
+            (id, version)
+        }
+        Err(_) => (None, 1),
+    }
 }
 
 fn required_str(v: &Json, key: &str) -> Result<String, String> {
@@ -290,6 +336,21 @@ pub fn build_run_request(
     args: &Args,
     return_arrays: bool,
 ) -> String {
+    build_run_request_v(1, id, source, entry, profile, args, return_arrays)
+}
+
+/// [`build_run_request`] with an explicit protocol version: `v: 2`
+/// requests structured [`WireError`] failures. Version 1 omits the `v`
+/// field, keeping v1 request lines byte-identical to the legacy builder.
+pub fn build_run_request_v(
+    v: u8,
+    id: i64,
+    source: &str,
+    entry: &str,
+    profile: &str,
+    args: &Args,
+    return_arrays: bool,
+) -> String {
     let scalars = Json::Obj(
         args.scalars
             .iter()
@@ -306,8 +367,11 @@ pub fn build_run_request(
     );
     let arrays =
         Json::Obj(args.arrays.iter().map(|(k, a)| (k.to_string(), array_to_json(a))).collect());
-    obj(vec![
-        ("id", Json::Int(id)),
+    let mut fields = vec![("id", Json::Int(id))];
+    if v >= 2 {
+        fields.push(("v", Json::Int(v as i64)));
+    }
+    fields.extend([
         ("op", Json::Str("run".into())),
         ("source", Json::Str(source.into())),
         ("entry", Json::Str(entry.into())),
@@ -315,8 +379,8 @@ pub fn build_run_request(
         ("scalars", scalars),
         ("arrays", arrays),
         ("return_arrays", Json::Bool(return_arrays)),
-    ])
-    .dump()
+    ]);
+    obj(fields).dump()
 }
 
 /// A minimal status response line.
@@ -324,13 +388,141 @@ pub fn status_line(id: Option<i64>, status: &str) -> String {
     response_base(id, status).dump()
 }
 
-/// An error response line.
+/// An error response line (v1 legacy shape: `message` string).
 pub fn error_line(id: Option<i64>, message: &str) -> String {
     let mut base = response_base(id, "error");
     if let Json::Obj(fields) = &mut base {
         fields.push(("message".into(), Json::Str(message.into())));
     }
     base.dump()
+}
+
+/// A structured failure, as carried on the v2 wire.
+///
+/// `code` is the stable machine-matchable taxonomy — the pipeline codes
+/// from [`CompileError::code`] (`parse`, `sema`, `analysis`,
+/// `regalloc_spill`, `budget`, `sim`, `internal`) plus the server-level
+/// codes `bad_request`, `unknown_profile`, `shed`, `breaker_open`,
+/// `timeout`, and `shutting_down`. `retryable` is the client contract:
+/// resending the identical request can succeed iff it is true.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Stable machine-readable code.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Pipeline phase provenance, when the failure came from the
+    /// pipeline.
+    pub phase: Option<&'static str>,
+    /// Whether resending the identical request can succeed.
+    pub retryable: bool,
+}
+
+impl WireError {
+    /// A pipeline failure, carrying the typed error's code, phase, and
+    /// retryability.
+    pub fn from_compile(e: &CompileError) -> WireError {
+        WireError {
+            code: e.code(),
+            message: e.to_string(),
+            phase: Some(e.phase().name()),
+            retryable: e.retryable(),
+        }
+    }
+
+    /// A malformed request (unparseable line, missing/ill-typed field).
+    pub fn bad_request(message: &str) -> WireError {
+        WireError { code: "bad_request", message: message.into(), phase: None, retryable: false }
+    }
+
+    /// An unknown compiler-profile key.
+    pub fn unknown_profile(message: String) -> WireError {
+        WireError { code: "unknown_profile", message, phase: None, retryable: false }
+    }
+
+    /// An unexpected server-side failure (worker panic, poisoned state).
+    pub fn internal(message: &str) -> WireError {
+        WireError { code: "internal", message: message.into(), phase: None, retryable: true }
+    }
+
+    /// Admission control shed the request before queueing it.
+    pub fn shed(message: &str) -> WireError {
+        WireError { code: "shed", message: message.into(), phase: None, retryable: true }
+    }
+
+    /// The per-profile circuit breaker is open.
+    pub fn breaker_open(profile: &str) -> WireError {
+        WireError {
+            code: "breaker_open",
+            message: format!(
+                "circuit breaker open for profile `{profile}` after consecutive pipeline \
+                 failures; retry after the cooldown"
+            ),
+            phase: None,
+            retryable: true,
+        }
+    }
+
+    /// The request expired (in the queue or mid-pipeline).
+    pub fn timeout() -> WireError {
+        WireError {
+            code: "timeout",
+            message: "deadline exceeded".into(),
+            phase: None,
+            retryable: true,
+        }
+    }
+
+    /// The server is draining and admits no new work.
+    pub fn shutting_down() -> WireError {
+        WireError {
+            code: "shutting_down",
+            message: "server is shutting down".into(),
+            phase: None,
+            retryable: false,
+        }
+    }
+
+    /// The v2 wire object: `{"code":…,"message":…,"phase":…,"retryable":…}`
+    /// (`phase` omitted when unknown).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("code", Json::Str(self.code.into())),
+            ("message", Json::Str(self.message.clone())),
+        ];
+        if let Some(p) = self.phase {
+            fields.push(("phase", Json::Str(p.into())));
+        }
+        fields.push(("retryable", Json::Bool(self.retryable)));
+        obj(fields)
+    }
+}
+
+/// Render a failure in the client's protocol version.
+///
+/// v1 keeps the legacy shapes byte-compatible: `status: "error"` plus a
+/// `message` string, or a bare status line for `timeout` / `overloaded`
+/// / `shutting_down`. v2 always attaches the structured `error` object
+/// (and a `"v": 2` marker) alongside the same `status` value.
+pub fn failure_line(v: u8, id: Option<i64>, status: &str, err: &WireError) -> String {
+    if v < 2 {
+        return if status == "error" {
+            error_line(id, &err.message)
+        } else {
+            status_line(id, status)
+        };
+    }
+    let mut base = response_base(id, status);
+    if let Json::Obj(fields) = &mut base {
+        fields.push(("v".into(), Json::Int(2)));
+        fields.push(("error".into(), err.to_json()));
+    }
+    base.dump()
+}
+
+/// [`failure_line`] with `status: "error"` — the common case.
+pub fn error_line_v(v: u8, id: Option<i64>, err: &WireError) -> String {
+    failure_line(v, id, "error", err)
 }
 
 /// Serialize a span tree for the wire: an array of
@@ -471,7 +663,7 @@ pub fn compile_response(
     program: &safara_core::CompiledProgram,
     entry: Option<&str>,
     trace: Option<&[Span]>,
-) -> Result<String, String> {
+) -> Result<String, WireError> {
     let mut base = response_base(id, "ok");
     let Json::Obj(fields) = &mut base else { unreachable!("response_base builds an object") };
     fields.push(("op".into(), Json::Str("compile".into())));
@@ -506,8 +698,11 @@ pub fn compile_response(
     }
     if funcs.is_empty() {
         return Err(match entry {
-            Some(e) => format!("no such function `{e}`"),
-            None => "program has no functions".to_string(),
+            Some(e) => WireError::from_compile(&CompileError::no_such_function(e)),
+            None => WireError::from_compile(&CompileError::Sema {
+                message: "program has no functions".into(),
+                span: None,
+            }),
         });
     }
     fields.push(("functions".into(), Json::Arr(funcs)));
@@ -517,10 +712,17 @@ pub fn compile_response(
     Ok(base.dump())
 }
 
-/// Resolve a profile key or build the standard error message.
-pub fn resolve_profile(key: &str) -> Result<CompilerConfig, String> {
+/// Resolve a profile key or build the standard `unknown_profile` error.
+///
+/// This is the wire-facing name resolution the `by_name` deprecation
+/// note points at — the one sanctioned string-keyed call site.
+pub fn resolve_profile(key: &str) -> Result<CompilerConfig, WireError> {
+    #[allow(deprecated)]
     CompilerConfig::by_name(key).ok_or_else(|| {
-        format!("unknown profile `{key}` (expected one of: {})", CompilerConfig::PROFILE_KEYS.join(", "))
+        WireError::unknown_profile(format!(
+            "unknown profile `{key}` (expected one of: {})",
+            CompilerConfig::PROFILE_KEYS.join(", ")
+        ))
     })
 }
 
@@ -635,8 +837,64 @@ mod tests {
 
     #[test]
     fn unknown_profile_message_lists_keys() {
-        let m = resolve_profile("nvcc").unwrap_err();
-        assert!(m.contains("safara_only") && m.contains("carr_kennedy"), "{m}");
+        let e = resolve_profile("nvcc").unwrap_err();
+        assert_eq!(e.code, "unknown_profile");
+        assert!(!e.retryable);
+        assert!(e.message.contains("safara_only") && e.message.contains("carr_kennedy"), "{}", e.message);
         assert!(resolve_profile("safara_clauses").is_ok());
+    }
+
+    #[test]
+    fn protocol_version_parses_and_defaults_to_v1() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap().v, 1);
+        assert_eq!(parse_request(r#"{"op":"ping","v":1}"#).unwrap().v, 1);
+        assert_eq!(parse_request(r#"{"op":"ping","v":2}"#).unwrap().v, 2);
+        for bad in [r#"{"op":"ping","v":0}"#, r#"{"op":"ping","v":3}"#, r#"{"op":"ping","v":"2"}"#] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+        let v2 = build_run_request_v(2, 5, "s", "e", "base", &Args::new(), false);
+        assert_eq!(parse_request(&v2).unwrap().v, 2);
+        // v1 builder output is byte-identical to the legacy builder.
+        assert_eq!(
+            build_run_request(5, "s", "e", "base", &Args::new(), false),
+            build_run_request_v(1, 5, "s", "e", "base", &Args::new(), false),
+        );
+        assert!(!build_run_request(5, "s", "e", "base", &Args::new(), false).contains("\"v\""));
+    }
+
+    #[test]
+    fn failure_lines_speak_both_protocol_versions() {
+        let err = WireError::from_compile(&CompileError::Sim { message: "boom".into() });
+        // v1: legacy message-string shape, no error object.
+        let v1 = Json::parse(&error_line_v(1, Some(4), &err)).unwrap();
+        assert_eq!(v1.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(v1.get("message").and_then(Json::as_str), Some("sim: boom"));
+        assert!(v1.get("error").is_none());
+        // v2: structured object, no bare message.
+        let v2 = Json::parse(&error_line_v(2, Some(4), &err)).unwrap();
+        assert_eq!(v2.get("v").and_then(Json::as_i64), Some(2));
+        assert!(v2.get("message").is_none());
+        let e = v2.get("error").expect("error object");
+        assert_eq!(e.get("code").and_then(Json::as_str), Some("sim"));
+        assert_eq!(e.get("phase").and_then(Json::as_str), Some("sim"));
+        assert_eq!(e.get("retryable").and_then(Json::as_bool), Some(true));
+        assert_eq!(e.get("message").and_then(Json::as_str), Some("sim: boom"));
+        // Non-error statuses: v1 stays a bare status line, v2 explains.
+        let t1 = Json::parse(&failure_line(1, Some(9), "timeout", &WireError::timeout())).unwrap();
+        assert_eq!(t1.get("status").and_then(Json::as_str), Some("timeout"));
+        assert!(t1.get("error").is_none());
+        let t2 = Json::parse(&failure_line(2, Some(9), "timeout", &WireError::timeout())).unwrap();
+        assert_eq!(t2.get("status").and_then(Json::as_str), Some("timeout"));
+        assert_eq!(
+            t2.get("error").and_then(|e| e.get("retryable")).and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn request_meta_is_best_effort() {
+        assert_eq!(request_meta(r#"{"id":7,"v":2,"op":"nope"}"#), (Some(7), 2));
+        assert_eq!(request_meta(r#"{"id":3}"#), (Some(3), 1));
+        assert_eq!(request_meta("not json"), (None, 1));
     }
 }

@@ -7,7 +7,7 @@
 //! responses stream back as workers finish, so a pipelined client may
 //! see them out of submission order and must match on `id`.
 
-use crate::protocol::{error_line, parse_request};
+use crate::protocol::{error_line_v, parse_request, request_meta, WireError};
 use crate::service::{Engine, EngineConfig, Submit};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -154,7 +154,9 @@ pub fn dispatch(engine: &Engine, line: &str, tx: &mpsc::Sender<String>) {
             }
         }
         Err(m) => {
-            let _ = tx.send(error_line(None, &m));
+            // Best-effort id/version so even a bad_request reply routes.
+            let (id, v) = request_meta(line);
+            let _ = tx.send(error_line_v(v, id, &WireError::bad_request(&m)));
         }
     }
 }

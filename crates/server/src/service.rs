@@ -17,20 +17,23 @@
 //! surfaced by the `stats` op.
 
 use crate::protocol::{
-    self, error_line, status_line, Op, Request, DEFAULT_TIMEOUT_MS,
+    self, error_line_v, failure_line, status_line, Op, Request, WireError, DEFAULT_TIMEOUT_MS,
 };
 use crate::queue::{Bounded, PushError};
+use safara_core::chaos::{FaultAction, FaultPlan, InjectionPoint};
 use safara_core::gpusim::device::DeviceConfig;
+use safara_core::gpusim::memo::DEFAULT_ENTRY_CAP;
 use safara_core::obs::{Histogram, HistogramSnapshot, Tracer};
 use safara_core::{CompiledProgram, SharedLaunchCache};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Engine sizing and policy.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct EngineConfig {
     /// Worker threads (≥ 1).
     pub workers: usize,
@@ -40,6 +43,22 @@ pub struct EngineConfig {
     pub default_timeout_ms: u64,
     /// Shard count for the shared launch cache.
     pub cache_shards: usize,
+    /// Load-shedding watermark: refuse new work (retryable `shed`)
+    /// once the queue holds this many jobs, *before* the hard queue cap
+    /// kicks in. `None` disables early shedding.
+    pub shed_watermark: Option<usize>,
+    /// Consecutive pipeline failures per profile before the circuit
+    /// breaker opens. 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before allowing a probe.
+    pub breaker_cooldown_ms: u64,
+    /// Deterministic fault-injection plan threaded through admission,
+    /// workers, the compile/run pipeline, and reply delivery.
+    /// [`FaultPlan::none`] (the default) is inert.
+    pub fault_plan: Arc<FaultPlan>,
+    /// Verify launch-cache entry checksums on replay, dropping and
+    /// re-simulating corrupted entries instead of replaying them.
+    pub verify_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +68,11 @@ impl Default for EngineConfig {
             queue_depth: 64,
             default_timeout_ms: DEFAULT_TIMEOUT_MS,
             cache_shards: 16,
+            shed_watermark: None,
+            breaker_threshold: 0,
+            breaker_cooldown_ms: 500,
+            fault_plan: Arc::new(FaultPlan::none()),
+            verify_cache: false,
         }
     }
 }
@@ -122,19 +146,150 @@ impl Metrics {
     }
 }
 
+/// Error codes the engine tallies per response (`stats` →
+/// `errors_by_code`): the pipeline codes plus the server-level ones.
+pub const ERROR_CODES: [&str; 11] = [
+    "parse",
+    "sema",
+    "analysis",
+    "regalloc_spill",
+    "budget",
+    "sim",
+    "internal",
+    "bad_request",
+    "unknown_profile",
+    "breaker_open",
+    "shed",
+];
+
+/// Lock-free per-code error counters (fixed code set, atomic cells).
+#[derive(Default)]
+pub struct ErrorCodeCounts {
+    counts: [AtomicU64; ERROR_CODES.len()],
+}
+
+impl ErrorCodeCounts {
+    fn record(&self, code: &str) {
+        // Unknown codes land in `internal`: losing a count would break
+        // the per-code sum ≤ errors invariant silently.
+        let i = ERROR_CODES
+            .iter()
+            .position(|c| *c == code)
+            .unwrap_or_else(|| ERROR_CODES.iter().position(|c| *c == "internal").expect("internal"));
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(code, count)` for every code that saw traffic.
+    pub fn nonzero(&self) -> Vec<(&'static str, u64)> {
+        ERROR_CODES
+            .iter()
+            .zip(&self.counts)
+            .map(|(c, n)| (*c, n.load(Ordering::Relaxed)))
+            .filter(|(_, n)| *n > 0)
+            .collect()
+    }
+
+    /// The count for one code.
+    pub fn get(&self, code: &str) -> u64 {
+        ERROR_CODES
+            .iter()
+            .position(|c| *c == code)
+            .map(|i| self.counts[i].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// Per-profile circuit breaker: `threshold` consecutive pipeline
+/// failures open the circuit; while open, requests for that profile are
+/// refused at admission (retryable `breaker_open`). After the cooldown
+/// one probe request is admitted — success closes the circuit, failure
+/// re-opens it for another cooldown.
+struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    states: Mutex<HashMap<String, BreakerState>>,
+}
+
+#[derive(Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+    probing: bool,
+}
+
+impl Breaker {
+    fn enabled(&self) -> bool {
+        self.threshold > 0
+    }
+
+    /// Admission check. Open + cooldown elapsed transitions to
+    /// half-open: this request goes through as the probe.
+    fn admit(&self, profile: &str) -> bool {
+        if !self.enabled() {
+            return true;
+        }
+        let mut states = self.states.lock().unwrap_or_else(|p| p.into_inner());
+        let s = states.entry(profile.to_string()).or_default();
+        match s.open_until {
+            Some(t) if Instant::now() < t => false,
+            Some(_) => {
+                s.open_until = None;
+                s.probing = true;
+                true
+            }
+            None => true,
+        }
+    }
+
+    /// Record a pipeline outcome. Returns true when this record tripped
+    /// the circuit open (closed → open or probe failure).
+    fn record(&self, profile: &str, ok: bool) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let mut states = self.states.lock().unwrap_or_else(|p| p.into_inner());
+        let s = states.entry(profile.to_string()).or_default();
+        if ok {
+            *s = BreakerState::default();
+            return false;
+        }
+        s.consecutive_failures += 1;
+        if s.probing || s.consecutive_failures >= self.threshold {
+            s.open_until = Some(Instant::now() + self.cooldown);
+            s.probing = false;
+            s.consecutive_failures = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Profiles currently open (cooldown not yet elapsed).
+    fn open_count(&self) -> usize {
+        let now = Instant::now();
+        self.states
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+            .filter(|s| s.open_until.is_some_and(|t| now < t))
+            .count()
+    }
+}
+
 /// State shared by workers and transports.
 pub struct EngineShared {
-    /// Pool size (fixed at start).
+    /// Pool size (fixed at start; panics respawn, so it stays the live
+    /// worker count).
     pub workers: usize,
     /// The process-wide launch cache all workers memoize through.
     pub cache: SharedLaunchCache,
     /// Compiled programs keyed by FNV(source ‖ profile name).
     programs: Mutex<HashMap<u64, Arc<CompiledProgram>>>,
-    /// Requests admitted to the queue.
+    /// Every submission attempt, admitted or not.
     pub submitted: AtomicU64,
     /// Requests answered `ok`.
     pub completed: AtomicU64,
-    /// Requests shed by admission control.
+    /// Requests refused by queue-capacity admission control (watermark
+    /// or hard cap) — the subset of `shed` answered `overloaded`.
     pub rejected_overload: AtomicU64,
     /// Requests that expired waiting in the queue.
     pub timed_out: AtomicU64,
@@ -143,15 +298,42 @@ pub struct EngineShared {
     pub timed_out_late: AtomicU64,
     /// Requests answered `error`.
     pub errors: AtomicU64,
+    /// Requests refused before queueing (watermark, hard cap, or
+    /// shutdown). Together with the outcome counters this closes the
+    /// accounting: `submitted == completed + errors + timed_out +
+    /// timed_out_late + shed`.
+    pub shed: AtomicU64,
     /// Responses that could not be delivered because the client hung up
     /// (the reply channel was closed). Kept separate from the outcome
-    /// counters so `submitted == completed + errors + timed_out +
-    /// timed_out_late` stays a checkable invariant.
+    /// counters so the accounting invariant stays checkable.
     pub replies_dropped: AtomicU64,
+    /// Errors by wire code (see [`ERROR_CODES`]).
+    pub errors_by_code: ErrorCodeCounts,
+    /// Worker panics caught and isolated (each also counts one
+    /// `internal` error for its job).
+    pub worker_panics: AtomicU64,
+    /// Replacement workers spawned after a panic.
+    pub worker_respawns: AtomicU64,
+    /// Circuit-breaker open transitions.
+    pub breaker_trips: AtomicU64,
+    /// Requests refused because a breaker was open.
+    pub breaker_rejections: AtomicU64,
     /// Latency histograms (queue-wait, service, reply-write, per-op).
     pub metrics: Metrics,
     /// Set by a `shutdown` request; transports watch it.
     pub shutdown_requested: AtomicBool,
+    faults: Arc<FaultPlan>,
+    breaker: Breaker,
+}
+
+/// Evaluate an engine injection point. `Delay`/`Hang` are absorbed here
+/// (the sleep is the fault); other actions come back for the call site.
+fn fault(shared: &EngineShared, point: InjectionPoint) -> Option<FaultAction> {
+    let action = shared.faults.check(point)?;
+    if shared.faults.apply_delay(&action) {
+        return None;
+    }
+    Some(action)
 }
 
 impl EngineShared {
@@ -159,7 +341,7 @@ impl EngineShared {
         &self,
         source: &str,
         profile_key: &str,
-    ) -> Result<Arc<CompiledProgram>, String> {
+    ) -> Result<Arc<CompiledProgram>, WireError> {
         let config = protocol::resolve_profile(profile_key)?;
         let key = fnv_pair(source, config.name);
         if let Some(p) = self.programs.lock().unwrap_or_else(|p| p.into_inner()).get(&key) {
@@ -167,7 +349,11 @@ impl EngineShared {
         }
         // Compile outside the lock: compilation is the expensive half
         // and two workers racing on the same source just do it twice.
-        let program = safara_core::compile(source, &config).map_err(|e| e.to_string())?;
+        // Injected compile faults surface here as typed errors and are
+        // never stored, so a retry compiles clean.
+        let program =
+            safara_core::compile_with_faults(source, &config, &mut Tracer::disabled(), &self.faults)
+                .map_err(|e| WireError::from_compile(&e))?;
         let program = Arc::new(program);
         self.programs
             .lock()
@@ -180,6 +366,16 @@ impl EngineShared {
     /// Distinct compiled programs currently cached.
     pub fn programs_cached(&self) -> usize {
         self.programs.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// The engine's fault plan (inert unless configured for chaos).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    fn record_error(&self, err: &WireError) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors_by_code.record(err.code);
     }
 }
 
@@ -211,8 +407,40 @@ pub enum Submit {
 pub struct Engine {
     shared: Arc<EngineShared>,
     queue: Arc<Bounded<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    /// Live worker handles. A worker that respawns after a panic
+    /// registers its replacement here before exiting, so `shutdown` can
+    /// always join the whole (possibly regenerated) pool.
+    pool: Arc<Mutex<Vec<JoinHandle<()>>>>,
     default_timeout_ms: u64,
+    shed_watermark: Option<usize>,
+}
+
+/// The compiler-profile key a request pins, when its op has one — the
+/// circuit breaker's partition key.
+fn profile_key(op: &Op) -> Option<&str> {
+    match op {
+        Op::Compile(c) => Some(&c.profile),
+        Op::Run(r) => Some(&r.profile),
+        _ => None,
+    }
+}
+
+fn spawn_worker(
+    shared: &Arc<EngineShared>,
+    queue: &Arc<Bounded<Job>>,
+    pool: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    name: String,
+) {
+    let shared_w = Arc::clone(shared);
+    let queue_w = Arc::clone(queue);
+    let pool_w = Arc::clone(pool);
+    let h = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(&shared_w, &queue_w, &pool_w))
+        .expect("spawn worker");
+    // Register on the spawning side, before any exit path: shutdown's
+    // join loop must always observe the replacement.
+    pool.lock().unwrap_or_else(|p| p.into_inner()).push(h);
 }
 
 impl Engine {
@@ -220,7 +448,11 @@ impl Engine {
     pub fn start(config: EngineConfig) -> Engine {
         let shared = Arc::new(EngineShared {
             workers: config.workers.max(1),
-            cache: SharedLaunchCache::new(config.cache_shards),
+            cache: SharedLaunchCache::with_options(
+                config.cache_shards,
+                DEFAULT_ENTRY_CAP,
+                config.verify_cache,
+            ),
             programs: Mutex::new(HashMap::new()),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -228,22 +460,34 @@ impl Engine {
             timed_out: AtomicU64::new(0),
             timed_out_late: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             replies_dropped: AtomicU64::new(0),
+            errors_by_code: ErrorCodeCounts::default(),
+            worker_panics: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            breaker_rejections: AtomicU64::new(0),
             metrics: Metrics::default(),
             shutdown_requested: AtomicBool::new(false),
+            faults: Arc::clone(&config.fault_plan),
+            breaker: Breaker {
+                threshold: config.breaker_threshold,
+                cooldown: Duration::from_millis(config.breaker_cooldown_ms),
+                states: Mutex::new(HashMap::new()),
+            },
         });
         let queue = Arc::new(Bounded::new(config.queue_depth));
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let queue = Arc::clone(&queue);
-                std::thread::Builder::new()
-                    .name(format!("safara-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &queue))
-                    .expect("spawn worker")
-            })
-            .collect();
-        Engine { shared, queue, workers, default_timeout_ms: config.default_timeout_ms }
+        let pool = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..config.workers.max(1) {
+            spawn_worker(&shared, &queue, &pool, format!("safara-worker-{i}"));
+        }
+        Engine {
+            shared,
+            queue,
+            pool,
+            default_timeout_ms: config.default_timeout_ms,
+            shed_watermark: config.shed_watermark,
+        }
     }
 
     /// The shared state (cache, counters, shutdown flag).
@@ -251,25 +495,47 @@ impl Engine {
         &self.shared
     }
 
-    /// Submit a parsed request. Non-blocking: at capacity the request
-    /// comes straight back with an `overloaded` response line.
+    /// Submit a parsed request. Non-blocking; every attempt counts
+    /// toward `submitted`, and a refusal (breaker, watermark, full
+    /// queue, shutdown) comes straight back with its response line.
     pub fn submit(&self, request: Request, reply: mpsc::Sender<String>) -> Submit {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let (id, v) = (request.id, request.v);
+        // Circuit breaker: refuse work for a profile whose pipeline
+        // keeps failing, before it costs a queue slot.
+        if let Some(key) = profile_key(&request.op) {
+            if !self.shared.breaker.admit(key) {
+                self.shared.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+                let err = WireError::breaker_open(key);
+                self.shared.record_error(&err);
+                return Submit::Rejected { response: error_line_v(v, id, &err), request };
+            }
+        }
+        // Load shedding: refuse retryable work early, below the hard
+        // cap, so latency degrades before delivery does.
+        if self.shed_watermark.is_some_and(|w| self.queue.len() >= w) {
+            self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            self.shared.rejected_overload.fetch_add(1, Ordering::Relaxed);
+            let err = WireError::shed("queue past the shed watermark; retry with backoff");
+            return Submit::Rejected { response: failure_line(v, id, "overloaded", &err), request };
+        }
         let timeout =
             Duration::from_millis(request.timeout_ms.unwrap_or(self.default_timeout_ms));
         let admitted = Instant::now();
         let job = Job { request, admitted, deadline: admitted + timeout, reply };
         match self.queue.try_push(job) {
-            Ok(()) => {
-                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-                Submit::Queued
-            }
+            Ok(()) => Submit::Queued,
             Err(PushError::Full(job)) => {
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
                 self.shared.rejected_overload.fetch_add(1, Ordering::Relaxed);
-                let response = status_line(job.request.id, "overloaded");
+                let err = WireError::shed("queue full");
+                let response = failure_line(v, job.request.id, "overloaded", &err);
                 Submit::Rejected { request: job.request, response }
             }
             Err(PushError::Closed(job)) => {
-                let response = status_line(job.request.id, "shutting_down");
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                let err = WireError::shutting_down();
+                let response = failure_line(v, job.request.id, "shutting_down", &err);
                 Submit::Rejected { request: job.request, response }
             }
         }
@@ -285,11 +551,18 @@ impl Engine {
         stats_line_for(&self.shared, self.queue.len(), id)
     }
 
-    /// Stop admitting, drain admitted jobs, join the pool.
+    /// Stop admitting, drain admitted jobs, join the pool (including
+    /// any workers respawned after panics).
     pub fn shutdown(self) {
         self.queue.close();
-        for w in self.workers {
-            let _ = w.join();
+        loop {
+            let h = self.pool.lock().unwrap_or_else(|p| p.into_inner()).pop();
+            match h {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
         }
     }
 }
@@ -327,13 +600,50 @@ fn stats_line_for(shared: &EngineShared, queue_len: usize, id: Option<i64>) -> S
                 Json::Int(shared.timed_out_late.load(Ordering::Relaxed) as i64),
             ),
             ("errors", Json::Int(shared.errors.load(Ordering::Relaxed) as i64)),
+            ("shed", Json::Int(shared.shed.load(Ordering::Relaxed) as i64)),
             (
                 "replies_dropped",
                 Json::Int(shared.replies_dropped.load(Ordering::Relaxed) as i64),
             ),
+            ("worker_panics", Json::Int(shared.worker_panics.load(Ordering::Relaxed) as i64)),
+            (
+                "worker_respawns",
+                Json::Int(shared.worker_respawns.load(Ordering::Relaxed) as i64),
+            ),
             ("programs_cached", Json::Int(shared.programs_cached() as i64)),
         ]),
     ));
+    fields.push((
+        "errors_by_code".into(),
+        Json::Obj(
+            shared
+                .errors_by_code
+                .nonzero()
+                .into_iter()
+                .map(|(code, n)| (code.to_string(), Json::Int(n as i64)))
+                .collect(),
+        ),
+    ));
+    fields.push((
+        "breaker".into(),
+        obj(vec![
+            ("trips", Json::Int(shared.breaker_trips.load(Ordering::Relaxed) as i64)),
+            (
+                "rejections",
+                Json::Int(shared.breaker_rejections.load(Ordering::Relaxed) as i64),
+            ),
+            ("open_profiles", Json::Int(shared.breaker.open_count() as i64)),
+        ]),
+    ));
+    if !shared.faults.is_inert() {
+        fields.push((
+            "faults".into(),
+            obj(vec![
+                ("seed", Json::Int(shared.faults.seed() as i64)),
+                ("fired", Json::Int(shared.faults.fired_total() as i64)),
+            ]),
+        ));
+    }
     let per_op: Vec<(String, Json)> = shared
         .metrics
         .per_op_snapshots()
@@ -357,6 +667,7 @@ fn stats_line_for(shared: &EngineShared, queue_len: usize, id: Option<i64>) -> S
             ("entries", Json::Int(shared.cache.len() as i64)),
             ("evictions", Json::Int(shared.cache.evictions() as i64)),
             ("contention", Json::Int(shared.cache.contention() as i64)),
+            ("integrity_failures", Json::Int(shared.cache.integrity_failures() as i64)),
         ]),
     ));
     base.dump()
@@ -366,16 +677,21 @@ fn stats_line_for(shared: &EngineShared, queue_len: usize, id: Option<i64>) -> S
 enum ExecOutcome {
     /// A complete response line (counted `completed`).
     Reply(String),
-    /// A pipeline error message (counted `errors`, answered `error`).
-    Fail(String),
+    /// A typed failure (counted `errors` + per-code, answered `error`).
+    Fail(WireError),
     /// The pipeline finished past the job's deadline (counted
     /// `timed_out_late`, answered `timeout`).
     DeadlineExceeded,
 }
 
-fn worker_loop(shared: &EngineShared, queue: &Bounded<Job>) {
+fn worker_loop(
+    shared: &Arc<EngineShared>,
+    queue: &Arc<Bounded<Job>>,
+    pool: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
     while let Some(job) = queue.pop() {
         let id = job.request.id;
+        let v = job.request.v;
         let dequeued = Instant::now();
         shared
             .metrics
@@ -383,32 +699,66 @@ fn worker_loop(shared: &EngineShared, queue: &Bounded<Job>) {
             .record(dequeued.duration_since(job.admitted).as_micros() as u64);
         if dequeued > job.deadline {
             shared.timed_out.fetch_add(1, Ordering::Relaxed);
-            if job.reply.send(status_line(id, "timeout")).is_err() {
+            let line = failure_line(v, id, "timeout", &WireError::timeout());
+            if job.reply.send(line).is_err() {
                 shared.replies_dropped.fetch_add(1, Ordering::Relaxed);
             }
             continue;
         }
-        let outcome = execute(shared, queue, &job.request, job.deadline);
+        // Panic isolation: a panicking pipeline (or an injected `worker`
+        // fault) takes down this job, not the pool. The job still gets a
+        // typed, retryable answer, and the worker replaces itself.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            execute(shared, queue, &job.request, job.deadline)
+        }));
+        let (outcome, panicked) = match caught {
+            Ok(outcome) => (outcome, false),
+            Err(_) => {
+                shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                let err = WireError::internal(
+                    "worker panicked while executing the request; a replacement was spawned",
+                );
+                (ExecOutcome::Fail(err), true)
+            }
+        };
         shared
             .metrics
             .record_service(&job.request.op, dequeued.elapsed().as_micros() as u64);
+        let breaker_key = profile_key(&job.request.op);
         let line = match outcome {
             ExecOutcome::Reply(line) => {
                 shared.completed.fetch_add(1, Ordering::Relaxed);
+                if let Some(key) = breaker_key {
+                    shared.breaker.record(key, true);
+                }
                 line
             }
-            ExecOutcome::Fail(message) => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
-                error_line(id, &message)
+            ExecOutcome::Fail(err) => {
+                shared.record_error(&err);
+                if let Some(key) = breaker_key {
+                    if shared.breaker.record(key, false) {
+                        shared.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                error_line_v(v, id, &err)
             }
             ExecOutcome::DeadlineExceeded => {
                 shared.timed_out_late.fetch_add(1, Ordering::Relaxed);
-                status_line(id, "timeout")
+                failure_line(v, id, "timeout", &WireError::timeout())
             }
         };
-        // A send error means the client hung up; count the lost reply.
-        if job.reply.send(line).is_err() {
+        // Injected client hangup: the reply is built, then dropped —
+        // exactly what a closed connection looks like to the worker.
+        if matches!(fault(shared, InjectionPoint::Reply), Some(FaultAction::Hangup)) {
             shared.replies_dropped.fetch_add(1, Ordering::Relaxed);
+        } else if job.reply.send(line).is_err() {
+            // A send error means the client hung up; count the lost reply.
+            shared.replies_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        if panicked {
+            shared.worker_respawns.fetch_add(1, Ordering::Relaxed);
+            spawn_worker(shared, queue, pool, "safara-worker-respawn".into());
+            return; // this thread's stack may be tainted; hand over
         }
     }
 }
@@ -420,6 +770,15 @@ fn execute(
     deadline: Instant,
 ) -> ExecOutcome {
     let id = request.id;
+    // Injected worker faults: a `panic` action unwinds into the
+    // worker's catch_unwind (exercising isolation + respawn); a `fail`
+    // is a plain retryable internal error.
+    if let Some(action) = fault(shared, InjectionPoint::WorkerJob) {
+        match action {
+            FaultAction::Panic => panic!("injected worker panic"),
+            _ => return ExecOutcome::Fail(WireError::internal("injected worker fault")),
+        }
+    }
     match &request.op {
         Op::Ping => ExecOutcome::Reply(status_line(id, "ok")),
         Op::Stats => ExecOutcome::Reply(stats_line_for(shared, queue.len(), id)),
@@ -439,14 +798,14 @@ fn execute(
         Op::Compile(c) if request.trace => {
             let config = match protocol::resolve_profile(&c.profile) {
                 Ok(config) => config,
-                Err(m) => return ExecOutcome::Fail(m),
+                Err(e) => return ExecOutcome::Fail(e),
             };
             // Traced compiles bypass the program store: the point is to
             // observe the pipeline, so compile fresh every time.
             let mut tracer = Tracer::new();
             let program = match safara_core::compile_traced(&c.source, &config, &mut tracer) {
                 Ok(p) => p,
-                Err(e) => return ExecOutcome::Fail(e.to_string()),
+                Err(e) => return ExecOutcome::Fail(WireError::from_compile(&e)),
             };
             if Instant::now() > deadline {
                 return ExecOutcome::DeadlineExceeded;
@@ -454,30 +813,30 @@ fn execute(
             let spans = tracer.finish();
             match protocol::compile_response(id, &program, c.entry.as_deref(), Some(&spans)) {
                 Ok(line) => ExecOutcome::Reply(line),
-                Err(m) => ExecOutcome::Fail(m),
+                Err(e) => ExecOutcome::Fail(e),
             }
         }
         Op::Compile(c) => {
             let program = match shared.program_for(&c.source, &c.profile) {
                 Ok(p) => p,
-                Err(m) => return ExecOutcome::Fail(m),
+                Err(e) => return ExecOutcome::Fail(e),
             };
             match protocol::compile_response(id, &program, c.entry.as_deref(), None) {
                 Ok(line) => ExecOutcome::Reply(line),
-                Err(m) => ExecOutcome::Fail(m),
+                Err(e) => ExecOutcome::Fail(e),
             }
         }
         Op::Run(r) if request.trace => {
             let config = match protocol::resolve_profile(&r.profile) {
                 Ok(config) => config,
-                Err(m) => return ExecOutcome::Fail(m),
+                Err(e) => return ExecOutcome::Fail(e),
             };
             // Traced runs also compile fresh (bypassing the program
             // store) so the span tree always shows the compile phases.
             let mut tracer = Tracer::new();
             let program = match safara_core::compile_traced(&r.source, &config, &mut tracer) {
                 Ok(p) => p,
-                Err(e) => return ExecOutcome::Fail(e.to_string()),
+                Err(e) => return ExecOutcome::Fail(WireError::from_compile(&e)),
             };
             if Instant::now() > deadline {
                 return ExecOutcome::DeadlineExceeded;
@@ -493,7 +852,7 @@ fn execute(
             );
             let outcome = match outcome {
                 Ok(o) => o,
-                Err(e) => return ExecOutcome::Fail(e.to_string()),
+                Err(e) => return ExecOutcome::Fail(WireError::from_compile(&e)),
             };
             if Instant::now() > deadline {
                 return ExecOutcome::DeadlineExceeded;
@@ -510,24 +869,32 @@ fn execute(
         Op::Run(r) => {
             let program = match shared.program_for(&r.source, &r.profile) {
                 Ok(p) => p,
-                Err(m) => return ExecOutcome::Fail(m),
+                Err(e) => return ExecOutcome::Fail(e),
             };
             // Compilation can be slow; a request may start in time and
             // still blow its deadline here. Re-check before simulating.
             if Instant::now() > deadline {
                 return ExecOutcome::DeadlineExceeded;
             }
+            // Injected cache poisoning: corrupt one cached entry
+            // without touching its checksum. With `verify_cache` on the
+            // replay path detects it, drops the entry, and re-simulates
+            // — the slow correct answer instead of the fast wrong one.
+            if let Some(FaultAction::Poison) = fault(shared, InjectionPoint::CacheRead) {
+                shared.cache.poison_one();
+            }
             let mut args = r.args.clone();
-            let outcome = safara_core::run_compiled(
+            let outcome = safara_core::run_compiled_with_faults(
                 &program,
                 &r.entry,
                 &mut args,
                 &DeviceConfig::k20xm(),
                 Some(&shared.cache),
+                &shared.faults,
             );
             let outcome = match outcome {
                 Ok(o) => o,
-                Err(e) => return ExecOutcome::Fail(e.to_string()),
+                Err(e) => return ExecOutcome::Fail(WireError::from_compile(&e)),
             };
             if Instant::now() > deadline {
                 return ExecOutcome::DeadlineExceeded;
@@ -542,6 +909,7 @@ mod tests {
     use super::*;
     use crate::json::Json;
     use crate::protocol::parse_request;
+    use safara_core::chaos::Fire;
 
     fn status_of(line: &str) -> String {
         Json::parse(line)
@@ -870,6 +1238,238 @@ mod tests {
             assert!(Json::parse(&line).unwrap().get("message").is_some());
         }
         assert_eq!(engine.shared().errors.load(Ordering::Relaxed), 2);
+        engine.shutdown();
+    }
+
+    fn counters_balance(shared: &EngineShared) {
+        let n = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        assert_eq!(
+            n(&shared.submitted),
+            n(&shared.completed)
+                + n(&shared.errors)
+                + n(&shared.timed_out)
+                + n(&shared.timed_out_late)
+                + n(&shared.shed),
+            "accounting invariant"
+        );
+    }
+
+    #[test]
+    fn watermark_sheds_before_the_hard_cap() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 8,
+            shed_watermark: Some(1),
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        assert!(submit_line(&engine, r#"{"id":1,"op":"sleep","ms":300}"#, &tx).is_none());
+        std::thread::sleep(Duration::from_millis(100)); // worker holds job 1
+        assert!(submit_line(&engine, r#"{"id":2,"op":"ping"}"#, &tx).is_none());
+        // Queue now holds one job — at the watermark, far below the
+        // hard cap of 8. The next request must shed.
+        let shed = submit_line(&engine, r#"{"id":3,"v":2,"op":"ping"}"#, &tx).unwrap();
+        let v = Json::parse(&shed).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("shed")
+        );
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("retryable")).and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(5)).unwrap()), "ok");
+        assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(5)).unwrap()), "ok");
+        let shared = engine.shared();
+        assert_eq!(shared.shed.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.rejected_overload.load(Ordering::Relaxed), 1);
+        counters_balance(shared);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures_and_recovers() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 8,
+            breaker_threshold: 2,
+            breaker_cooldown_ms: 100,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let bad = |id: i64| format!(r#"{{"id":{id},"op":"compile","source":"void f(","profile":"base"}}"#);
+        for id in 1..=2 {
+            assert!(submit_line(&engine, &bad(id), &tx).is_none());
+            assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(10)).unwrap()), "error");
+        }
+        // Two consecutive `base` pipeline failures: the breaker is open.
+        let rejected = submit_line(&engine, &bad(3), &tx).expect("refused at admission");
+        assert_eq!(status_of(&rejected), "error");
+        assert!(rejected.contains("circuit breaker"), "{rejected}");
+        // Other profiles are unaffected.
+        let good =
+            r#"{"id":4,"op":"compile","source":"void g() {}","profile":"safara_only"}"#;
+        assert!(submit_line(&engine, good, &tx).is_none());
+        assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(10)).unwrap()), "ok");
+        // After the cooldown one probe is admitted; success closes it.
+        std::thread::sleep(Duration::from_millis(120));
+        let probe = r#"{"id":5,"op":"compile","source":"void h() {}","profile":"base"}"#;
+        assert!(submit_line(&engine, probe, &tx).is_none(), "probe admitted");
+        assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(10)).unwrap()), "ok");
+        let after = r#"{"id":6,"op":"compile","source":"void h() {}","profile":"base"}"#;
+        assert!(submit_line(&engine, after, &tx).is_none(), "breaker closed again");
+        assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(10)).unwrap()), "ok");
+        let shared = engine.shared();
+        assert_eq!(shared.breaker_trips.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.breaker_rejections.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.errors_by_code.get("parse"), 2);
+        assert_eq!(shared.errors_by_code.get("breaker_open"), 1);
+        counters_balance(shared);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn worker_panics_are_isolated_and_respawned() {
+        let plan = Arc::new(
+            FaultPlan::seeded(1).with(InjectionPoint::WorkerJob, FaultAction::Panic, Fire::First(2)),
+        );
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            queue_depth: 16,
+            fault_plan: plan,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        for i in 1..=6 {
+            let line = format!(r#"{{"id":{i},"v":2,"op":"ping"}}"#);
+            assert!(submit_line(&engine, &line, &tx).is_none());
+        }
+        let mut ok = 0;
+        let mut internal = 0;
+        for _ in 0..6 {
+            let line = rx.recv_timeout(Duration::from_secs(10)).expect("pool must survive");
+            match status_of(&line).as_str() {
+                "ok" => ok += 1,
+                "error" => {
+                    let v = Json::parse(&line).unwrap();
+                    let e = v.get("error").expect("v2 error object");
+                    assert_eq!(e.get("code").and_then(Json::as_str), Some("internal"));
+                    assert_eq!(e.get("retryable").and_then(Json::as_bool), Some(true));
+                    internal += 1;
+                }
+                other => panic!("unexpected status {other}: {line}"),
+            }
+        }
+        assert_eq!((ok, internal), (4, 2));
+        let shared = Arc::clone(engine.shared());
+        counters_balance(&shared);
+        // Shutdown joins the regenerated pool — this hanging would mean
+        // a respawned worker was never registered.
+        engine.shutdown();
+        assert_eq!(shared.worker_panics.load(Ordering::Relaxed), 2);
+        assert_eq!(shared.worker_respawns.load(Ordering::Relaxed), 2);
+        assert_eq!(shared.errors_by_code.get("internal"), 2);
+    }
+
+    #[test]
+    fn injected_client_hangups_drop_replies_not_accounting() {
+        let plan = Arc::new(
+            FaultPlan::seeded(3).with(InjectionPoint::Reply, FaultAction::Hangup, Fire::First(1)),
+        );
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 8,
+            fault_plan: plan,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        assert!(submit_line(&engine, r#"{"id":1,"op":"ping"}"#, &tx).is_none());
+        assert!(submit_line(&engine, r#"{"id":2,"op":"ping"}"#, &tx).is_none());
+        // Only the second reply arrives; the first was dropped mid-send.
+        let line = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(Json::parse(&line).unwrap().get("id").and_then(Json::as_i64), Some(2));
+        let shared = Arc::clone(engine.shared());
+        engine.shutdown();
+        assert!(rx.try_recv().is_err(), "first reply must have been dropped");
+        assert_eq!(shared.replies_dropped.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.completed.load(Ordering::Relaxed), 2, "work still completed");
+        counters_balance(&shared);
+    }
+
+    #[test]
+    fn v2_requests_get_structured_pipeline_errors() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 4,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let bad =
+            r#"{"id":1,"v":2,"op":"run","source":"void f(","entry":"f","profile":"base"}"#;
+        assert!(submit_line(&engine, bad, &tx).is_none());
+        let v = Json::parse(&rx.recv_timeout(Duration::from_secs(10)).unwrap()).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(v.get("v").and_then(Json::as_i64), Some(2));
+        assert!(v.get("message").is_none(), "v2 replaces the message string");
+        let e = v.get("error").expect("error object");
+        assert_eq!(e.get("code").and_then(Json::as_str), Some("parse"));
+        assert_eq!(e.get("phase").and_then(Json::as_str), Some("parse"));
+        assert_eq!(e.get("retryable").and_then(Json::as_bool), Some(false));
+        let unknown =
+            r#"{"id":2,"v":2,"op":"compile","source":"void f() {}","profile":"gcc"}"#;
+        assert!(submit_line(&engine, unknown, &tx).is_none());
+        let v = Json::parse(&rx.recv_timeout(Duration::from_secs(10)).unwrap()).unwrap();
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("unknown_profile")
+        );
+        assert_eq!(engine.shared().errors_by_code.get("unknown_profile"), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn poisoned_cache_entries_are_detected_and_resimulated() {
+        // First arrival poisons an empty cache (no-op); the second
+        // corrupts the entry recorded by request 1, right before
+        // request 2 replays it.
+        let plan = Arc::new(
+            FaultPlan::seeded(9).with(InjectionPoint::CacheRead, FaultAction::Poison, Fire::First(2)),
+        );
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 8,
+            fault_plan: plan,
+            verify_cache: true,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let src = "void dbl(int n, float x[n]) {\
+                   #pragma acc kernels copy(x)\n{\
+                   #pragma acc loop gang vector\n\
+                   for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } } }";
+        let args = safara_core::Args::new().i32("n", 8).array_f32("x", &[1.5; 8]);
+        let mut digests = Vec::new();
+        for i in 1..=3 {
+            let line = protocol::build_run_request(i, src, "dbl", "base", &args, false);
+            assert!(submit_line(&engine, &line, &tx).is_none());
+            let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            let v = Json::parse(&resp).unwrap();
+            assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{resp}");
+            digests.push(
+                v.get("digests")
+                    .and_then(|d| d.get("x"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string(),
+            );
+        }
+        assert!(digests.windows(2).all(|w| w[0] == w[1]), "bit-identical despite poisoning: {digests:?}");
+        let shared = engine.shared();
+        assert_eq!(shared.cache.integrity_failures(), 1, "the corruption was caught");
+        assert_eq!(shared.cache.hits(), 1, "request 3 replays the re-recorded entry");
+        assert_eq!(shared.cache.misses(), 2, "the detected poisoning re-simulated");
+        counters_balance(shared);
         engine.shutdown();
     }
 

@@ -9,9 +9,9 @@
 //! bit for bit.
 
 use safara_core::gpusim::device::DeviceConfig;
-use safara_core::{run_compiled, Args, CompilerConfig};
+use safara_core::{run_compiled, Args};
 use safara_server::json::Json;
-use safara_server::protocol::{build_run_request, digest};
+use safara_server::protocol::{build_run_request, digest, resolve_profile};
 use safara_server::service::EngineConfig;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -90,7 +90,7 @@ fn reference_outputs(combos: &[Combo]) -> Vec<HashMap<String, Vec<u32>>> {
     combos
         .iter()
         .map(|c| {
-            let config = CompilerConfig::by_name(c.profile).expect("known profile");
+            let config = resolve_profile(c.profile).expect("known profile");
             let program = safara_core::compile(c.source, &config).expect("compiles");
             let mut args = c.args.clone();
             run_compiled(&program, c.entry, &mut args, &dev, None).expect("runs");
@@ -233,7 +233,8 @@ fn concurrent_clients_get_bitwise_identical_results_with_warm_cache() {
         counter("completed")
             + counter("errors")
             + counter("timed_out")
-            + counter("timed_out_late"),
+            + counter("timed_out_late")
+            + counter("shed"),
         "{server}"
     );
     assert_eq!(counter("replies_dropped"), 0, "{server}");

@@ -23,7 +23,7 @@ pub mod spec;
 pub mod util;
 
 use safara_core::{
-    compile, Args, CompiledProgram, CompilerConfig, CoreError, DeviceConfig, LaunchCache, RunReport,
+    compile, Args, CompileError, CompiledProgram, CompilerConfig, DeviceConfig, LaunchCache, RunReport,
 };
 
 /// Which suite a workload belongs to.
@@ -107,12 +107,12 @@ pub fn run_workload(
     config: &CompilerConfig,
     scale: Scale,
     dev: &DeviceConfig,
-) -> Result<(RunReport, CompiledProgram), CoreError> {
+) -> Result<(RunReport, CompiledProgram), CompileError> {
     let program = compile(&w.source(), config)?;
     let mut args = w.args(scale);
     let report = program.run(w.entry(), &mut args, dev)?;
     w.check(&args, scale)
-        .map_err(|m| CoreError::Runtime(format!("{} [{}]: {m}", w.name(), config.name)))?;
+        .map_err(|m| CompileError::Sim { message: format!("{} [{}]: {m}", w.name(), config.name) })?;
     Ok((report, program))
 }
 
@@ -126,11 +126,11 @@ pub fn run_workload_cached(
     scale: Scale,
     dev: &DeviceConfig,
     cache: &mut LaunchCache,
-) -> Result<(RunReport, CompiledProgram), CoreError> {
+) -> Result<(RunReport, CompiledProgram), CompileError> {
     let program = compile(&w.source(), config)?;
     let mut args = w.args(scale);
     let report = program.run_cached(w.entry(), &mut args, dev, cache)?;
     w.check(&args, scale)
-        .map_err(|m| CoreError::Runtime(format!("{} [{}]: {m}", w.name(), config.name)))?;
+        .map_err(|m| CompileError::Sim { message: format!("{} [{}]: {m}", w.name(), config.name) })?;
     Ok((report, program))
 }

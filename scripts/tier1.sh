@@ -47,4 +47,23 @@ done
 echo "$traced_line" | grep -q '"dur_us":'
 echo "$traced_line" | grep -q '"start_us":'
 
+echo "== protocol v1 compat =="
+cargo test --release --offline -q -p safara-server --test v1_compat
+
+echo "== chaos smoke (seeded fault injection + retry) =="
+# Two identical v2 run requests through a server whose first simulation
+# is forced to fail: request 1 must come back as a structured,
+# retryable `sim` error, and the identical retry (request 2) must
+# succeed — the wire-level proof of the retryable-error contract.
+chaos_out="$(printf '%s\n' \
+  '{"id":1,"v":2,"op":"run","source":"void dbl(int n, float x[n]) { #pragma acc kernels copy(x)\n { #pragma acc loop gang vector\n for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } } }","entry":"dbl","profile":"safara_only","scalars":{"n":8},"arrays":{"x":{"elem":"f32","data":[1,2,3,4,5,6,7,8]}}}' \
+  '{"id":2,"v":2,"op":"run","source":"void dbl(int n, float x[n]) { #pragma acc kernels copy(x)\n { #pragma acc loop gang vector\n for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } } }","entry":"dbl","profile":"safara_only","scalars":{"n":8},"arrays":{"x":{"elem":"f32","data":[1,2,3,4,5,6,7,8]}}}' \
+  | ./target/release/safara-serve --stdin --workers 1 --fault sim:fail:1 --fault-seed 1)"
+echo "$chaos_out"
+faulted_line="$(echo "$chaos_out" | grep '"id":1')"
+echo "$faulted_line" | grep -q '"status":"error"'
+echo "$faulted_line" | grep -q '"code":"sim"'
+echo "$faulted_line" | grep -q '"retryable":true'
+echo "$chaos_out" | grep -q '"id":2,.*"status":"ok"'
+
 echo "tier-1 OK"
