@@ -2,15 +2,26 @@
 //! (workloads × {base, SAFARA-only} at `Scale::Bench`), writing
 //! `BENCH_sim.json`.
 //!
-//! Four configurations are timed:
+//! Seven configurations are timed:
 //!
 //! 1. `seed_reference_serial` — the pre-decoded-engine baseline: the
 //!    reference tree-walking interpreter, one cell at a time,
 //! 2. `decoded_serial` — the flat-opcode decoded engine, serial,
-//! 3. `decoded_memoized_cold` — decoded engine + launch memoization
+//! 3. `superblock_serial` — the profile-guided superblock engine, serial,
+//!    cold, memoization disabled (the ISSUE-5 acceptance row: must be
+//!    ≥ 1.4× over `decoded_serial`),
+//! 4. `decoded_memoized_cold` — decoded engine + launch memoization
 //!    starting from an empty cache (pays hashing + recording),
-//! 4. `decoded_memoized_warm` — the same run again with the populated
-//!    cache: every launch replays, no simulation at all.
+//! 5. `decoded_memoized_warm` — the same run again with the populated
+//!    cache: every launch replays, no simulation at all,
+//! 6. `superblock_memoized_warm` — warm cache under the superblock
+//!    engine (memoization composes with engine selection),
+//! 7. `parallel_measure` — the parallel `measure()` pool.
+//!
+//! Every row records the engine variant it ran and the thread count it
+//! actually used (serial rows: 1; `parallel_measure`: `pool_threads()`),
+//! and the JSON carries the superblock engine's cumulative fusion/hoist
+//! counters.
 //!
 //! Between every pair of configurations the outputs are checked to be
 //! identical (each workload's `check` validates results, and stats feed
@@ -27,7 +38,7 @@
 //! of where the time goes.
 
 use safara_bench::{measure, pool_threads};
-use safara_core::gpusim::interp::set_reference_engine;
+use safara_core::gpusim::{fusion_counters, set_engine, Engine};
 use safara_core::obs::Tracer;
 use safara_core::{compile_and_run_traced, CompilerConfig, DeviceConfig, LaunchCache};
 use safara_workloads::{run_workload, run_workload_cached, spec_suite, Scale, Workload};
@@ -121,50 +132,84 @@ fn main() {
         }
     };
 
-    eprintln!("[1/5] seed reference interpreter, serial…");
-    set_reference_engine(true);
+    eprintln!("[1/7] seed reference interpreter, serial…");
+    set_engine(Engine::Reference);
     let t_seed = time_suite(&mut || serial(None));
-    set_reference_engine(false);
 
-    eprintln!("[2/5] decoded engine, serial…");
+    eprintln!("[2/7] decoded engine, serial…");
+    set_engine(Engine::Decoded);
     let t_decoded = time_suite(&mut || serial(None));
 
-    eprintln!("[3/5] decoded + memoization, cold cache…");
+    eprintln!("[3/7] superblock engine, serial, cold, memo disabled…");
+    set_engine(Engine::Superblock);
+    let t_superblock = time_suite(&mut || serial(None));
+    set_engine(Engine::Decoded);
+
+    eprintln!("[4/7] decoded + memoization, cold cache…");
     let _ = std::fs::remove_file(&cache_path);
     let mut cache = LaunchCache::with_disk(&cache_path);
     let t_cold = time_suite(&mut || serial(Some(&mut cache)));
     let (cold_hits, cold_misses) = (cache.hits, cache.misses);
     cache.save().expect("save launch cache");
 
-    eprintln!("[4/5] decoded + memoization, warm cache…");
+    eprintln!("[5/7] decoded + memoization, warm cache…");
     let mut cache = LaunchCache::with_disk(&cache_path);
     let t_warm = time_suite(&mut || serial(Some(&mut cache)));
     let (warm_hits, warm_misses) = (cache.hits, cache.misses);
 
-    eprintln!("[5/5] parallel measure()…");
+    eprintln!("[6/7] superblock + memoization, warm cache…");
+    set_engine(Engine::Superblock);
+    let mut cache = LaunchCache::with_disk(&cache_path);
+    let t_sb_warm = time_suite(&mut || serial(Some(&mut cache)));
+    set_engine(Engine::Decoded);
+
+    eprintln!("[7/7] parallel measure()…");
     let threads = pool_threads();
     let t_parallel = time_suite(&mut || {
         let _ = measure(&suite, &configs, Scale::Bench);
     });
+
+    let fusion = fusion_counters();
+    // (config, engine, memo, threads, seconds)
+    let rows: [(&str, &str, &str, usize, f64); 7] = [
+        ("seed_reference_serial", "reference", "none", 1, t_seed),
+        ("decoded_serial", "decoded", "none", 1, t_decoded),
+        ("superblock_serial", "superblock", "none", 1, t_superblock),
+        ("decoded_memoized_cold", "decoded", "cold", 1, t_cold),
+        ("decoded_memoized_warm", "decoded", "warm", 1, t_warm),
+        ("superblock_memoized_warm", "superblock", "warm", 1, t_sb_warm),
+        ("parallel_measure", "decoded", "none", threads, t_parallel),
+    ];
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"fig7 SPEC suite, workloads x [base, safara_only], Scale::Bench\",");
     let _ = writeln!(json, "  \"workloads\": {},", suite.len());
     let _ = writeln!(json, "  \"threads_available\": {threads},");
-    let _ = writeln!(json, "  \"seconds\": {{");
-    let _ = writeln!(json, "    \"seed_reference_serial\": {t_seed:.3},");
-    let _ = writeln!(json, "    \"decoded_serial\": {t_decoded:.3},");
-    let _ = writeln!(json, "    \"decoded_memoized_cold\": {t_cold:.3},");
-    let _ = writeln!(json, "    \"decoded_memoized_warm\": {t_warm:.3},");
-    let _ = writeln!(json, "    \"parallel_measure\": {t_parallel:.3}");
-    let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"speedup_vs_seed\": {{");
-    let _ = writeln!(json, "    \"decoded_serial\": {:.2},", t_seed / t_decoded);
-    let _ = writeln!(json, "    \"decoded_memoized_cold\": {:.2},", t_seed / t_cold);
-    let _ = writeln!(json, "    \"decoded_memoized_warm\": {:.2},", t_seed / t_warm);
-    let _ = writeln!(json, "    \"parallel_measure\": {:.2}", t_seed / t_parallel);
-    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, (config, engine, memo, thr, secs)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"config\": \"{config}\", \"engine\": \"{engine}\", \"memo\": \"{memo}\", \"threads\": {thr}, \"seconds\": {secs:.3}, \"speedup_vs_seed\": {:.2} }}{comma}",
+            t_seed / secs
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_superblock_vs_decoded_serial\": {:.2},", t_decoded / t_superblock);
+    let _ = writeln!(
+        json,
+        "  \"fusion\": {{ \"launches\": {}, \"delegated\": {}, \"hot_blocks\": {}, \"superblocks\": {}, \"fused_blocks\": {}, \"hoisted\": {}, \"scalar_execs\": {}, \"vector_execs\": {}, \"peels\": {} }},",
+        fusion.launches,
+        fusion.delegated,
+        fusion.hot_blocks,
+        fusion.superblocks,
+        fusion.fused_blocks,
+        fusion.hoisted,
+        fusion.scalar_execs,
+        fusion.vector_execs,
+        fusion.peels
+    );
     let _ = writeln!(
         json,
         "  \"cache\": {{ \"cold_hits\": {cold_hits}, \"cold_misses\": {cold_misses}, \"warm_hits\": {warm_hits}, \"warm_misses\": {warm_misses} }}"

@@ -1,0 +1,50 @@
+//! Per-workload engine timing probe: decoded vs superblock seconds and
+//! the fusion-counter deltas each workload induces. A diagnosis tool for
+//! the superblock engine's win/loss profile, not part of the figure set.
+//!
+//! Usage: `cargo run --release --bin engine_probe`
+
+use safara_core::gpusim::{fusion_counters, set_engine, Engine};
+use safara_core::{CompilerConfig, DeviceConfig};
+use safara_workloads::{run_workload, spec_suite, Scale};
+use std::time::Instant;
+
+fn main() {
+    let configs = [CompilerConfig::base(), CompilerConfig::safara_only()];
+    let dev = DeviceConfig::k20xm();
+    println!(
+        "{:<14} {:>8} {:>8} {:>6}  {:>6} {:>8} {:>10} {:>10} {:>6}",
+        "workload", "dec_s", "sb_s", "ratio", "sbs", "hoisted", "scalar", "vector", "peels"
+    );
+    for w in spec_suite() {
+        set_engine(Engine::Decoded);
+        let t0 = Instant::now();
+        for cfg in &configs {
+            run_workload(w.as_ref(), cfg, Scale::Bench, &dev).unwrap();
+        }
+        let t_dec = t0.elapsed().as_secs_f64();
+
+        set_engine(Engine::Superblock);
+        let before = fusion_counters();
+        let t0 = Instant::now();
+        for cfg in &configs {
+            run_workload(w.as_ref(), cfg, Scale::Bench, &dev).unwrap();
+        }
+        let t_sb = t0.elapsed().as_secs_f64();
+        let after = fusion_counters();
+        set_engine(Engine::Decoded);
+
+        println!(
+            "{:<14} {:>8.3} {:>8.3} {:>6.2}  {:>6} {:>8} {:>10} {:>10} {:>6}",
+            w.name(),
+            t_dec,
+            t_sb,
+            t_dec / t_sb,
+            after.superblocks - before.superblocks,
+            after.hoisted - before.hoisted,
+            after.scalar_execs - before.scalar_execs,
+            after.vector_execs - before.vector_execs,
+            after.peels - before.peels,
+        );
+    }
+}

@@ -56,7 +56,7 @@ use std::collections::HashMap;
 /// Sentinel for "no second math operand" in [`DInst::b`]. Real register
 /// indices are bounded by the virtual-register count plus the constant
 /// pool, both far below `u32::MAX`.
-const NO_REG: u32 = u32::MAX;
+pub(crate) const NO_REG: u32 = u32::MAX;
 
 /// Fully resolved opcodes: one variant per (operation, type) pair, so
 /// the interpreter loop dispatches through a single jump table and the
@@ -64,7 +64,7 @@ const NO_REG: u32 = u32::MAX;
 /// arguments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u16)]
-enum Op {
+pub(crate) enum Op {
     /// Register (or constant-pool) move.
     Mov,
     /// Logical not.
@@ -112,33 +112,33 @@ enum Op {
 /// Issue-class codes for [`DInst::cls`]: indices into the per-lane
 /// count array (mirroring `interp::count_class` plus `Math` -> SFU and
 /// the uncounted `Ret`).
-const CLS_SIMPLE: u8 = 0;
-const CLS_INT64: u8 = 1;
-const CLS_FP64: u8 = 2;
-const CLS_SFU: u8 = 3;
-const CLS_NONE: u8 = 4;
+pub(crate) const CLS_SIMPLE: u8 = 0;
+pub(crate) const CLS_INT64: u8 = 1;
+pub(crate) const CLS_FP64: u8 = 2;
+pub(crate) const CLS_SFU: u8 = 3;
+pub(crate) const CLS_NONE: u8 = 4;
 
 /// A decoded instruction: 16 bytes, fixed layout. `d`/`a`/`b` are
 /// register-file indices (constants live past the virtual registers),
 /// except for branches where `d` is the target instruction index.
 #[derive(Debug, Clone, Copy)]
-struct DInst {
-    op: Op,
-    cls: u8,
+pub(crate) struct DInst {
+    pub(crate) op: Op,
+    pub(crate) cls: u8,
     /// Spilled-register touches (uses + def) of this instruction.
-    spill: u8,
-    d: u32,
-    a: u32,
-    b: u32,
+    pub(crate) spill: u8,
+    pub(crate) d: u32,
+    pub(crate) a: u32,
+    pub(crate) b: u32,
 }
 
 /// A kernel decoded against one launch's parameters and spill set.
 pub(crate) struct Decoded {
     /// Virtual-register count; constants occupy indices past this.
-    n_vregs: usize,
+    pub(crate) n_vregs: usize,
     /// Interned constant values, indexed by `reg - n_vregs`.
-    consts: Vec<u64>,
-    insts: Vec<DInst>,
+    pub(crate) consts: Vec<u64>,
+    pub(crate) insts: Vec<DInst>,
 }
 
 fn class_of(ty: VType) -> u8 {
@@ -277,7 +277,7 @@ impl ConstPool {
 /// Decode `kernel` for one launch. Branch validation mirrors the
 /// reference interpreter; parameters are resolved (and therefore
 /// type-checked) eagerly.
-fn decode(
+pub(crate) fn decode(
     kernel: &KernelVir,
     config: &LaunchConfig,
     params: &[ParamVal],
@@ -420,7 +420,7 @@ fn decode(
     Ok(Decoded { n_vregs, consts: pool.vals, insts })
 }
 
-const WARP_SIZE: usize = 32;
+pub(crate) const WARP_SIZE: usize = 32;
 
 /// Per-warp streaming merge state, reused across all warps of a launch.
 ///
@@ -434,7 +434,7 @@ const WARP_SIZE: usize = 32;
 /// lane that later mismatches) logs full events into its `tail`, and
 /// the merge reconstructs per-lane logs and reuses the reference
 /// divergent grouping.
-struct WarpMerge {
+pub(crate) struct WarpMerge {
     proto: Vec<MemEvent>,
     lane_addrs: Vec<Vec<u64>>,
     tails: Vec<Vec<MemEvent>>,
@@ -444,7 +444,7 @@ struct WarpMerge {
 }
 
 impl WarpMerge {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         WarpMerge {
             proto: Vec::new(),
             lane_addrs: (0..WARP_SIZE).map(|_| Vec::with_capacity(64)).collect(),
@@ -455,7 +455,7 @@ impl WarpMerge {
         }
     }
 
-    fn begin_warp(&mut self) {
+    pub(crate) fn begin_warp(&mut self) {
         self.proto.clear();
         for a in &mut self.lane_addrs {
             a.clear();
@@ -467,7 +467,7 @@ impl WarpMerge {
     }
 
     #[inline]
-    fn log(&mut self, lane: usize, ev: MemEvent) {
+    pub(crate) fn log(&mut self, lane: usize, ev: MemEvent) {
         if !self.tails[lane].is_empty() {
             self.tails[lane].push(ev);
             return;
@@ -489,7 +489,7 @@ impl WarpMerge {
         }
     }
 
-    fn merge(&mut self, lanes: usize, stats: &mut KernelStats) {
+    pub(crate) fn merge(&mut self, lanes: usize, stats: &mut KernelStats) {
         if !self.diverged {
             // Streaming path: event `i` groups the addresses of every
             // lane that logged at least `i+1` events — identical to the
@@ -565,7 +565,7 @@ pub(crate) fn launch_decoded(
                         let tx = t % config.block.0;
                         let ty = (t / config.block.0) % config.block.1;
                         let tz = t / (config.block.0 * config.block.1);
-                        lane_counts[lane as usize] = run_lane(
+                        lane_counts[lane as usize] = run_lane::<false, false>(
                             &decoded,
                             &kernel.name,
                             [tx, ty, tz, bx, by, bz],
@@ -573,6 +573,10 @@ pub(crate) fn launch_decoded(
                             &mut regs,
                             lane as usize,
                             &mut warp,
+                            0,
+                            true,
+                            ExecSeed::default(),
+                            None,
                         )?;
                     }
                     // Issue counts: per-class max across lanes (as the
@@ -598,7 +602,23 @@ pub(crate) fn launch_decoded(
     Ok(LaunchResult { stats })
 }
 
-fn run_lane(
+/// Counter seeds for [`run_lane`]: zero for a fresh lane, or the
+/// lockstep-common prefix when the superblock engine peels a lane
+/// mid-kernel.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct ExecSeed {
+    pub(crate) executed: u64,
+    pub(crate) cnt: [u64; 8],
+    pub(crate) spill: u64,
+}
+
+/// One lane, from `start_pc` to completion. Generic axes: `SOA` selects
+/// the superblock engine's structure-of-arrays register layout
+/// (`reg * 32 + lane`) over the decoded engine's flat file, and `PROF`
+/// compiles in the superblock profiler's block/branch counters; both
+/// fold away for the decoded engine's `<false, false>` instantiation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_lane<const SOA: bool, const PROF: bool>(
     d: &Decoded,
     kernel_name: &str,
     ids: [u32; 6], // tid.xyz, ctaid.xyz
@@ -606,17 +626,44 @@ fn run_lane(
     regs: &mut [u64],
     lane: usize,
     warp: &mut WarpMerge,
+    start_pc: usize,
+    zero_init: bool,
+    seed: ExecSeed,
+    mut prof: Option<&mut crate::superblock::ProfileCounters>,
 ) -> Result<LaneCounts, SimError> {
-    regs[..d.n_vregs].fill(0);
+    let ix = |r: u32| -> usize {
+        if SOA {
+            r as usize * WARP_SIZE + lane
+        } else {
+            r as usize
+        }
+    };
+    if zero_init {
+        if SOA {
+            for r in 0..d.n_vregs {
+                regs[r * WARP_SIZE + lane] = 0;
+            }
+        } else {
+            regs[..d.n_vregs].fill(0);
+        }
+    }
     let insts = &d.insts;
-    let mut pc = 0usize;
-    let mut executed = 0u64;
+    let mut pc = start_pc;
+    let mut executed = seed.executed;
     // Per-class issue counts, indexed by `DInst::cls` (masked so the
     // compiler drops the bounds check; `CLS_NONE` lands in a dead slot).
-    let mut cnt = [0u64; 8];
-    let mut spill_touches = 0u64;
+    let mut cnt = seed.cnt;
+    let mut spill_touches = seed.spill;
 
     while pc < insts.len() {
+        if PROF {
+            if let Some(p) = prof.as_deref_mut() {
+                let b = p.leader_block[pc];
+                if b != 0 {
+                    p.counts[b as usize - 1] += 1;
+                }
+            }
+        }
         executed += 1;
         if executed > MAX_INSTS_PER_THREAD {
             return Err(SimError::Runaway { kernel: kernel_name.to_string() });
@@ -625,214 +672,228 @@ fn run_lane(
         cnt[(i.cls & 7) as usize] += 1;
         spill_touches += i.spill as u64;
         match i.op {
-            Op::Mov => regs[i.d as usize] = regs[i.a as usize],
-            Op::Not => regs[i.d as usize] = u64::from(regs[i.a as usize] == 0),
+            Op::Mov => regs[ix(i.d)] = regs[ix(i.a)],
+            Op::Not => regs[ix(i.d)] = u64::from(regs[ix(i.a)] == 0),
             Op::Ret => break,
             Op::Bra => {
                 pc = i.d as usize;
                 continue;
             }
             Op::BraT => {
-                if regs[i.a as usize] != 0 {
+                let t = regs[ix(i.a)] != 0;
+                if PROF {
+                    if let Some(p) = prof.as_deref_mut() {
+                        p.seen[pc] += 1;
+                        p.taken[pc] += t as u64;
+                    }
+                }
+                if t {
                     pc = i.d as usize;
                     continue;
                 }
             }
             Op::BraF => {
-                if regs[i.a as usize] == 0 {
+                let t = regs[ix(i.a)] == 0;
+                if PROF {
+                    if let Some(p) = prof.as_deref_mut() {
+                        p.seen[pc] += 1;
+                        p.taken[pc] += t as u64;
+                    }
+                }
+                if t {
                     pc = i.d as usize;
                     continue;
                 }
             }
-            Op::TidX => regs[i.d as usize] = ids[0] as u64,
-            Op::TidY => regs[i.d as usize] = ids[1] as u64,
-            Op::TidZ => regs[i.d as usize] = ids[2] as u64,
-            Op::CtaX => regs[i.d as usize] = ids[3] as u64,
-            Op::CtaY => regs[i.d as usize] = ids[4] as u64,
-            Op::CtaZ => regs[i.d as usize] = ids[5] as u64,
-            Op::LdG1 => ld(regs, mem, warp, lane, pc, i, 1, SPACE_GLOBAL)?,
-            Op::LdG4 => ld(regs, mem, warp, lane, pc, i, 4, SPACE_GLOBAL)?,
-            Op::LdG8 => ld(regs, mem, warp, lane, pc, i, 8, SPACE_GLOBAL)?,
-            Op::LdRo1 => ld(regs, mem, warp, lane, pc, i, 1, SPACE_READONLY)?,
-            Op::LdRo4 => ld(regs, mem, warp, lane, pc, i, 4, SPACE_READONLY)?,
-            Op::LdRo8 => ld(regs, mem, warp, lane, pc, i, 8, SPACE_READONLY)?,
-            Op::LdLoc1 => ld(regs, mem, warp, lane, pc, i, 1, SPACE_LOCAL)?,
-            Op::LdLoc4 => ld(regs, mem, warp, lane, pc, i, 4, SPACE_LOCAL)?,
-            Op::LdLoc8 => ld(regs, mem, warp, lane, pc, i, 8, SPACE_LOCAL)?,
-            Op::StG1 => st(regs, mem, warp, lane, pc, i, 1, SPACE_GLOBAL | FLAG_STORE)?,
-            Op::StG4 => st(regs, mem, warp, lane, pc, i, 4, SPACE_GLOBAL | FLAG_STORE)?,
-            Op::StG8 => st(regs, mem, warp, lane, pc, i, 8, SPACE_GLOBAL | FLAG_STORE)?,
-            Op::StRo1 => st(regs, mem, warp, lane, pc, i, 1, SPACE_READONLY | FLAG_STORE)?,
-            Op::StRo4 => st(regs, mem, warp, lane, pc, i, 4, SPACE_READONLY | FLAG_STORE)?,
-            Op::StRo8 => st(regs, mem, warp, lane, pc, i, 8, SPACE_READONLY | FLAG_STORE)?,
-            Op::StLoc1 => st(regs, mem, warp, lane, pc, i, 1, SPACE_LOCAL | FLAG_STORE)?,
-            Op::StLoc4 => st(regs, mem, warp, lane, pc, i, 4, SPACE_LOCAL | FLAG_STORE)?,
-            Op::StLoc8 => st(regs, mem, warp, lane, pc, i, 8, SPACE_LOCAL | FLAG_STORE)?,
-            Op::AtomB32 => atom(regs, mem, warp, lane, pc, i, VType::B32)?,
-            Op::AtomB64 => atom(regs, mem, warp, lane, pc, i, VType::B64)?,
-            Op::AtomF32 => atom(regs, mem, warp, lane, pc, i, VType::F32)?,
-            Op::AtomF64 => atom(regs, mem, warp, lane, pc, i, VType::F64)?,
-            Op::AtomPred => atom(regs, mem, warp, lane, pc, i, VType::Pred)?,
-            Op::AddB32 => regs[i.d as usize] = alu(AluOp::Add, VType::B32, regs[i.a as usize], regs[i.b as usize]),
-            Op::AddB64 => regs[i.d as usize] = alu(AluOp::Add, VType::B64, regs[i.a as usize], regs[i.b as usize]),
-            Op::AddF32 => regs[i.d as usize] = alu(AluOp::Add, VType::F32, regs[i.a as usize], regs[i.b as usize]),
-            Op::AddF64 => regs[i.d as usize] = alu(AluOp::Add, VType::F64, regs[i.a as usize], regs[i.b as usize]),
-            Op::AddPred => regs[i.d as usize] = alu(AluOp::Add, VType::Pred, regs[i.a as usize], regs[i.b as usize]),
-            Op::SubB32 => regs[i.d as usize] = alu(AluOp::Sub, VType::B32, regs[i.a as usize], regs[i.b as usize]),
-            Op::SubB64 => regs[i.d as usize] = alu(AluOp::Sub, VType::B64, regs[i.a as usize], regs[i.b as usize]),
-            Op::SubF32 => regs[i.d as usize] = alu(AluOp::Sub, VType::F32, regs[i.a as usize], regs[i.b as usize]),
-            Op::SubF64 => regs[i.d as usize] = alu(AluOp::Sub, VType::F64, regs[i.a as usize], regs[i.b as usize]),
-            Op::SubPred => regs[i.d as usize] = alu(AluOp::Sub, VType::Pred, regs[i.a as usize], regs[i.b as usize]),
-            Op::MulB32 => regs[i.d as usize] = alu(AluOp::Mul, VType::B32, regs[i.a as usize], regs[i.b as usize]),
-            Op::MulB64 => regs[i.d as usize] = alu(AluOp::Mul, VType::B64, regs[i.a as usize], regs[i.b as usize]),
-            Op::MulF32 => regs[i.d as usize] = alu(AluOp::Mul, VType::F32, regs[i.a as usize], regs[i.b as usize]),
-            Op::MulF64 => regs[i.d as usize] = alu(AluOp::Mul, VType::F64, regs[i.a as usize], regs[i.b as usize]),
-            Op::MulPred => regs[i.d as usize] = alu(AluOp::Mul, VType::Pred, regs[i.a as usize], regs[i.b as usize]),
-            Op::DivB32 => regs[i.d as usize] = alu(AluOp::Div, VType::B32, regs[i.a as usize], regs[i.b as usize]),
-            Op::DivB64 => regs[i.d as usize] = alu(AluOp::Div, VType::B64, regs[i.a as usize], regs[i.b as usize]),
-            Op::DivF32 => regs[i.d as usize] = alu(AluOp::Div, VType::F32, regs[i.a as usize], regs[i.b as usize]),
-            Op::DivF64 => regs[i.d as usize] = alu(AluOp::Div, VType::F64, regs[i.a as usize], regs[i.b as usize]),
-            Op::DivPred => regs[i.d as usize] = alu(AluOp::Div, VType::Pred, regs[i.a as usize], regs[i.b as usize]),
-            Op::RemB32 => regs[i.d as usize] = alu(AluOp::Rem, VType::B32, regs[i.a as usize], regs[i.b as usize]),
-            Op::RemB64 => regs[i.d as usize] = alu(AluOp::Rem, VType::B64, regs[i.a as usize], regs[i.b as usize]),
-            Op::RemF32 => regs[i.d as usize] = alu(AluOp::Rem, VType::F32, regs[i.a as usize], regs[i.b as usize]),
-            Op::RemF64 => regs[i.d as usize] = alu(AluOp::Rem, VType::F64, regs[i.a as usize], regs[i.b as usize]),
-            Op::RemPred => regs[i.d as usize] = alu(AluOp::Rem, VType::Pred, regs[i.a as usize], regs[i.b as usize]),
-            Op::MinB32 => regs[i.d as usize] = alu(AluOp::Min, VType::B32, regs[i.a as usize], regs[i.b as usize]),
-            Op::MinB64 => regs[i.d as usize] = alu(AluOp::Min, VType::B64, regs[i.a as usize], regs[i.b as usize]),
-            Op::MinF32 => regs[i.d as usize] = alu(AluOp::Min, VType::F32, regs[i.a as usize], regs[i.b as usize]),
-            Op::MinF64 => regs[i.d as usize] = alu(AluOp::Min, VType::F64, regs[i.a as usize], regs[i.b as usize]),
-            Op::MinPred => regs[i.d as usize] = alu(AluOp::Min, VType::Pred, regs[i.a as usize], regs[i.b as usize]),
-            Op::MaxB32 => regs[i.d as usize] = alu(AluOp::Max, VType::B32, regs[i.a as usize], regs[i.b as usize]),
-            Op::MaxB64 => regs[i.d as usize] = alu(AluOp::Max, VType::B64, regs[i.a as usize], regs[i.b as usize]),
-            Op::MaxF32 => regs[i.d as usize] = alu(AluOp::Max, VType::F32, regs[i.a as usize], regs[i.b as usize]),
-            Op::MaxF64 => regs[i.d as usize] = alu(AluOp::Max, VType::F64, regs[i.a as usize], regs[i.b as usize]),
-            Op::MaxPred => regs[i.d as usize] = alu(AluOp::Max, VType::Pred, regs[i.a as usize], regs[i.b as usize]),
-            Op::AndB32 => regs[i.d as usize] = alu(AluOp::And, VType::B32, regs[i.a as usize], regs[i.b as usize]),
-            Op::AndB64 => regs[i.d as usize] = alu(AluOp::And, VType::B64, regs[i.a as usize], regs[i.b as usize]),
-            Op::AndF32 => regs[i.d as usize] = alu(AluOp::And, VType::F32, regs[i.a as usize], regs[i.b as usize]),
-            Op::AndF64 => regs[i.d as usize] = alu(AluOp::And, VType::F64, regs[i.a as usize], regs[i.b as usize]),
-            Op::AndPred => regs[i.d as usize] = alu(AluOp::And, VType::Pred, regs[i.a as usize], regs[i.b as usize]),
-            Op::OrB32 => regs[i.d as usize] = alu(AluOp::Or, VType::B32, regs[i.a as usize], regs[i.b as usize]),
-            Op::OrB64 => regs[i.d as usize] = alu(AluOp::Or, VType::B64, regs[i.a as usize], regs[i.b as usize]),
-            Op::OrF32 => regs[i.d as usize] = alu(AluOp::Or, VType::F32, regs[i.a as usize], regs[i.b as usize]),
-            Op::OrF64 => regs[i.d as usize] = alu(AluOp::Or, VType::F64, regs[i.a as usize], regs[i.b as usize]),
-            Op::OrPred => regs[i.d as usize] = alu(AluOp::Or, VType::Pred, regs[i.a as usize], regs[i.b as usize]),
-            Op::XorB32 => regs[i.d as usize] = alu(AluOp::Xor, VType::B32, regs[i.a as usize], regs[i.b as usize]),
-            Op::XorB64 => regs[i.d as usize] = alu(AluOp::Xor, VType::B64, regs[i.a as usize], regs[i.b as usize]),
-            Op::XorF32 => regs[i.d as usize] = alu(AluOp::Xor, VType::F32, regs[i.a as usize], regs[i.b as usize]),
-            Op::XorF64 => regs[i.d as usize] = alu(AluOp::Xor, VType::F64, regs[i.a as usize], regs[i.b as usize]),
-            Op::XorPred => regs[i.d as usize] = alu(AluOp::Xor, VType::Pred, regs[i.a as usize], regs[i.b as usize]),
-            Op::ShlB32 => regs[i.d as usize] = alu(AluOp::Shl, VType::B32, regs[i.a as usize], regs[i.b as usize]),
-            Op::ShlB64 => regs[i.d as usize] = alu(AluOp::Shl, VType::B64, regs[i.a as usize], regs[i.b as usize]),
-            Op::ShlF32 => regs[i.d as usize] = alu(AluOp::Shl, VType::F32, regs[i.a as usize], regs[i.b as usize]),
-            Op::ShlF64 => regs[i.d as usize] = alu(AluOp::Shl, VType::F64, regs[i.a as usize], regs[i.b as usize]),
-            Op::ShlPred => regs[i.d as usize] = alu(AluOp::Shl, VType::Pred, regs[i.a as usize], regs[i.b as usize]),
-            Op::ShrB32 => regs[i.d as usize] = alu(AluOp::Shr, VType::B32, regs[i.a as usize], regs[i.b as usize]),
-            Op::ShrB64 => regs[i.d as usize] = alu(AluOp::Shr, VType::B64, regs[i.a as usize], regs[i.b as usize]),
-            Op::ShrF32 => regs[i.d as usize] = alu(AluOp::Shr, VType::F32, regs[i.a as usize], regs[i.b as usize]),
-            Op::ShrF64 => regs[i.d as usize] = alu(AluOp::Shr, VType::F64, regs[i.a as usize], regs[i.b as usize]),
-            Op::ShrPred => regs[i.d as usize] = alu(AluOp::Shr, VType::Pred, regs[i.a as usize], regs[i.b as usize]),
-            Op::NegB32 => regs[i.d as usize] = neg(VType::B32, regs[i.a as usize]),
-            Op::NegB64 => regs[i.d as usize] = neg(VType::B64, regs[i.a as usize]),
-            Op::NegF32 => regs[i.d as usize] = neg(VType::F32, regs[i.a as usize]),
-            Op::NegF64 => regs[i.d as usize] = neg(VType::F64, regs[i.a as usize]),
-            Op::NegPred => regs[i.d as usize] = neg(VType::Pred, regs[i.a as usize]),
-            Op::SetpLtB32 => regs[i.d as usize] = u64::from(compare(CmpOp::Lt, VType::B32, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpLtB64 => regs[i.d as usize] = u64::from(compare(CmpOp::Lt, VType::B64, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpLtF32 => regs[i.d as usize] = u64::from(compare(CmpOp::Lt, VType::F32, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpLtF64 => regs[i.d as usize] = u64::from(compare(CmpOp::Lt, VType::F64, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpLtPred => regs[i.d as usize] = u64::from(compare(CmpOp::Lt, VType::Pred, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpLeB32 => regs[i.d as usize] = u64::from(compare(CmpOp::Le, VType::B32, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpLeB64 => regs[i.d as usize] = u64::from(compare(CmpOp::Le, VType::B64, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpLeF32 => regs[i.d as usize] = u64::from(compare(CmpOp::Le, VType::F32, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpLeF64 => regs[i.d as usize] = u64::from(compare(CmpOp::Le, VType::F64, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpLePred => regs[i.d as usize] = u64::from(compare(CmpOp::Le, VType::Pred, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpGtB32 => regs[i.d as usize] = u64::from(compare(CmpOp::Gt, VType::B32, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpGtB64 => regs[i.d as usize] = u64::from(compare(CmpOp::Gt, VType::B64, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpGtF32 => regs[i.d as usize] = u64::from(compare(CmpOp::Gt, VType::F32, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpGtF64 => regs[i.d as usize] = u64::from(compare(CmpOp::Gt, VType::F64, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpGtPred => regs[i.d as usize] = u64::from(compare(CmpOp::Gt, VType::Pred, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpGeB32 => regs[i.d as usize] = u64::from(compare(CmpOp::Ge, VType::B32, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpGeB64 => regs[i.d as usize] = u64::from(compare(CmpOp::Ge, VType::B64, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpGeF32 => regs[i.d as usize] = u64::from(compare(CmpOp::Ge, VType::F32, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpGeF64 => regs[i.d as usize] = u64::from(compare(CmpOp::Ge, VType::F64, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpGePred => regs[i.d as usize] = u64::from(compare(CmpOp::Ge, VType::Pred, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpEqB32 => regs[i.d as usize] = u64::from(compare(CmpOp::Eq, VType::B32, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpEqB64 => regs[i.d as usize] = u64::from(compare(CmpOp::Eq, VType::B64, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpEqF32 => regs[i.d as usize] = u64::from(compare(CmpOp::Eq, VType::F32, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpEqF64 => regs[i.d as usize] = u64::from(compare(CmpOp::Eq, VType::F64, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpEqPred => regs[i.d as usize] = u64::from(compare(CmpOp::Eq, VType::Pred, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpNeB32 => regs[i.d as usize] = u64::from(compare(CmpOp::Ne, VType::B32, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpNeB64 => regs[i.d as usize] = u64::from(compare(CmpOp::Ne, VType::B64, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpNeF32 => regs[i.d as usize] = u64::from(compare(CmpOp::Ne, VType::F32, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpNeF64 => regs[i.d as usize] = u64::from(compare(CmpOp::Ne, VType::F64, regs[i.a as usize], regs[i.b as usize])),
-            Op::SetpNePred => regs[i.d as usize] = u64::from(compare(CmpOp::Ne, VType::Pred, regs[i.a as usize], regs[i.b as usize])),
-            Op::CvtB32B32 => regs[i.d as usize] = convert(VType::B32, VType::B32, regs[i.a as usize]),
-            Op::CvtB64B32 => regs[i.d as usize] = convert(VType::B64, VType::B32, regs[i.a as usize]),
-            Op::CvtF32B32 => regs[i.d as usize] = convert(VType::F32, VType::B32, regs[i.a as usize]),
-            Op::CvtF64B32 => regs[i.d as usize] = convert(VType::F64, VType::B32, regs[i.a as usize]),
-            Op::CvtPredB32 => regs[i.d as usize] = convert(VType::Pred, VType::B32, regs[i.a as usize]),
-            Op::CvtB32B64 => regs[i.d as usize] = convert(VType::B32, VType::B64, regs[i.a as usize]),
-            Op::CvtB64B64 => regs[i.d as usize] = convert(VType::B64, VType::B64, regs[i.a as usize]),
-            Op::CvtF32B64 => regs[i.d as usize] = convert(VType::F32, VType::B64, regs[i.a as usize]),
-            Op::CvtF64B64 => regs[i.d as usize] = convert(VType::F64, VType::B64, regs[i.a as usize]),
-            Op::CvtPredB64 => regs[i.d as usize] = convert(VType::Pred, VType::B64, regs[i.a as usize]),
-            Op::CvtB32F32 => regs[i.d as usize] = convert(VType::B32, VType::F32, regs[i.a as usize]),
-            Op::CvtB64F32 => regs[i.d as usize] = convert(VType::B64, VType::F32, regs[i.a as usize]),
-            Op::CvtF32F32 => regs[i.d as usize] = convert(VType::F32, VType::F32, regs[i.a as usize]),
-            Op::CvtF64F32 => regs[i.d as usize] = convert(VType::F64, VType::F32, regs[i.a as usize]),
-            Op::CvtPredF32 => regs[i.d as usize] = convert(VType::Pred, VType::F32, regs[i.a as usize]),
-            Op::CvtB32F64 => regs[i.d as usize] = convert(VType::B32, VType::F64, regs[i.a as usize]),
-            Op::CvtB64F64 => regs[i.d as usize] = convert(VType::B64, VType::F64, regs[i.a as usize]),
-            Op::CvtF32F64 => regs[i.d as usize] = convert(VType::F32, VType::F64, regs[i.a as usize]),
-            Op::CvtF64F64 => regs[i.d as usize] = convert(VType::F64, VType::F64, regs[i.a as usize]),
-            Op::CvtPredF64 => regs[i.d as usize] = convert(VType::Pred, VType::F64, regs[i.a as usize]),
-            Op::CvtB32Pred => regs[i.d as usize] = convert(VType::B32, VType::Pred, regs[i.a as usize]),
-            Op::CvtB64Pred => regs[i.d as usize] = convert(VType::B64, VType::Pred, regs[i.a as usize]),
-            Op::CvtF32Pred => regs[i.d as usize] = convert(VType::F32, VType::Pred, regs[i.a as usize]),
-            Op::CvtF64Pred => regs[i.d as usize] = convert(VType::F64, VType::Pred, regs[i.a as usize]),
-            Op::CvtPredPred => regs[i.d as usize] = convert(VType::Pred, VType::Pred, regs[i.a as usize]),
-            Op::SqrtB32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Sqrt, VType::B32, regs[i.a as usize], y); }
-            Op::SqrtB64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Sqrt, VType::B64, regs[i.a as usize], y); }
-            Op::SqrtF32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Sqrt, VType::F32, regs[i.a as usize], y); }
-            Op::SqrtF64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Sqrt, VType::F64, regs[i.a as usize], y); }
-            Op::SqrtPred => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Sqrt, VType::Pred, regs[i.a as usize], y); }
-            Op::ExpB32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Exp, VType::B32, regs[i.a as usize], y); }
-            Op::ExpB64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Exp, VType::B64, regs[i.a as usize], y); }
-            Op::ExpF32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Exp, VType::F32, regs[i.a as usize], y); }
-            Op::ExpF64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Exp, VType::F64, regs[i.a as usize], y); }
-            Op::ExpPred => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Exp, VType::Pred, regs[i.a as usize], y); }
-            Op::LogB32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Log, VType::B32, regs[i.a as usize], y); }
-            Op::LogB64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Log, VType::B64, regs[i.a as usize], y); }
-            Op::LogF32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Log, VType::F32, regs[i.a as usize], y); }
-            Op::LogF64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Log, VType::F64, regs[i.a as usize], y); }
-            Op::LogPred => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Log, VType::Pred, regs[i.a as usize], y); }
-            Op::SinB32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Sin, VType::B32, regs[i.a as usize], y); }
-            Op::SinB64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Sin, VType::B64, regs[i.a as usize], y); }
-            Op::SinF32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Sin, VType::F32, regs[i.a as usize], y); }
-            Op::SinF64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Sin, VType::F64, regs[i.a as usize], y); }
-            Op::SinPred => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Sin, VType::Pred, regs[i.a as usize], y); }
-            Op::CosB32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Cos, VType::B32, regs[i.a as usize], y); }
-            Op::CosB64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Cos, VType::B64, regs[i.a as usize], y); }
-            Op::CosF32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Cos, VType::F32, regs[i.a as usize], y); }
-            Op::CosF64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Cos, VType::F64, regs[i.a as usize], y); }
-            Op::CosPred => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Cos, VType::Pred, regs[i.a as usize], y); }
-            Op::AbsB32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Abs, VType::B32, regs[i.a as usize], y); }
-            Op::AbsB64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Abs, VType::B64, regs[i.a as usize], y); }
-            Op::AbsF32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Abs, VType::F32, regs[i.a as usize], y); }
-            Op::AbsF64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Abs, VType::F64, regs[i.a as usize], y); }
-            Op::AbsPred => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Abs, VType::Pred, regs[i.a as usize], y); }
-            Op::FloorB32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Floor, VType::B32, regs[i.a as usize], y); }
-            Op::FloorB64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Floor, VType::B64, regs[i.a as usize], y); }
-            Op::FloorF32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Floor, VType::F32, regs[i.a as usize], y); }
-            Op::FloorF64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Floor, VType::F64, regs[i.a as usize], y); }
-            Op::FloorPred => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Floor, VType::Pred, regs[i.a as usize], y); }
-            Op::PowB32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Pow, VType::B32, regs[i.a as usize], y); }
-            Op::PowB64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Pow, VType::B64, regs[i.a as usize], y); }
-            Op::PowF32 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Pow, VType::F32, regs[i.a as usize], y); }
-            Op::PowF64 => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Pow, VType::F64, regs[i.a as usize], y); }
-            Op::PowPred => { let y = if i.b == NO_REG { None } else { Some(regs[i.b as usize]) }; regs[i.d as usize] = math(MathOp::Pow, VType::Pred, regs[i.a as usize], y); }
+            Op::TidX => regs[ix(i.d)] = ids[0] as u64,
+            Op::TidY => regs[ix(i.d)] = ids[1] as u64,
+            Op::TidZ => regs[ix(i.d)] = ids[2] as u64,
+            Op::CtaX => regs[ix(i.d)] = ids[3] as u64,
+            Op::CtaY => regs[ix(i.d)] = ids[4] as u64,
+            Op::CtaZ => regs[ix(i.d)] = ids[5] as u64,
+            Op::LdG1 => ld(regs, mem, warp, lane, pc, ix(i.d), ix(i.a), 1, SPACE_GLOBAL)?,
+            Op::LdG4 => ld(regs, mem, warp, lane, pc, ix(i.d), ix(i.a), 4, SPACE_GLOBAL)?,
+            Op::LdG8 => ld(regs, mem, warp, lane, pc, ix(i.d), ix(i.a), 8, SPACE_GLOBAL)?,
+            Op::LdRo1 => ld(regs, mem, warp, lane, pc, ix(i.d), ix(i.a), 1, SPACE_READONLY)?,
+            Op::LdRo4 => ld(regs, mem, warp, lane, pc, ix(i.d), ix(i.a), 4, SPACE_READONLY)?,
+            Op::LdRo8 => ld(regs, mem, warp, lane, pc, ix(i.d), ix(i.a), 8, SPACE_READONLY)?,
+            Op::LdLoc1 => ld(regs, mem, warp, lane, pc, ix(i.d), ix(i.a), 1, SPACE_LOCAL)?,
+            Op::LdLoc4 => ld(regs, mem, warp, lane, pc, ix(i.d), ix(i.a), 4, SPACE_LOCAL)?,
+            Op::LdLoc8 => ld(regs, mem, warp, lane, pc, ix(i.d), ix(i.a), 8, SPACE_LOCAL)?,
+            Op::StG1 => st(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), 1, SPACE_GLOBAL | FLAG_STORE)?,
+            Op::StG4 => st(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), 4, SPACE_GLOBAL | FLAG_STORE)?,
+            Op::StG8 => st(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), 8, SPACE_GLOBAL | FLAG_STORE)?,
+            Op::StRo1 => st(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), 1, SPACE_READONLY | FLAG_STORE)?,
+            Op::StRo4 => st(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), 4, SPACE_READONLY | FLAG_STORE)?,
+            Op::StRo8 => st(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), 8, SPACE_READONLY | FLAG_STORE)?,
+            Op::StLoc1 => st(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), 1, SPACE_LOCAL | FLAG_STORE)?,
+            Op::StLoc4 => st(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), 4, SPACE_LOCAL | FLAG_STORE)?,
+            Op::StLoc8 => st(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), 8, SPACE_LOCAL | FLAG_STORE)?,
+            Op::AtomB32 => atom(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), VType::B32)?,
+            Op::AtomB64 => atom(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), VType::B64)?,
+            Op::AtomF32 => atom(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), VType::F32)?,
+            Op::AtomF64 => atom(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), VType::F64)?,
+            Op::AtomPred => atom(regs, mem, warp, lane, pc, ix(i.a), ix(i.b), VType::Pred)?,
+            Op::AddB32 => regs[ix(i.d)] = alu(AluOp::Add, VType::B32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::AddB64 => regs[ix(i.d)] = alu(AluOp::Add, VType::B64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::AddF32 => regs[ix(i.d)] = alu(AluOp::Add, VType::F32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::AddF64 => regs[ix(i.d)] = alu(AluOp::Add, VType::F64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::AddPred => regs[ix(i.d)] = alu(AluOp::Add, VType::Pred, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::SubB32 => regs[ix(i.d)] = alu(AluOp::Sub, VType::B32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::SubB64 => regs[ix(i.d)] = alu(AluOp::Sub, VType::B64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::SubF32 => regs[ix(i.d)] = alu(AluOp::Sub, VType::F32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::SubF64 => regs[ix(i.d)] = alu(AluOp::Sub, VType::F64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::SubPred => regs[ix(i.d)] = alu(AluOp::Sub, VType::Pred, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MulB32 => regs[ix(i.d)] = alu(AluOp::Mul, VType::B32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MulB64 => regs[ix(i.d)] = alu(AluOp::Mul, VType::B64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MulF32 => regs[ix(i.d)] = alu(AluOp::Mul, VType::F32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MulF64 => regs[ix(i.d)] = alu(AluOp::Mul, VType::F64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MulPred => regs[ix(i.d)] = alu(AluOp::Mul, VType::Pred, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::DivB32 => regs[ix(i.d)] = alu(AluOp::Div, VType::B32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::DivB64 => regs[ix(i.d)] = alu(AluOp::Div, VType::B64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::DivF32 => regs[ix(i.d)] = alu(AluOp::Div, VType::F32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::DivF64 => regs[ix(i.d)] = alu(AluOp::Div, VType::F64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::DivPred => regs[ix(i.d)] = alu(AluOp::Div, VType::Pred, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::RemB32 => regs[ix(i.d)] = alu(AluOp::Rem, VType::B32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::RemB64 => regs[ix(i.d)] = alu(AluOp::Rem, VType::B64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::RemF32 => regs[ix(i.d)] = alu(AluOp::Rem, VType::F32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::RemF64 => regs[ix(i.d)] = alu(AluOp::Rem, VType::F64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::RemPred => regs[ix(i.d)] = alu(AluOp::Rem, VType::Pred, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MinB32 => regs[ix(i.d)] = alu(AluOp::Min, VType::B32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MinB64 => regs[ix(i.d)] = alu(AluOp::Min, VType::B64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MinF32 => regs[ix(i.d)] = alu(AluOp::Min, VType::F32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MinF64 => regs[ix(i.d)] = alu(AluOp::Min, VType::F64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MinPred => regs[ix(i.d)] = alu(AluOp::Min, VType::Pred, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MaxB32 => regs[ix(i.d)] = alu(AluOp::Max, VType::B32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MaxB64 => regs[ix(i.d)] = alu(AluOp::Max, VType::B64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MaxF32 => regs[ix(i.d)] = alu(AluOp::Max, VType::F32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MaxF64 => regs[ix(i.d)] = alu(AluOp::Max, VType::F64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::MaxPred => regs[ix(i.d)] = alu(AluOp::Max, VType::Pred, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::AndB32 => regs[ix(i.d)] = alu(AluOp::And, VType::B32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::AndB64 => regs[ix(i.d)] = alu(AluOp::And, VType::B64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::AndF32 => regs[ix(i.d)] = alu(AluOp::And, VType::F32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::AndF64 => regs[ix(i.d)] = alu(AluOp::And, VType::F64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::AndPred => regs[ix(i.d)] = alu(AluOp::And, VType::Pred, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::OrB32 => regs[ix(i.d)] = alu(AluOp::Or, VType::B32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::OrB64 => regs[ix(i.d)] = alu(AluOp::Or, VType::B64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::OrF32 => regs[ix(i.d)] = alu(AluOp::Or, VType::F32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::OrF64 => regs[ix(i.d)] = alu(AluOp::Or, VType::F64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::OrPred => regs[ix(i.d)] = alu(AluOp::Or, VType::Pred, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::XorB32 => regs[ix(i.d)] = alu(AluOp::Xor, VType::B32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::XorB64 => regs[ix(i.d)] = alu(AluOp::Xor, VType::B64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::XorF32 => regs[ix(i.d)] = alu(AluOp::Xor, VType::F32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::XorF64 => regs[ix(i.d)] = alu(AluOp::Xor, VType::F64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::XorPred => regs[ix(i.d)] = alu(AluOp::Xor, VType::Pred, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::ShlB32 => regs[ix(i.d)] = alu(AluOp::Shl, VType::B32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::ShlB64 => regs[ix(i.d)] = alu(AluOp::Shl, VType::B64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::ShlF32 => regs[ix(i.d)] = alu(AluOp::Shl, VType::F32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::ShlF64 => regs[ix(i.d)] = alu(AluOp::Shl, VType::F64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::ShlPred => regs[ix(i.d)] = alu(AluOp::Shl, VType::Pred, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::ShrB32 => regs[ix(i.d)] = alu(AluOp::Shr, VType::B32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::ShrB64 => regs[ix(i.d)] = alu(AluOp::Shr, VType::B64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::ShrF32 => regs[ix(i.d)] = alu(AluOp::Shr, VType::F32, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::ShrF64 => regs[ix(i.d)] = alu(AluOp::Shr, VType::F64, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::ShrPred => regs[ix(i.d)] = alu(AluOp::Shr, VType::Pred, regs[ix(i.a)], regs[ix(i.b)]),
+            Op::NegB32 => regs[ix(i.d)] = neg(VType::B32, regs[ix(i.a)]),
+            Op::NegB64 => regs[ix(i.d)] = neg(VType::B64, regs[ix(i.a)]),
+            Op::NegF32 => regs[ix(i.d)] = neg(VType::F32, regs[ix(i.a)]),
+            Op::NegF64 => regs[ix(i.d)] = neg(VType::F64, regs[ix(i.a)]),
+            Op::NegPred => regs[ix(i.d)] = neg(VType::Pred, regs[ix(i.a)]),
+            Op::SetpLtB32 => regs[ix(i.d)] = u64::from(compare(CmpOp::Lt, VType::B32, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpLtB64 => regs[ix(i.d)] = u64::from(compare(CmpOp::Lt, VType::B64, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpLtF32 => regs[ix(i.d)] = u64::from(compare(CmpOp::Lt, VType::F32, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpLtF64 => regs[ix(i.d)] = u64::from(compare(CmpOp::Lt, VType::F64, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpLtPred => regs[ix(i.d)] = u64::from(compare(CmpOp::Lt, VType::Pred, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpLeB32 => regs[ix(i.d)] = u64::from(compare(CmpOp::Le, VType::B32, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpLeB64 => regs[ix(i.d)] = u64::from(compare(CmpOp::Le, VType::B64, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpLeF32 => regs[ix(i.d)] = u64::from(compare(CmpOp::Le, VType::F32, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpLeF64 => regs[ix(i.d)] = u64::from(compare(CmpOp::Le, VType::F64, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpLePred => regs[ix(i.d)] = u64::from(compare(CmpOp::Le, VType::Pred, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpGtB32 => regs[ix(i.d)] = u64::from(compare(CmpOp::Gt, VType::B32, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpGtB64 => regs[ix(i.d)] = u64::from(compare(CmpOp::Gt, VType::B64, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpGtF32 => regs[ix(i.d)] = u64::from(compare(CmpOp::Gt, VType::F32, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpGtF64 => regs[ix(i.d)] = u64::from(compare(CmpOp::Gt, VType::F64, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpGtPred => regs[ix(i.d)] = u64::from(compare(CmpOp::Gt, VType::Pred, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpGeB32 => regs[ix(i.d)] = u64::from(compare(CmpOp::Ge, VType::B32, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpGeB64 => regs[ix(i.d)] = u64::from(compare(CmpOp::Ge, VType::B64, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpGeF32 => regs[ix(i.d)] = u64::from(compare(CmpOp::Ge, VType::F32, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpGeF64 => regs[ix(i.d)] = u64::from(compare(CmpOp::Ge, VType::F64, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpGePred => regs[ix(i.d)] = u64::from(compare(CmpOp::Ge, VType::Pred, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpEqB32 => regs[ix(i.d)] = u64::from(compare(CmpOp::Eq, VType::B32, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpEqB64 => regs[ix(i.d)] = u64::from(compare(CmpOp::Eq, VType::B64, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpEqF32 => regs[ix(i.d)] = u64::from(compare(CmpOp::Eq, VType::F32, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpEqF64 => regs[ix(i.d)] = u64::from(compare(CmpOp::Eq, VType::F64, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpEqPred => regs[ix(i.d)] = u64::from(compare(CmpOp::Eq, VType::Pred, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpNeB32 => regs[ix(i.d)] = u64::from(compare(CmpOp::Ne, VType::B32, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpNeB64 => regs[ix(i.d)] = u64::from(compare(CmpOp::Ne, VType::B64, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpNeF32 => regs[ix(i.d)] = u64::from(compare(CmpOp::Ne, VType::F32, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpNeF64 => regs[ix(i.d)] = u64::from(compare(CmpOp::Ne, VType::F64, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::SetpNePred => regs[ix(i.d)] = u64::from(compare(CmpOp::Ne, VType::Pred, regs[ix(i.a)], regs[ix(i.b)])),
+            Op::CvtB32B32 => regs[ix(i.d)] = convert(VType::B32, VType::B32, regs[ix(i.a)]),
+            Op::CvtB64B32 => regs[ix(i.d)] = convert(VType::B64, VType::B32, regs[ix(i.a)]),
+            Op::CvtF32B32 => regs[ix(i.d)] = convert(VType::F32, VType::B32, regs[ix(i.a)]),
+            Op::CvtF64B32 => regs[ix(i.d)] = convert(VType::F64, VType::B32, regs[ix(i.a)]),
+            Op::CvtPredB32 => regs[ix(i.d)] = convert(VType::Pred, VType::B32, regs[ix(i.a)]),
+            Op::CvtB32B64 => regs[ix(i.d)] = convert(VType::B32, VType::B64, regs[ix(i.a)]),
+            Op::CvtB64B64 => regs[ix(i.d)] = convert(VType::B64, VType::B64, regs[ix(i.a)]),
+            Op::CvtF32B64 => regs[ix(i.d)] = convert(VType::F32, VType::B64, regs[ix(i.a)]),
+            Op::CvtF64B64 => regs[ix(i.d)] = convert(VType::F64, VType::B64, regs[ix(i.a)]),
+            Op::CvtPredB64 => regs[ix(i.d)] = convert(VType::Pred, VType::B64, regs[ix(i.a)]),
+            Op::CvtB32F32 => regs[ix(i.d)] = convert(VType::B32, VType::F32, regs[ix(i.a)]),
+            Op::CvtB64F32 => regs[ix(i.d)] = convert(VType::B64, VType::F32, regs[ix(i.a)]),
+            Op::CvtF32F32 => regs[ix(i.d)] = convert(VType::F32, VType::F32, regs[ix(i.a)]),
+            Op::CvtF64F32 => regs[ix(i.d)] = convert(VType::F64, VType::F32, regs[ix(i.a)]),
+            Op::CvtPredF32 => regs[ix(i.d)] = convert(VType::Pred, VType::F32, regs[ix(i.a)]),
+            Op::CvtB32F64 => regs[ix(i.d)] = convert(VType::B32, VType::F64, regs[ix(i.a)]),
+            Op::CvtB64F64 => regs[ix(i.d)] = convert(VType::B64, VType::F64, regs[ix(i.a)]),
+            Op::CvtF32F64 => regs[ix(i.d)] = convert(VType::F32, VType::F64, regs[ix(i.a)]),
+            Op::CvtF64F64 => regs[ix(i.d)] = convert(VType::F64, VType::F64, regs[ix(i.a)]),
+            Op::CvtPredF64 => regs[ix(i.d)] = convert(VType::Pred, VType::F64, regs[ix(i.a)]),
+            Op::CvtB32Pred => regs[ix(i.d)] = convert(VType::B32, VType::Pred, regs[ix(i.a)]),
+            Op::CvtB64Pred => regs[ix(i.d)] = convert(VType::B64, VType::Pred, regs[ix(i.a)]),
+            Op::CvtF32Pred => regs[ix(i.d)] = convert(VType::F32, VType::Pred, regs[ix(i.a)]),
+            Op::CvtF64Pred => regs[ix(i.d)] = convert(VType::F64, VType::Pred, regs[ix(i.a)]),
+            Op::CvtPredPred => regs[ix(i.d)] = convert(VType::Pred, VType::Pred, regs[ix(i.a)]),
+            Op::SqrtB32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Sqrt, VType::B32, regs[ix(i.a)], y); }
+            Op::SqrtB64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Sqrt, VType::B64, regs[ix(i.a)], y); }
+            Op::SqrtF32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Sqrt, VType::F32, regs[ix(i.a)], y); }
+            Op::SqrtF64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Sqrt, VType::F64, regs[ix(i.a)], y); }
+            Op::SqrtPred => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Sqrt, VType::Pred, regs[ix(i.a)], y); }
+            Op::ExpB32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Exp, VType::B32, regs[ix(i.a)], y); }
+            Op::ExpB64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Exp, VType::B64, regs[ix(i.a)], y); }
+            Op::ExpF32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Exp, VType::F32, regs[ix(i.a)], y); }
+            Op::ExpF64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Exp, VType::F64, regs[ix(i.a)], y); }
+            Op::ExpPred => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Exp, VType::Pred, regs[ix(i.a)], y); }
+            Op::LogB32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Log, VType::B32, regs[ix(i.a)], y); }
+            Op::LogB64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Log, VType::B64, regs[ix(i.a)], y); }
+            Op::LogF32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Log, VType::F32, regs[ix(i.a)], y); }
+            Op::LogF64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Log, VType::F64, regs[ix(i.a)], y); }
+            Op::LogPred => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Log, VType::Pred, regs[ix(i.a)], y); }
+            Op::SinB32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Sin, VType::B32, regs[ix(i.a)], y); }
+            Op::SinB64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Sin, VType::B64, regs[ix(i.a)], y); }
+            Op::SinF32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Sin, VType::F32, regs[ix(i.a)], y); }
+            Op::SinF64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Sin, VType::F64, regs[ix(i.a)], y); }
+            Op::SinPred => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Sin, VType::Pred, regs[ix(i.a)], y); }
+            Op::CosB32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Cos, VType::B32, regs[ix(i.a)], y); }
+            Op::CosB64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Cos, VType::B64, regs[ix(i.a)], y); }
+            Op::CosF32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Cos, VType::F32, regs[ix(i.a)], y); }
+            Op::CosF64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Cos, VType::F64, regs[ix(i.a)], y); }
+            Op::CosPred => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Cos, VType::Pred, regs[ix(i.a)], y); }
+            Op::AbsB32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Abs, VType::B32, regs[ix(i.a)], y); }
+            Op::AbsB64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Abs, VType::B64, regs[ix(i.a)], y); }
+            Op::AbsF32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Abs, VType::F32, regs[ix(i.a)], y); }
+            Op::AbsF64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Abs, VType::F64, regs[ix(i.a)], y); }
+            Op::AbsPred => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Abs, VType::Pred, regs[ix(i.a)], y); }
+            Op::FloorB32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Floor, VType::B32, regs[ix(i.a)], y); }
+            Op::FloorB64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Floor, VType::B64, regs[ix(i.a)], y); }
+            Op::FloorF32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Floor, VType::F32, regs[ix(i.a)], y); }
+            Op::FloorF64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Floor, VType::F64, regs[ix(i.a)], y); }
+            Op::FloorPred => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Floor, VType::Pred, regs[ix(i.a)], y); }
+            Op::PowB32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Pow, VType::B32, regs[ix(i.a)], y); }
+            Op::PowB64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Pow, VType::B64, regs[ix(i.a)], y); }
+            Op::PowF32 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Pow, VType::F32, regs[ix(i.a)], y); }
+            Op::PowF64 => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Pow, VType::F64, regs[ix(i.a)], y); }
+            Op::PowPred => { let y = if i.b == NO_REG { None } else { Some(regs[ix(i.b)]) }; regs[ix(i.d)] = math(MathOp::Pow, VType::Pred, regs[ix(i.a)], y); }
         }
         pc += 1;
     }
@@ -848,54 +909,58 @@ fn run_lane(
 
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn ld(
+pub(crate) fn ld(
     regs: &mut [u64],
     mem: &mut DeviceMemory,
     warp: &mut WarpMerge,
     lane: usize,
     pc: usize,
-    i: DInst,
+    d_idx: usize,
+    a_idx: usize,
     bytes: u8,
     space_store: u8,
 ) -> Result<(), SimError> {
-    let addr = regs[i.a as usize];
-    regs[i.d as usize] = mem.read(addr, bytes as u32)?;
+    let addr = regs[a_idx];
+    regs[d_idx] = mem.read(addr, bytes as u32)?;
     warp.log(lane, MemEvent { inst: pc as u32, addr, bytes, space_store });
     Ok(())
 }
 
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn st(
+pub(crate) fn st(
     regs: &mut [u64],
     mem: &mut DeviceMemory,
     warp: &mut WarpMerge,
     lane: usize,
     pc: usize,
-    i: DInst,
+    a_idx: usize,
+    b_idx: usize,
     bytes: u8,
     space_store: u8,
 ) -> Result<(), SimError> {
-    let addr = regs[i.a as usize];
-    mem.write(addr, bytes as u32, regs[i.b as usize])?;
+    let addr = regs[a_idx];
+    mem.write(addr, bytes as u32, regs[b_idx])?;
     warp.log(lane, MemEvent { inst: pc as u32, addr, bytes, space_store });
     Ok(())
 }
 
 #[inline(always)]
-fn atom(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn atom(
     regs: &mut [u64],
     mem: &mut DeviceMemory,
     warp: &mut WarpMerge,
     lane: usize,
     pc: usize,
-    i: DInst,
+    a_idx: usize,
+    b_idx: usize,
     ty: VType,
 ) -> Result<(), SimError> {
     let bytes = ty.size_bytes() as u8;
-    let addr = regs[i.a as usize];
+    let addr = regs[a_idx];
     let old = mem.read(addr, bytes as u32)?;
-    mem.write(addr, bytes as u32, atom_add(ty, old, regs[i.b as usize]))?;
+    mem.write(addr, bytes as u32, atom_add(ty, old, regs[b_idx]))?;
     warp.log(
         lane,
         MemEvent { inst: pc as u32, addr, bytes, space_store: SPACE_GLOBAL | FLAG_STORE | FLAG_ATOMIC },

@@ -12,7 +12,7 @@ use crate::memory::{DeviceMemory, MemFault};
 use crate::stats::KernelStats;
 use crate::vir::*;
 use std::collections::{BTreeMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Kernel launch geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,34 +140,134 @@ impl LaneCounts {
     }
 }
 
-/// When set, [`launch`] routes through the original lane-at-a-time
-/// reference interpreter instead of the decoded engine. The two are
+/// Which execution engine [`launch`] dispatches to. All three are
 /// stats- and memory-identical (asserted by differential tests); the
-/// flag exists so benchmarks can time one against the other and so any
-/// future regression can be bisected to an engine.
-static REFERENCE_ENGINE: AtomicBool = AtomicBool::new(false);
-
-/// Select the execution engine for subsequent [`launch`] calls:
-/// `true` = the original (reference) interpreter, `false` (default) =
-/// the pre-decoded direct-threaded engine.
-pub fn set_reference_engine(on: bool) {
-    REFERENCE_ENGINE.store(on, Ordering::Relaxed);
+/// selection exists so benchmarks can time one against another and so
+/// any future regression can be bisected to an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The original lane-at-a-time tree-walking interpreter.
+    Reference,
+    /// The pre-decoded direct-threaded engine (the default).
+    Decoded,
+    /// The profile-guided superblock-fused, lane-vectorized engine.
+    Superblock,
 }
 
-/// Is the reference engine currently selected? On first call the
-/// default is taken from the `SAFARA_REFERENCE_ENGINE` environment
-/// variable (`1` / `true` selects the reference interpreter), so every
-/// binary in the workspace can be A/B-timed without code changes.
-pub fn reference_engine_enabled() -> bool {
+impl Engine {
+    /// Parse a wire/env engine name (`reference` / `decoded` /
+    /// `superblock`).
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "reference" => Some(Engine::Reference),
+            "decoded" => Some(Engine::Decoded),
+            "superblock" => Some(Engine::Superblock),
+            _ => None,
+        }
+    }
+
+    /// The canonical wire/env name of this engine.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Reference => "reference",
+            Engine::Decoded => "decoded",
+            Engine::Superblock => "superblock",
+        }
+    }
+
+    fn from_code(c: u8) -> Engine {
+        match c {
+            1 => Engine::Reference,
+            2 => Engine::Superblock,
+            _ => Engine::Decoded,
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Engine::Decoded => 0,
+            Engine::Reference => 1,
+            Engine::Superblock => 2,
+        }
+    }
+}
+
+/// The process-wide engine selection (an [`Engine::code`]).
+static ENGINE: AtomicU8 = AtomicU8::new(0);
+
+std::thread_local! {
+    /// Per-thread engine override installed by [`with_engine`]: lets a
+    /// server worker honor a per-request engine without racing other
+    /// workers on the process-wide selection.
+    static ENGINE_OVERRIDE: std::cell::Cell<Option<Engine>> = const { std::cell::Cell::new(None) };
+}
+
+/// Select the process-wide execution engine for subsequent [`launch`]
+/// calls (on any thread without a [`with_engine`] override in effect).
+pub fn set_engine(e: Engine) {
+    env_engine_init();
+    ENGINE.store(e.code(), Ordering::Relaxed);
+}
+
+/// Run `f` with `e` as this thread's engine, restoring the previous
+/// override afterwards (even on unwind). Launches performed by `f` on
+/// *this* thread — including through memoized paths, which funnel into
+/// [`launch`] — use `e`; other threads are unaffected.
+pub fn with_engine<R>(e: Engine, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Engine>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ENGINE_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(ENGINE_OVERRIDE.with(|c| c.replace(Some(e))));
+    f()
+}
+
+fn env_engine_init() {
     static ENV_INIT: std::sync::Once = std::sync::Once::new();
     ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("SAFARA_ENGINE") {
+            if let Some(e) = Engine::parse(&v) {
+                ENGINE.store(e.code(), Ordering::Relaxed);
+                return;
+            }
+        }
         if let Ok(v) = std::env::var("SAFARA_REFERENCE_ENGINE") {
             if v == "1" || v.eq_ignore_ascii_case("true") {
-                REFERENCE_ENGINE.store(true, Ordering::Relaxed);
+                ENGINE.store(Engine::Reference.code(), Ordering::Relaxed);
             }
         }
     });
-    REFERENCE_ENGINE.load(Ordering::Relaxed)
+}
+
+/// The engine [`launch`] will dispatch to on this thread: the
+/// [`with_engine`] override if one is in effect, else the process-wide
+/// selection. On first call the process-wide default is taken from the
+/// `SAFARA_ENGINE` environment variable (`reference` / `decoded` /
+/// `superblock`), falling back to the legacy `SAFARA_REFERENCE_ENGINE`
+/// (`1` / `true` selects the reference interpreter), so every binary in
+/// the workspace can be A/B-timed without code changes.
+pub fn current_engine() -> Engine {
+    if let Some(e) = ENGINE_OVERRIDE.with(|c| c.get()) {
+        return e;
+    }
+    env_engine_init();
+    Engine::from_code(ENGINE.load(Ordering::Relaxed))
+}
+
+/// Select the execution engine for subsequent [`launch`] calls:
+/// `true` = the original (reference) interpreter, `false` (default) =
+/// the pre-decoded direct-threaded engine. Legacy shim over
+/// [`set_engine`].
+pub fn set_reference_engine(on: bool) {
+    set_engine(if on { Engine::Reference } else { Engine::Decoded });
+}
+
+/// Is the reference engine currently selected? Legacy shim over
+/// [`current_engine`].
+pub fn reference_engine_enabled() -> bool {
+    current_engine() == Engine::Reference
 }
 
 /// Execute a kernel launch.
@@ -177,8 +277,9 @@ pub fn reference_engine_enabled() -> bool {
 /// for functional correctness but counts their touches as local-memory
 /// traffic, mirroring what PTXAS-inserted reload/spill code would do.
 ///
-/// Dispatches to the pre-decoded engine ([`crate::decode`]) unless the
-/// reference engine was selected via [`set_reference_engine`].
+/// Dispatches to the engine selected by [`set_engine`] /
+/// [`with_engine`] (default: the pre-decoded engine,
+/// [`crate::decode`]).
 pub fn launch(
     kernel: &KernelVir,
     config: &LaunchConfig,
@@ -186,10 +287,12 @@ pub fn launch(
     mem: &mut DeviceMemory,
     spilled: &[VReg],
 ) -> Result<LaunchResult, SimError> {
-    if reference_engine_enabled() {
-        launch_reference(kernel, config, params, mem, spilled)
-    } else {
-        crate::decode::launch_decoded(kernel, config, params, mem, spilled)
+    match current_engine() {
+        Engine::Reference => launch_reference(kernel, config, params, mem, spilled),
+        Engine::Decoded => crate::decode::launch_decoded(kernel, config, params, mem, spilled),
+        Engine::Superblock => {
+            crate::superblock::launch_superblock(kernel, config, params, mem, spilled)
+        }
     }
 }
 

@@ -34,11 +34,17 @@ pub mod microbench;
 pub mod ptxas;
 pub mod rng;
 pub mod stats;
+pub mod superblock;
 pub mod timing;
 pub mod vir;
 
 pub use device::{DeviceConfig, Occupancy};
-pub use interp::{launch, LaunchConfig, LaunchResult};
+pub use interp::{
+    current_engine, launch, set_engine, with_engine, Engine, LaunchConfig, LaunchResult,
+};
+pub use superblock::{
+    fusion_counters, set_superblock_threshold, FusionCounters, DEFAULT_SUPERBLOCK_THRESHOLD,
+};
 pub use memo::{launch_cached, LaunchCache, SharedLaunchCache};
 pub use memory::{BufferId, DeviceMemory};
 pub use ptxas::{allocate_registers, RegAllocReport};

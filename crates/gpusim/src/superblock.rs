@@ -1,0 +1,1343 @@
+//! The profile-guided superblock engine: fused, lane-vectorized warp
+//! execution.
+//!
+//! The decoded engine ([`crate::decode`]) already hoists operand
+//! resolution out of the execution loop, but it still pays one
+//! jump-table dispatch *per instruction per lane* and re-executes
+//! warp-uniform computations (loop bounds, base addresses, the offset
+//! expressions the `dim`/`small` clauses shrink) 32 times per warp.
+//! This engine removes both costs for the hot straight-line regions
+//! that dominate the paper's kernels:
+//!
+//! 1. **Profile.** The first [`PROFILE_WARPS`] warps of a launch run
+//!    lane-major through the decoded instruction stream with lightweight
+//!    execution counters on basic blocks and taken/not-taken counters on
+//!    conditional branches.
+//! 2. **Fuse.** Blocks whose execution count reaches the hot-block
+//!    threshold ([`set_superblock_threshold`], env `SAFARA_SB_THRESHOLD`)
+//!    become superblock entries; fusion stitches consecutive hot blocks
+//!    together, following unconditional branches and the *biased* exit of
+//!    conditional branches (which become in-line guards), stopping at
+//!    backedges and `Ret`.
+//! 3. **Hoist.** A flow-insensitive uniformity analysis (varying seeds:
+//!    thread-id reads; block-ids, launch constants, interned immediates
+//!    and kernel parameters are warp-uniform, and a load from a uniform
+//!    address is itself uniform) classifies every register;
+//!    superinstructions whose result is warp-uniform execute **once per
+//!    warp** on a scalar register file instead of once per lane.
+//! 4. **Vectorize.** The remaining lane-varying superinstructions
+//!    execute as tight 32-lane inner loops: one opcode dispatch per
+//!    superinstruction per *warp* instead of per lane, with operands
+//!    pre-resolved to either the scalar file or the lane-major
+//!    (structure-of-arrays) register file.
+//!
+//! Byte-identity with the decoded engine (asserted by differential
+//! tests) is preserved by construction where it is observable:
+//! within one memory superinstruction lanes issue in lane order (so
+//! same-instruction conflicts — notably the compiler's single
+//! end-of-kernel reduction `AtomAdd` — serialize exactly as lane-major
+//! execution does), warp divergence **peels** the warp back to
+//! lane-major decoded execution (lanes 0..31 in order, preserving
+//! per-lane event streams for the transaction merge), kernels with an
+//! atomic inside a loop are delegated wholesale to the decoded engine,
+//! and a threshold of `u64::MAX` ("inf") short-circuits the whole engine
+//! into [`crate::decode::launch_decoded`].
+
+use crate::decode::{
+    decode, launch_decoded, Decoded, DInst, ExecSeed, Op, WarpMerge, CLS_FP64, CLS_INT64,
+    CLS_SFU, CLS_SIMPLE, NO_REG, WARP_SIZE,
+};
+use crate::interp::{
+    alu, atom_add, compare, convert, math, neg, LaneCounts, LaunchConfig, LaunchResult, MemEvent,
+    ParamVal, SimError, FLAG_ATOMIC, FLAG_STORE, MAX_INSTS_PER_THREAD, SPACE_GLOBAL, SPACE_LOCAL,
+    SPACE_READONLY,
+};
+use crate::memory::DeviceMemory;
+use crate::stats::KernelStats;
+use crate::vir::{AluOp, CmpOp, KernelVir, MathOp, VReg, VType};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Warps executed lane-major (instrumented) before fusion kicks in.
+pub const PROFILE_WARPS: u64 = 2;
+
+/// Default hot-block threshold: profiled lane-level executions a basic
+/// block needs before it is eligible for fusion.
+pub const DEFAULT_SUPERBLOCK_THRESHOLD: u64 = 8;
+
+/// Maximum basic blocks fused into one superblock.
+const MAX_FUSE: u32 = 16;
+
+/// Operand encoding: bit 31 marks a warp-uniform register, resolved
+/// against the scalar file instead of the lane-major file. Real
+/// register-file indices stay far below this bit.
+const UB: u32 = 1 << 31;
+
+static THRESHOLD: AtomicU64 = AtomicU64::new(0); // 0 = read env on first use
+
+fn threshold() -> u64 {
+    let t = THRESHOLD.load(Ordering::Relaxed);
+    if t != 0 {
+        return t;
+    }
+    let t = match std::env::var("SAFARA_SB_THRESHOLD") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("inf") => u64::MAX,
+        Ok(v) => v
+            .trim()
+            .parse::<u64>()
+            .ok()
+            .filter(|&x| x >= 1)
+            .unwrap_or(DEFAULT_SUPERBLOCK_THRESHOLD),
+        Err(_) => DEFAULT_SUPERBLOCK_THRESHOLD,
+    };
+    THRESHOLD.store(t, Ordering::Relaxed);
+    t
+}
+
+/// Set the hot-block threshold for subsequent superblock launches.
+/// `u64::MAX` disables profiling/fusion entirely: every launch is
+/// delegated to the decoded engine (the behavioral kill switch the
+/// differential tests pin). Values below 1 clamp to 1.
+pub fn set_superblock_threshold(t: u64) {
+    THRESHOLD.store(t.max(1), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Fusion/hoist observability counters (process-wide, flushed once per
+// launch; reported through `safara-obs` spans and the server `stats`
+// section).
+
+static C_LAUNCHES: AtomicU64 = AtomicU64::new(0);
+static C_DELEGATED: AtomicU64 = AtomicU64::new(0);
+static C_HOT_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static C_SUPERBLOCKS: AtomicU64 = AtomicU64::new(0);
+static C_FUSED_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static C_HOISTED: AtomicU64 = AtomicU64::new(0);
+static C_SCALAR_EXECS: AtomicU64 = AtomicU64::new(0);
+static C_VECTOR_EXECS: AtomicU64 = AtomicU64::new(0);
+static C_PEELS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the superblock engine's cumulative fusion/hoist
+/// counters (process-wide, monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionCounters {
+    /// Launches entering this engine.
+    pub launches: u64,
+    /// Launches delegated wholesale to the decoded engine (threshold =
+    /// `u64::MAX`, or an atomic inside a loop).
+    pub delegated: u64,
+    /// Basic blocks that met the hot threshold.
+    pub hot_blocks: u64,
+    /// Superblocks built.
+    pub superblocks: u64,
+    /// Additional basic blocks fused into a superblock past its entry.
+    pub fused_blocks: u64,
+    /// Superinstructions hoisted to the scalar (warp-uniform) file
+    /// (static, per build).
+    pub hoisted: u64,
+    /// Hoisted superinstructions executed (once per warp each).
+    pub scalar_execs: u64,
+    /// Lane-vectorized superinstructions executed (once per warp each).
+    pub vector_execs: u64,
+    /// Warps peeled back to lane-major execution (divergence or a cold
+    /// region).
+    pub peels: u64,
+}
+
+/// Read the cumulative fusion counters.
+pub fn fusion_counters() -> FusionCounters {
+    FusionCounters {
+        launches: C_LAUNCHES.load(Ordering::Relaxed),
+        delegated: C_DELEGATED.load(Ordering::Relaxed),
+        hot_blocks: C_HOT_BLOCKS.load(Ordering::Relaxed),
+        superblocks: C_SUPERBLOCKS.load(Ordering::Relaxed),
+        fused_blocks: C_FUSED_BLOCKS.load(Ordering::Relaxed),
+        hoisted: C_HOISTED.load(Ordering::Relaxed),
+        scalar_execs: C_SCALAR_EXECS.load(Ordering::Relaxed),
+        vector_execs: C_VECTOR_EXECS.load(Ordering::Relaxed),
+        peels: C_PEELS.load(Ordering::Relaxed),
+    }
+}
+
+/// Per-launch counter accumulator, flushed to the atomics once so the
+/// hot loops never touch shared cache lines.
+#[derive(Default)]
+struct LocalCtrs {
+    launches: u64,
+    delegated: u64,
+    hot_blocks: u64,
+    superblocks: u64,
+    fused_blocks: u64,
+    hoisted: u64,
+    scalar_execs: u64,
+    vector_execs: u64,
+    peels: u64,
+}
+
+impl LocalCtrs {
+    fn flush(&self) {
+        C_LAUNCHES.fetch_add(self.launches, Ordering::Relaxed);
+        C_DELEGATED.fetch_add(self.delegated, Ordering::Relaxed);
+        C_HOT_BLOCKS.fetch_add(self.hot_blocks, Ordering::Relaxed);
+        C_SUPERBLOCKS.fetch_add(self.superblocks, Ordering::Relaxed);
+        C_FUSED_BLOCKS.fetch_add(self.fused_blocks, Ordering::Relaxed);
+        C_HOISTED.fetch_add(self.hoisted, Ordering::Relaxed);
+        C_SCALAR_EXECS.fetch_add(self.scalar_execs, Ordering::Relaxed);
+        C_VECTOR_EXECS.fetch_add(self.vector_execs, Ordering::Relaxed);
+        C_PEELS.fetch_add(self.peels, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Profiling
+
+/// Block/branch execution counters filled by the instrumented
+/// lane-major profiling warps (`run_lane::<_, true>`).
+pub(crate) struct ProfileCounters {
+    /// `pc -> block id + 1` for block leaders, 0 otherwise.
+    pub(crate) leader_block: Vec<u32>,
+    /// Lane-level execution count per basic block.
+    pub(crate) counts: Vec<u64>,
+    /// Per-branch-pc: times the branch transferred to its target.
+    pub(crate) taken: Vec<u64>,
+    /// Per-branch-pc: times the branch executed.
+    pub(crate) seen: Vec<u64>,
+}
+
+#[inline]
+fn in_range(op: Op, lo: Op, hi: Op) -> bool {
+    (lo as u16..=hi as u16).contains(&(op as u16))
+}
+
+fn is_branch(op: Op) -> bool {
+    matches!(op, Op::Bra | Op::BraT | Op::BraF)
+}
+
+fn is_ld(op: Op) -> bool {
+    in_range(op, Op::LdG1, Op::LdLoc8)
+}
+
+fn is_st(op: Op) -> bool {
+    in_range(op, Op::StG1, Op::StLoc8)
+}
+
+fn is_atom(op: Op) -> bool {
+    in_range(op, Op::AtomB32, Op::AtomPred)
+}
+
+/// The destination register this instruction defines, if any.
+fn def_of(i: &DInst) -> Option<u32> {
+    if is_branch(i.op) || is_st(i.op) || is_atom(i.op) || i.op == Op::Ret {
+        None
+    } else {
+        Some(i.d)
+    }
+}
+
+/// The register-file operands this instruction reads (`a`, `b`).
+fn reg_reads(i: &DInst) -> (Option<u32>, Option<u32>) {
+    let op = i.op;
+    if matches!(
+        op,
+        Op::Ret | Op::Bra | Op::TidX | Op::TidY | Op::TidZ | Op::CtaX | Op::CtaY | Op::CtaZ
+    ) {
+        (None, None)
+    } else if matches!(op, Op::BraT | Op::BraF | Op::Mov | Op::Not)
+        || is_ld(op)
+        || in_range(op, Op::NegB32, Op::NegPred)
+        || in_range(op, Op::CvtB32B32, Op::CvtPredPred)
+    {
+        (Some(i.a), None)
+    } else if in_range(op, Op::SqrtB32, Op::PowPred) {
+        (Some(i.a), (i.b != NO_REG).then_some(i.b))
+    } else {
+        // Binary ALU / Setp / St / Atom.
+        (Some(i.a), Some(i.b))
+    }
+}
+
+/// Flow-insensitive warp-uniformity classes per register-file index
+/// (true = uniform): a register is varying if *any* def depends on a
+/// thread-id or a varying operand. Constants (interned immediates,
+/// parameters, launch constants) and block-ids are uniform. A load from
+/// a *uniform* address is itself uniform — every lane reads the same
+/// cell at the same step (the engine's no-intra-warp-hazard premise,
+/// enforced by the differential suite) — which is what lets the k-space
+/// / coefficient-table loads of the fig7 kernels execute once per warp.
+fn classify(d: &Decoded) -> Vec<bool> {
+    let n_regs = d.n_vregs + d.consts.len();
+    let mut uni = vec![true; n_regs];
+    loop {
+        let mut changed = false;
+        for i in &d.insts {
+            let Some(dst) = def_of(i) else { continue };
+            let seeded = matches!(i.op, Op::TidX | Op::TidY | Op::TidZ);
+            let (ra, rb) = reg_reads(i);
+            let varying = seeded
+                || ra.is_some_and(|r| !uni[r as usize])
+                || rb.is_some_and(|r| !uni[r as usize]);
+            if varying && uni[dst as usize] {
+                uni[dst as usize] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    uni
+}
+
+/// Basic-block discovery: returns (`leader_block` as in
+/// [`ProfileCounters`], `block_of` per pc, block count).
+fn find_blocks(d: &Decoded) -> (Vec<u32>, Vec<u32>, usize) {
+    let n = d.insts.len();
+    let mut is_leader = vec![false; n];
+    if n > 0 {
+        is_leader[0] = true;
+    }
+    for (pc, i) in d.insts.iter().enumerate() {
+        if is_branch(i.op) {
+            let t = i.d as usize;
+            if t < n {
+                is_leader[t] = true;
+            }
+        }
+        if (is_branch(i.op) || i.op == Op::Ret) && pc + 1 < n {
+            is_leader[pc + 1] = true;
+        }
+    }
+    let mut leader_block = vec![0u32; n];
+    let mut block_of = vec![0u32; n];
+    let mut b = 0u32;
+    for pc in 0..n {
+        if is_leader[pc] {
+            b += 1;
+            leader_block[pc] = b;
+        }
+        block_of[pc] = b - 1;
+    }
+    (leader_block, block_of, b as usize)
+}
+
+/// True if any atomic lies inside a backward-branch range: multiple
+/// atomics per thread would interleave differently under lockstep, so
+/// such kernels are delegated to the decoded engine.
+fn atomics_in_loops(d: &Decoded) -> bool {
+    for (pc, i) in d.insts.iter().enumerate() {
+        if is_branch(i.op) && i.d as usize <= pc {
+            let lo = i.d as usize;
+            if d.insts[lo..=pc].iter().any(|j| is_atom(j.op)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Superblock program
+
+/// A flat superinstruction: a decoded instruction with operands
+/// pre-resolved against the uniformity classes (`UB` bit) and its
+/// original decoded pc preserved as the memory-event key.
+#[derive(Debug, Clone, Copy)]
+struct SInst {
+    op: Op,
+    cls: u8,
+    spill: u8,
+    /// Execute once per warp on the scalar (uniform) file.
+    scalar: bool,
+    /// Original decoded instruction index (memory-event key).
+    pc: u32,
+    d: u32,
+    a: u32,
+    b: u32,
+}
+
+/// One step of a superblock.
+#[derive(Debug, Clone)]
+enum Ctl {
+    /// A scalar or lane-vectorized superinstruction.
+    Seq(SInst),
+    /// A fused-through unconditional branch: counts as an executed
+    /// instruction, control simply falls through to the next step.
+    Ghost { cls: u8, spill: u8 },
+    /// A conditional branch. `cont = Some(dir)`: the superblock
+    /// continues in-line when every lane goes `dir` (true = taken); a
+    /// uniform opposite outcome exits to the other side; a mixed
+    /// outcome peels. `cont = None`: both outcomes exit.
+    Br { pred: u32, sense: bool, taken: u32, fall: u32, cont: Option<bool>, cls: u8, spill: u8 },
+    /// Unconditional superblock exit to a decoded pc (`counted` when it
+    /// stands for a real `Bra` instruction).
+    Exit { target: u32, counted: bool, cls: u8, spill: u8 },
+    /// Kernel return.
+    Ret { cls: u8, spill: u8 },
+    /// Fell off the end of the instruction stream (implicit return; not
+    /// a counted instruction).
+    Done,
+}
+
+struct Superblock {
+    steps: Vec<Ctl>,
+}
+
+struct SbProgram {
+    sbs: Vec<Superblock>,
+    /// Decoded pc -> superblock starting there.
+    at: Vec<Option<u32>>,
+}
+
+// ---------------------------------------------------------------------
+// Cross-launch program cache
+//
+// Iterative workloads relaunch the same kernels dozens of times; the
+// decoded content (instructions + interned constants, which embed the
+// eagerly-resolved parameters) fully determines the profile-guided
+// build inputs except for the branch-bias sample, and the build output
+// is *correct* under any bias (guards are checked at run time — bias
+// only affects how often the lockstep path exits early). So the built
+// program is cached per thread, keyed by the full decoded content and
+// the threshold, and cache hits skip both the profiling warps and the
+// fusion pass entirely.
+
+/// Everything a launch needs to go straight to lockstep execution.
+struct CachedProg {
+    uni: Vec<bool>,
+    prog: SbProgram,
+}
+
+const PROG_CACHE_CAP: usize = 64;
+
+std::thread_local! {
+    static PROG_CACHE: std::cell::RefCell<Vec<(Vec<u64>, std::rc::Rc<CachedProg>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Exact content key: threshold, register-file shape, constants, and
+/// every decoded instruction field. Full content (not a hash) — a
+/// collision would silently run the wrong program.
+fn prog_key(d: &Decoded, thr: u64) -> Vec<u64> {
+    let mut k = Vec::with_capacity(3 + d.consts.len() + 3 * d.insts.len());
+    k.push(thr);
+    k.push(d.n_vregs as u64);
+    k.push(d.consts.len() as u64);
+    k.extend_from_slice(&d.consts);
+    for i in &d.insts {
+        k.push(((i.op as u64) << 32) | ((i.cls as u64) << 16) | i.spill as u64);
+        k.push(((i.d as u64) << 32) | i.a as u64);
+        k.push(i.b as u64);
+    }
+    k
+}
+
+fn prog_cache_get(key: &[u64]) -> Option<std::rc::Rc<CachedProg>> {
+    PROG_CACHE.with(|c| {
+        c.borrow().iter().find(|(k, _)| k.as_slice() == key).map(|(_, p)| p.clone())
+    })
+}
+
+fn prog_cache_put(key: Vec<u64>, prog: std::rc::Rc<CachedProg>) {
+    PROG_CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.len() >= PROG_CACHE_CAP {
+            c.clear();
+        }
+        c.push((key, prog));
+    });
+}
+
+fn enc(r: u32, uni: &[bool]) -> u32 {
+    if uni[r as usize] {
+        r | UB
+    } else {
+        r
+    }
+}
+
+fn make_sinst(i: &DInst, pc: u32, uni: &[bool]) -> SInst {
+    let scalar = def_of(i).is_some_and(|r| uni[r as usize]);
+    let (ra, rb) = reg_reads(i);
+    let a = match ra {
+        Some(r) => enc(r, uni),
+        None => i.a,
+    };
+    let b = match rb {
+        Some(r) => enc(r, uni),
+        None => i.b,
+    };
+    SInst { op: i.op, cls: i.cls, spill: i.spill, scalar, pc, d: i.d, a, b }
+}
+
+fn build_one(
+    d: &Decoded,
+    prof: &ProfileCounters,
+    hot: &[bool],
+    block_of: &[u32],
+    uni: &[bool],
+    entry: usize,
+    ctrs: &mut LocalCtrs,
+) -> Superblock {
+    let n = d.insts.len();
+    let mut steps = Vec::new();
+    let mut pc = entry;
+    let mut fused = 1u32;
+    loop {
+        let i = d.insts[pc];
+        if i.op == Op::Ret {
+            steps.push(Ctl::Ret { cls: i.cls, spill: i.spill });
+            break;
+        }
+        if i.op == Op::Bra {
+            let t = i.d as usize;
+            if t > pc && t < n && hot[block_of[t] as usize] && fused < MAX_FUSE {
+                steps.push(Ctl::Ghost { cls: i.cls, spill: i.spill });
+                ctrs.fused_blocks += 1;
+                fused += 1;
+                pc = t;
+                continue;
+            }
+            steps.push(Ctl::Exit { target: i.d, counted: true, cls: i.cls, spill: i.spill });
+            break;
+        }
+        if is_branch(i.op) {
+            let sense = i.op == Op::BraT;
+            let taken = i.d;
+            let fall = (pc + 1) as u32;
+            let cont_taken = prof.taken[pc] * 2 > prof.seen[pc];
+            let cont_pc = if cont_taken { taken as usize } else { pc + 1 };
+            let pred = enc(i.a, uni);
+            if cont_pc > pc && cont_pc < n && hot[block_of[cont_pc] as usize] && fused < MAX_FUSE
+            {
+                steps.push(Ctl::Br {
+                    pred,
+                    sense,
+                    taken,
+                    fall,
+                    cont: Some(cont_taken),
+                    cls: i.cls,
+                    spill: i.spill,
+                });
+                ctrs.fused_blocks += 1;
+                fused += 1;
+                pc = cont_pc;
+                continue;
+            }
+            steps.push(Ctl::Br { pred, sense, taken, fall, cont: None, cls: i.cls, spill: i.spill });
+            break;
+        }
+        let si = make_sinst(&i, pc as u32, uni);
+        if si.scalar {
+            ctrs.hoisted += 1;
+        }
+        steps.push(Ctl::Seq(si));
+        pc += 1;
+        if pc >= n {
+            steps.push(Ctl::Done);
+            break;
+        }
+        if prof.leader_block[pc] != 0 {
+            // Fall-through into a new block: keep fusing while hot.
+            if hot[block_of[pc] as usize] && fused < MAX_FUSE {
+                ctrs.fused_blocks += 1;
+                fused += 1;
+                continue;
+            }
+            steps.push(Ctl::Exit { target: pc as u32, counted: false, cls: 0, spill: 0 });
+            break;
+        }
+    }
+    Superblock { steps }
+}
+
+fn build(
+    d: &Decoded,
+    prof: &ProfileCounters,
+    block_of: &[u32],
+    thr: u64,
+    uni: &[bool],
+    ctrs: &mut LocalCtrs,
+) -> SbProgram {
+    let n = d.insts.len();
+    let hot: Vec<bool> = prof.counts.iter().map(|&c| c >= thr).collect();
+    ctrs.hot_blocks += hot.iter().filter(|&&h| h).count() as u64;
+    let mut prog = SbProgram { sbs: Vec::new(), at: vec![None; n] };
+    for pc0 in 0..n {
+        let b = prof.leader_block[pc0];
+        if b == 0 || !hot[b as usize - 1] {
+            continue;
+        }
+        let sb = build_one(d, prof, &hot, block_of, uni, pc0, ctrs);
+        prog.at[pc0] = Some(prog.sbs.len() as u32);
+        prog.sbs.push(sb);
+    }
+    ctrs.superblocks += prog.sbs.len() as u64;
+    prog
+}
+
+// ---------------------------------------------------------------------
+// Lockstep execution
+
+fn counts_of(seed: &ExecSeed) -> LaneCounts {
+    LaneCounts {
+        simple: seed.cnt[CLS_SIMPLE as usize],
+        int64: seed.cnt[CLS_INT64 as usize],
+        fp64: seed.cnt[CLS_FP64 as usize],
+        sfu: seed.cnt[CLS_SFU as usize],
+        spill_touches: seed.spill,
+    }
+}
+
+/// Execute one superinstruction: once on the scalar file if hoisted,
+/// else as a tight lane loop.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn exec_sinst(
+    si: &SInst,
+    u: &mut [u64],
+    v: &mut [u64],
+    lanes: usize,
+    ids: &[[u32; 6]; WARP_SIZE],
+    mem: &mut DeviceMemory,
+    warp: &mut WarpMerge,
+) -> Result<(), SimError> {
+    // Fetch an encoded operand's 32-lane column into a stack array:
+    // a memcpy for varying registers, a broadcast fill for uniform ones.
+    // The compute loops below then zip fixed-size slices, which elides
+    // per-element bounds checks and lets constant-propagated ALU ops
+    // auto-vectorize.
+    macro_rules! fetch {
+        ($e:expr, $buf:ident) => {{
+            let e = $e;
+            if e & UB != 0 {
+                $buf[..lanes].fill(u[(e & !UB) as usize]);
+            } else {
+                let b = e as usize * WARP_SIZE;
+                $buf[..lanes].copy_from_slice(&v[b..b + lanes]);
+            }
+        }};
+    }
+    macro_rules! vb {
+        ($o:expr, $t:expr) => {{
+            if si.scalar {
+                u[si.d as usize] = alu($o, $t, u[(si.a & !UB) as usize], u[(si.b & !UB) as usize]);
+            } else {
+                let mut xa = [0u64; WARP_SIZE];
+                let mut xb = [0u64; WARP_SIZE];
+                fetch!(si.a, xa);
+                fetch!(si.b, xb);
+                let db = si.d as usize * WARP_SIZE;
+                for ((o, &x), &y) in
+                    v[db..db + lanes].iter_mut().zip(&xa[..lanes]).zip(&xb[..lanes])
+                {
+                    *o = alu($o, $t, x, y);
+                }
+            }
+        }};
+    }
+    macro_rules! vcmp {
+        ($o:expr, $t:expr) => {{
+            if si.scalar {
+                u[si.d as usize] =
+                    u64::from(compare($o, $t, u[(si.a & !UB) as usize], u[(si.b & !UB) as usize]));
+            } else {
+                let mut xa = [0u64; WARP_SIZE];
+                let mut xb = [0u64; WARP_SIZE];
+                fetch!(si.a, xa);
+                fetch!(si.b, xb);
+                let db = si.d as usize * WARP_SIZE;
+                for ((o, &x), &y) in
+                    v[db..db + lanes].iter_mut().zip(&xa[..lanes]).zip(&xb[..lanes])
+                {
+                    *o = u64::from(compare($o, $t, x, y));
+                }
+            }
+        }};
+    }
+    macro_rules! vun {
+        ($f:expr) => {{
+            if si.scalar {
+                u[si.d as usize] = $f(u[(si.a & !UB) as usize]);
+            } else {
+                let mut xa = [0u64; WARP_SIZE];
+                fetch!(si.a, xa);
+                let db = si.d as usize * WARP_SIZE;
+                for (o, &x) in v[db..db + lanes].iter_mut().zip(&xa[..lanes]) {
+                    *o = $f(x);
+                }
+            }
+        }};
+    }
+    macro_rules! vmath {
+        ($o:expr, $t:expr) => {{
+            if si.scalar {
+                let y = if si.b == NO_REG { None } else { Some(u[(si.b & !UB) as usize]) };
+                u[si.d as usize] = math($o, $t, u[(si.a & !UB) as usize], y);
+            } else {
+                let mut xa = [0u64; WARP_SIZE];
+                fetch!(si.a, xa);
+                let db = si.d as usize * WARP_SIZE;
+                if si.b == NO_REG {
+                    for (o, &x) in v[db..db + lanes].iter_mut().zip(&xa[..lanes]) {
+                        *o = math($o, $t, x, None);
+                    }
+                } else {
+                    let mut xb = [0u64; WARP_SIZE];
+                    fetch!(si.b, xb);
+                    for ((o, &x), &y) in
+                        v[db..db + lanes].iter_mut().zip(&xa[..lanes]).zip(&xb[..lanes])
+                    {
+                        *o = math($o, $t, x, Some(y));
+                    }
+                }
+            }
+        }};
+    }
+    macro_rules! vid {
+        ($k:expr) => {{
+            if si.scalar {
+                u[si.d as usize] = ids[0][$k] as u64;
+            } else {
+                let db = si.d as usize * WARP_SIZE;
+                for (o, id) in v[db..db + lanes].iter_mut().zip(&ids[..lanes]) {
+                    *o = id[$k] as u64;
+                }
+            }
+        }};
+    }
+    macro_rules! vld {
+        ($bytes:expr, $ss:expr) => {{
+            if si.scalar {
+                // Uniform address: read once per warp, but every lane
+                // still logs the (identical) event so the transaction
+                // merge sees exactly the decoded engine's streams.
+                let addr = u[(si.a & !UB) as usize];
+                u[si.d as usize] = mem.read(addr, $bytes as u32)?;
+                let ev = MemEvent { inst: si.pc, addr, bytes: $bytes, space_store: $ss };
+                for l in 0..lanes {
+                    warp.log(l, ev);
+                }
+            } else {
+                let mut xa = [0u64; WARP_SIZE];
+                fetch!(si.a, xa);
+                let db = si.d as usize * WARP_SIZE;
+                for l in 0..lanes {
+                    let addr = xa[l];
+                    let x = mem.read(addr, $bytes as u32)?;
+                    v[db + l] = x;
+                    warp.log(l, MemEvent { inst: si.pc, addr, bytes: $bytes, space_store: $ss });
+                }
+            }
+        }};
+    }
+    macro_rules! vst {
+        ($bytes:expr, $ss:expr) => {{
+            let mut xa = [0u64; WARP_SIZE];
+            let mut xb = [0u64; WARP_SIZE];
+            fetch!(si.a, xa);
+            fetch!(si.b, xb);
+            for l in 0..lanes {
+                let addr = xa[l];
+                mem.write(addr, $bytes as u32, xb[l])?;
+                warp.log(l, MemEvent { inst: si.pc, addr, bytes: $bytes, space_store: $ss });
+            }
+        }};
+    }
+    macro_rules! vatom {
+        ($t:expr) => {{
+            let bytes = $t.size_bytes() as u8;
+            let mut xa = [0u64; WARP_SIZE];
+            let mut xb = [0u64; WARP_SIZE];
+            fetch!(si.a, xa);
+            fetch!(si.b, xb);
+            for l in 0..lanes {
+                let addr = xa[l];
+                let old = mem.read(addr, bytes as u32)?;
+                mem.write(addr, bytes as u32, atom_add($t, old, xb[l]))?;
+                warp.log(
+                    l,
+                    MemEvent {
+                        inst: si.pc,
+                        addr,
+                        bytes,
+                        space_store: SPACE_GLOBAL | FLAG_STORE | FLAG_ATOMIC,
+                    },
+                );
+            }
+        }};
+    }
+    match si.op {
+        Op::Ret | Op::Bra | Op::BraT | Op::BraF => unreachable!("control ops are Ctl steps"),
+        Op::Mov => vun!(|x: u64| x),
+        Op::Not => vun!(|x: u64| u64::from(x == 0)),
+        Op::TidX => vid!(0),
+        Op::TidY => vid!(1),
+        Op::TidZ => vid!(2),
+        Op::CtaX => vid!(3),
+        Op::CtaY => vid!(4),
+        Op::CtaZ => vid!(5),
+        Op::LdG1 => vld!(1, SPACE_GLOBAL),
+        Op::LdG4 => vld!(4, SPACE_GLOBAL),
+        Op::LdG8 => vld!(8, SPACE_GLOBAL),
+        Op::LdRo1 => vld!(1, SPACE_READONLY),
+        Op::LdRo4 => vld!(4, SPACE_READONLY),
+        Op::LdRo8 => vld!(8, SPACE_READONLY),
+        Op::LdLoc1 => vld!(1, SPACE_LOCAL),
+        Op::LdLoc4 => vld!(4, SPACE_LOCAL),
+        Op::LdLoc8 => vld!(8, SPACE_LOCAL),
+        Op::StG1 => vst!(1, SPACE_GLOBAL | FLAG_STORE),
+        Op::StG4 => vst!(4, SPACE_GLOBAL | FLAG_STORE),
+        Op::StG8 => vst!(8, SPACE_GLOBAL | FLAG_STORE),
+        Op::StRo1 => vst!(1, SPACE_READONLY | FLAG_STORE),
+        Op::StRo4 => vst!(4, SPACE_READONLY | FLAG_STORE),
+        Op::StRo8 => vst!(8, SPACE_READONLY | FLAG_STORE),
+        Op::StLoc1 => vst!(1, SPACE_LOCAL | FLAG_STORE),
+        Op::StLoc4 => vst!(4, SPACE_LOCAL | FLAG_STORE),
+        Op::StLoc8 => vst!(8, SPACE_LOCAL | FLAG_STORE),
+        Op::AtomB32 => vatom!(VType::B32),
+        Op::AtomB64 => vatom!(VType::B64),
+        Op::AtomF32 => vatom!(VType::F32),
+        Op::AtomF64 => vatom!(VType::F64),
+        Op::AtomPred => vatom!(VType::Pred),
+        Op::AddB32 => vb!(AluOp::Add, VType::B32),
+        Op::AddB64 => vb!(AluOp::Add, VType::B64),
+        Op::AddF32 => vb!(AluOp::Add, VType::F32),
+        Op::AddF64 => vb!(AluOp::Add, VType::F64),
+        Op::AddPred => vb!(AluOp::Add, VType::Pred),
+        Op::SubB32 => vb!(AluOp::Sub, VType::B32),
+        Op::SubB64 => vb!(AluOp::Sub, VType::B64),
+        Op::SubF32 => vb!(AluOp::Sub, VType::F32),
+        Op::SubF64 => vb!(AluOp::Sub, VType::F64),
+        Op::SubPred => vb!(AluOp::Sub, VType::Pred),
+        Op::MulB32 => vb!(AluOp::Mul, VType::B32),
+        Op::MulB64 => vb!(AluOp::Mul, VType::B64),
+        Op::MulF32 => vb!(AluOp::Mul, VType::F32),
+        Op::MulF64 => vb!(AluOp::Mul, VType::F64),
+        Op::MulPred => vb!(AluOp::Mul, VType::Pred),
+        Op::DivB32 => vb!(AluOp::Div, VType::B32),
+        Op::DivB64 => vb!(AluOp::Div, VType::B64),
+        Op::DivF32 => vb!(AluOp::Div, VType::F32),
+        Op::DivF64 => vb!(AluOp::Div, VType::F64),
+        Op::DivPred => vb!(AluOp::Div, VType::Pred),
+        Op::RemB32 => vb!(AluOp::Rem, VType::B32),
+        Op::RemB64 => vb!(AluOp::Rem, VType::B64),
+        Op::RemF32 => vb!(AluOp::Rem, VType::F32),
+        Op::RemF64 => vb!(AluOp::Rem, VType::F64),
+        Op::RemPred => vb!(AluOp::Rem, VType::Pred),
+        Op::MinB32 => vb!(AluOp::Min, VType::B32),
+        Op::MinB64 => vb!(AluOp::Min, VType::B64),
+        Op::MinF32 => vb!(AluOp::Min, VType::F32),
+        Op::MinF64 => vb!(AluOp::Min, VType::F64),
+        Op::MinPred => vb!(AluOp::Min, VType::Pred),
+        Op::MaxB32 => vb!(AluOp::Max, VType::B32),
+        Op::MaxB64 => vb!(AluOp::Max, VType::B64),
+        Op::MaxF32 => vb!(AluOp::Max, VType::F32),
+        Op::MaxF64 => vb!(AluOp::Max, VType::F64),
+        Op::MaxPred => vb!(AluOp::Max, VType::Pred),
+        Op::AndB32 => vb!(AluOp::And, VType::B32),
+        Op::AndB64 => vb!(AluOp::And, VType::B64),
+        Op::AndF32 => vb!(AluOp::And, VType::F32),
+        Op::AndF64 => vb!(AluOp::And, VType::F64),
+        Op::AndPred => vb!(AluOp::And, VType::Pred),
+        Op::OrB32 => vb!(AluOp::Or, VType::B32),
+        Op::OrB64 => vb!(AluOp::Or, VType::B64),
+        Op::OrF32 => vb!(AluOp::Or, VType::F32),
+        Op::OrF64 => vb!(AluOp::Or, VType::F64),
+        Op::OrPred => vb!(AluOp::Or, VType::Pred),
+        Op::XorB32 => vb!(AluOp::Xor, VType::B32),
+        Op::XorB64 => vb!(AluOp::Xor, VType::B64),
+        Op::XorF32 => vb!(AluOp::Xor, VType::F32),
+        Op::XorF64 => vb!(AluOp::Xor, VType::F64),
+        Op::XorPred => vb!(AluOp::Xor, VType::Pred),
+        Op::ShlB32 => vb!(AluOp::Shl, VType::B32),
+        Op::ShlB64 => vb!(AluOp::Shl, VType::B64),
+        Op::ShlF32 => vb!(AluOp::Shl, VType::F32),
+        Op::ShlF64 => vb!(AluOp::Shl, VType::F64),
+        Op::ShlPred => vb!(AluOp::Shl, VType::Pred),
+        Op::ShrB32 => vb!(AluOp::Shr, VType::B32),
+        Op::ShrB64 => vb!(AluOp::Shr, VType::B64),
+        Op::ShrF32 => vb!(AluOp::Shr, VType::F32),
+        Op::ShrF64 => vb!(AluOp::Shr, VType::F64),
+        Op::ShrPred => vb!(AluOp::Shr, VType::Pred),
+        Op::NegB32 => vun!(|x| neg(VType::B32, x)),
+        Op::NegB64 => vun!(|x| neg(VType::B64, x)),
+        Op::NegF32 => vun!(|x| neg(VType::F32, x)),
+        Op::NegF64 => vun!(|x| neg(VType::F64, x)),
+        Op::NegPred => vun!(|x| neg(VType::Pred, x)),
+        Op::SetpLtB32 => vcmp!(CmpOp::Lt, VType::B32),
+        Op::SetpLtB64 => vcmp!(CmpOp::Lt, VType::B64),
+        Op::SetpLtF32 => vcmp!(CmpOp::Lt, VType::F32),
+        Op::SetpLtF64 => vcmp!(CmpOp::Lt, VType::F64),
+        Op::SetpLtPred => vcmp!(CmpOp::Lt, VType::Pred),
+        Op::SetpLeB32 => vcmp!(CmpOp::Le, VType::B32),
+        Op::SetpLeB64 => vcmp!(CmpOp::Le, VType::B64),
+        Op::SetpLeF32 => vcmp!(CmpOp::Le, VType::F32),
+        Op::SetpLeF64 => vcmp!(CmpOp::Le, VType::F64),
+        Op::SetpLePred => vcmp!(CmpOp::Le, VType::Pred),
+        Op::SetpGtB32 => vcmp!(CmpOp::Gt, VType::B32),
+        Op::SetpGtB64 => vcmp!(CmpOp::Gt, VType::B64),
+        Op::SetpGtF32 => vcmp!(CmpOp::Gt, VType::F32),
+        Op::SetpGtF64 => vcmp!(CmpOp::Gt, VType::F64),
+        Op::SetpGtPred => vcmp!(CmpOp::Gt, VType::Pred),
+        Op::SetpGeB32 => vcmp!(CmpOp::Ge, VType::B32),
+        Op::SetpGeB64 => vcmp!(CmpOp::Ge, VType::B64),
+        Op::SetpGeF32 => vcmp!(CmpOp::Ge, VType::F32),
+        Op::SetpGeF64 => vcmp!(CmpOp::Ge, VType::F64),
+        Op::SetpGePred => vcmp!(CmpOp::Ge, VType::Pred),
+        Op::SetpEqB32 => vcmp!(CmpOp::Eq, VType::B32),
+        Op::SetpEqB64 => vcmp!(CmpOp::Eq, VType::B64),
+        Op::SetpEqF32 => vcmp!(CmpOp::Eq, VType::F32),
+        Op::SetpEqF64 => vcmp!(CmpOp::Eq, VType::F64),
+        Op::SetpEqPred => vcmp!(CmpOp::Eq, VType::Pred),
+        Op::SetpNeB32 => vcmp!(CmpOp::Ne, VType::B32),
+        Op::SetpNeB64 => vcmp!(CmpOp::Ne, VType::B64),
+        Op::SetpNeF32 => vcmp!(CmpOp::Ne, VType::F32),
+        Op::SetpNeF64 => vcmp!(CmpOp::Ne, VType::F64),
+        Op::SetpNePred => vcmp!(CmpOp::Ne, VType::Pred),
+        Op::CvtB32B32 => vun!(|x| convert(VType::B32, VType::B32, x)),
+        Op::CvtB64B32 => vun!(|x| convert(VType::B64, VType::B32, x)),
+        Op::CvtF32B32 => vun!(|x| convert(VType::F32, VType::B32, x)),
+        Op::CvtF64B32 => vun!(|x| convert(VType::F64, VType::B32, x)),
+        Op::CvtPredB32 => vun!(|x| convert(VType::Pred, VType::B32, x)),
+        Op::CvtB32B64 => vun!(|x| convert(VType::B32, VType::B64, x)),
+        Op::CvtB64B64 => vun!(|x| convert(VType::B64, VType::B64, x)),
+        Op::CvtF32B64 => vun!(|x| convert(VType::F32, VType::B64, x)),
+        Op::CvtF64B64 => vun!(|x| convert(VType::F64, VType::B64, x)),
+        Op::CvtPredB64 => vun!(|x| convert(VType::Pred, VType::B64, x)),
+        Op::CvtB32F32 => vun!(|x| convert(VType::B32, VType::F32, x)),
+        Op::CvtB64F32 => vun!(|x| convert(VType::B64, VType::F32, x)),
+        Op::CvtF32F32 => vun!(|x| convert(VType::F32, VType::F32, x)),
+        Op::CvtF64F32 => vun!(|x| convert(VType::F64, VType::F32, x)),
+        Op::CvtPredF32 => vun!(|x| convert(VType::Pred, VType::F32, x)),
+        Op::CvtB32F64 => vun!(|x| convert(VType::B32, VType::F64, x)),
+        Op::CvtB64F64 => vun!(|x| convert(VType::B64, VType::F64, x)),
+        Op::CvtF32F64 => vun!(|x| convert(VType::F32, VType::F64, x)),
+        Op::CvtF64F64 => vun!(|x| convert(VType::F64, VType::F64, x)),
+        Op::CvtPredF64 => vun!(|x| convert(VType::Pred, VType::F64, x)),
+        Op::CvtB32Pred => vun!(|x| convert(VType::B32, VType::Pred, x)),
+        Op::CvtB64Pred => vun!(|x| convert(VType::B64, VType::Pred, x)),
+        Op::CvtF32Pred => vun!(|x| convert(VType::F32, VType::Pred, x)),
+        Op::CvtF64Pred => vun!(|x| convert(VType::F64, VType::Pred, x)),
+        Op::CvtPredPred => vun!(|x| convert(VType::Pred, VType::Pred, x)),
+        Op::SqrtB32 => vmath!(MathOp::Sqrt, VType::B32),
+        Op::SqrtB64 => vmath!(MathOp::Sqrt, VType::B64),
+        Op::SqrtF32 => vmath!(MathOp::Sqrt, VType::F32),
+        Op::SqrtF64 => vmath!(MathOp::Sqrt, VType::F64),
+        Op::SqrtPred => vmath!(MathOp::Sqrt, VType::Pred),
+        Op::ExpB32 => vmath!(MathOp::Exp, VType::B32),
+        Op::ExpB64 => vmath!(MathOp::Exp, VType::B64),
+        Op::ExpF32 => vmath!(MathOp::Exp, VType::F32),
+        Op::ExpF64 => vmath!(MathOp::Exp, VType::F64),
+        Op::ExpPred => vmath!(MathOp::Exp, VType::Pred),
+        Op::LogB32 => vmath!(MathOp::Log, VType::B32),
+        Op::LogB64 => vmath!(MathOp::Log, VType::B64),
+        Op::LogF32 => vmath!(MathOp::Log, VType::F32),
+        Op::LogF64 => vmath!(MathOp::Log, VType::F64),
+        Op::LogPred => vmath!(MathOp::Log, VType::Pred),
+        Op::SinB32 => vmath!(MathOp::Sin, VType::B32),
+        Op::SinB64 => vmath!(MathOp::Sin, VType::B64),
+        Op::SinF32 => vmath!(MathOp::Sin, VType::F32),
+        Op::SinF64 => vmath!(MathOp::Sin, VType::F64),
+        Op::SinPred => vmath!(MathOp::Sin, VType::Pred),
+        Op::CosB32 => vmath!(MathOp::Cos, VType::B32),
+        Op::CosB64 => vmath!(MathOp::Cos, VType::B64),
+        Op::CosF32 => vmath!(MathOp::Cos, VType::F32),
+        Op::CosF64 => vmath!(MathOp::Cos, VType::F64),
+        Op::CosPred => vmath!(MathOp::Cos, VType::Pred),
+        Op::AbsB32 => vmath!(MathOp::Abs, VType::B32),
+        Op::AbsB64 => vmath!(MathOp::Abs, VType::B64),
+        Op::AbsF32 => vmath!(MathOp::Abs, VType::F32),
+        Op::AbsF64 => vmath!(MathOp::Abs, VType::F64),
+        Op::AbsPred => vmath!(MathOp::Abs, VType::Pred),
+        Op::FloorB32 => vmath!(MathOp::Floor, VType::B32),
+        Op::FloorB64 => vmath!(MathOp::Floor, VType::B64),
+        Op::FloorF32 => vmath!(MathOp::Floor, VType::F32),
+        Op::FloorF64 => vmath!(MathOp::Floor, VType::F64),
+        Op::FloorPred => vmath!(MathOp::Floor, VType::Pred),
+        Op::PowB32 => vmath!(MathOp::Pow, VType::B32),
+        Op::PowB64 => vmath!(MathOp::Pow, VType::B64),
+        Op::PowF32 => vmath!(MathOp::Pow, VType::F32),
+        Op::PowF64 => vmath!(MathOp::Pow, VType::F64),
+        Op::PowPred => vmath!(MathOp::Pow, VType::Pred),
+    }
+    Ok(())
+}
+
+/// Peel lanes `lo..hi` back to lane-major decoded execution: gather each
+/// lane's registers (scalar file for uniform classes, the lane's SoA
+/// column otherwise) into the dense per-thread file the decoded engine
+/// uses, then run each lane (in lane order) from its pc to completion,
+/// seeding the counters with the lockstep-common prefix. The dense
+/// layout keeps peeled execution at decoded-engine speed instead of
+/// striding the lane-major file.
+#[allow(clippy::too_many_arguments)]
+fn peel(
+    d: &Decoded,
+    kernel_name: &str,
+    ids: &[[u32; 6]; WARP_SIZE],
+    lo: usize,
+    hi: usize,
+    mem: &mut DeviceMemory,
+    u: &[u64],
+    v: &[u64],
+    dense: &mut [u64],
+    uni: &[bool],
+    warp: &mut WarpMerge,
+    lc: &mut [LaneCounts; WARP_SIZE],
+    ctrs: &mut LocalCtrs,
+    pcs: &[usize; WARP_SIZE],
+    seed: ExecSeed,
+) -> Result<(), SimError> {
+    ctrs.peels += 1;
+    for (lane, lcl) in lc.iter_mut().enumerate().take(hi).skip(lo) {
+        for r in 0..d.n_vregs {
+            dense[r] = if uni[r] { u[r] } else { v[r * WARP_SIZE + lane] };
+        }
+        *lcl = crate::decode::run_lane::<false, false>(
+            d,
+            kernel_name,
+            ids[lane],
+            mem,
+            dense,
+            lane,
+            warp,
+            pcs[lane],
+            false,
+            seed,
+            None,
+        )?;
+    }
+    Ok(())
+}
+
+/// Run one warp in lockstep over the superblock program, peeling to
+/// lane-major on divergence or on reaching a cold region.
+#[allow(clippy::too_many_arguments)]
+fn run_warp(
+    d: &Decoded,
+    prog: &SbProgram,
+    kernel_name: &str,
+    ids: &[[u32; 6]; WARP_SIZE],
+    lanes: usize,
+    mem: &mut DeviceMemory,
+    u: &mut [u64],
+    v: &mut [u64],
+    dense: &mut [u64],
+    uni: &[bool],
+    warp: &mut WarpMerge,
+    lc: &mut [LaneCounts; WARP_SIZE],
+    ctrs: &mut LocalCtrs,
+) -> Result<(), SimError> {
+    // Cold-start fast path: if the entry block never got hot, the whole
+    // warp runs lane-major from scratch — exactly the decoded engine,
+    // with no SoA zero-fill or register gathering.
+    if prog.at.first().is_none_or(|e| e.is_none()) {
+        ctrs.peels += 1;
+        for (lane, lcl) in lc.iter_mut().enumerate().take(lanes) {
+            *lcl = crate::decode::run_lane::<false, false>(
+                d,
+                kernel_name,
+                ids[lane],
+                mem,
+                dense,
+                lane,
+                warp,
+                0,
+                true,
+                ExecSeed::default(),
+                None,
+            )?;
+        }
+        return Ok(());
+    }
+    v[..d.n_vregs * WARP_SIZE].fill(0);
+    u[..d.n_vregs].fill(0);
+    let mut lanes = lanes;
+    let mut pc = 0usize;
+    let mut seed = ExecSeed::default();
+    macro_rules! tally {
+        ($cls:expr, $spill:expr) => {{
+            seed.executed += 1;
+            seed.cnt[($cls & 7) as usize] += 1;
+            seed.spill += $spill as u64;
+        }};
+    }
+    'dispatch: loop {
+        if pc >= prog.at.len() {
+            // Fell off the end: implicit return.
+            for lcl in lc.iter_mut().take(lanes) {
+                *lcl = counts_of(&seed);
+            }
+            return Ok(());
+        }
+        if seed.executed > MAX_INSTS_PER_THREAD {
+            return Err(SimError::Runaway { kernel: kernel_name.to_string() });
+        }
+        let Some(sbi) = prog.at[pc] else {
+            // Cold region: peel every active lane here.
+            return peel(
+                d, kernel_name, ids, 0, lanes, mem, u, v, dense, uni, warp, lc, ctrs,
+                &[pc; WARP_SIZE], seed,
+            );
+        };
+        for step in &prog.sbs[sbi as usize].steps {
+            match step {
+                Ctl::Seq(si) => {
+                    tally!(si.cls, si.spill);
+                    if si.scalar {
+                        ctrs.scalar_execs += 1;
+                    } else {
+                        ctrs.vector_execs += 1;
+                    }
+                    exec_sinst(si, u, v, lanes, ids, mem, warp)?;
+                }
+                Ctl::Ghost { cls, spill } => tally!(*cls, *spill),
+                Ctl::Br { pred, sense, taken, fall, cont, cls, spill } => {
+                    tally!(*cls, *spill);
+                    let dir;
+                    if pred & UB != 0 {
+                        dir = (u[(pred & !UB) as usize] != 0) == *sense;
+                    } else {
+                        let base = *pred as usize * WARP_SIZE;
+                        let mut tk = [false; WARP_SIZE];
+                        let mut n_taken = 0usize;
+                        for (l, t) in tk.iter_mut().enumerate().take(lanes) {
+                            *t = (v[base + l] != 0) == *sense;
+                            n_taken += *t as usize;
+                        }
+                        if n_taken != 0 && n_taken != lanes {
+                            // Range-guard divergence: when the outcomes
+                            // split into a contiguous prefix and suffix
+                            // (the classic `i < n` bounds guard against a
+                            // partially-full warp), peel only the suffix
+                            // lanes to completion and keep the prefix in
+                            // lockstep with a shortened warp. Decoded runs
+                            // lanes independently, so any lane partition
+                            // preserves its observable behavior.
+                            let mut m = 1;
+                            while m < lanes && tk[m] == tk[0] {
+                                m += 1;
+                            }
+                            if tk[m..lanes].iter().all(|&t| t == tk[m]) {
+                                let sfx =
+                                    if tk[m] { *taken as usize } else { *fall as usize };
+                                peel(
+                                    d, kernel_name, ids, m, lanes, mem, u, v, dense, uni,
+                                    warp, lc, ctrs, &[sfx; WARP_SIZE], seed,
+                                )?;
+                                lanes = m;
+                                let dir = tk[0];
+                                if *cont == Some(dir) {
+                                    continue;
+                                }
+                                pc = if dir { *taken as usize } else { *fall as usize };
+                                continue 'dispatch;
+                            }
+                            // Irregular divergence: peel every lane with
+                            // its own continuation pc.
+                            let mut pcs = [0usize; WARP_SIZE];
+                            for l in 0..lanes {
+                                pcs[l] = if tk[l] { *taken as usize } else { *fall as usize };
+                            }
+                            return peel(
+                                d, kernel_name, ids, 0, lanes, mem, u, v, dense, uni, warp, lc,
+                                ctrs, &pcs, seed,
+                            );
+                        }
+                        dir = n_taken == lanes;
+                    }
+                    if *cont == Some(dir) {
+                        continue;
+                    }
+                    pc = if dir { *taken as usize } else { *fall as usize };
+                    continue 'dispatch;
+                }
+                Ctl::Exit { target, counted, cls, spill } => {
+                    if *counted {
+                        tally!(*cls, *spill);
+                    }
+                    pc = *target as usize;
+                    continue 'dispatch;
+                }
+                Ctl::Ret { cls, spill } => {
+                    tally!(*cls, *spill);
+                    for lcl in lc.iter_mut().take(lanes) {
+                        *lcl = counts_of(&seed);
+                    }
+                    return Ok(());
+                }
+                Ctl::Done => {
+                    for lcl in lc.iter_mut().take(lanes) {
+                        *lcl = counts_of(&seed);
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        unreachable!("superblock must end with a control step");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Launch
+
+/// Execute a kernel launch on the superblock engine. Public entry is
+/// [`crate::interp::launch`] with [`crate::interp::Engine::Superblock`]
+/// selected.
+pub(crate) fn launch_superblock(
+    kernel: &KernelVir,
+    config: &LaunchConfig,
+    params: &[ParamVal],
+    mem: &mut DeviceMemory,
+    spilled: &[VReg],
+) -> Result<LaunchResult, SimError> {
+    let mut ctrs = LocalCtrs { launches: 1, ..LocalCtrs::default() };
+    let r = launch_inner(kernel, config, params, mem, spilled, &mut ctrs);
+    ctrs.flush();
+    r
+}
+
+fn launch_inner(
+    kernel: &KernelVir,
+    config: &LaunchConfig,
+    params: &[ParamVal],
+    mem: &mut DeviceMemory,
+    spilled: &[VReg],
+    ctrs: &mut LocalCtrs,
+) -> Result<LaunchResult, SimError> {
+    let thr = threshold();
+    if thr == u64::MAX {
+        ctrs.delegated += 1;
+        return launch_decoded(kernel, config, params, mem, spilled);
+    }
+    if params.len() != kernel.params.len() {
+        return Err(SimError::Malformed(format!(
+            "kernel `{}` expects {} params, got {}",
+            kernel.name,
+            kernel.params.len(),
+            params.len()
+        )));
+    }
+    let d = decode(kernel, config, params, spilled)?;
+    if atomics_in_loops(&d) {
+        ctrs.delegated += 1;
+        return launch_decoded(kernel, config, params, mem, spilled);
+    }
+
+    let n_regs = d.n_vregs + d.consts.len();
+    let key = prog_key(&d, thr);
+    let mut current: Option<std::rc::Rc<CachedProg>> = prog_cache_get(&key);
+    // Profiling state, materialized only on a cache miss.
+    let mut prof_state: Option<(ProfileCounters, Vec<u32>)> = if current.is_none() {
+        let (leader_block, block_of, n_blocks) = find_blocks(&d);
+        Some((
+            ProfileCounters {
+                leader_block,
+                counts: vec![0; n_blocks],
+                taken: vec![0; d.insts.len()],
+                seen: vec![0; d.insts.len()],
+            },
+            block_of,
+        ))
+    } else {
+        None
+    };
+
+    let tpb = config.threads_per_block();
+    let mut stats = KernelStats::default();
+    let mut warp = WarpMerge::new();
+    let mut lane_counts = [LaneCounts::default(); WARP_SIZE];
+
+    // Lane-major (SoA) register file for the lockstep path: column
+    // `lane` of register `r` at `r * 32 + lane`. Constants never live
+    // here — they are always uniform, so lockstep reads them from the
+    // scalar file.
+    let mut v = vec![0u64; d.n_vregs * WARP_SIZE];
+    // Scalar (warp-uniform) file; constants live past the vregs.
+    let mut u = vec![0u64; n_regs];
+    u[d.n_vregs..].copy_from_slice(&d.consts);
+    // Dense per-thread file for the lane-major paths (profile warps and
+    // peels) — the decoded engine's exact layout, so those paths run at
+    // decoded speed. Constants occupy the tail once.
+    let mut dense = vec![0u64; n_regs];
+    dense[d.n_vregs..].copy_from_slice(&d.consts);
+
+    let mut profiled = 0u64;
+    let mut ids = [[0u32; 6]; WARP_SIZE];
+
+    for bz in 0..config.grid.2 {
+        for by in 0..config.grid.1 {
+            for bx in 0..config.grid.0 {
+                let mut linear = 0u32;
+                while linear < tpb {
+                    let lanes = (tpb - linear).min(WARP_SIZE as u32) as usize;
+                    warp.begin_warp();
+                    for (lane, id) in ids.iter_mut().enumerate().take(lanes) {
+                        let t = linear + lane as u32;
+                        let tx = t % config.block.0;
+                        let ty = (t / config.block.0) % config.block.1;
+                        let tz = t / (config.block.0 * config.block.1);
+                        *id = [tx, ty, tz, bx, by, bz];
+                    }
+                    if let Some(cp) = &current {
+                        run_warp(
+                            &d,
+                            &cp.prog,
+                            &kernel.name,
+                            &ids,
+                            lanes,
+                            mem,
+                            &mut u,
+                            &mut v,
+                            &mut dense,
+                            &cp.uni,
+                            &mut warp,
+                            &mut lane_counts,
+                            ctrs,
+                        )?;
+                    } else {
+                        // Profiling phase: instrumented lane-major runs
+                        // on the dense file (decoded layout + counters).
+                        let (prof, block_of) = prof_state.as_mut().expect("profiling state");
+                        for lane in 0..lanes {
+                            lane_counts[lane] = crate::decode::run_lane::<false, true>(
+                                &d,
+                                &kernel.name,
+                                ids[lane],
+                                mem,
+                                &mut dense,
+                                lane,
+                                &mut warp,
+                                0,
+                                true,
+                                ExecSeed::default(),
+                                Some(prof),
+                            )?;
+                        }
+                        profiled += 1;
+                        if profiled >= PROFILE_WARPS {
+                            let uni = classify(&d);
+                            let prog = build(&d, prof, block_of, thr, &uni, ctrs);
+                            let cp = std::rc::Rc::new(CachedProg { uni, prog });
+                            prog_cache_put(key.clone(), cp.clone());
+                            current = Some(cp);
+                        }
+                    }
+                    let mut wc = LaneCounts::default();
+                    for lcl in &lane_counts[..lanes] {
+                        wc.max_with(lcl);
+                    }
+                    stats.simple_insts += wc.simple;
+                    stats.int64_insts += wc.int64;
+                    stats.fp64_insts += wc.fp64;
+                    stats.sfu_insts += wc.sfu;
+                    stats.local_accesses += wc.spill_touches;
+                    warp.merge(lanes, &mut stats);
+                    stats.warps += 1;
+                    stats.threads += lanes as u64;
+                    linear += lanes as u32;
+                }
+            }
+        }
+    }
+    Ok(LaunchResult { stats })
+}

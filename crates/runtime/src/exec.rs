@@ -255,6 +255,14 @@ fn run_function_impl(
             });
         }
 
+        // Snapshot the superblock engine's fusion counters so the span
+        // can carry this launch's deltas. The counters are process-wide,
+        // so concurrent launches on other threads can inflate a delta —
+        // they are observability, not an exact accounting.
+        let engine = safara_gpusim::interp::current_engine();
+        let fusion_before = (tracer.is_enabled()
+            && engine == safara_gpusim::interp::Engine::Superblock)
+            .then(safara_gpusim::superblock::fusion_counters);
         let (result, cache_note) = match &mut cache {
             CacheRef::None => {
                 (launch(&kernel.vir, &config, &params, &mut mem, &alloc.spilled), "uncached")
@@ -273,6 +281,17 @@ fn run_function_impl(
             }
         };
         tracer.meta_str("cache", cache_note);
+        tracer.meta_str("engine", engine.name());
+        if let Some(before) = fusion_before {
+            let fc = safara_gpusim::superblock::fusion_counters();
+            tracer.meta_int("sb_hot_blocks", (fc.hot_blocks - before.hot_blocks) as i64);
+            tracer.meta_int("sb_superblocks", (fc.superblocks - before.superblocks) as i64);
+            tracer.meta_int("sb_fused_blocks", (fc.fused_blocks - before.fused_blocks) as i64);
+            tracer.meta_int("sb_hoisted", (fc.hoisted - before.hoisted) as i64);
+            tracer.meta_int("sb_scalar_execs", (fc.scalar_execs - before.scalar_execs) as i64);
+            tracer.meta_int("sb_vector_execs", (fc.vector_execs - before.vector_execs) as i64);
+            tracer.meta_int("sb_peels", (fc.peels - before.peels) as i64);
+        }
         let result = match result {
             Ok(r) => r,
             Err(e) => {

@@ -137,7 +137,7 @@ fn run_stdin(config: EngineConfig) {
                             immediate.push((pending.len(), response));
                             break;
                         }
-                        req = request;
+                        req = *request;
                         std::thread::sleep(std::time::Duration::from_millis(5));
                     }
                 }

@@ -121,6 +121,11 @@ pub struct RunRequest {
     /// Return full post-run array contents (bits encoding), not just
     /// digests.
     pub return_arrays: bool,
+    /// Per-request simulator engine override (`"engine"` field:
+    /// `reference`, `decoded`, or `superblock`). `None` keeps the
+    /// server's default engine. Unknown names fail with the typed
+    /// `invalid_engine` error.
+    pub engine: Option<String>,
 }
 
 /// Parse one request line.
@@ -156,6 +161,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             profile: required_str(&v, "profile")?,
             args: parse_args(&v)?,
             return_arrays: v.get("return_arrays").and_then(Json::as_bool).unwrap_or(false),
+            engine: match v.get("engine") {
+                None | Some(Json::Null) => None,
+                Some(t) => {
+                    Some(t.as_str().ok_or("`engine` must be a string")?.to_string())
+                }
+            },
         }),
         "shutdown" => Op::Shutdown,
         other => return Err(format!("unknown op `{other}`")),
@@ -351,6 +362,23 @@ pub fn build_run_request_v(
     args: &Args,
     return_arrays: bool,
 ) -> String {
+    build_run_request_with_engine(v, id, source, entry, profile, None, args, return_arrays)
+}
+
+/// [`build_run_request_v`] with an optional per-request simulator engine
+/// override. `engine: None` omits the field, keeping the line
+/// byte-identical to the engine-less builders.
+#[allow(clippy::too_many_arguments)]
+pub fn build_run_request_with_engine(
+    v: u8,
+    id: i64,
+    source: &str,
+    entry: &str,
+    profile: &str,
+    engine: Option<&str>,
+    args: &Args,
+    return_arrays: bool,
+) -> String {
     let scalars = Json::Obj(
         args.scalars
             .iter()
@@ -380,6 +408,9 @@ pub fn build_run_request_v(
         ("arrays", arrays),
         ("return_arrays", Json::Bool(return_arrays)),
     ]);
+    if let Some(e) = engine {
+        fields.push(("engine", Json::Str(e.into())));
+    }
     obj(fields).dump()
 }
 
@@ -438,6 +469,18 @@ impl WireError {
     /// An unknown compiler-profile key.
     pub fn unknown_profile(message: String) -> WireError {
         WireError { code: "unknown_profile", message, phase: None, retryable: false }
+    }
+
+    /// An unknown simulator-engine name in a run request.
+    pub fn invalid_engine(name: &str) -> WireError {
+        WireError {
+            code: "invalid_engine",
+            message: format!(
+                "unknown engine `{name}` (expected one of: reference, decoded, superblock)"
+            ),
+            phase: None,
+            retryable: false,
+        }
     }
 
     /// An unexpected server-side failure (worker panic, poisoned state).
@@ -889,6 +932,25 @@ mod tests {
             t2.get("error").and_then(|e| e.get("retryable")).and_then(Json::as_bool),
             Some(true)
         );
+    }
+
+    #[test]
+    fn engine_field_parses_and_roundtrips() {
+        let line = build_run_request_with_engine(
+            2, 1, "s", "e", "base", Some("superblock"), &Args::new(), false,
+        );
+        let Op::Run(r) = parse_request(&line).unwrap().op else { panic!() };
+        assert_eq!(r.engine.as_deref(), Some("superblock"));
+        // Engine-less builders stay byte-identical to the legacy shape
+        // and parse to no override.
+        let plain = build_run_request(1, "s", "e", "base", &Args::new(), false);
+        assert!(!plain.contains("\"engine\""));
+        let Op::Run(r) = parse_request(&plain).unwrap().op else { panic!() };
+        assert_eq!(r.engine, None);
+        assert!(parse_request(
+            r#"{"op":"run","source":"s","entry":"e","profile":"base","engine":7}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -148,7 +148,7 @@ impl Metrics {
 
 /// Error codes the engine tallies per response (`stats` →
 /// `errors_by_code`): the pipeline codes plus the server-level ones.
-pub const ERROR_CODES: [&str; 11] = [
+pub const ERROR_CODES: [&str; 12] = [
     "parse",
     "sema",
     "analysis",
@@ -158,6 +158,7 @@ pub const ERROR_CODES: [&str; 11] = [
     "internal",
     "bad_request",
     "unknown_profile",
+    "invalid_engine",
     "breaker_open",
     "shed",
 ];
@@ -396,8 +397,9 @@ pub enum Submit {
     /// wait, like stdin batch mode, may retry) together with the
     /// ready-made `overloaded`/`shutting_down` response line.
     Rejected {
-        /// The request admission control refused.
-        request: Request,
+        /// The request admission control refused (boxed: requests embed
+        /// full argument payloads and would dominate the enum's size).
+        request: Box<Request>,
         /// The response line to send if the caller does not retry.
         response: String,
     },
@@ -508,7 +510,7 @@ impl Engine {
                 self.shared.breaker_rejections.fetch_add(1, Ordering::Relaxed);
                 let err = WireError::breaker_open(key);
                 self.shared.record_error(&err);
-                return Submit::Rejected { response: error_line_v(v, id, &err), request };
+                return Submit::Rejected { response: error_line_v(v, id, &err), request: Box::new(request) };
             }
         }
         // Load shedding: refuse retryable work early, below the hard
@@ -517,7 +519,10 @@ impl Engine {
             self.shared.shed.fetch_add(1, Ordering::Relaxed);
             self.shared.rejected_overload.fetch_add(1, Ordering::Relaxed);
             let err = WireError::shed("queue past the shed watermark; retry with backoff");
-            return Submit::Rejected { response: failure_line(v, id, "overloaded", &err), request };
+            return Submit::Rejected {
+                response: failure_line(v, id, "overloaded", &err),
+                request: Box::new(request),
+            };
         }
         let timeout =
             Duration::from_millis(request.timeout_ms.unwrap_or(self.default_timeout_ms));
@@ -530,13 +535,13 @@ impl Engine {
                 self.shared.rejected_overload.fetch_add(1, Ordering::Relaxed);
                 let err = WireError::shed("queue full");
                 let response = failure_line(v, job.request.id, "overloaded", &err);
-                Submit::Rejected { request: job.request, response }
+                Submit::Rejected { request: Box::new(job.request), response }
             }
             Err(PushError::Closed(job)) => {
                 self.shared.shed.fetch_add(1, Ordering::Relaxed);
                 let err = WireError::shutting_down();
                 let response = failure_line(v, job.request.id, "shutting_down", &err);
-                Submit::Rejected { request: job.request, response }
+                Submit::Rejected { request: Box::new(job.request), response }
             }
         }
     }
@@ -623,6 +628,21 @@ fn stats_line_for(shared: &EngineShared, queue_len: usize, id: Option<i64>) -> S
                 .map(|(code, n)| (code.to_string(), Json::Int(n as i64)))
                 .collect(),
         ),
+    ));
+    let fc = safara_core::gpusim::fusion_counters();
+    fields.push((
+        "fusion".into(),
+        obj(vec![
+            ("launches", Json::Int(fc.launches as i64)),
+            ("delegated", Json::Int(fc.delegated as i64)),
+            ("hot_blocks", Json::Int(fc.hot_blocks as i64)),
+            ("superblocks", Json::Int(fc.superblocks as i64)),
+            ("fused_blocks", Json::Int(fc.fused_blocks as i64)),
+            ("hoisted", Json::Int(fc.hoisted as i64)),
+            ("scalar_execs", Json::Int(fc.scalar_execs as i64)),
+            ("vector_execs", Json::Int(fc.vector_execs as i64)),
+            ("peels", Json::Int(fc.peels as i64)),
+        ]),
     ));
     fields.push((
         "breaker".into(),
@@ -763,6 +783,28 @@ fn worker_loop(
     }
 }
 
+/// Resolve a run request's optional engine override to a simulator
+/// engine, or the typed `invalid_engine` failure.
+fn resolve_engine(
+    name: Option<&str>,
+) -> Result<Option<safara_core::gpusim::Engine>, WireError> {
+    match name {
+        None => Ok(None),
+        Some(n) => safara_core::gpusim::Engine::parse(n)
+            .map(Some)
+            .ok_or_else(|| WireError::invalid_engine(n)),
+    }
+}
+
+/// Run `f` under a scoped engine override, or directly when the request
+/// did not ask for one.
+fn with_engine_opt<T>(engine: Option<safara_core::gpusim::Engine>, f: impl FnOnce() -> T) -> T {
+    match engine {
+        Some(e) => safara_core::gpusim::with_engine(e, f),
+        None => f(),
+    }
+}
+
 fn execute(
     shared: &EngineShared,
     queue: &Bounded<Job>,
@@ -841,15 +883,21 @@ fn execute(
             if Instant::now() > deadline {
                 return ExecOutcome::DeadlineExceeded;
             }
+            let engine = match resolve_engine(r.engine.as_deref()) {
+                Ok(e) => e,
+                Err(e) => return ExecOutcome::Fail(e),
+            };
             let mut args = r.args.clone();
-            let outcome = safara_core::run_compiled_traced(
-                &program,
-                &r.entry,
-                &mut args,
-                &DeviceConfig::k20xm(),
-                Some(&shared.cache),
-                &mut tracer,
-            );
+            let outcome = with_engine_opt(engine, || {
+                safara_core::run_compiled_traced(
+                    &program,
+                    &r.entry,
+                    &mut args,
+                    &DeviceConfig::k20xm(),
+                    Some(&shared.cache),
+                    &mut tracer,
+                )
+            });
             let outcome = match outcome {
                 Ok(o) => o,
                 Err(e) => return ExecOutcome::Fail(WireError::from_compile(&e)),
@@ -883,15 +931,21 @@ fn execute(
             if let Some(FaultAction::Poison) = fault(shared, InjectionPoint::CacheRead) {
                 shared.cache.poison_one();
             }
+            let engine = match resolve_engine(r.engine.as_deref()) {
+                Ok(e) => e,
+                Err(e) => return ExecOutcome::Fail(e),
+            };
             let mut args = r.args.clone();
-            let outcome = safara_core::run_compiled_with_faults(
-                &program,
-                &r.entry,
-                &mut args,
-                &DeviceConfig::k20xm(),
-                Some(&shared.cache),
-                &shared.faults,
-            );
+            let outcome = with_engine_opt(engine, || {
+                safara_core::run_compiled_with_faults(
+                    &program,
+                    &r.entry,
+                    &mut args,
+                    &DeviceConfig::k20xm(),
+                    Some(&shared.cache),
+                    &shared.faults,
+                )
+            });
             let outcome = match outcome {
                 Ok(o) => o,
                 Err(e) => return ExecOutcome::Fail(WireError::from_compile(&e)),
@@ -1099,6 +1153,80 @@ mod tests {
         // The outcome counters still balance: the request completed,
         // only its delivery failed.
         assert_eq!(shared.completed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn engine_override_runs_identically_and_rejects_unknown_names() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 8,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let src = "void axpy(int n, float alpha, const float x[n], float y[n]) {\
+                   #pragma acc kernels copyin(x) copy(y)\n{\
+                   #pragma acc loop gang vector\n\
+                   for (int i = 0; i < n; i++) { y[i] = y[i] + alpha * x[i]; } } }";
+        let args = safara_core::Args::new()
+            .i32("n", 64)
+            .f32("alpha", 2.0)
+            .array_f32("x", &[1.5; 64])
+            .array_f32("y", &[0.25; 64]);
+        // Superblock goes first, against a cold launch cache, so the
+        // request genuinely exercises the engine rather than replaying a
+        // memoized result.
+        let mut digests = Vec::new();
+        for (id, eng) in
+            [(1, Some("superblock")), (2, Some("decoded")), (3, Some("reference")), (4, None)]
+        {
+            let line = protocol::build_run_request_with_engine(
+                2,
+                id,
+                src,
+                "axpy",
+                "safara_only",
+                eng,
+                &args,
+                false,
+            );
+            assert!(submit_line(&engine, &line, &tx).is_none());
+            let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(status_of(&resp), "ok", "{resp}");
+            let v = Json::parse(&resp).unwrap();
+            digests.push(v.get("digests").expect("digests").dump());
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "per-engine digests must match: {digests:?}"
+        );
+        // Unknown engine name: typed v2 failure, not retryable, tallied
+        // under its own code.
+        let bad = protocol::build_run_request_with_engine(
+            2,
+            9,
+            src,
+            "axpy",
+            "safara_only",
+            Some("warp9"),
+            &args,
+            false,
+        );
+        assert!(submit_line(&engine, &bad, &tx).is_none());
+        let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(status_of(&resp), "error");
+        let e = Json::parse(&resp).unwrap();
+        let e = e.get("error").expect("v2 error object");
+        assert_eq!(e.get("code").and_then(Json::as_str), Some("invalid_engine"));
+        assert_eq!(e.get("retryable").and_then(Json::as_bool), Some(false));
+        assert_eq!(engine.shared().errors_by_code.get("invalid_engine"), 1);
+        // `stats` reports the process-wide fusion counters, and the
+        // superblock request above moved them.
+        assert!(submit_line(&engine, r#"{"id":10,"op":"stats"}"#, &tx).is_none());
+        let stats = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let v = Json::parse(&stats).unwrap();
+        let fusion = v.get("fusion").expect("fusion block");
+        assert!(fusion.get("launches").and_then(Json::as_i64).unwrap() >= 1, "{stats}");
+        engine.shutdown();
     }
 
     #[test]

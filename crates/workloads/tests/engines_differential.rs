@@ -1,0 +1,128 @@
+//! Three-way engine differential coverage: the fig7 (SPEC-like) suite
+//! must behave *identically* — reports, output buffers, checker verdicts
+//! and injected-fault errors — under the reference tree-walker, the
+//! decoded engine, and the profile-guided superblock engine.
+//!
+//! The engine is selected through the thread-local
+//! [`gpusim::with_engine`] scope, so these tests are safe under the
+//! parallel test runner; the one piece of process-global state the
+//! suite mutates (the superblock hot threshold) is serialized by
+//! `THRESHOLD_LOCK`.
+
+use safara_core::chaos::{FaultPlan, FaultSpec};
+use safara_core::gpusim::{
+    self, fusion_counters, set_superblock_threshold, Engine, DEFAULT_SUPERBLOCK_THRESHOLD,
+};
+use safara_core::{compile, compile_and_run_with_faults, CompilerConfig, DeviceConfig};
+use safara_workloads::{spec_suite, Scale, Workload};
+use std::sync::Mutex;
+
+static THRESHOLD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Compile + run + check one workload, returning everything observable:
+/// the run report, the final host arrays, and the checker verdict.
+fn observe(
+    w: &dyn Workload,
+    engine: Engine,
+) -> (safara_core::RunReport, safara_core::Args, Result<(), String>) {
+    gpusim::with_engine(engine, || {
+        let config = CompilerConfig::safara_clauses();
+        let dev = DeviceConfig::k20xm();
+        let program = compile(&w.source(), &config).expect("compile");
+        let mut args = w.args(Scale::Test);
+        let report = program.run(w.entry(), &mut args, &dev).expect("run");
+        let verdict = w.check(&args, Scale::Test);
+        (report, args, verdict)
+    })
+}
+
+#[test]
+fn fig7_suite_byte_identical_across_engines() {
+    let _g = THRESHOLD_LOCK.lock().unwrap();
+    set_superblock_threshold(DEFAULT_SUPERBLOCK_THRESHOLD);
+    let before = fusion_counters();
+    for w in spec_suite() {
+        let (rep_ref, args_ref, chk_ref) = observe(w.as_ref(), Engine::Reference);
+        let (rep_dec, args_dec, chk_dec) = observe(w.as_ref(), Engine::Decoded);
+        let (rep_sb, args_sb, chk_sb) = observe(w.as_ref(), Engine::Superblock);
+        assert!(chk_ref.is_ok(), "{}: reference checker: {chk_ref:?}", w.name());
+        assert_eq!(chk_ref, chk_dec, "{}: checker verdict ref vs decoded", w.name());
+        assert_eq!(chk_ref, chk_sb, "{}: checker verdict ref vs superblock", w.name());
+        assert_eq!(rep_ref, rep_dec, "{}: RunReport reference vs decoded", w.name());
+        assert_eq!(rep_dec, rep_sb, "{}: RunReport decoded vs superblock", w.name());
+        assert_eq!(args_ref, args_dec, "{}: output buffers reference vs decoded", w.name());
+        assert_eq!(args_dec, args_sb, "{}: output buffers decoded vs superblock", w.name());
+    }
+    // The identity above must come from the real fused path, not from
+    // wholesale delegation: the sweep must have built superblocks and
+    // executed lane-vectorized superinstructions.
+    let after = fusion_counters();
+    assert!(after.launches > before.launches, "superblock engine never entered");
+    assert!(after.superblocks > before.superblocks, "no superblocks were built");
+    assert!(after.vector_execs > before.vector_execs, "no lockstep superinstructions ran");
+    assert!(after.scalar_execs > before.scalar_execs, "no hoisted superinstructions ran");
+}
+
+/// With the hot threshold at infinity the superblock engine must take
+/// the decoded code path wholesale — identical reports and buffers, and
+/// zero profiling overhead observable in behavior.
+#[test]
+fn threshold_inf_is_behaviorally_decoded() {
+    let _g = THRESHOLD_LOCK.lock().unwrap();
+    set_superblock_threshold(u64::MAX);
+    for w in spec_suite().into_iter().take(3) {
+        let (rep_dec, args_dec, chk_dec) = observe(w.as_ref(), Engine::Decoded);
+        let (rep_sb, args_sb, chk_sb) = observe(w.as_ref(), Engine::Superblock);
+        assert_eq!(chk_dec, chk_sb, "{}: checker verdict", w.name());
+        assert_eq!(rep_dec, rep_sb, "{}: RunReport", w.name());
+        assert_eq!(args_dec, args_sb, "{}: output buffers", w.name());
+    }
+    set_superblock_threshold(DEFAULT_SUPERBLOCK_THRESHOLD);
+}
+
+/// Injected faults must surface the same typed error no matter which
+/// engine is selected: a 10-seed sweep with a probabilistic `sim` fault
+/// (plus a deterministic one) must produce per-seed outcomes —
+/// code/phase/retryable/message or success — identical across engines.
+#[test]
+fn chaos_sweep_errors_identical_across_engines() {
+    let _g = THRESHOLD_LOCK.lock().unwrap();
+    set_superblock_threshold(DEFAULT_SUPERBLOCK_THRESHOLD);
+    let w = &spec_suite()[0];
+    let config = CompilerConfig::safara_clauses();
+    let dev = DeviceConfig::k20xm();
+    let outcome = |engine: Engine, seed: u64, spec: &str| -> Result<(), (String, String, bool)> {
+        gpusim::with_engine(engine, || {
+            let plan = FaultPlan::seeded(seed).with_spec(FaultSpec::parse(spec).unwrap());
+            let mut args = w.args(Scale::Test);
+            compile_and_run_with_faults(
+                &w.source(),
+                w.entry(),
+                &config,
+                &mut args,
+                &dev,
+                None,
+                &plan,
+            )
+            .map(|_| ())
+            .map_err(|e| (e.code().to_string(), e.to_string(), e.retryable()))
+        })
+    };
+    for seed in 1..=10u64 {
+        for spec in ["sim:fail:0.5", "sim:fail:1"] {
+            let r = outcome(Engine::Reference, seed, spec);
+            let d = outcome(Engine::Decoded, seed, spec);
+            let s = outcome(Engine::Superblock, seed, spec);
+            assert_eq!(r, d, "seed {seed} spec {spec}: reference vs decoded");
+            assert_eq!(d, s, "seed {seed} spec {spec}: decoded vs superblock");
+        }
+    }
+    // The deterministic spec must actually fail, and with the typed
+    // simulator code, on every engine.
+    for e in [Engine::Reference, Engine::Decoded, Engine::Superblock] {
+        let r = outcome(e, 1, "sim:fail:1");
+        let (code, _, retryable) = r.expect_err("sim:fail:1 must fail");
+        assert_eq!(code, "sim");
+        assert!(retryable);
+    }
+}

@@ -15,6 +15,10 @@ echo "== test (release) =="
 cargo test --release --offline -q
 
 if cargo clippy --version >/dev/null 2>&1; then
+  echo "== clippy gpusim (-D warnings) =="
+  # The simulator crate gates on clippy by itself: the superblock
+  # engine's unsafe-free hot loops must stay lint-clean.
+  cargo clippy -q --release --offline -p safara-gpusim --all-targets -- -D warnings
   echo "== clippy (-D warnings) =="
   cargo clippy -q --release --offline --workspace --all-targets -- -D warnings
 else
@@ -46,6 +50,18 @@ for phase in parse sema analysis opt codegen regalloc sim; do
 done
 echo "$traced_line" | grep -q '"dur_us":'
 echo "$traced_line" | grep -q '"start_us":'
+
+echo "== superblock engine smoke =="
+# The same iterative kernel through the decoded engine and through the
+# superblock engine (forced via SAFARA_ENGINE): the response lines must
+# be byte-identical — outputs, stats-derived cycles, everything.
+sb_req='{"id":4,"op":"run","source":"void grind(int n, float x[n]) { #pragma acc kernels copy(x)\n { #pragma acc loop gang vector\n for (int i = 0; i < n; i++) { #pragma acc loop seq\n for (int k = 0; k < 500; k++) { x[i] = x[i] * 1.0001f + 0.5f; } } } }","entry":"grind","profile":"safara_only","scalars":{"n":64},"arrays":{"x":{"elem":"f32","data":[1,2,3,4,5,6,7,8,1,2,3,4,5,6,7,8,1,2,3,4,5,6,7,8,1,2,3,4,5,6,7,8,1,2,3,4,5,6,7,8,1,2,3,4,5,6,7,8,1,2,3,4,5,6,7,8,1,2,3,4,5,6,7,8]}},"return_arrays":true}'
+dec_smoke="$(printf '%s\n' "$sb_req" | SAFARA_ENGINE=decoded ./target/release/safara-serve --stdin --workers 1)"
+sb_smoke="$(printf '%s\n' "$sb_req" | SAFARA_ENGINE=superblock ./target/release/safara-serve --stdin --workers 1)"
+echo "$sb_smoke" | grep -q '"id":4,"status":"ok"' \
+  || { echo "superblock smoke: run failed: $sb_smoke" >&2; exit 1; }
+[ "$dec_smoke" = "$sb_smoke" ] \
+  || { echo "superblock smoke: decoded and superblock responses differ" >&2; exit 1; }
 
 echo "== protocol v1 compat =="
 cargo test --release --offline -q -p safara-server --test v1_compat
