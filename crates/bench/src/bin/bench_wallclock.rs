@@ -2,7 +2,7 @@
 //! (workloads × {base, SAFARA-only} at `Scale::Bench`), writing
 //! `BENCH_sim.json`.
 //!
-//! Seven configurations are timed:
+//! Nine configurations are timed:
 //!
 //! 1. `seed_reference_serial` — the pre-decoded-engine baseline: the
 //!    reference tree-walking interpreter, one cell at a time,
@@ -16,10 +16,17 @@
 //!    cache: every launch replays, no simulation at all,
 //! 6. `superblock_memoized_warm` — warm cache under the superblock
 //!    engine (memoization composes with engine selection),
-//! 7. `parallel_measure` — the parallel `measure()` pool.
+//! 7. `parallel_measure` — the parallel `measure()` pool,
+//! 8. `parallel_decoded` — the decoded engine with block-parallel
+//!    launch execution (scoped worker pool inside gpusim; see
+//!    `--sim-threads`, default `auto`),
+//! 9. `parallel_superblock` — block-parallel superblock engine.
 //!
 //! Every row records the engine variant it ran and the thread count it
-//! actually used (serial rows: 1; `parallel_measure`: `pool_threads()`),
+//! actually used per launch (serial rows: 1; `parallel_measure`:
+//! `pool_threads()`; `parallel_*`: the high-water mark reported by
+//! `max_sim_threads_used()` — on a single-core machine `auto` resolves
+//! to 1 and the parallel rows honestly report serial-equivalent times),
 //! and the JSON carries the superblock engine's cumulative fusion/hoist
 //! counters.
 //!
@@ -29,16 +36,22 @@
 //! *stats-identical* runs. The parallel `measure()` path is timed last;
 //! on single-core machines it falls back to serial and reports ~1×.
 //!
-//! Usage: `cargo run --release --bin bench_wallclock [--trace] [cache-file]`
+//! Usage: `cargo run --release --bin bench_wallclock [--trace]
+//! [--sim-threads N|auto] [cache-file]`
 //! (default cache file: `target/bench_launch_cache.bin`; delete it to
-//! re-measure cold). With `--trace`, an extra pass runs every workload ×
+//! re-measure cold). `--sim-threads` sets the worker-pool size for the
+//! `parallel_*` rows (`auto` = one worker per available core). With
+//! `--trace`, an extra pass runs every workload ×
 //! config through the traced pipeline and writes a phase-level profile
 //! (parse → sema → analysis → opt → codegen → regalloc → sim, in µs) to
 //! `results/TRACE_sim.json`, so the BENCH numbers come with a breakdown
 //! of where the time goes.
 
 use safara_bench::{measure, pool_threads};
-use safara_core::gpusim::{fusion_counters, set_engine, Engine};
+use safara_core::gpusim::{
+    fusion_counters, max_sim_threads_used, parse_sim_threads, reset_max_sim_threads_used,
+    set_engine, with_sim_threads, Engine,
+};
 use safara_core::obs::Tracer;
 use safara_core::{compile_and_run_traced, CompilerConfig, DeviceConfig, LaunchCache};
 use safara_workloads::{run_workload, run_workload_cached, spec_suite, Scale, Workload};
@@ -109,12 +122,30 @@ fn time_suite(f: &mut dyn FnMut()) -> f64 {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let trace = argv.iter().any(|a| a == "--trace");
-    let cache_path = argv
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "target/bench_launch_cache.bin".to_string());
+    let mut trace = false;
+    let mut sim_threads_req = 0u32; // 0 = auto: one worker per available core
+    let mut cache_path: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if a == "--trace" {
+            trace = true;
+        } else if a == "--sim-threads" {
+            i += 1;
+            let v = argv.get(i).expect("--sim-threads needs a value");
+            sim_threads_req =
+                parse_sim_threads(v).expect("--sim-threads: positive integer or `auto`");
+        } else if let Some(v) = a.strip_prefix("--sim-threads=") {
+            sim_threads_req =
+                parse_sim_threads(v).expect("--sim-threads: positive integer or `auto`");
+        } else {
+            cache_path = Some(a.clone());
+        }
+        i += 1;
+    }
+    let cache_path = cache_path.unwrap_or_else(|| "target/bench_launch_cache.bin".to_string());
+    let sim_threads_label =
+        if sim_threads_req == 0 { "auto".to_string() } else { sim_threads_req.to_string() };
     let configs = [CompilerConfig::base(), CompilerConfig::safara_only()];
     let suite = spec_suite();
     let dev = DeviceConfig::k20xm();
@@ -132,46 +163,60 @@ fn main() {
         }
     };
 
-    eprintln!("[1/7] seed reference interpreter, serial…");
+    eprintln!("[1/9] seed reference interpreter, serial…");
     set_engine(Engine::Reference);
     let t_seed = time_suite(&mut || serial(None));
 
-    eprintln!("[2/7] decoded engine, serial…");
+    eprintln!("[2/9] decoded engine, serial…");
     set_engine(Engine::Decoded);
     let t_decoded = time_suite(&mut || serial(None));
 
-    eprintln!("[3/7] superblock engine, serial, cold, memo disabled…");
+    eprintln!("[3/9] superblock engine, serial, cold, memo disabled…");
     set_engine(Engine::Superblock);
     let t_superblock = time_suite(&mut || serial(None));
     set_engine(Engine::Decoded);
 
-    eprintln!("[4/7] decoded + memoization, cold cache…");
+    eprintln!("[4/9] decoded + memoization, cold cache…");
     let _ = std::fs::remove_file(&cache_path);
     let mut cache = LaunchCache::with_disk(&cache_path);
     let t_cold = time_suite(&mut || serial(Some(&mut cache)));
     let (cold_hits, cold_misses) = (cache.hits, cache.misses);
     cache.save().expect("save launch cache");
 
-    eprintln!("[5/7] decoded + memoization, warm cache…");
+    eprintln!("[5/9] decoded + memoization, warm cache…");
     let mut cache = LaunchCache::with_disk(&cache_path);
     let t_warm = time_suite(&mut || serial(Some(&mut cache)));
     let (warm_hits, warm_misses) = (cache.hits, cache.misses);
 
-    eprintln!("[6/7] superblock + memoization, warm cache…");
+    eprintln!("[6/9] superblock + memoization, warm cache…");
     set_engine(Engine::Superblock);
     let mut cache = LaunchCache::with_disk(&cache_path);
     let t_sb_warm = time_suite(&mut || serial(Some(&mut cache)));
     set_engine(Engine::Decoded);
 
-    eprintln!("[7/7] parallel measure()…");
+    eprintln!("[7/9] parallel measure()…");
     let threads = pool_threads();
     let t_parallel = time_suite(&mut || {
         let _ = measure(&suite, &configs, Scale::Bench);
     });
 
+    eprintln!("[8/9] decoded engine, block-parallel (sim-threads {sim_threads_label})…");
+    set_engine(Engine::Decoded);
+    reset_max_sim_threads_used();
+    let t_par_dec = time_suite(&mut || with_sim_threads(sim_threads_req, || serial(None)));
+    let used_dec = max_sim_threads_used() as usize;
+
+    eprintln!("[9/9] superblock engine, block-parallel (sim-threads {sim_threads_label})…");
+    set_engine(Engine::Superblock);
+    reset_max_sim_threads_used();
+    let t_par_sb = time_suite(&mut || with_sim_threads(sim_threads_req, || serial(None)));
+    let used_sb = max_sim_threads_used() as usize;
+    set_engine(Engine::Decoded);
+
     let fusion = fusion_counters();
-    // (config, engine, memo, threads, seconds)
-    let rows: [(&str, &str, &str, usize, f64); 7] = [
+    // (config, engine, memo, threads, seconds) — `threads` is the count
+    // actually used per launch, not the one requested.
+    let rows: [(&str, &str, &str, usize, f64); 9] = [
         ("seed_reference_serial", "reference", "none", 1, t_seed),
         ("decoded_serial", "decoded", "none", 1, t_decoded),
         ("superblock_serial", "superblock", "none", 1, t_superblock),
@@ -179,6 +224,8 @@ fn main() {
         ("decoded_memoized_warm", "decoded", "warm", 1, t_warm),
         ("superblock_memoized_warm", "superblock", "warm", 1, t_sb_warm),
         ("parallel_measure", "decoded", "none", threads, t_parallel),
+        ("parallel_decoded", "decoded", "none", used_dec, t_par_dec),
+        ("parallel_superblock", "superblock", "none", used_sb, t_par_sb),
     ];
 
     let mut json = String::new();
@@ -186,6 +233,13 @@ fn main() {
     let _ = writeln!(json, "  \"benchmark\": \"fig7 SPEC suite, workloads x [base, safara_only], Scale::Bench\",");
     let _ = writeln!(json, "  \"workloads\": {},", suite.len());
     let _ = writeln!(json, "  \"threads_available\": {threads},");
+    let _ = writeln!(json, "  \"sim_threads_requested\": \"{sim_threads_label}\",");
+    if threads == 1 {
+        let _ = writeln!(
+            json,
+            "  \"note\": \"single-core host: `auto` resolves to 1 worker, so the parallel_* rows measure pool overhead at serial width; scaling needs a multi-core machine\","
+        );
+    }
     let _ = writeln!(json, "  \"rows\": [");
     for (i, (config, engine, memo, thr, secs)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -197,6 +251,8 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"speedup_superblock_vs_decoded_serial\": {:.2},", t_decoded / t_superblock);
+    let _ = writeln!(json, "  \"speedup_parallel_decoded_vs_serial\": {:.2},", t_decoded / t_par_dec);
+    let _ = writeln!(json, "  \"speedup_parallel_superblock_vs_serial\": {:.2},", t_superblock / t_par_sb);
     let _ = writeln!(
         json,
         "  \"fusion\": {{ \"launches\": {}, \"delegated\": {}, \"hot_blocks\": {}, \"superblocks\": {}, \"fused_blocks\": {}, \"hoisted\": {}, \"scalar_execs\": {}, \"vector_execs\": {}, \"peels\": {} }},",

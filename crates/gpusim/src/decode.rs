@@ -44,11 +44,12 @@
 //! instruction budget.
 
 use crate::interp::{
-    account_group_with, alu, atom_add, compare, convert, math, merge_divergent, neg, operand_bits,
+    account_group_with, alu, compare, convert, math, merge_divergent, neg, operand_bits,
     param_bits, LaneCounts, LaunchConfig, LaunchResult, MemEvent, ParamVal, SimError, FLAG_ATOMIC,
     FLAG_STORE, MAX_INSTS_PER_THREAD, SPACE_GLOBAL, SPACE_LOCAL, SPACE_READONLY,
 };
 use crate::memory::DeviceMemory;
+use crate::parallel::{self, MemAccess};
 use crate::stats::KernelStats;
 use crate::vir::*;
 use std::collections::HashMap;
@@ -543,63 +544,113 @@ pub(crate) fn launch_decoded(
     }
     let decoded = decode(kernel, config, params, spilled)?;
 
-    let tpb = config.threads_per_block();
+    let n_blocks = config.total_blocks();
+    let threads = parallel::resolve_sim_threads(config);
+    if threads > 1 && n_blocks > 1 {
+        let decoded = &decoded;
+        let (stats, _scratch) = parallel::run_blocks_parallel(
+            mem,
+            0,
+            n_blocks,
+            threads,
+            |_worker| BlockScratch::new(decoded),
+            |b, scratch, worker_mem| {
+                let mut stats = KernelStats::default();
+                run_block(decoded, &kernel.name, config, b, worker_mem, scratch, &mut stats)?;
+                Ok(stats)
+            },
+        )?;
+        return Ok(LaunchResult { stats });
+    }
+
     let mut stats = KernelStats::default();
-
     // Launch-lifetime scratch, reused across every warp of every block.
-    // Constants live past the virtual registers and are written once.
-    let mut regs = vec![0u64; decoded.n_vregs + decoded.consts.len()];
-    regs[decoded.n_vregs..].copy_from_slice(&decoded.consts);
-    let mut warp = WarpMerge::new();
-    let mut lane_counts = [LaneCounts::default(); WARP_SIZE];
-
-    for bz in 0..config.grid.2 {
-        for by in 0..config.grid.1 {
-            for bx in 0..config.grid.0 {
-                let mut linear = 0u32;
-                while linear < tpb {
-                    let lanes_in_warp = (tpb - linear).min(WARP_SIZE as u32);
-                    warp.begin_warp();
-                    for lane in 0..lanes_in_warp {
-                        let t = linear + lane;
-                        let tx = t % config.block.0;
-                        let ty = (t / config.block.0) % config.block.1;
-                        let tz = t / (config.block.0 * config.block.1);
-                        lane_counts[lane as usize] = run_lane::<false, false>(
-                            &decoded,
-                            &kernel.name,
-                            [tx, ty, tz, bx, by, bz],
-                            mem,
-                            &mut regs,
-                            lane as usize,
-                            &mut warp,
-                            0,
-                            true,
-                            ExecSeed::default(),
-                            None,
-                        )?;
-                    }
-                    // Issue counts: per-class max across lanes (as the
-                    // reference `merge_warp` does), then the streaming
-                    // transaction merge.
-                    let mut wc = LaneCounts::default();
-                    for lc in &lane_counts[..lanes_in_warp as usize] {
-                        wc.max_with(lc);
-                    }
-                    stats.simple_insts += wc.simple;
-                    stats.int64_insts += wc.int64;
-                    stats.fp64_insts += wc.fp64;
-                    stats.sfu_insts += wc.sfu;
-                    stats.local_accesses += wc.spill_touches;
-                    warp.merge(lanes_in_warp as usize, &mut stats);
-                    stats.warps += 1;
-                    stats.threads += lanes_in_warp as u64;
-                    linear += lanes_in_warp;
-                }
-            }
-        }
+    let mut scratch = BlockScratch::new(&decoded);
+    // Linear block ids enumerate the grid in the historical z→y→x
+    // nesting order.
+    for b in 0..n_blocks {
+        run_block(&decoded, &kernel.name, config, b, mem, &mut scratch, &mut stats)?;
     }
     Ok(LaunchResult { stats })
+}
+
+/// Per-worker execution scratch: the flat register file (constants live
+/// past the virtual registers and are written once), the warp
+/// transaction-merge buffers, and the per-lane issue counters. One of
+/// these exists per serial launch — and one per pool worker, which is
+/// exactly the state split that makes block execution `Send`.
+pub(crate) struct BlockScratch {
+    regs: Vec<u64>,
+    warp: WarpMerge,
+    lane_counts: [LaneCounts; WARP_SIZE],
+}
+
+impl BlockScratch {
+    pub(crate) fn new(d: &Decoded) -> Self {
+        let mut regs = vec![0u64; d.n_vregs + d.consts.len()];
+        regs[d.n_vregs..].copy_from_slice(&d.consts);
+        BlockScratch { regs, warp: WarpMerge::new(), lane_counts: [LaneCounts::default(); WARP_SIZE] }
+    }
+}
+
+/// Execute one block (linear id `block`, z→y→x order) and accumulate its
+/// warps into `stats`. Generic over the memory port so the serial path
+/// (direct [`DeviceMemory`]) monomorphizes to the historical code and
+/// pool workers run against their [`parallel::WorkerMem`] view.
+pub(crate) fn run_block<M: MemAccess>(
+    d: &Decoded,
+    kernel_name: &str,
+    config: &LaunchConfig,
+    block: u64,
+    mem: &mut M,
+    s: &mut BlockScratch,
+    stats: &mut KernelStats,
+) -> Result<(), SimError> {
+    let (gx, gy) = (config.grid.0 as u64, config.grid.1 as u64);
+    let bx = (block % gx) as u32;
+    let by = ((block / gx) % gy) as u32;
+    let bz = (block / (gx * gy)) as u32;
+    let tpb = config.threads_per_block();
+    let mut linear = 0u32;
+    while linear < tpb {
+        let lanes_in_warp = (tpb - linear).min(WARP_SIZE as u32);
+        s.warp.begin_warp();
+        for lane in 0..lanes_in_warp {
+            let t = linear + lane;
+            let tx = t % config.block.0;
+            let ty = (t / config.block.0) % config.block.1;
+            let tz = t / (config.block.0 * config.block.1);
+            s.lane_counts[lane as usize] = run_lane::<false, false, M>(
+                d,
+                kernel_name,
+                [tx, ty, tz, bx, by, bz],
+                mem,
+                &mut s.regs,
+                lane as usize,
+                &mut s.warp,
+                0,
+                true,
+                ExecSeed::default(),
+                None,
+            )?;
+        }
+        // Issue counts: per-class max across lanes (as the reference
+        // `merge_warp` does), then the streaming transaction merge.
+        let mut wc = LaneCounts::default();
+        for lc in &s.lane_counts[..lanes_in_warp as usize] {
+            wc.max_with(lc);
+        }
+        stats.simple_insts += wc.simple;
+        stats.int64_insts += wc.int64;
+        stats.fp64_insts += wc.fp64;
+        stats.sfu_insts += wc.sfu;
+        stats.local_accesses += wc.spill_touches;
+        s.warp.merge(lanes_in_warp as usize, stats);
+        stats.warps += 1;
+        stats.threads += lanes_in_warp as u64;
+        linear += lanes_in_warp;
+    }
+    Ok(())
 }
 
 /// Counter seeds for [`run_lane`]: zero for a fresh lane, or the
@@ -618,11 +669,11 @@ pub(crate) struct ExecSeed {
 /// compiles in the superblock profiler's block/branch counters; both
 /// fold away for the decoded engine's `<false, false>` instantiation.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_lane<const SOA: bool, const PROF: bool>(
+pub(crate) fn run_lane<const SOA: bool, const PROF: bool, M: MemAccess>(
     d: &Decoded,
     kernel_name: &str,
     ids: [u32; 6], // tid.xyz, ctaid.xyz
-    mem: &mut DeviceMemory,
+    mem: &mut M,
     regs: &mut [u64],
     lane: usize,
     warp: &mut WarpMerge,
@@ -909,9 +960,9 @@ pub(crate) fn run_lane<const SOA: bool, const PROF: bool>(
 
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn ld(
+pub(crate) fn ld<M: MemAccess>(
     regs: &mut [u64],
-    mem: &mut DeviceMemory,
+    mem: &mut M,
     warp: &mut WarpMerge,
     lane: usize,
     pc: usize,
@@ -928,9 +979,9 @@ pub(crate) fn ld(
 
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn st(
+pub(crate) fn st<M: MemAccess>(
     regs: &mut [u64],
-    mem: &mut DeviceMemory,
+    mem: &mut M,
     warp: &mut WarpMerge,
     lane: usize,
     pc: usize,
@@ -947,9 +998,9 @@ pub(crate) fn st(
 
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn atom(
+pub(crate) fn atom<M: MemAccess>(
     regs: &mut [u64],
-    mem: &mut DeviceMemory,
+    mem: &mut M,
     warp: &mut WarpMerge,
     lane: usize,
     pc: usize,
@@ -959,8 +1010,7 @@ pub(crate) fn atom(
 ) -> Result<(), SimError> {
     let bytes = ty.size_bytes() as u8;
     let addr = regs[a_idx];
-    let old = mem.read(addr, bytes as u32)?;
-    mem.write(addr, bytes as u32, atom_add(ty, old, regs[b_idx]))?;
+    mem.atom_add(ty, addr, bytes as u32, regs[b_idx])?;
     warp.log(
         lane,
         MemEvent { inst: pc as u32, addr, bytes, space_store: SPACE_GLOBAL | FLAG_STORE | FLAG_ATOMIC },

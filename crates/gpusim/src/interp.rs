@@ -15,28 +15,57 @@ use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Kernel launch geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct LaunchConfig {
     /// Grid dimensions (blocks).
     pub grid: (u32, u32, u32),
     /// Block dimensions (threads).
     pub block: (u32, u32, u32),
+    /// Per-launch worker-pool override: `Some(0)` means auto (one worker
+    /// per CPU), `Some(1)` forces the serial path, `None` defers to the
+    /// thread-local / process-wide setting (see [`crate::parallel`]).
+    pub sim_threads: Option<u32>,
+}
+
+/// Manual `Debug` reproducing the pre-`sim_threads` derived format. The
+/// memo content key hashes `format!("{config:?}")`, and the worker count
+/// must never change a launch's content hash — identical inputs produce
+/// identical results at any thread count, so they must share a cache
+/// entry.
+impl std::fmt::Debug for LaunchConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaunchConfig")
+            .field("grid", &self.grid)
+            .field("block", &self.block)
+            .finish()
+    }
 }
 
 impl LaunchConfig {
     /// 1-D launch helper.
     pub fn d1(grid: u32, block: u32) -> Self {
-        LaunchConfig { grid: (grid, 1, 1), block: (block, 1, 1) }
+        LaunchConfig { grid: (grid, 1, 1), block: (block, 1, 1), sim_threads: None }
     }
 
     /// 2-D launch helper.
     pub fn d2(grid: (u32, u32), block: (u32, u32)) -> Self {
-        LaunchConfig { grid: (grid.0, grid.1, 1), block: (block.0, block.1, 1) }
+        LaunchConfig { grid: (grid.0, grid.1, 1), block: (block.0, block.1, 1), sim_threads: None }
+    }
+
+    /// Builder: pin this launch's worker count (`0` = auto).
+    pub fn with_sim_threads(mut self, n: u32) -> Self {
+        self.sim_threads = Some(n);
+        self
     }
 
     /// Threads per block.
     pub fn threads_per_block(&self) -> u32 {
         self.block.0 * self.block.1 * self.block.2
+    }
+
+    /// Total blocks in the grid.
+    pub fn total_blocks(&self) -> u64 {
+        self.grid.0 as u64 * self.grid.1 as u64 * self.grid.2 as u64
     }
 
     /// Total threads in the launch.
@@ -287,8 +316,20 @@ pub fn launch(
     mem: &mut DeviceMemory,
     spilled: &[VReg],
 ) -> Result<LaunchResult, SimError> {
+    crate::parallel::clear_last_parallel_info();
     match current_engine() {
-        Engine::Reference => launch_reference(kernel, config, params, mem, spilled),
+        Engine::Reference => {
+            // The tree-walker keeps no decoded program that a worker
+            // pool could share; a multi-threaded launch delegates to the
+            // decoded engine, which is stats- and memory-identical
+            // (asserted by the engine differential suite). At one thread
+            // the historical reference path runs untouched.
+            if crate::parallel::resolve_sim_threads(config) > 1 && config.total_blocks() > 1 {
+                crate::decode::launch_decoded(kernel, config, params, mem, spilled)
+            } else {
+                launch_reference(kernel, config, params, mem, spilled)
+            }
+        }
         Engine::Decoded => crate::decode::launch_decoded(kernel, config, params, mem, spilled),
         Engine::Superblock => {
             crate::superblock::launch_superblock(kernel, config, params, mem, spilled)

@@ -31,6 +31,7 @@ pub mod interp;
 pub mod memo;
 pub mod memory;
 pub mod microbench;
+pub mod parallel;
 pub mod ptxas;
 pub mod rng;
 pub mod stats;
@@ -41,6 +42,10 @@ pub mod vir;
 pub use device::{DeviceConfig, Occupancy};
 pub use interp::{
     current_engine, launch, set_engine, with_engine, Engine, LaunchConfig, LaunchResult,
+};
+pub use parallel::{
+    current_sim_threads, last_parallel_info, max_sim_threads_used, parse_sim_threads,
+    reset_max_sim_threads_used, set_sim_threads, with_sim_threads, ParallelInfo,
 };
 pub use superblock::{
     fusion_counters, set_superblock_threshold, FusionCounters, DEFAULT_SUPERBLOCK_THRESHOLD,

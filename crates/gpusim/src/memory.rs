@@ -12,7 +12,7 @@ use std::fmt;
 pub struct BufferId(pub u32);
 
 /// Bits used for the in-buffer offset within a synthetic address.
-const OFFSET_BITS: u32 = 40;
+pub(crate) const OFFSET_BITS: u32 = 40;
 
 /// Device memory: an address space of buffers.
 #[derive(Debug, Default)]
@@ -137,6 +137,12 @@ impl DeviceMemory {
     /// Mutable raw bytes of buffer `i` (for memoized replay).
     pub(crate) fn buffer_bytes_mut(&mut self, i: usize) -> &mut [u8] {
         &mut self.buffers[i]
+    }
+
+    /// All buffers at once (for the parallel engine's shared view, which
+    /// needs simultaneous borrows of every buffer).
+    pub(crate) fn buffers_mut(&mut self) -> &mut [Vec<u8>] {
+        &mut self.buffers
     }
 
     /// Copy a host slice into a buffer (host→device transfer).

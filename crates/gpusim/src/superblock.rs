@@ -48,11 +48,12 @@ use crate::decode::{
     CLS_SFU, CLS_SIMPLE, NO_REG, WARP_SIZE,
 };
 use crate::interp::{
-    alu, atom_add, compare, convert, math, neg, LaneCounts, LaunchConfig, LaunchResult, MemEvent,
+    alu, compare, convert, math, neg, LaneCounts, LaunchConfig, LaunchResult, MemEvent,
     ParamVal, SimError, FLAG_ATOMIC, FLAG_STORE, MAX_INSTS_PER_THREAD, SPACE_GLOBAL, SPACE_LOCAL,
     SPACE_READONLY,
 };
 use crate::memory::DeviceMemory;
+use crate::parallel::{self, MemAccess};
 use crate::stats::KernelStats;
 use crate::vir::{AluOp, CmpOp, KernelVir, MathOp, VReg, VType};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -174,6 +175,20 @@ struct LocalCtrs {
 }
 
 impl LocalCtrs {
+    /// Fold a pool worker's counters into the launch accumulator, so the
+    /// whole launch still flushes to the shared atomics exactly once.
+    fn add(&mut self, o: &LocalCtrs) {
+        self.launches += o.launches;
+        self.delegated += o.delegated;
+        self.hot_blocks += o.hot_blocks;
+        self.superblocks += o.superblocks;
+        self.fused_blocks += o.fused_blocks;
+        self.hoisted += o.hoisted;
+        self.scalar_execs += o.scalar_execs;
+        self.vector_execs += o.vector_execs;
+        self.peels += o.peels;
+    }
+
     fn flush(&self) {
         C_LAUNCHES.fetch_add(self.launches, Ordering::Relaxed);
         C_DELEGATED.fetch_add(self.delegated, Ordering::Relaxed);
@@ -409,7 +424,11 @@ struct CachedProg {
 const PROG_CACHE_CAP: usize = 64;
 
 std::thread_local! {
-    static PROG_CACHE: std::cell::RefCell<Vec<(Vec<u64>, std::rc::Rc<CachedProg>)>> =
+    // `Arc` (not `Rc`): a launch hands its cached program to the scoped
+    // worker pool, whose threads bump the refcount concurrently. The
+    // cache itself stays thread-local — workers are ephemeral and never
+    // consult it, they receive the `Arc` directly.
+    static PROG_CACHE: std::cell::RefCell<Vec<(Vec<u64>, std::sync::Arc<CachedProg>)>> =
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
@@ -430,13 +449,13 @@ fn prog_key(d: &Decoded, thr: u64) -> Vec<u64> {
     k
 }
 
-fn prog_cache_get(key: &[u64]) -> Option<std::rc::Rc<CachedProg>> {
+fn prog_cache_get(key: &[u64]) -> Option<std::sync::Arc<CachedProg>> {
     PROG_CACHE.with(|c| {
         c.borrow().iter().find(|(k, _)| k.as_slice() == key).map(|(_, p)| p.clone())
     })
 }
 
-fn prog_cache_put(key: Vec<u64>, prog: std::rc::Rc<CachedProg>) {
+fn prog_cache_put(key: Vec<u64>, prog: std::sync::Arc<CachedProg>) {
     PROG_CACHE.with(|c| {
         let mut c = c.borrow_mut();
         if c.len() >= PROG_CACHE_CAP {
@@ -591,13 +610,13 @@ fn counts_of(seed: &ExecSeed) -> LaneCounts {
 /// else as a tight lane loop.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn exec_sinst(
+fn exec_sinst<M: MemAccess>(
     si: &SInst,
     u: &mut [u64],
     v: &mut [u64],
     lanes: usize,
     ids: &[[u32; 6]; WARP_SIZE],
-    mem: &mut DeviceMemory,
+    mem: &mut M,
     warp: &mut WarpMerge,
 ) -> Result<(), SimError> {
     // Fetch an encoded operand's 32-lane column into a stack array:
@@ -751,8 +770,7 @@ fn exec_sinst(
             fetch!(si.b, xb);
             for l in 0..lanes {
                 let addr = xa[l];
-                let old = mem.read(addr, bytes as u32)?;
-                mem.write(addr, bytes as u32, atom_add($t, old, xb[l]))?;
+                mem.atom_add($t, addr, bytes as u32, xb[l])?;
                 warp.log(
                     l,
                     MemEvent {
@@ -970,13 +988,13 @@ fn exec_sinst(
 /// layout keeps peeled execution at decoded-engine speed instead of
 /// striding the lane-major file.
 #[allow(clippy::too_many_arguments)]
-fn peel(
+fn peel<M: MemAccess>(
     d: &Decoded,
     kernel_name: &str,
     ids: &[[u32; 6]; WARP_SIZE],
     lo: usize,
     hi: usize,
-    mem: &mut DeviceMemory,
+    mem: &mut M,
     u: &[u64],
     v: &[u64],
     dense: &mut [u64],
@@ -992,7 +1010,7 @@ fn peel(
         for r in 0..d.n_vregs {
             dense[r] = if uni[r] { u[r] } else { v[r * WARP_SIZE + lane] };
         }
-        *lcl = crate::decode::run_lane::<false, false>(
+        *lcl = crate::decode::run_lane::<false, false, M>(
             d,
             kernel_name,
             ids[lane],
@@ -1012,13 +1030,13 @@ fn peel(
 /// Run one warp in lockstep over the superblock program, peeling to
 /// lane-major on divergence or on reaching a cold region.
 #[allow(clippy::too_many_arguments)]
-fn run_warp(
+fn run_warp<M: MemAccess>(
     d: &Decoded,
     prog: &SbProgram,
     kernel_name: &str,
     ids: &[[u32; 6]; WARP_SIZE],
     lanes: usize,
-    mem: &mut DeviceMemory,
+    mem: &mut M,
     u: &mut [u64],
     v: &mut [u64],
     dense: &mut [u64],
@@ -1033,7 +1051,7 @@ fn run_warp(
     if prog.at.first().is_none_or(|e| e.is_none()) {
         ctrs.peels += 1;
         for (lane, lcl) in lc.iter_mut().enumerate().take(lanes) {
-            *lcl = crate::decode::run_lane::<false, false>(
+            *lcl = crate::decode::run_lane::<false, false, M>(
                 d,
                 kernel_name,
                 ids[lane],
@@ -1225,7 +1243,7 @@ fn launch_inner(
 
     let n_regs = d.n_vregs + d.consts.len();
     let key = prog_key(&d, thr);
-    let mut current: Option<std::rc::Rc<CachedProg>> = prog_cache_get(&key);
+    let mut current: Option<std::sync::Arc<CachedProg>> = prog_cache_get(&key);
     // Profiling state, materialized only on a cache miss.
     let mut prof_state: Option<(ProfileCounters, Vec<u32>)> = if current.is_none() {
         let (leader_block, block_of, n_blocks) = find_blocks(&d);
@@ -1244,100 +1262,223 @@ fn launch_inner(
 
     let tpb = config.threads_per_block();
     let mut stats = KernelStats::default();
-    let mut warp = WarpMerge::new();
-    let mut lane_counts = [LaneCounts::default(); WARP_SIZE];
-
-    // Lane-major (SoA) register file for the lockstep path: column
-    // `lane` of register `r` at `r * 32 + lane`. Constants never live
-    // here — they are always uniform, so lockstep reads them from the
-    // scalar file.
-    let mut v = vec![0u64; d.n_vregs * WARP_SIZE];
-    // Scalar (warp-uniform) file; constants live past the vregs.
-    let mut u = vec![0u64; n_regs];
-    u[d.n_vregs..].copy_from_slice(&d.consts);
-    // Dense per-thread file for the lane-major paths (profile warps and
-    // peels) — the decoded engine's exact layout, so those paths run at
-    // decoded speed. Constants occupy the tail once.
-    let mut dense = vec![0u64; n_regs];
-    dense[d.n_vregs..].copy_from_slice(&d.consts);
-
+    let mut scratch = SbScratch::new(&d, n_regs);
     let mut profiled = 0u64;
-    let mut ids = [[0u32; 6]; WARP_SIZE];
 
-    for bz in 0..config.grid.2 {
-        for by in 0..config.grid.1 {
-            for bx in 0..config.grid.0 {
-                let mut linear = 0u32;
-                while linear < tpb {
-                    let lanes = (tpb - linear).min(WARP_SIZE as u32) as usize;
-                    warp.begin_warp();
-                    for (lane, id) in ids.iter_mut().enumerate().take(lanes) {
-                        let t = linear + lane as u32;
-                        let tx = t % config.block.0;
-                        let ty = (t / config.block.0) % config.block.1;
-                        let tz = t / (config.block.0 * config.block.1);
-                        *id = [tx, ty, tz, bx, by, bz];
-                    }
-                    if let Some(cp) = &current {
-                        run_warp(
-                            &d,
-                            &cp.prog,
-                            &kernel.name,
-                            &ids,
-                            lanes,
-                            mem,
-                            &mut u,
-                            &mut v,
-                            &mut dense,
-                            &cp.uni,
-                            &mut warp,
-                            &mut lane_counts,
-                            ctrs,
-                        )?;
-                    } else {
-                        // Profiling phase: instrumented lane-major runs
-                        // on the dense file (decoded layout + counters).
-                        let (prof, block_of) = prof_state.as_mut().expect("profiling state");
-                        for lane in 0..lanes {
-                            lane_counts[lane] = crate::decode::run_lane::<false, true>(
-                                &d,
-                                &kernel.name,
-                                ids[lane],
-                                mem,
-                                &mut dense,
-                                lane,
-                                &mut warp,
-                                0,
-                                true,
-                                ExecSeed::default(),
-                                Some(prof),
-                            )?;
-                        }
-                        profiled += 1;
-                        if profiled >= PROFILE_WARPS {
-                            let uni = classify(&d);
-                            let prog = build(&d, prof, block_of, thr, &uni, ctrs);
-                            let cp = std::rc::Rc::new(CachedProg { uni, prog });
-                            prog_cache_put(key.clone(), cp.clone());
-                            current = Some(cp);
-                        }
-                    }
-                    let mut wc = LaneCounts::default();
-                    for lcl in &lane_counts[..lanes] {
-                        wc.max_with(lcl);
-                    }
-                    stats.simple_insts += wc.simple;
-                    stats.int64_insts += wc.int64;
-                    stats.fp64_insts += wc.fp64;
-                    stats.sfu_insts += wc.sfu;
-                    stats.local_accesses += wc.spill_touches;
-                    warp.merge(lanes, &mut stats);
-                    stats.warps += 1;
-                    stats.threads += lanes as u64;
-                    linear += lanes as u32;
+    let n_blocks = config.total_blocks();
+    let threads = parallel::resolve_sim_threads(config);
+
+    // Serial phase. Profiling warps execute real lanes that mutate
+    // device memory, and `PROFILE_WARPS` may span block boundaries, so
+    // blocks run on the calling thread with direct memory until the
+    // program is built (checked per warp — the flip can land mid-block)
+    // — and then keep running serially when the pool is disabled.
+    let mut b = 0u64;
+    while b < n_blocks {
+        if let Some(cp) = current.clone() {
+            if threads > 1 && n_blocks - b > 1 {
+                break; // fan the remaining blocks out across the pool
+            }
+            run_sb_block(&d, &cp, &kernel.name, config, b, mem, &mut scratch, ctrs, &mut stats)?;
+            b += 1;
+            continue;
+        }
+        let (bx, by, bz) = block_coords(config, b);
+        let mut linear = 0u32;
+        while linear < tpb {
+            let lanes = (tpb - linear).min(WARP_SIZE as u32) as usize;
+            scratch.warp.begin_warp();
+            for (lane, id) in scratch.ids.iter_mut().enumerate().take(lanes) {
+                let t = linear + lane as u32;
+                let tx = t % config.block.0;
+                let ty = (t / config.block.0) % config.block.1;
+                let tz = t / (config.block.0 * config.block.1);
+                *id = [tx, ty, tz, bx, by, bz];
+            }
+            if let Some(cp) = &current {
+                run_warp(
+                    &d,
+                    &cp.prog,
+                    &kernel.name,
+                    &scratch.ids,
+                    lanes,
+                    mem,
+                    &mut scratch.u,
+                    &mut scratch.v,
+                    &mut scratch.dense,
+                    &cp.uni,
+                    &mut scratch.warp,
+                    &mut scratch.lane_counts,
+                    ctrs,
+                )?;
+            } else {
+                // Profiling phase: instrumented lane-major runs
+                // on the dense file (decoded layout + counters).
+                let (prof, block_of) = prof_state.as_mut().expect("profiling state");
+                for lane in 0..lanes {
+                    scratch.lane_counts[lane] = crate::decode::run_lane::<false, true, _>(
+                        &d,
+                        &kernel.name,
+                        scratch.ids[lane],
+                        mem,
+                        &mut scratch.dense,
+                        lane,
+                        &mut scratch.warp,
+                        0,
+                        true,
+                        ExecSeed::default(),
+                        Some(prof),
+                    )?;
+                }
+                profiled += 1;
+                if profiled >= PROFILE_WARPS {
+                    let uni = classify(&d);
+                    let prog = build(&d, prof, block_of, thr, &uni, ctrs);
+                    let cp = std::sync::Arc::new(CachedProg { uni, prog });
+                    prog_cache_put(key.clone(), cp.clone());
+                    current = Some(cp);
                 }
             }
+            let mut wc = LaneCounts::default();
+            for lcl in &scratch.lane_counts[..lanes] {
+                wc.max_with(lcl);
+            }
+            stats.simple_insts += wc.simple;
+            stats.int64_insts += wc.int64;
+            stats.fp64_insts += wc.fp64;
+            stats.sfu_insts += wc.sfu;
+            stats.local_accesses += wc.spill_touches;
+            scratch.warp.merge(lanes, &mut stats);
+            stats.warps += 1;
+            stats.threads += lanes as u64;
+            linear += lanes as u32;
+        }
+        b += 1;
+    }
+
+    // Parallel phase: remaining blocks share the built program (`Arc`)
+    // across pool workers, each with private scratch and counters.
+    if b < n_blocks {
+        let cp = current.clone().expect("fan-out requires a built program");
+        let d = &d;
+        let cp = &cp;
+        let kernel_name = kernel.name.as_str();
+        let (pool_stats, workers) = parallel::run_blocks_parallel(
+            mem,
+            b,
+            n_blocks - b,
+            threads,
+            |_worker| (SbScratch::new(d, n_regs), LocalCtrs::default()),
+            |block, (scratch, wctrs), worker_mem| {
+                let mut block_stats = KernelStats::default();
+                run_sb_block(d, cp, kernel_name, config, block, worker_mem, scratch, wctrs, &mut block_stats)?;
+                Ok(block_stats)
+            },
+        )?;
+        stats.merge(&pool_stats);
+        for (_, wctrs) in &workers {
+            ctrs.add(wctrs);
         }
     }
     Ok(LaunchResult { stats })
+}
+
+/// Linear block id (z→y→x nesting order) to grid coordinates.
+fn block_coords(config: &LaunchConfig, block: u64) -> (u32, u32, u32) {
+    let (gx, gy) = (config.grid.0 as u64, config.grid.1 as u64);
+    ((block % gx) as u32, ((block / gx) % gy) as u32, (block / (gx * gy)) as u32)
+}
+
+/// Per-worker execution scratch for the superblock engine: the
+/// lane-major (SoA) register file for the lockstep path, the scalar
+/// (warp-uniform) file, the dense per-thread file for profile warps and
+/// peels (the decoded engine's exact layout), and the warp merge
+/// buffers. Constants occupy the scalar/dense tails once. One of these
+/// exists per serial launch — and one per pool worker.
+struct SbScratch {
+    v: Vec<u64>,
+    u: Vec<u64>,
+    dense: Vec<u64>,
+    warp: WarpMerge,
+    lane_counts: [LaneCounts; WARP_SIZE],
+    ids: [[u32; 6]; WARP_SIZE],
+}
+
+impl SbScratch {
+    fn new(d: &Decoded, n_regs: usize) -> Self {
+        let v = vec![0u64; d.n_vregs * WARP_SIZE];
+        let mut u = vec![0u64; n_regs];
+        u[d.n_vregs..].copy_from_slice(&d.consts);
+        let mut dense = vec![0u64; n_regs];
+        dense[d.n_vregs..].copy_from_slice(&d.consts);
+        SbScratch {
+            v,
+            u,
+            dense,
+            warp: WarpMerge::new(),
+            lane_counts: [LaneCounts::default(); WARP_SIZE],
+            ids: [[0u32; 6]; WARP_SIZE],
+        }
+    }
+}
+
+/// Execute one block (linear id, z→y→x order) entirely under a built
+/// superblock program, accumulating its warps into `stats`. Generic over
+/// the memory port: the serial path passes [`DeviceMemory`], pool
+/// workers their [`parallel::WorkerMem`] view.
+#[allow(clippy::too_many_arguments)]
+fn run_sb_block<M: MemAccess>(
+    d: &Decoded,
+    cp: &CachedProg,
+    kernel_name: &str,
+    config: &LaunchConfig,
+    block: u64,
+    mem: &mut M,
+    s: &mut SbScratch,
+    ctrs: &mut LocalCtrs,
+    stats: &mut KernelStats,
+) -> Result<(), SimError> {
+    let (bx, by, bz) = block_coords(config, block);
+    let tpb = config.threads_per_block();
+    let mut linear = 0u32;
+    while linear < tpb {
+        let lanes = (tpb - linear).min(WARP_SIZE as u32) as usize;
+        s.warp.begin_warp();
+        for (lane, id) in s.ids.iter_mut().enumerate().take(lanes) {
+            let t = linear + lane as u32;
+            let tx = t % config.block.0;
+            let ty = (t / config.block.0) % config.block.1;
+            let tz = t / (config.block.0 * config.block.1);
+            *id = [tx, ty, tz, bx, by, bz];
+        }
+        run_warp(
+            d,
+            &cp.prog,
+            kernel_name,
+            &s.ids,
+            lanes,
+            mem,
+            &mut s.u,
+            &mut s.v,
+            &mut s.dense,
+            &cp.uni,
+            &mut s.warp,
+            &mut s.lane_counts,
+            ctrs,
+        )?;
+        let mut wc = LaneCounts::default();
+        for lcl in &s.lane_counts[..lanes] {
+            wc.max_with(lcl);
+        }
+        stats.simple_insts += wc.simple;
+        stats.int64_insts += wc.int64;
+        stats.fp64_insts += wc.fp64;
+        stats.sfu_insts += wc.sfu;
+        stats.local_accesses += wc.spill_touches;
+        s.warp.merge(lanes, stats);
+        stats.warps += 1;
+        stats.threads += lanes as u64;
+        linear += lanes as u32;
+    }
+    Ok(())
 }

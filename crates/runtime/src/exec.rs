@@ -282,6 +282,18 @@ fn run_function_impl(
         };
         tracer.meta_str("cache", cache_note);
         tracer.meta_str("engine", engine.name());
+        if tracer.is_enabled() {
+            match safara_gpusim::last_parallel_info() {
+                Some(info) => {
+                    tracer.meta_int("sim_threads", info.threads as i64);
+                    for (w, blocks) in info.per_worker_blocks.iter().enumerate() {
+                        tracer.meta_int(&format!("worker_{w}_blocks"), *blocks as i64);
+                    }
+                    tracer.meta_float("imbalance", info.imbalance());
+                }
+                None => tracer.meta_int("sim_threads", 1),
+            }
+        }
         if let Some(before) = fusion_before {
             let fc = safara_gpusim::superblock::fusion_counters();
             tracer.meta_int("sb_hot_blocks", (fc.hot_blocks - before.hot_blocks) as i64);
@@ -509,9 +521,13 @@ fn launch_geometry(
         let trip = trip_count(spec, env)?.max(1) as u64;
         grid[0] = (trip.div_ceil(block[0] as u64)) as u32;
     }
+    // `sim_threads` stays `None`: the worker count comes from the
+    // thread-local / process-wide setting, so identical runs compare
+    // equal (`KernelRun` holds this config) regardless of pool width.
     Ok(LaunchConfig {
         grid: (grid[0], grid[1], grid[2]),
         block: (block[0], block[1], block[2]),
+        sim_threads: None,
     })
 }
 

@@ -126,6 +126,13 @@ pub struct RunRequest {
     /// server's default engine. Unknown names fail with the typed
     /// `invalid_engine` error.
     pub engine: Option<String>,
+    /// Per-request simulator thread-count override (`"sim_threads"`
+    /// field: a positive integer, or the string `"auto"` for one worker
+    /// per available core). `None` keeps the server's default. Values
+    /// that are neither fail with the typed `invalid_sim_threads`
+    /// error. Kept as the raw token so validation happens in the
+    /// service layer, mirroring `engine`.
+    pub sim_threads: Option<String>,
 }
 
 /// Parse one request line.
@@ -165,6 +172,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 None | Some(Json::Null) => None,
                 Some(t) => {
                     Some(t.as_str().ok_or("`engine` must be a string")?.to_string())
+                }
+            },
+            sim_threads: match v.get("sim_threads") {
+                None | Some(Json::Null) => None,
+                Some(t) => {
+                    // Keep the raw token; the service layer rejects
+                    // anything that is not a positive integer or "auto"
+                    // with the typed `invalid_sim_threads` error.
+                    if let Some(n) = t.as_i64() {
+                        Some(n.to_string())
+                    } else if let Some(s) = t.as_str() {
+                        Some(s.to_string())
+                    } else {
+                        return Err("`sim_threads` must be an integer or string".into());
+                    }
                 }
             },
         }),
@@ -379,6 +401,35 @@ pub fn build_run_request_with_engine(
     args: &Args,
     return_arrays: bool,
 ) -> String {
+    build_run_request_with_sim_threads(
+        v,
+        id,
+        source,
+        entry,
+        profile,
+        engine,
+        None,
+        args,
+        return_arrays,
+    )
+}
+
+/// [`build_run_request_with_engine`] with an optional per-request
+/// `sim_threads` override (a positive integer rendered as a string, or
+/// `"auto"`). `sim_threads: None` omits the field, keeping the line
+/// byte-identical to the other builders.
+#[allow(clippy::too_many_arguments)]
+pub fn build_run_request_with_sim_threads(
+    v: u8,
+    id: i64,
+    source: &str,
+    entry: &str,
+    profile: &str,
+    engine: Option<&str>,
+    sim_threads: Option<&str>,
+    args: &Args,
+    return_arrays: bool,
+) -> String {
     let scalars = Json::Obj(
         args.scalars
             .iter()
@@ -410,6 +461,9 @@ pub fn build_run_request_with_engine(
     ]);
     if let Some(e) = engine {
         fields.push(("engine", Json::Str(e.into())));
+    }
+    if let Some(t) = sim_threads {
+        fields.push(("sim_threads", Json::Str(t.into())));
     }
     obj(fields).dump()
 }
@@ -477,6 +531,19 @@ impl WireError {
             code: "invalid_engine",
             message: format!(
                 "unknown engine `{name}` (expected one of: reference, decoded, superblock)"
+            ),
+            phase: None,
+            retryable: false,
+        }
+    }
+
+    /// A `sim_threads` value that is neither a positive integer nor
+    /// `"auto"` in a run request.
+    pub fn invalid_sim_threads(value: &str) -> WireError {
+        WireError {
+            code: "invalid_sim_threads",
+            message: format!(
+                "invalid sim_threads `{value}` (expected a positive integer or \"auto\")"
             ),
             phase: None,
             retryable: false,
@@ -949,6 +1016,45 @@ mod tests {
         assert_eq!(r.engine, None);
         assert!(parse_request(
             r#"{"op":"run","source":"s","entry":"e","profile":"base","engine":7}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sim_threads_field_parses_and_roundtrips() {
+        // String and integer wire forms both surface as the raw token.
+        let line = build_run_request_with_sim_threads(
+            2,
+            1,
+            "s",
+            "e",
+            "base",
+            None,
+            Some("auto"),
+            &Args::new(),
+            false,
+        );
+        let Op::Run(r) = parse_request(&line).unwrap().op else { panic!() };
+        assert_eq!(r.sim_threads.as_deref(), Some("auto"));
+        let Op::Run(r) = parse_request(
+            r#"{"op":"run","source":"s","entry":"e","profile":"base","sim_threads":4}"#,
+        )
+        .unwrap()
+        .op
+        else {
+            panic!()
+        };
+        assert_eq!(r.sim_threads.as_deref(), Some("4"));
+        // Omitting the field keeps the line byte-identical to the other
+        // builders and parses to no override.
+        let plain = build_run_request(1, "s", "e", "base", &Args::new(), false);
+        assert!(!plain.contains("\"sim_threads\""));
+        let Op::Run(r) = parse_request(&plain).unwrap().op else { panic!() };
+        assert_eq!(r.sim_threads, None);
+        // Structurally wrong type: parse-level bad_request, not a typed
+        // invalid_sim_threads (that is for well-typed bad values).
+        assert!(parse_request(
+            r#"{"op":"run","source":"s","entry":"e","profile":"base","sim_threads":true}"#
         )
         .is_err());
     }

@@ -148,7 +148,7 @@ impl Metrics {
 
 /// Error codes the engine tallies per response (`stats` →
 /// `errors_by_code`): the pipeline codes plus the server-level ones.
-pub const ERROR_CODES: [&str; 12] = [
+pub const ERROR_CODES: [&str; 13] = [
     "parse",
     "sema",
     "analysis",
@@ -159,6 +159,7 @@ pub const ERROR_CODES: [&str; 12] = [
     "bad_request",
     "unknown_profile",
     "invalid_engine",
+    "invalid_sim_threads",
     "breaker_open",
     "shed",
 ];
@@ -805,6 +806,27 @@ fn with_engine_opt<T>(engine: Option<safara_core::gpusim::Engine>, f: impl FnOnc
     }
 }
 
+/// Resolve a run request's optional `sim_threads` override (raw token
+/// from the wire) to a thread count, or the typed `invalid_sim_threads`
+/// failure. `"auto"` maps to 0 (one worker per available core).
+fn resolve_sim_threads(raw: Option<&str>) -> Result<Option<u32>, WireError> {
+    match raw {
+        None => Ok(None),
+        Some(s) => safara_core::gpusim::parse_sim_threads(s)
+            .map(Some)
+            .ok_or_else(|| WireError::invalid_sim_threads(s)),
+    }
+}
+
+/// Run `f` under a scoped simulator thread-count override, or directly
+/// when the request did not ask for one.
+fn with_sim_threads_opt<T>(threads: Option<u32>, f: impl FnOnce() -> T) -> T {
+    match threads {
+        Some(n) => safara_core::gpusim::with_sim_threads(n, f),
+        None => f(),
+    }
+}
+
 fn execute(
     shared: &EngineShared,
     queue: &Bounded<Job>,
@@ -887,16 +909,22 @@ fn execute(
                 Ok(e) => e,
                 Err(e) => return ExecOutcome::Fail(e),
             };
+            let sim_threads = match resolve_sim_threads(r.sim_threads.as_deref()) {
+                Ok(n) => n,
+                Err(e) => return ExecOutcome::Fail(e),
+            };
             let mut args = r.args.clone();
             let outcome = with_engine_opt(engine, || {
-                safara_core::run_compiled_traced(
-                    &program,
-                    &r.entry,
-                    &mut args,
-                    &DeviceConfig::k20xm(),
-                    Some(&shared.cache),
-                    &mut tracer,
-                )
+                with_sim_threads_opt(sim_threads, || {
+                    safara_core::run_compiled_traced(
+                        &program,
+                        &r.entry,
+                        &mut args,
+                        &DeviceConfig::k20xm(),
+                        Some(&shared.cache),
+                        &mut tracer,
+                    )
+                })
             });
             let outcome = match outcome {
                 Ok(o) => o,
@@ -935,16 +963,22 @@ fn execute(
                 Ok(e) => e,
                 Err(e) => return ExecOutcome::Fail(e),
             };
+            let sim_threads = match resolve_sim_threads(r.sim_threads.as_deref()) {
+                Ok(n) => n,
+                Err(e) => return ExecOutcome::Fail(e),
+            };
             let mut args = r.args.clone();
             let outcome = with_engine_opt(engine, || {
-                safara_core::run_compiled_with_faults(
-                    &program,
-                    &r.entry,
-                    &mut args,
-                    &DeviceConfig::k20xm(),
-                    Some(&shared.cache),
-                    &shared.faults,
-                )
+                with_sim_threads_opt(sim_threads, || {
+                    safara_core::run_compiled_with_faults(
+                        &program,
+                        &r.entry,
+                        &mut args,
+                        &DeviceConfig::k20xm(),
+                        Some(&shared.cache),
+                        &shared.faults,
+                    )
+                })
             });
             let outcome = match outcome {
                 Ok(o) => o,
@@ -1226,6 +1260,75 @@ mod tests {
         let v = Json::parse(&stats).unwrap();
         let fusion = v.get("fusion").expect("fusion block");
         assert!(fusion.get("launches").and_then(Json::as_i64).unwrap() >= 1, "{stats}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn sim_threads_override_runs_identically_and_rejects_bad_values() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 8,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let src = "void axpy(int n, float alpha, const float x[n], float y[n]) {\
+                   #pragma acc kernels copyin(x) copy(y)\n{\
+                   #pragma acc loop gang vector\n\
+                   for (int i = 0; i < n; i++) { y[i] = y[i] + alpha * x[i]; } } }";
+        let args = safara_core::Args::new()
+            .i32("n", 256)
+            .f32("alpha", 2.0)
+            .array_f32("x", &[1.5; 256])
+            .array_f32("y", &[0.25; 256]);
+        // Parallel settings go first, against a cold launch cache, so
+        // the request genuinely exercises the pool rather than replaying
+        // a memoized result; digests must match the serial run exactly.
+        let mut digests = Vec::new();
+        for (id, threads) in [(1, Some("2")), (2, Some("auto")), (3, Some("1")), (4, None)] {
+            let line = protocol::build_run_request_with_sim_threads(
+                2,
+                id,
+                src,
+                "axpy",
+                "safara_only",
+                None,
+                threads,
+                &args,
+                false,
+            );
+            assert!(submit_line(&engine, &line, &tx).is_none());
+            let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(status_of(&resp), "ok", "{resp}");
+            let v = Json::parse(&resp).unwrap();
+            digests.push(v.get("digests").expect("digests").dump());
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "per-thread-count digests must match: {digests:?}"
+        );
+        // Ill-valued sim_threads: typed v2 failure, not retryable,
+        // tallied under its own code.
+        for (id, bad) in [(8, "0"), (9, "-3"), (10, "many")] {
+            let line = protocol::build_run_request_with_sim_threads(
+                2,
+                id,
+                src,
+                "axpy",
+                "safara_only",
+                None,
+                Some(bad),
+                &args,
+                false,
+            );
+            assert!(submit_line(&engine, &line, &tx).is_none());
+            let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(status_of(&resp), "error");
+            let e = Json::parse(&resp).unwrap();
+            let e = e.get("error").expect("v2 error object");
+            assert_eq!(e.get("code").and_then(Json::as_str), Some("invalid_sim_threads"));
+            assert_eq!(e.get("retryable").and_then(Json::as_bool), Some(false));
+        }
+        assert_eq!(engine.shared().errors_by_code.get("invalid_sim_threads"), 3);
         engine.shutdown();
     }
 

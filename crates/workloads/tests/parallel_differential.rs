@@ -1,0 +1,185 @@
+//! Block-parallel differential coverage: the fig7 (SPEC-like) suite
+//! must behave *identically* — reports, output buffers (raw bytes, so
+//! f32 comparisons are bitwise), checker verdicts and injected-fault
+//! errors — at every sim-thread count, under every engine.
+//!
+//! Both knobs are thread-local scopes ([`gpusim::with_engine`],
+//! [`gpusim::with_sim_threads`]), so these tests are safe under the
+//! parallel test runner; the one piece of process-global state the
+//! suite mutates (the superblock hot threshold) is serialized by
+//! `THRESHOLD_LOCK`.
+
+use safara_core::chaos::{FaultPlan, FaultSpec};
+use safara_core::gpusim::{
+    self, set_superblock_threshold, LaunchCache, DEFAULT_SUPERBLOCK_THRESHOLD,
+};
+use safara_core::gpusim::{Engine, LaunchConfig};
+use safara_core::{compile, compile_and_run_with_faults, CompilerConfig, DeviceConfig};
+use safara_workloads::{run_workload_cached, spec_suite, Scale, Workload};
+use std::sync::Mutex;
+
+static THRESHOLD_LOCK: Mutex<()> = Mutex::new(());
+
+const ENGINES: [Engine; 3] = [Engine::Reference, Engine::Decoded, Engine::Superblock];
+
+/// Compile + run + check one workload under an engine × thread-count
+/// pair, returning everything observable: the run report, the final
+/// host arrays, and the checker verdict.
+fn observe(
+    w: &dyn Workload,
+    engine: Engine,
+    sim_threads: u32,
+) -> (safara_core::RunReport, safara_core::Args, Result<(), String>) {
+    gpusim::with_engine(engine, || {
+        gpusim::with_sim_threads(sim_threads, || {
+            let config = CompilerConfig::safara_clauses();
+            let dev = DeviceConfig::k20xm();
+            let program = compile(&w.source(), &config).expect("compile");
+            let mut args = w.args(Scale::Test);
+            let report = program.run(w.entry(), &mut args, &dev).expect("run");
+            let verdict = w.check(&args, Scale::Test);
+            (report, args, verdict)
+        })
+    })
+}
+
+/// The whole suite, every engine, sim-threads 1 / 2 / auto: bitwise the
+/// same observables as the plain (no-override) serial run. The
+/// `sim_threads = 1` column also pins that an explicit 1 is the serial
+/// path, not a one-worker pool with different behavior.
+#[test]
+fn fig7_suite_byte_identical_across_sim_threads_and_engines() {
+    let _g = THRESHOLD_LOCK.lock().unwrap();
+    set_superblock_threshold(DEFAULT_SUPERBLOCK_THRESHOLD);
+    for w in spec_suite() {
+        for engine in ENGINES {
+            // Baseline: no thread override at all (process default).
+            let (rep0, args0, chk0) = observe(w.as_ref(), engine, 1);
+            assert!(chk0.is_ok(), "{} [{engine:?}]: serial checker: {chk0:?}", w.name());
+            for threads in [2u32, 0 /* auto */] {
+                let (rep, args, chk) = observe(w.as_ref(), engine, threads);
+                let tag = format!("{} [{engine:?}] sim_threads={threads}", w.name());
+                assert_eq!(chk0, chk, "{tag}: checker verdict vs serial");
+                assert_eq!(rep0, rep, "{tag}: RunReport vs serial");
+                assert_eq!(args0, args, "{tag}: output buffers vs serial");
+            }
+        }
+    }
+}
+
+/// The atomics-heavy workloads (EP and CG both finish with f32 atomic
+/// reductions, where merge *order* changes the bits) at deliberately
+/// awkward worker counts. This is the test that fails loudly if the
+/// ordered deferred-atomic reduction ever regresses to merge-on-arrival.
+#[test]
+fn atomic_reductions_bitwise_stable_at_any_worker_count() {
+    let _g = THRESHOLD_LOCK.lock().unwrap();
+    set_superblock_threshold(DEFAULT_SUPERBLOCK_THRESHOLD);
+    let suite = spec_suite();
+    let atomics: Vec<_> =
+        suite.iter().filter(|w| ["352.ep", "354.cg"].contains(&w.name())).collect();
+    assert_eq!(atomics.len(), 2, "expected the EP and CG reduction workloads in the suite");
+    for w in atomics {
+        for engine in ENGINES {
+            let (rep1, args1, chk1) = observe(w.as_ref(), engine, 1);
+            assert!(chk1.is_ok(), "{} [{engine:?}]: serial checker: {chk1:?}", w.name());
+            for threads in [2u32, 3, 8] {
+                let (rep, args, _) = observe(w.as_ref(), engine, threads);
+                let tag = format!("{} [{engine:?}] sim_threads={threads}", w.name());
+                assert_eq!(
+                    args1, args,
+                    "{tag}: atomic reduction bits differ from serial — the \
+                     block-ordered deferred-atomic replay has regressed"
+                );
+                assert_eq!(rep1, rep, "{tag}: RunReport vs serial");
+            }
+        }
+    }
+}
+
+/// Injected faults inside a (possibly parallel) launch must surface the
+/// same typed error at every thread count: a 10-seed sweep with a
+/// probabilistic `sim` fault (plus a deterministic one) must produce
+/// per-seed outcomes — code/message/retryable or success — identical
+/// across sim-threads 1 and 2, for every engine. No deadlocked joins,
+/// no poisoned state: the pool must stay usable after each failure.
+#[test]
+fn chaos_sweep_errors_identical_across_sim_threads() {
+    let _g = THRESHOLD_LOCK.lock().unwrap();
+    set_superblock_threshold(DEFAULT_SUPERBLOCK_THRESHOLD);
+    let w = &spec_suite()[0];
+    let config = CompilerConfig::safara_clauses();
+    let dev = DeviceConfig::k20xm();
+    let outcome =
+        |engine: Engine, threads: u32, seed: u64, spec: &str| -> Result<(), (String, String, bool)> {
+            gpusim::with_engine(engine, || {
+                gpusim::with_sim_threads(threads, || {
+                    let plan = FaultPlan::seeded(seed).with_spec(FaultSpec::parse(spec).unwrap());
+                    let mut args = w.args(Scale::Test);
+                    compile_and_run_with_faults(
+                        &w.source(),
+                        w.entry(),
+                        &config,
+                        &mut args,
+                        &dev,
+                        None,
+                        &plan,
+                    )
+                    .map(|_| ())
+                    .map_err(|e| (e.code().to_string(), e.to_string(), e.retryable()))
+                })
+            })
+        };
+    for engine in ENGINES {
+        for seed in 1..=10u64 {
+            for spec in ["sim:fail:0.5", "sim:fail:1"] {
+                let serial = outcome(engine, 1, seed, spec);
+                let pooled = outcome(engine, 2, seed, spec);
+                assert_eq!(
+                    serial, pooled,
+                    "[{engine:?}] seed {seed} spec {spec}: serial vs sim_threads=2"
+                );
+            }
+        }
+        // The deterministic spec must actually fail, with the typed
+        // simulator code, under the pool — and the pool must still run
+        // cleanly afterwards (no deadlock, no poisoned cache).
+        let (code, _, retryable) =
+            outcome(engine, 2, 1, "sim:fail:1").expect_err("sim:fail:1 must fail");
+        assert_eq!(code, "sim");
+        assert!(retryable);
+        outcome(engine, 2, 1, "sim:fail:0").expect("pool must stay usable after a failure");
+    }
+}
+
+/// The sim-thread count must never leak into the memo content key:
+/// `LaunchConfig`'s `Debug` form (which the launch key hashes) omits
+/// it, and a cache warmed by a serial run replays — pure hits, zero
+/// misses — under a parallel run of the same workload.
+#[test]
+fn memo_content_hash_independent_of_sim_threads() {
+    let _g = THRESHOLD_LOCK.lock().unwrap();
+    set_superblock_threshold(DEFAULT_SUPERBLOCK_THRESHOLD);
+    let plain = LaunchConfig::d1(2, 64);
+    let with_threads = LaunchConfig::d1(2, 64).with_sim_threads(7);
+    let dbg = format!("{with_threads:?}");
+    assert_eq!(format!("{plain:?}"), dbg, "Debug form (= memo key input) must match");
+    assert!(!dbg.contains("sim_threads"), "sim_threads leaked into the hashed Debug form: {dbg}");
+
+    let w = &spec_suite()[0];
+    let config = CompilerConfig::safara_clauses();
+    let dev = DeviceConfig::k20xm();
+    let mut cache = LaunchCache::new();
+    gpusim::with_sim_threads(1, || {
+        run_workload_cached(w.as_ref(), &config, Scale::Test, &dev, &mut cache)
+    })
+    .expect("serial warm run");
+    let (h0, m0) = (cache.hits, cache.misses);
+    assert!(m0 > 0, "warm run must have populated the cache");
+    gpusim::with_sim_threads(4, || {
+        run_workload_cached(w.as_ref(), &config, Scale::Test, &dev, &mut cache)
+    })
+    .expect("parallel cached run");
+    assert_eq!(cache.misses, m0, "a parallel run must not re-key any launch");
+    assert!(cache.hits > h0, "the parallel run must replay from the serial-warmed cache");
+}

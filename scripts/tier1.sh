@@ -63,6 +63,23 @@ echo "$sb_smoke" | grep -q '"id":4,"status":"ok"' \
 [ "$dec_smoke" = "$sb_smoke" ] \
   || { echo "superblock smoke: decoded and superblock responses differ" >&2; exit 1; }
 
+echo "== block-parallel smoke (sim_threads=2 vs serial) =="
+# The same iterative kernel once serially and once with the block-level
+# worker pool (forced via SAFARA_SIM_THREADS): the response lines must
+# be byte-identical — the deterministic-merge contract at the wire
+# level. A per-request override ("sim_threads":"2") against a serial
+# server must match too.
+serial_smoke="$(printf '%s\n' "$sb_req" | SAFARA_SIM_THREADS=1 ./target/release/safara-serve --stdin --workers 1)"
+par_smoke="$(printf '%s\n' "$sb_req" | SAFARA_SIM_THREADS=2 ./target/release/safara-serve --stdin --workers 1)"
+echo "$par_smoke" | grep -q '"id":4,"status":"ok"' \
+  || { echo "parallel smoke: run failed: $par_smoke" >&2; exit 1; }
+[ "$serial_smoke" = "$par_smoke" ] \
+  || { echo "parallel smoke: serial and sim_threads=2 responses differ" >&2; exit 1; }
+par_req="$(printf '%s' "$sb_req" | sed 's/"return_arrays":true/"return_arrays":true,"sim_threads":"2"/')"
+par_wire_smoke="$(printf '%s\n' "$par_req" | SAFARA_SIM_THREADS=1 ./target/release/safara-serve --stdin --workers 1)"
+[ "$serial_smoke" = "$par_wire_smoke" ] \
+  || { echo "parallel smoke: per-request sim_threads override response differs" >&2; exit 1; }
+
 echo "== protocol v1 compat =="
 cargo test --release --offline -q -p safara-server --test v1_compat
 
