@@ -342,20 +342,109 @@ pub fn array_to_json(arr: &HostArray) -> Json {
     obj(vec![("elem", Json::Str(elem.into())), ("bits", bits)])
 }
 
+/// Incremental FNV-1a, shared by [`digest`] and [`run_key`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    /// A length-delimited field: the bytes, then a separator that no
+    /// UTF-8 string contains, so `("ab","c")` never collides with
+    /// `("a","bc")`.
+    fn field(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+        self.byte(0xff);
+    }
+
+    fn word(&mut self, v: u64) {
+        self.field(&v.to_le_bytes());
+    }
+}
+
+/// Content hash of a run request — the single-flight dedup key and the
+/// shard-routing key. Two requests share a key iff they ask for
+/// identical work: source, entry, profile, engine override, and every
+/// argument (scalar bit patterns and raw array bytes, in `Args`' stable
+/// `BTreeMap` order) all match.
+///
+/// Deliberately excluded, mirroring the launch-memo key rule:
+/// `sim_threads` (simulation results are thread-count independent, so
+/// keying on it would split identical work), `return_arrays` (response
+/// shaping, not work), and the envelope fields `id`, `v`, `trace`,
+/// `timeout_ms`.
+pub fn run_key(r: &RunRequest) -> u64 {
+    run_key_parts(&r.source, &r.entry, &r.profile, r.engine.as_deref(), &r.args)
+}
+
+/// [`run_key`] from loose parts — for callers (routing clients) that
+/// have not built a [`RunRequest`].
+pub fn run_key_parts(
+    source: &str,
+    entry: &str,
+    profile: &str,
+    engine: Option<&str>,
+    args: &Args,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.field(source.as_bytes());
+    h.field(entry.as_bytes());
+    h.field(profile.as_bytes());
+    h.field(engine.unwrap_or("").as_bytes());
+    for (name, value) in &args.scalars {
+        h.field(name.as_str().as_bytes());
+        let (tag, bits) = match value {
+            safara_core::runtime::ArgValue::I32(i) => (1u8, *i as i64 as u64),
+            safara_core::runtime::ArgValue::I64(i) => (2, *i as u64),
+            safara_core::runtime::ArgValue::F32(f) => (3, f.to_bits() as u64),
+            safara_core::runtime::ArgValue::F64(f) => (4, f.to_bits()),
+        };
+        h.byte(tag);
+        h.word(bits);
+    }
+    for (name, arr) in &args.arrays {
+        h.field(name.as_str().as_bytes());
+        h.byte(arr.elem as u8);
+        h.field(&arr.bytes);
+    }
+    h.0
+}
+
+/// Jump consistent hash (Lamport & Lamping): map `key` to a shard in
+/// `0..shards`. Keys spread evenly, and growing the shard count moves
+/// only ~`1/shards` of the keys — so a redeployed fleet keeps most of
+/// its cache partitions warm.
+pub fn shard_for(key: u64, shards: u32) -> u32 {
+    let shards = shards.max(1) as i64;
+    let mut k = key;
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < shards {
+        b = j;
+        k = k.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        j = ((b + 1) as f64 * ((1u64 << 31) as f64 / ((k >> 33) + 1) as f64)) as i64;
+    }
+    b as u32
+}
+
 /// Content digest of an array: FNV-1a over the element tag and raw
 /// bytes, printed as 16 hex digits. Two arrays digest equal iff their
 /// bytes (and element type) are identical.
 pub fn digest(arr: &HostArray) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut step = |b: u8| {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    };
-    step(arr.elem as u8);
+    let mut h = Fnv::new();
+    h.byte(arr.elem as u8);
     for &b in &arr.bytes {
-        step(b);
+        h.byte(b);
     }
-    format!("{h:016x}")
+    format!("{:016x}", h.0)
 }
 
 /// Build a run request line — the client-side counterpart of
@@ -1057,6 +1146,76 @@ mod tests {
             r#"{"op":"run","source":"s","entry":"e","profile":"base","sim_threads":true}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn run_key_matches_work_not_envelope() {
+        let args = Args::new().i32("n", 8).f32("a", 0.5).array_f32("x", &[1.0, 2.0]);
+        let base = RunRequest {
+            source: "void f() {}".into(),
+            entry: "f".into(),
+            profile: "base".into(),
+            args: args.clone(),
+            return_arrays: false,
+            engine: None,
+            sim_threads: None,
+        };
+        let key = run_key(&base);
+        // Response shaping and thread count do not change the work.
+        let mut same = base.clone();
+        same.return_arrays = true;
+        same.sim_threads = Some("4".into());
+        assert_eq!(run_key(&same), key);
+        assert_eq!(
+            run_key_parts(&base.source, &base.entry, &base.profile, None, &base.args),
+            key
+        );
+        // Source, entry, profile, engine, and argument bits all do.
+        let mut other = base.clone();
+        other.source = "void f() { }".into();
+        assert_ne!(run_key(&other), key);
+        let mut other = base.clone();
+        other.profile = "safara_only".into();
+        assert_ne!(run_key(&other), key);
+        let mut other = base.clone();
+        other.engine = Some("reference".into());
+        assert_ne!(run_key(&other), key);
+        let mut other = base.clone();
+        other.args = args.clone().i32("n", 9);
+        assert_ne!(run_key(&other), key);
+        let mut other = base.clone();
+        other.args = Args::new().i32("n", 8).f32("a", 0.5).array_f32("x", &[1.0, 2.5]);
+        assert_ne!(run_key(&other), key);
+        // -0.0 and 0.0 are distinct bit patterns, hence distinct work.
+        let neg = RunRequest { args: Args::new().f32("a", -0.0), ..base.clone() };
+        let pos = RunRequest { args: Args::new().f32("a", 0.0), ..base.clone() };
+        assert_ne!(run_key(&neg), run_key(&pos));
+    }
+
+    #[test]
+    fn shard_routing_is_stable_balanced_and_monotone() {
+        // Stable and in range.
+        for key in [0u64, 1, u64::MAX, 0xdead_beef] {
+            let s = shard_for(key, 4);
+            assert!(s < 4);
+            assert_eq!(s, shard_for(key, 4));
+        }
+        assert_eq!(shard_for(123, 1), 0, "single shard takes everything");
+        // Roughly balanced over many keys.
+        let mut counts = [0usize; 4];
+        for i in 0..4000u64 {
+            counts[shard_for(i.wrapping_mul(0x9e37_79b9_7f4a_7c15), 4) as usize] += 1;
+        }
+        for c in counts {
+            assert!((600..=1400).contains(&c), "skewed: {counts:?}");
+        }
+        // Jump consistency: growing 4 → 5 shards moves only keys that
+        // land on the new shard; nothing reshuffles between old shards.
+        for i in 0..2000u64 {
+            let key = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let (old, new) = (shard_for(key, 4), shard_for(key, 5));
+            assert!(old == new || new == 4, "key {key} moved {old} -> {new}");
+        }
     }
 
     #[test]

@@ -73,6 +73,35 @@ impl<T> Bounded<T> {
         }
     }
 
+    /// Take the oldest job plus up to `max - 1` more for which
+    /// `same(&oldest, &candidate)` holds — scanning the whole queue,
+    /// not just the front, so one interleaved stranger does not break a
+    /// batch. Non-matching jobs keep their relative order for the next
+    /// consumer. Blocks like [`Bounded::pop`]; `None` once the queue is
+    /// closed *and* drained.
+    pub fn pop_batch(&self, max: usize, same: impl Fn(&T, &T) -> bool) -> Option<Vec<T>> {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(first) = g.items.pop_front() {
+                let mut batch = vec![first];
+                let mut i = 0;
+                while i < g.items.len() && batch.len() < max {
+                    if same(&batch[0], &g.items[i]) {
+                        let item = g.items.remove(i).expect("index checked in bounds");
+                        batch.push(item);
+                    } else {
+                        i += 1;
+                    }
+                }
+                return Some(batch);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
     /// Close the queue: reject new pushes, wake all consumers. Jobs
     /// already admitted remain poppable.
     pub fn close(&self) {
@@ -120,6 +149,39 @@ mod tests {
         assert_eq!(q.pop(), Some("b"));
         assert_eq!(q.pop(), None);
         assert_eq!(q.pop(), None, "stays closed");
+    }
+
+    #[test]
+    fn pop_batch_gathers_matching_jobs_from_anywhere_in_the_queue() {
+        // Keyed items: (key, seq). Strangers interleave the batch.
+        let q = Bounded::new(16);
+        for item in [("a", 0), ("b", 1), ("a", 2), ("c", 3), ("a", 4)] {
+            q.try_push(item).unwrap();
+        }
+        let batch = q.pop_batch(8, |x, y| x.0 == y.0).unwrap();
+        assert_eq!(batch, vec![("a", 0), ("a", 2), ("a", 4)]);
+        // Strangers keep their relative order.
+        assert_eq!(q.pop_batch(8, |x, y| x.0 == y.0).unwrap(), vec![("b", 1)]);
+        assert_eq!(q.pop_batch(8, |x, y| x.0 == y.0).unwrap(), vec![("c", 3)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_respects_max_and_close_semantics() {
+        let q = Bounded::new(16);
+        for i in 0..5 {
+            q.try_push(("k", i)).unwrap();
+        }
+        let batch = q.pop_batch(3, |x: &(&str, i32), y| x.0 == y.0).unwrap();
+        assert_eq!(batch.len(), 3);
+        q.close();
+        assert_eq!(q.pop_batch(3, |x, y| x.0 == y.0).unwrap().len(), 2, "drains after close");
+        assert_eq!(q.pop_batch(3, |x, y| x.0 == y.0), None);
+        // max = 1 degenerates to pop().
+        let q1 = Bounded::new(4);
+        q1.try_push(1).unwrap();
+        q1.try_push(1).unwrap();
+        assert_eq!(q1.pop_batch(1, |_, _| true).unwrap(), vec![1]);
     }
 
     #[test]

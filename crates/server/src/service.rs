@@ -59,6 +59,16 @@ pub struct EngineConfig {
     /// Verify launch-cache entry checksums on replay, dropping and
     /// re-simulating corrupted entries instead of replaying them.
     pub verify_cache: bool,
+    /// Single-flight dedup: an untraced run whose content key
+    /// ([`protocol::run_key`]) matches an in-flight request parks as a
+    /// waiter and receives the leader's response instead of re-running
+    /// the pipeline. On by default; off makes every request a leader
+    /// (the pre-dedup stampede behavior, kept for benchmarking).
+    pub coalesce: bool,
+    /// Batched admission: a worker drains up to this many queued jobs
+    /// sharing one program key (source ‖ profile) per dequeue, so a
+    /// batch compiles once and simulates many. 1 disables batching.
+    pub max_batch: usize,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +83,8 @@ impl Default for EngineConfig {
             breaker_cooldown_ms: 500,
             fault_plan: Arc::new(FaultPlan::none()),
             verify_cache: false,
+            coalesce: true,
+            max_batch: 8,
         }
     }
 }
@@ -87,6 +99,23 @@ pub struct Job {
     pub deadline: Instant,
     /// Where the worker sends the response line.
     pub reply: mpsc::Sender<String>,
+    /// Single-flight key: set on untraced runs admitted as leaders.
+    /// The worker fans this job's outcome out to every waiter parked
+    /// under the key.
+    pub flight_key: Option<u64>,
+    /// Batch key (FNV over source ‖ profile): jobs sharing it may be
+    /// drained together so a worker compiles once and simulates many.
+    pub program_key: Option<u64>,
+}
+
+/// A request parked on an in-flight leader: everything needed to
+/// render the leader's outcome as this request's own response.
+struct Waiter {
+    id: Option<i64>,
+    v: u8,
+    return_arrays: bool,
+    deadline: Instant,
+    reply: mpsc::Sender<String>,
 }
 
 /// Latency histograms the engine aggregates across all requests.
@@ -99,6 +128,9 @@ pub struct Metrics {
     pub service: Histogram,
     /// Response handed to the transport → written to the peer.
     pub reply_write: Histogram,
+    /// Jobs per dequeue under batched admission (a plain count, not
+    /// microseconds — rendered without the `_us` suffix in stats).
+    pub batch_size: Histogram,
     per_op: Vec<(&'static str, Histogram)>,
 }
 
@@ -108,6 +140,7 @@ impl Default for Metrics {
             queue_wait: Histogram::new(),
             service: Histogram::new(),
             reply_write: Histogram::new(),
+            batch_size: Histogram::new(),
             per_op: ["ping", "stats", "sleep", "compile", "run", "shutdown"]
                 .iter()
                 .map(|name| (*name, Histogram::new()))
@@ -305,9 +338,15 @@ pub struct EngineShared {
     /// accounting: `submitted == completed + errors + timed_out +
     /// timed_out_late + shed`.
     pub shed: AtomicU64,
+    /// Requests parked on an in-flight identical request (single-flight
+    /// dedup) instead of running the pipeline themselves. A coalesced
+    /// request is terminal for accounting: `submitted == completed +
+    /// errors + timed_out + timed_out_late + shed + coalesced`.
+    pub coalesced: AtomicU64,
     /// Responses that could not be delivered because the client hung up
     /// (the reply channel was closed). Kept separate from the outcome
-    /// counters so the accounting invariant stays checkable.
+    /// counters so the accounting invariant stays checkable. Includes
+    /// parked waiters that hung up before the leader's fan-out.
     pub replies_dropped: AtomicU64,
     /// Errors by wire code (see [`ERROR_CODES`]).
     pub errors_by_code: ErrorCodeCounts,
@@ -324,6 +363,12 @@ pub struct EngineShared {
     pub metrics: Metrics,
     /// Set by a `shutdown` request; transports watch it.
     pub shutdown_requested: AtomicBool,
+    /// Single-flight table: content key → waiters parked on its leader.
+    /// An entry exists exactly while the leader's job is queued or
+    /// running; fan-out removes it.
+    inflight: Mutex<HashMap<u64, Vec<Waiter>>>,
+    /// Batch ceiling workers pass to [`Bounded::pop_batch`].
+    max_batch: usize,
     faults: Arc<FaultPlan>,
     breaker: Breaker,
 }
@@ -416,6 +461,7 @@ pub struct Engine {
     pool: Arc<Mutex<Vec<JoinHandle<()>>>>,
     default_timeout_ms: u64,
     shed_watermark: Option<usize>,
+    coalesce: bool,
 }
 
 /// The compiler-profile key a request pins, when its op has one — the
@@ -464,6 +510,7 @@ impl Engine {
             timed_out_late: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             replies_dropped: AtomicU64::new(0),
             errors_by_code: ErrorCodeCounts::default(),
             worker_panics: AtomicU64::new(0),
@@ -472,6 +519,8 @@ impl Engine {
             breaker_rejections: AtomicU64::new(0),
             metrics: Metrics::default(),
             shutdown_requested: AtomicBool::new(false),
+            inflight: Mutex::new(HashMap::new()),
+            max_batch: config.max_batch.max(1),
             faults: Arc::clone(&config.fault_plan),
             breaker: Breaker {
                 threshold: config.breaker_threshold,
@@ -490,6 +539,7 @@ impl Engine {
             pool,
             default_timeout_ms: config.default_timeout_ms,
             shed_watermark: config.shed_watermark,
+            coalesce: config.coalesce,
         }
     }
 
@@ -504,6 +554,43 @@ impl Engine {
     pub fn submit(&self, request: Request, reply: mpsc::Sender<String>) -> Submit {
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let (id, v) = (request.id, request.v);
+        let timeout =
+            Duration::from_millis(request.timeout_ms.unwrap_or(self.default_timeout_ms));
+        // Untraced runs carry content keys: `flight` for single-flight
+        // dedup, `program_key` for batched admission.
+        let (flight, program_key) = match (&request.op, request.trace) {
+            (Op::Run(r), false) => (
+                if self.coalesce { Some((protocol::run_key(r), r.return_arrays)) } else { None },
+                Some(fnv_pair(&r.source, &r.profile)),
+            ),
+            _ => (None, None),
+        };
+        // Single-flight: hold the inflight lock from the duplicate
+        // check through the queue push, so two identical requests
+        // racing through submit cannot both become leaders. Workers
+        // take this lock only on its own (fan-out), so the
+        // inflight → breaker/queue lock order cannot deadlock.
+        let mut inflight = None;
+        if let Some((key, return_arrays)) = flight {
+            let mut table = self.shared.inflight.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(waiters) = table.get_mut(&key) {
+                // A leader is already in flight: park. Deliberately no
+                // breaker or queue-capacity check — a waiter costs no
+                // queue slot and receives the leader's own verdict, so
+                // a breaker tripped by the leader's failures cannot
+                // reclassify it as a blanket rejection.
+                waiters.push(Waiter {
+                    id,
+                    v,
+                    return_arrays,
+                    deadline: Instant::now() + timeout,
+                    reply,
+                });
+                self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                return Submit::Queued;
+            }
+            inflight = Some((table, key));
+        }
         // Circuit breaker: refuse work for a profile whose pipeline
         // keeps failing, before it costs a queue slot.
         if let Some(key) = profile_key(&request.op) {
@@ -525,12 +612,20 @@ impl Engine {
                 request: Box::new(request),
             };
         }
-        let timeout =
-            Duration::from_millis(request.timeout_ms.unwrap_or(self.default_timeout_ms));
         let admitted = Instant::now();
-        let job = Job { request, admitted, deadline: admitted + timeout, reply };
+        let flight_key = inflight.as_ref().map(|(_, key)| *key);
+        let job =
+            Job { request, admitted, deadline: admitted + timeout, reply, flight_key, program_key };
         match self.queue.try_push(job) {
-            Ok(()) => Submit::Queued,
+            Ok(()) => {
+                // Register the leader only once its job is queued:
+                // rejected leaders leave no entry for later duplicates
+                // to park on (they would be stranded).
+                if let Some((mut table, key)) = inflight {
+                    table.insert(key, Vec::new());
+                }
+                Submit::Queued
+            }
             Err(PushError::Full(job)) => {
                 self.shared.shed.fetch_add(1, Ordering::Relaxed);
                 self.shared.rejected_overload.fetch_add(1, Ordering::Relaxed);
@@ -607,6 +702,7 @@ fn stats_line_for(shared: &EngineShared, queue_len: usize, id: Option<i64>) -> S
             ),
             ("errors", Json::Int(shared.errors.load(Ordering::Relaxed) as i64)),
             ("shed", Json::Int(shared.shed.load(Ordering::Relaxed) as i64)),
+            ("coalesced", Json::Int(shared.coalesced.load(Ordering::Relaxed) as i64)),
             (
                 "replies_dropped",
                 Json::Int(shared.replies_dropped.load(Ordering::Relaxed) as i64),
@@ -680,6 +776,19 @@ fn stats_line_for(shared: &EngineShared, queue_len: usize, id: Option<i64>) -> S
             ("per_op", Json::Obj(per_op)),
         ]),
     ));
+    // Batch sizes are plain counts; reuse the histogram but drop the
+    // `_us` suffix the latency sections carry.
+    let bs = shared.metrics.batch_size.snapshot();
+    fields.push((
+        "batches".into(),
+        obj(vec![
+            ("count", Json::Int(bs.count as i64)),
+            ("p50", Json::Int(bs.p50_us as i64)),
+            ("p95", Json::Int(bs.p95_us as i64)),
+            ("max", Json::Int(bs.max_us as i64)),
+            ("mean", Json::Int(bs.mean_us as i64)),
+        ]),
+    ));
     fields.push((
         "cache".into(),
         obj(vec![
@@ -698,6 +807,11 @@ fn stats_line_for(shared: &EngineShared, queue_len: usize, id: Option<i64>) -> S
 enum ExecOutcome {
     /// A complete response line (counted `completed`).
     Reply(String),
+    /// An untraced run's structured result — the outcome plus the
+    /// post-run arguments, kept unrendered so single-flight fan-out can
+    /// serialize one response per waiter with the waiter's own id and
+    /// array-return preference (counted `completed`).
+    Run(Box<(safara_core::RunOutcome, safara_core::Args)>),
     /// A typed failure (counted `errors` + per-code, answered `error`).
     Fail(WireError),
     /// The pipeline finished past the job's deadline (counted
@@ -705,83 +819,166 @@ enum ExecOutcome {
     DeadlineExceeded,
 }
 
+/// Deliver the leader's outcome to every waiter parked under `key`,
+/// each rendered with the waiter's own id, protocol version, and
+/// array-return preference — byte-for-byte what the waiter would have
+/// received had it run alone. A waiter whose deadline passed while
+/// parked gets `timeout` instead (it was counted `coalesced` at park
+/// time; no other counter moves). Hung-up waiters count
+/// `replies_dropped`, same as hung-up leaders.
+fn fan_out(shared: &EngineShared, key: u64, outcome: &ExecOutcome) {
+    let waiters = shared
+        .inflight
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .remove(&key)
+        .unwrap_or_default();
+    let now = Instant::now();
+    for w in waiters {
+        let line = if now > w.deadline {
+            failure_line(w.v, w.id, "timeout", &WireError::timeout())
+        } else {
+            match outcome {
+                ExecOutcome::Run(done) => {
+                    protocol::run_response(w.id, &done.0, &done.1, w.return_arrays, None)
+                }
+                ExecOutcome::Fail(err) => error_line_v(w.v, w.id, err),
+                ExecOutcome::DeadlineExceeded => {
+                    failure_line(w.v, w.id, "timeout", &WireError::timeout())
+                }
+                // Leaders that coalesce are always untraced runs, which
+                // produce `Run` or `Fail`; answer defensively.
+                ExecOutcome::Reply(_) => {
+                    error_line_v(w.v, w.id, &WireError::internal("coalesced onto a non-run leader"))
+                }
+            }
+        };
+        if w.reply.send(line).is_err() {
+            shared.replies_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 fn worker_loop(
     shared: &Arc<EngineShared>,
     queue: &Arc<Bounded<Job>>,
     pool: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
-    while let Some(job) = queue.pop() {
-        let id = job.request.id;
-        let v = job.request.v;
-        let dequeued = Instant::now();
-        shared
-            .metrics
-            .queue_wait
-            .record(dequeued.duration_since(job.admitted).as_micros() as u64);
-        if dequeued > job.deadline {
-            shared.timed_out.fetch_add(1, Ordering::Relaxed);
-            let line = failure_line(v, id, "timeout", &WireError::timeout());
-            if job.reply.send(line).is_err() {
-                shared.replies_dropped.fetch_add(1, Ordering::Relaxed);
-            }
-            continue;
-        }
-        // Panic isolation: a panicking pipeline (or an injected `worker`
-        // fault) takes down this job, not the pool. The job still gets a
-        // typed, retryable answer, and the worker replaces itself.
-        let caught = catch_unwind(AssertUnwindSafe(|| {
-            execute(shared, queue, &job.request, job.deadline)
-        }));
-        let (outcome, panicked) = match caught {
-            Ok(outcome) => (outcome, false),
-            Err(_) => {
-                shared.worker_panics.fetch_add(1, Ordering::Relaxed);
-                let err = WireError::internal(
-                    "worker panicked while executing the request; a replacement was spawned",
-                );
-                (ExecOutcome::Fail(err), true)
-            }
-        };
-        shared
-            .metrics
-            .record_service(&job.request.op, dequeued.elapsed().as_micros() as u64);
-        let breaker_key = profile_key(&job.request.op);
-        let line = match outcome {
-            ExecOutcome::Reply(line) => {
-                shared.completed.fetch_add(1, Ordering::Relaxed);
-                if let Some(key) = breaker_key {
-                    shared.breaker.record(key, true);
-                }
-                line
-            }
-            ExecOutcome::Fail(err) => {
-                shared.record_error(&err);
-                if let Some(key) = breaker_key {
-                    if shared.breaker.record(key, false) {
-                        shared.breaker_trips.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                error_line_v(v, id, &err)
-            }
-            ExecOutcome::DeadlineExceeded => {
-                shared.timed_out_late.fetch_add(1, Ordering::Relaxed);
-                failure_line(v, id, "timeout", &WireError::timeout())
-            }
-        };
-        // Injected client hangup: the reply is built, then dropped —
-        // exactly what a closed connection looks like to the worker.
-        if matches!(fault(shared, InjectionPoint::Reply), Some(FaultAction::Hangup)) {
-            shared.replies_dropped.fetch_add(1, Ordering::Relaxed);
-        } else if job.reply.send(line).is_err() {
-            // A send error means the client hung up; count the lost reply.
-            shared.replies_dropped.fetch_add(1, Ordering::Relaxed);
+    // Batched admission: drain same-program jobs together so the batch
+    // resolves one compiled program and then simulates many. Jobs
+    // without a program key (pings, compiles, traced runs) never batch.
+    while let Some(batch) = queue.pop_batch(shared.max_batch, |a, b| {
+        a.program_key.is_some() && a.program_key == b.program_key
+    }) {
+        shared.metrics.batch_size.record(batch.len() as u64);
+        let mut panicked = false;
+        for job in batch {
+            panicked |= process_job(shared, queue, job);
         }
         if panicked {
+            // A panicking job may leave this thread's stack tainted:
+            // finish the batch (done above — every job got its typed
+            // answer), then hand over to a replacement.
             shared.worker_respawns.fetch_add(1, Ordering::Relaxed);
             spawn_worker(shared, queue, pool, "safara-worker-respawn".into());
-            return; // this thread's stack may be tainted; hand over
+            return;
         }
     }
+}
+
+/// Execute one dequeued job end to end: deadline check, pipeline,
+/// counters, reply delivery, and single-flight fan-out on every
+/// outcome path. Returns true when the job's pipeline panicked (the
+/// caller must respawn this worker after finishing its batch).
+fn process_job(shared: &Arc<EngineShared>, queue: &Arc<Bounded<Job>>, job: Job) -> bool {
+    let id = job.request.id;
+    let v = job.request.v;
+    let dequeued = Instant::now();
+    shared
+        .metrics
+        .queue_wait
+        .record(dequeued.duration_since(job.admitted).as_micros() as u64);
+    if dequeued > job.deadline {
+        shared.timed_out.fetch_add(1, Ordering::Relaxed);
+        let line = failure_line(v, id, "timeout", &WireError::timeout());
+        if job.reply.send(line).is_err() {
+            shared.replies_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        // The leader expired in the queue; its waiters expire with it
+        // (they parked no earlier than the leader was admitted).
+        if let Some(key) = job.flight_key {
+            fan_out(shared, key, &ExecOutcome::DeadlineExceeded);
+        }
+        return false;
+    }
+    // Panic isolation: a panicking pipeline (or an injected `worker`
+    // fault) takes down this job, not the pool. The job still gets a
+    // typed, retryable answer, and the worker replaces itself.
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        execute(shared, queue, &job.request, job.deadline)
+    }));
+    let (outcome, panicked) = match caught {
+        Ok(outcome) => (outcome, false),
+        Err(_) => {
+            shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+            let err = WireError::internal(
+                "worker panicked while executing the request; a replacement was spawned",
+            );
+            (ExecOutcome::Fail(err), true)
+        }
+    };
+    shared
+        .metrics
+        .record_service(&job.request.op, dequeued.elapsed().as_micros() as u64);
+    // Waiters get the leader's verdict before the leader's own reply is
+    // rendered: the same typed error (retryability intact) or the same
+    // run outcome re-serialized per waiter.
+    if let Some(key) = job.flight_key {
+        fan_out(shared, key, &outcome);
+    }
+    let breaker_key = profile_key(&job.request.op);
+    let line = match outcome {
+        ExecOutcome::Reply(line) => {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            if let Some(key) = breaker_key {
+                shared.breaker.record(key, true);
+            }
+            line
+        }
+        ExecOutcome::Run(done) => {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            if let Some(key) = breaker_key {
+                shared.breaker.record(key, true);
+            }
+            let return_arrays = match &job.request.op {
+                Op::Run(r) => r.return_arrays,
+                _ => false,
+            };
+            protocol::run_response(id, &done.0, &done.1, return_arrays, None)
+        }
+        ExecOutcome::Fail(err) => {
+            shared.record_error(&err);
+            if let Some(key) = breaker_key {
+                if shared.breaker.record(key, false) {
+                    shared.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            error_line_v(v, id, &err)
+        }
+        ExecOutcome::DeadlineExceeded => {
+            shared.timed_out_late.fetch_add(1, Ordering::Relaxed);
+            failure_line(v, id, "timeout", &WireError::timeout())
+        }
+    };
+    // Injected client hangup: the reply is built, then dropped —
+    // exactly what a closed connection looks like to the worker.
+    if matches!(fault(shared, InjectionPoint::Reply), Some(FaultAction::Hangup)) {
+        shared.replies_dropped.fetch_add(1, Ordering::Relaxed);
+    } else if job.reply.send(line).is_err() {
+        // A send error means the client hung up; count the lost reply.
+        shared.replies_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+    panicked
 }
 
 /// Resolve a run request's optional engine override to a simulator
@@ -987,7 +1184,9 @@ fn execute(
             if Instant::now() > deadline {
                 return ExecOutcome::DeadlineExceeded;
             }
-            ExecOutcome::Reply(protocol::run_response(id, &outcome, &args, r.return_arrays, None))
+            // Unrendered: the worker serializes one line per recipient
+            // (the leader and any coalesced waiters).
+            ExecOutcome::Run(Box::new((outcome, args)))
         }
     }
 }
@@ -1480,7 +1679,8 @@ mod tests {
                 + n(&shared.errors)
                 + n(&shared.timed_out)
                 + n(&shared.timed_out_late)
-                + n(&shared.shed),
+                + n(&shared.shed)
+                + n(&shared.coalesced),
             "accounting invariant"
         );
     }
@@ -1704,11 +1904,200 @@ mod tests {
         engine.shutdown();
     }
 
+    const DBL: &str = "void dbl(int n, float x[n]) {\
+                       #pragma acc kernels copy(x)\n{\
+                       #pragma acc loop gang vector\n\
+                       for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } } }";
+
+    fn dbl_args() -> safara_core::Args {
+        safara_core::Args::new().i32("n", 8).array_f32("x", &[1.5; 8])
+    }
+
+    /// Hold the single worker with a sleep so subsequently submitted
+    /// jobs are deterministically queued (and duplicates parked).
+    fn hold_worker(engine: &Engine, tx: &mpsc::Sender<String>, ms: u64) {
+        let line = format!(r#"{{"id":0,"op":"sleep","ms":{ms}}}"#);
+        assert!(submit_line(engine, &line, tx).is_none());
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    #[test]
+    fn duplicate_requests_coalesce_onto_one_leader() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 16,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        hold_worker(&engine, &tx, 300);
+        let line = protocol::build_run_request(7, DBL, "dbl", "base", &dbl_args(), true);
+        // Leader + 3 duplicates, all parked while the worker sleeps.
+        let mut waiter_rxs = Vec::new();
+        assert!(submit_line(&engine, &line, &tx).is_none());
+        for _ in 0..3 {
+            let (wtx, wrx) = mpsc::channel();
+            assert!(submit_line(&engine, &line, &wtx).is_none());
+            waiter_rxs.push(wrx);
+        }
+        assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(5)).unwrap()), "ok"); // sleep
+        let leader = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(status_of(&leader), "ok");
+        for wrx in &waiter_rxs {
+            let got = wrx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(got, leader, "same id, so fan-out lines are byte-identical");
+        }
+        let shared = engine.shared();
+        assert_eq!(shared.coalesced.load(Ordering::Relaxed), 3);
+        assert_eq!(shared.completed.load(Ordering::Relaxed), 2, "sleep + one run");
+        assert_eq!(shared.cache.misses(), 1, "exactly one pipeline execution");
+        assert_eq!(shared.cache.hits(), 0);
+        counters_balance(shared);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn coalesce_off_runs_every_duplicate() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 16,
+            coalesce: false,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        hold_worker(&engine, &tx, 200);
+        let line = protocol::build_run_request(7, DBL, "dbl", "base", &dbl_args(), false);
+        for _ in 0..3 {
+            assert!(submit_line(&engine, &line, &tx).is_none());
+        }
+        for _ in 0..4 {
+            assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(30)).unwrap()), "ok");
+        }
+        let shared = engine.shared();
+        assert_eq!(shared.coalesced.load(Ordering::Relaxed), 0);
+        assert_eq!(shared.cache.hits() + shared.cache.misses(), 3, "every duplicate simulated");
+        counters_balance(shared);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn parked_waiter_hangup_counts_replies_dropped_not_accounting() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 16,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        hold_worker(&engine, &tx, 300);
+        let line = protocol::build_run_request(7, DBL, "dbl", "base", &dbl_args(), false);
+        assert!(submit_line(&engine, &line, &tx).is_none()); // leader
+        let (wtx, wrx) = mpsc::channel();
+        assert!(submit_line(&engine, &line, &wtx).is_none()); // waiter
+        drop(wrx); // ...which hangs up while parked
+        drop(wtx);
+        assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(5)).unwrap()), "ok"); // sleep
+        let leader = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(status_of(&leader), "ok", "leader unaffected by the waiter hangup");
+        let shared = Arc::clone(engine.shared());
+        engine.shutdown();
+        assert_eq!(shared.coalesced.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.replies_dropped.load(Ordering::Relaxed), 1);
+        assert!(
+            shared.inflight.lock().unwrap().is_empty(),
+            "fan-out must not leak the waiter-list entry"
+        );
+        counters_balance(&shared);
+    }
+
+    #[test]
+    fn coalesced_waiters_get_the_leaders_verdict_not_the_breaker() {
+        // The leader's simulation fails (injected, retryable). That
+        // failure trips a threshold-1 breaker — but the waiter parked on
+        // the leader must still receive the leader's typed `sim` error
+        // with its retryable contract, not a `breaker_open` rejection.
+        for seed in [1, 7, 42] {
+            let plan = Arc::new(
+                FaultPlan::seeded(seed).with(InjectionPoint::Sim, FaultAction::Fail, Fire::First(1)),
+            );
+            let engine = Engine::start(EngineConfig {
+                workers: 1,
+                queue_depth: 16,
+                breaker_threshold: 1,
+                breaker_cooldown_ms: 60_000,
+                fault_plan: plan,
+                ..EngineConfig::default()
+            });
+            let (tx, rx) = mpsc::channel();
+            hold_worker(&engine, &tx, 300);
+            let line =
+                protocol::build_run_request_v(2, 7, DBL, "dbl", "base", &dbl_args(), false);
+            assert!(submit_line(&engine, &line, &tx).is_none()); // leader
+            let (wtx, wrx) = mpsc::channel();
+            assert!(submit_line(&engine, &line, &wtx).is_none()); // waiter
+            assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(5)).unwrap()), "ok");
+            let leader = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(status_of(&leader), "error", "seed {seed}: {leader}");
+            let waiter = wrx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(waiter, leader, "same id: identical typed error, seed {seed}");
+            let e = Json::parse(&waiter).unwrap();
+            let e = e.get("error").expect("v2 error object");
+            assert_eq!(e.get("code").and_then(Json::as_str), Some("sim"));
+            assert_eq!(e.get("retryable").and_then(Json::as_bool), Some(true));
+            // The breaker did trip on the leader's failure: a *new*
+            // submission (no leader in flight anymore) is refused.
+            let rejected = submit_line(&engine, &line, &tx).expect("breaker open");
+            assert!(rejected.contains("breaker_open"), "{rejected}");
+            let shared = engine.shared();
+            assert_eq!(shared.coalesced.load(Ordering::Relaxed), 1, "seed {seed}");
+            assert_eq!(shared.breaker_trips.load(Ordering::Relaxed), 1);
+            assert_eq!(shared.errors_by_code.get("sim"), 1, "waiter adds no error count");
+            counters_balance(shared);
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn same_program_jobs_drain_as_one_batch() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 16,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        hold_worker(&engine, &tx, 300);
+        // Four distinct-args runs of one program (distinct flight keys,
+        // shared program key) with a ping wedged in the middle: the
+        // batch gathers the runs past it.
+        for i in 0..2 {
+            let args = safara_core::Args::new().i32("n", 8).array_f32("x", &[i as f32; 8]);
+            let line = protocol::build_run_request(i, DBL, "dbl", "base", &args, false);
+            assert!(submit_line(&engine, &line, &tx).is_none());
+        }
+        assert!(submit_line(&engine, r#"{"id":99,"op":"ping"}"#, &tx).is_none());
+        for i in 2..4 {
+            let args = safara_core::Args::new().i32("n", 8).array_f32("x", &[i as f32; 8]);
+            let line = protocol::build_run_request(i, DBL, "dbl", "base", &args, false);
+            assert!(submit_line(&engine, &line, &tx).is_none());
+        }
+        for _ in 0..6 {
+            assert_eq!(status_of(&rx.recv_timeout(Duration::from_secs(30)).unwrap()), "ok");
+        }
+        let shared = engine.shared();
+        let bs = shared.metrics.batch_size.snapshot();
+        assert_eq!(bs.max_us, 4, "the four same-program runs drained together");
+        assert_eq!(shared.programs_cached(), 1);
+        assert_eq!(shared.completed.load(Ordering::Relaxed), 6);
+        counters_balance(shared);
+        engine.shutdown();
+    }
+
     #[test]
     fn identical_runs_share_the_cache_and_program_store() {
+        // Coalescing off: this test is about the launch cache taking
+        // warm hits across workers, so every duplicate must reach it.
         let engine = Engine::start(EngineConfig {
             workers: 2,
             queue_depth: 16,
+            coalesce: false,
             ..EngineConfig::default()
         });
         let (tx, rx) = mpsc::channel();

@@ -112,7 +112,10 @@ fn concurrent_clients_get_bitwise_identical_results_with_warm_cache() {
 
     let handle = safara_server::serve(
         "127.0.0.1:0",
-        EngineConfig { workers: 2, queue_depth: 256, ..EngineConfig::default() },
+        // Coalescing off: this test pins the *warm cache* path — every
+        // duplicate must reach the launch cache rather than park on an
+        // in-flight leader (single-flight has its own stampede tests).
+        EngineConfig { workers: 2, queue_depth: 256, coalesce: false, ..EngineConfig::default() },
     )
     .expect("bind ephemeral port");
     let addr = handle.addr;
@@ -234,9 +237,11 @@ fn concurrent_clients_get_bitwise_identical_results_with_warm_cache() {
             + counter("errors")
             + counter("timed_out")
             + counter("timed_out_late")
-            + counter("shed"),
+            + counter("shed")
+            + counter("coalesced"),
         "{server}"
     );
+    assert_eq!(counter("coalesced"), 0, "coalescing disabled for this test");
     assert_eq!(counter("replies_dropped"), 0, "{server}");
 
     // The latency section saw every request: queue-wait and service

@@ -99,4 +99,59 @@ echo "$faulted_line" | grep -q '"code":"sim"'
 echo "$faulted_line" | grep -q '"retryable":true'
 echo "$chaos_out" | grep -q '"id":2,.*"status":"ok"'
 
+echo "== coalescing stampede smoke (stdin) =="
+# One worker held by a 200 ms sleep, then four identical runs submitted
+# while it sleeps: one leader plus three coalesced waiters. The stdin
+# transport submits every line before draining, and the trailing stats
+# op is answered inline after all submissions — so its `coalesced`
+# counter already reflects the parked duplicates.
+dbl_src='void dbl(int n, float x[n]) { #pragma acc kernels copy(x)\n { #pragma acc loop gang vector\n for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } } }'
+# stamp_req ID [DATA] — a dbl run request; DATA defaults to the shared
+# ramp so identical-content duplicates coalesce.
+stamp_req() {
+  printf '{"id":%d,"op":"run","source":"%s","entry":"dbl","profile":"safara_only","scalars":{"n":8},"arrays":{"x":{"elem":"f32","data":[%s]}},"return_arrays":true}' \
+    "$1" "$dbl_src" "${2:-1,2,3,4,5,6,7,8}"
+}
+stamp_out="$(printf '%s\n' \
+  '{"id":10,"op":"sleep","ms":200}' \
+  "$(stamp_req 11)" "$(stamp_req 12)" "$(stamp_req 13)" "$(stamp_req 14)" \
+  '{"id":15,"op":"stats"}' \
+  | ./target/release/safara-serve --stdin --workers 1)"
+for id in 11 12 13 14; do
+  echo "$stamp_out" | grep -q "\"id\":$id,\"status\":\"ok\"" \
+    || { echo "stampede smoke: run $id failed" >&2; exit 1; }
+done
+# All four responses must be byte-identical once the per-waiter id is
+# stripped — the fan-out serves one leader result to everyone.
+bodies="$(echo "$stamp_out" | grep -cE '"id":1[1-4]')"
+uniq_bodies="$(echo "$stamp_out" | grep -E '"id":1[1-4]' | sed 's/"id":1[1-4]//' | sort -u | wc -l)"
+[ "$bodies" = "4" ] && [ "$uniq_bodies" = "1" ] \
+  || { echo "stampede smoke: fan-out responses differ ($bodies bodies, $uniq_bodies unique)" >&2; exit 1; }
+echo "$stamp_out" | grep '"id":15' | grep -q '"coalesced":3' \
+  || { echo "stampede smoke: expected coalesced:3 in stats: $stamp_out" >&2; exit 1; }
+
+echo "== sharded scale-out smoke (2 shards, byte diff) =="
+# Three distinct runs through a real 2-shard deployment via safara-send
+# (which routes by content key), byte-diffed against the same requests
+# through a single-process server. --shutdown tears the shards down.
+shard_log="$(mktemp)"
+./target/release/safara-serve --shards 2 --workers 1 > "$shard_log" &
+shard_pid=$!
+for _ in $(seq 1 100); do grep -q '^shards ' "$shard_log" 2>/dev/null && break; sleep 0.1; done
+shard_addrs="$(grep '^shards ' "$shard_log" | cut -d' ' -f2-)"
+[ -n "$shard_addrs" ] \
+  || { echo "shard smoke: parent never printed shard addresses" >&2; kill "$shard_pid" 2>/dev/null; exit 1; }
+# Distinct payloads → distinct content keys, so the consistent hash can
+# spread them across both shards.
+shard_reqs="$(printf '%s\n' \
+  "$(stamp_req 21 '1,2,3,4,5,6,7,8')" \
+  "$(stamp_req 22 '9,8,7,6,5,4,3,2')" \
+  "$(stamp_req 23 '2,4,6,8,10,12,14,16')")"
+sharded_out="$(printf '%s\n' "$shard_reqs" | ./target/release/safara-send --shards "$shard_addrs" --shutdown)"
+single_out="$(printf '%s\n' "$shard_reqs" | ./target/release/safara-serve --stdin --workers 1)"
+[ "$sharded_out" = "$single_out" ] \
+  || { echo "shard smoke: sharded and single-process responses differ" >&2; exit 1; }
+wait "$shard_pid" || { echo "shard smoke: shard parent exited nonzero" >&2; exit 1; }
+rm -f "$shard_log"
+
 echo "tier-1 OK"
