@@ -1,0 +1,178 @@
+//! Ablation — what the feedback loop optimizes: raw register count vs
+//! predicted throughput, vs RegDem-style shared-memory spilling.
+//!
+//! Three SAFARA variants head-to-head over the fig7 (SPEC-like) suite:
+//!
+//! * `SAFARA(count)` — the paper's policy: saturate the register budget,
+//!   every admitted candidate is a win (`OptGoal::MinRegisters`);
+//! * `SAFARA(throughput)` — admission consults the occupancy model:
+//!   a candidate is admitted only while the memory traffic it removes
+//!   outweighs the active warps its registers evict
+//!   (`OptGoal::MaxThroughput`);
+//! * `SAFARA(RegDem)` — a deliberately tight 40-register cap with
+//!   spills redirected to a shared-memory slab (arXiv 1907.02894's
+//!   recipe), trading cheap shared traffic for high occupancy.
+//!
+//! The second table shows the mechanism: per-workload register use and
+//! the occupancy (active warps/SM at the default 128-thread block) each
+//! policy settles at.
+
+use safara_bench::{geomean_speedup, measure, speedup_table};
+use safara_core::{compile, Args, CompilerConfig, DeviceConfig};
+use safara_workloads::{spec_suite, Scale};
+use std::fmt::Write as _;
+
+/// The register-pressure stress kernel from `ablation_register_pressure`
+/// (the Fig. 7 seismic mechanism): `nc` distance-4 f64 rotation pairs,
+/// each saving one load per iteration at the price of five rotating
+/// temporaries (ten registers), on top of uncoalesced streaming traffic
+/// that scalar replacement cannot touch. Saturating the register budget
+/// here is a net loss — the case the occupancy oracle must refuse.
+fn stress_source(nc: usize) -> String {
+    let params: String = (0..nc)
+        .map(|q| format!(", const double c{q}[nt][ny][nx]"))
+        .collect::<Vec<_>>()
+        .join("");
+    let mut body = String::new();
+    for q in 0..nc {
+        writeln!(body, "          acc += c{q}[t][j][i] - c{q}[t - 4][j][i];").unwrap();
+    }
+    format!(
+        r#"
+void regstress(int nt, int nx, int ny, const float s0[nt][ny][nx],
+               const float s1[nt][ny][nx], float out[ny][nx]{params}) {{
+  #pragma acc kernels
+  {{
+    #pragma acc loop gang
+    for (int j = 0; j < ny; j++) {{
+      #pragma acc loop vector
+      for (int i = 0; i < nx; i++) {{
+        double acc = 0.0;
+        #pragma acc loop seq
+        for (int t = 4; t < nt; t++) {{
+          acc += s0[t][i][j] + s1[t][i][j];
+{body}        }}
+        out[j][i] = (float) acc;
+      }}
+    }}
+  }}
+}}
+"#,
+    )
+}
+
+/// Modelled cycles for the stress kernel under one configuration, with
+/// the register count and occupancy it settles at.
+fn run_stress(nc: usize, cfg: &CompilerConfig, dev: &DeviceConfig) -> (f64, u32, u32) {
+    let (n, nt) = (64usize, 32usize);
+    let src = stress_source(nc);
+    let p = compile(&src, cfg).unwrap_or_else(|e| panic!("regstress under {}: {e}", cfg.name));
+    let stream: Vec<f32> = (0..nt * n * n).map(|i| (i % 13) as f32).collect();
+    let mut args = Args::new()
+        .i32("nt", nt as i32)
+        .i32("nx", n as i32)
+        .i32("ny", n as i32)
+        .array_f32("s0", &stream)
+        .array_f32("s1", &stream)
+        .array_f32("out", &vec![0.0; n * n]);
+    let cdata: Vec<f64> = (0..nt * n * n).map(|i| (i % 7) as f64).collect();
+    for q in 0..nc {
+        args = args.array_f64(&format!("c{q}"), &cdata);
+    }
+    let rep = p.run("regstress", &mut args, dev).expect("runs");
+    let regs = p.function("regstress").unwrap().max_regs();
+    (rep.total_cycles(), regs, rep.kernels[0].timing.active_warps)
+}
+
+fn main() {
+    let configs = [
+        CompilerConfig::base(),
+        CompilerConfig::safara_only(),
+        CompilerConfig::safara_throughput(),
+        CompilerConfig::safara_regdem(),
+    ];
+    let suite = spec_suite();
+    let rows = measure(&suite, &configs, Scale::Bench);
+
+    println!("Ablation — optimization goal: register count vs predicted throughput");
+    println!("(speedup over OpenUH base; higher is better)\n");
+    print!(
+        "{}",
+        speedup_table(
+            &["base", "SAFARA(count)", "SAFARA(throughput)", "SAFARA(RegDem)"],
+            &rows
+        )
+    );
+
+    // The mechanism table: registers and resulting occupancy per policy.
+    let dev = DeviceConfig::k20xm();
+    println!("\nregister use and occupancy (regs / active warps per SM @ 128 threads/block)");
+    println!(
+        "{:<16}{:>22}{:>22}{:>22}",
+        "benchmark", "SAFARA(count)", "SAFARA(throughput)", "SAFARA(RegDem)"
+    );
+    for w in &suite {
+        let mut cells = Vec::new();
+        for cfg in &configs[1..] {
+            let p = compile(&w.source(), cfg)
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name(), cfg.name));
+            let regs = p.function(w.entry()).unwrap().max_regs();
+            let warps = dev.occupancy(regs.max(16), 128).active_warps_per_sm;
+            cells.push(format!("{regs} / {warps}"));
+        }
+        println!(
+            "{:<16}{:>22}{:>22}{:>22}",
+            w.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+
+    // Where the occupancy oracle pays off: workloads on which count
+    // saturation pessimizes the model and the throughput goal backs off.
+    let improved: Vec<&str> = rows
+        .iter()
+        .filter(|m| m.cycles[2] < m.cycles[1])
+        .map(|m| m.workload)
+        .collect();
+    println!(
+        "\nthroughput goal faster than count goal on {}/{} suite workloads: {}",
+        improved.len(),
+        rows.len(),
+        if improved.is_empty() { "-".to_string() } else { improved.join(", ") }
+    );
+    println!(
+        "geomean: count {:.3}x, throughput {:.3}x, RegDem {:.3}x",
+        geomean_speedup(&rows, 1),
+        geomean_speedup(&rows, 2),
+        geomean_speedup(&rows, 3)
+    );
+
+    // The seismic mechanism isolated: distance-4 rotation bait where
+    // saturating the budget costs more occupancy than its eliminated
+    // loads buy back. The occupancy oracle must refuse what the count
+    // goal greedily admits.
+    println!("\nregister-pressure stress kernel (regstress, the Fig. 7 seismic mechanism)");
+    println!(
+        "{:>10}{:>24}{:>24}{:>24}",
+        "candidates", "SAFARA(count)", "SAFARA(throughput)", "SAFARA(RegDem)"
+    );
+    let mut oracle_won = false;
+    for nc in [2usize, 4, 6, 8] {
+        let (base_cycles, _, _) = run_stress(nc, &configs[0], &dev);
+        let mut cells = Vec::new();
+        let mut cycles = Vec::new();
+        for cfg in &configs[1..] {
+            let (c, regs, warps) = run_stress(nc, cfg, &dev);
+            cycles.push(c);
+            cells.push(format!("{:.3}x ({regs}r/{warps}w)", base_cycles / c));
+        }
+        oracle_won |= cycles[1] < cycles[0];
+        println!("{nc:>10}{:>24}{:>24}{:>24}", cells[0], cells[1], cells[2]);
+    }
+    println!(
+        "\noracle verdict: throughput goal {} the count goal's occupancy collapse",
+        if oracle_won { "avoids" } else { "does NOT avoid" }
+    );
+}

@@ -28,7 +28,12 @@
 //! `max_sim_threads_used()` — on a single-core machine `auto` resolves
 //! to 1 and the parallel rows honestly report serial-equivalent times),
 //! and the JSON carries the superblock engine's cumulative fusion/hoist
-//! counters.
+//! counters. Each row also records the compiler-side `goal` and
+//! `spill_target` its suite compiled under (the wallclock rows all use
+//! the defaults, `min_registers`/`local`), and an `opt_goal` section
+//! reports the modelled-cycle ablation of the three SAFARA policies
+//! (count-saturating vs occupancy-aware vs RegDem shared-spill),
+//! matching `results/ablation_opt_goal.txt`.
 //!
 //! Between every pair of configurations the outputs are checked to be
 //! identical (each workload's `check` validates results, and stats feed
@@ -213,6 +218,28 @@ fn main() {
     let used_sb = max_sim_threads_used() as usize;
     set_engine(Engine::Decoded);
 
+    eprintln!("[opt-goal] modelled-cycle ablation: count vs throughput vs RegDem…");
+    let goal_configs = [
+        CompilerConfig::base(),
+        CompilerConfig::safara_only(),
+        CompilerConfig::safara_throughput(),
+        CompilerConfig::safara_regdem(),
+    ];
+    let goal_rows = measure(&suite, &goal_configs, Scale::Bench);
+    let geomean = |k: usize| -> f64 {
+        let sum: f64 = goal_rows.iter().map(|m| (m.cycles[0] / m.cycles[k]).ln()).sum();
+        (sum / goal_rows.len() as f64).exp()
+    };
+
+    // The `stampede` section is merged into BENCH_sim.json from a
+    // `server_bench --zipf` run; regenerating the file must not drop
+    // it, so carry any existing section forward verbatim.
+    let stampede = std::fs::read_to_string("BENCH_sim.json").ok().and_then(|old| {
+        let start = old.find("  \"stampede\": {")?;
+        let end = start + old[start..].find("\n  }")? + "\n  }".len();
+        Some(old[start..end].to_string())
+    });
+
     let fusion = fusion_counters();
     // (config, engine, memo, threads, seconds) — `threads` is the count
     // actually used per launch, not the one requested.
@@ -241,15 +268,48 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  \"rows\": [");
+    // Every wallclock row runs the [base, safara_only] suite, i.e. the
+    // default optimization goal and spill target; the fields make that
+    // explicit so rows from future goal-sweeping runs are self-describing.
     for (i, (config, engine, memo, thr, secs)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{ \"config\": \"{config}\", \"engine\": \"{engine}\", \"memo\": \"{memo}\", \"threads\": {thr}, \"seconds\": {secs:.3}, \"speedup_vs_seed\": {:.2} }}{comma}",
+            "    {{ \"config\": \"{config}\", \"engine\": \"{engine}\", \"memo\": \"{memo}\", \"goal\": \"min_registers\", \"spill_target\": \"local\", \"threads\": {thr}, \"seconds\": {secs:.3}, \"speedup_vs_seed\": {:.2} }}{comma}",
             t_seed / secs
         );
     }
     let _ = writeln!(json, "  ],");
+    // The opt-goal ablation section: modelled-cycle speedups over base
+    // for the three SAFARA policies, matching results/ablation_opt_goal.txt
+    // (same deterministic simulation, so the numbers agree exactly).
+    let _ = writeln!(json, "  \"opt_goal\": {{");
+    let _ = writeln!(
+        json,
+        "    \"benchmark\": \"fig7 suite, modelled cycles vs base: safara_only (goal=min_registers), safara_throughput (goal=max_throughput), safara_regdem (cap 40, spill_target=shared)\","
+    );
+    let _ = writeln!(json, "    \"table\": \"results/ablation_opt_goal.txt\",");
+    let _ = writeln!(json, "    \"rows\": [");
+    for (i, m) in goal_rows.iter().enumerate() {
+        let comma = if i + 1 == goal_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{ \"workload\": \"{}\", \"speedup_count\": {:.3}, \"speedup_throughput\": {:.3}, \"speedup_regdem\": {:.3} }}{comma}",
+            m.workload,
+            m.cycles[0] / m.cycles[1],
+            m.cycles[0] / m.cycles[2],
+            m.cycles[0] / m.cycles[3]
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(
+        json,
+        "    \"geomean\": {{ \"count\": {:.3}, \"throughput\": {:.3}, \"regdem\": {:.3} }}",
+        geomean(1),
+        geomean(2),
+        geomean(3)
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"speedup_superblock_vs_decoded_serial\": {:.2},", t_decoded / t_superblock);
     let _ = writeln!(json, "  \"speedup_parallel_decoded_vs_serial\": {:.2},", t_decoded / t_par_dec);
     let _ = writeln!(json, "  \"speedup_parallel_superblock_vs_serial\": {:.2},", t_superblock / t_par_sb);
@@ -268,8 +328,12 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"cache\": {{ \"cold_hits\": {cold_hits}, \"cold_misses\": {cold_misses}, \"warm_hits\": {warm_hits}, \"warm_misses\": {warm_misses} }}"
+        "  \"cache\": {{ \"cold_hits\": {cold_hits}, \"cold_misses\": {cold_misses}, \"warm_hits\": {warm_hits}, \"warm_misses\": {warm_misses} }}{}",
+        if stampede.is_some() { "," } else { "" }
     );
+    if let Some(s) = &stampede {
+        let _ = writeln!(json, "{s}");
+    }
     json.push_str("}\n");
 
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");

@@ -63,6 +63,10 @@ pub struct CompiledKernel {
     /// Snapshot of the region's `dim` groups (member arrays per group),
     /// so the runtime can resolve group-owned dope parameters.
     pub dim_groups: Vec<Vec<Ident>>,
+    /// The region's `launch_bounds(T, B)` contract, if declared:
+    /// `(max_threads_per_block, min_blocks_per_sm)` with `B` defaulted
+    /// to 1. Sema guarantees both are positive constants.
+    pub launch_bounds: Option<(u32, u32)>,
 }
 
 /// Lower every offload region of `func`; returns one [`CompiledKernel`]
@@ -154,7 +158,17 @@ fn lower_nest(
     }
     let dim_groups =
         region.directive.clauses.dim_groups.iter().map(|g| g.arrays.clone()).collect();
-    Ok(CompiledKernel { name, vir, abi: em.abi, mapped: em.mapped, dim_groups })
+    let launch_bounds = region.directive.clauses.launch_bounds.as_ref().map(|lb| {
+        let t = lb.max_threads.as_const().unwrap_or(0).max(0) as u32;
+        let b = lb
+            .min_blocks
+            .as_ref()
+            .and_then(|e| e.as_const())
+            .unwrap_or(1)
+            .max(1) as u32;
+        (t, b)
+    });
+    Ok(CompiledKernel { name, vir, abi: em.abi, mapped: em.mapped, dim_groups, launch_bounds })
 }
 
 /// Map a source scalar type to its VIR register type.

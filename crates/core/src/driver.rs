@@ -5,12 +5,14 @@ use crate::profile::{CompilerConfig, SrStrategy};
 use safara_chaos::{FaultAction, FaultPlan, InjectionPoint};
 use safara_codegen::lower::{lower_function, CompiledKernel};
 use safara_gpusim::device::DeviceConfig;
-use safara_gpusim::ptxas::{allocate_registers, RegAllocReport};
+use safara_gpusim::ptxas::{allocate_registers_with, RegAllocReport};
 use safara_ir::printer::print_function;
 use safara_ir::{parse_program_unchecked, Function, Stmt};
 use safara_obs::Tracer;
 use safara_opt::transform::TempNamer;
-use safara_opt::{carr_kennedy_pass, safara_pass, SrOutcome};
+use safara_opt::{
+    carr_kennedy_pass, safara_pass, safara_pass_with, OptGoal, SrOutcome, ThroughputContext,
+};
 use safara_runtime::{
     run_function, run_function_cached, run_function_shared, Args, LaunchCache, RunReport,
     SharedLaunchCache,
@@ -29,6 +31,98 @@ pub(crate) fn fault_at(
         return None;
     }
     Some(action)
+}
+
+/// The runtime's default block size: every default launch geometry
+/// (1D/2D/3D) uses 128 threads per block, so compile-time occupancy and
+/// shared-slab estimates made with this value are exact unless a
+/// `launch_bounds` contract overrides it.
+const DEFAULT_THREADS_PER_BLOCK: u32 = 128;
+
+/// The register cap implied by a `launch_bounds(max_threads, min_blocks)`
+/// contract: the largest per-thread count `r` such that `min_blocks`
+/// resident blocks of `ceil(max_threads / warp_size)` warps, each warp
+/// allocating `roundup(r × warp_size, warp_alloc_granularity)` registers,
+/// still fit in the SM's register file — CUDA's `__launch_bounds__` rule.
+///
+/// Out-of-range contracts are typed errors, never silent clamps: more
+/// threads than a block can hold, more resident blocks than an SM
+/// supports, or a combination whose implied cap is below the allocator's
+/// 4-register floor.
+fn launch_bounds_cap(
+    dev: &DeviceConfig,
+    max_threads: u32,
+    min_blocks: u32,
+) -> Result<u32, CompileError> {
+    if max_threads == 0 || min_blocks == 0 {
+        return Err(CompileError::LaunchBounds {
+            message: format!(
+                "launch_bounds({max_threads}, {min_blocks}) arguments must be positive"
+            ),
+            span: None,
+        });
+    }
+    if max_threads > dev.max_threads_per_block {
+        return Err(CompileError::LaunchBounds {
+            message: format!(
+                "launch_bounds max_threads {} exceeds the device limit of {} threads per block",
+                max_threads, dev.max_threads_per_block
+            ),
+            span: None,
+        });
+    }
+    if min_blocks > dev.max_blocks_per_sm {
+        return Err(CompileError::LaunchBounds {
+            message: format!(
+                "launch_bounds min_blocks {} exceeds the device limit of {} blocks per SM",
+                min_blocks, dev.max_blocks_per_sm
+            ),
+            span: None,
+        });
+    }
+    let warps_per_block = max_threads.div_ceil(dev.warp_size);
+    // regs/warp come in granules of `warp_alloc_granularity`; each granule
+    // is `granularity / warp_size` registers per thread.
+    let granules =
+        dev.regs_per_sm / (min_blocks * warps_per_block * dev.warp_alloc_granularity);
+    let cap = (granules * (dev.warp_alloc_granularity / dev.warp_size))
+        .min(dev.max_regs_per_thread);
+    if cap < 4 {
+        return Err(CompileError::LaunchBounds {
+            message: format!(
+                "launch_bounds({max_threads}, {min_blocks}) implies a register cap of {cap}, \
+                 below the allocator floor of 4"
+            ),
+            span: None,
+        });
+    }
+    Ok(cap)
+}
+
+/// The per-kernel register cap: the profile's `reg_cap` tightened by the
+/// kernel's own `launch_bounds` clause (or the config-wide override when
+/// the clause is absent).
+fn kernel_reg_cap(
+    config: &CompilerConfig,
+    launch_bounds: Option<(u32, u32)>,
+) -> Result<u32, CompileError> {
+    match launch_bounds.or(config.launch_bounds) {
+        Some((t, b)) => Ok(config.reg_cap.min(launch_bounds_cap(&config.device, t, b)?)),
+        None => Ok(config.reg_cap),
+    }
+}
+
+/// The block size the runtime will actually launch with: the
+/// `launch_bounds` contract when one is declared, the runtime's uniform
+/// default otherwise.
+fn planned_threads_per_block(
+    config: &CompilerConfig,
+    launch_bounds: Option<(u32, u32)>,
+) -> u32 {
+    launch_bounds
+        .or(config.launch_bounds)
+        .map(|(t, _)| t)
+        .unwrap_or(DEFAULT_THREADS_PER_BLOCK)
 }
 
 /// A compiled kernel plus its register-allocation report — the pair the
@@ -171,6 +265,22 @@ pub(crate) fn compile_impl(
     tracer: &mut Tracer,
     faults: Option<&FaultPlan>,
 ) -> Result<CompiledProgram, CompileError> {
+    // Reject out-of-range caps before any work: a cap below the
+    // allocator's floor or above the architectural per-thread maximum is
+    // a configuration error, not something to clamp quietly.
+    if config.reg_cap < 4 || config.reg_cap > config.device.max_regs_per_thread {
+        return Err(CompileError::LaunchBounds {
+            message: format!(
+                "reg_cap {} out of range [4, {}] for {}",
+                config.reg_cap, config.device.max_regs_per_thread, config.device.name
+            ),
+            span: None,
+        });
+    }
+    if let Some((t, b)) = config.launch_bounds {
+        launch_bounds_cap(&config.device, t, b)?;
+    }
+
     let program = tracer.span("parse", |t| {
         if let Some(FaultAction::Fail) = fault_at(faults, InjectionPoint::Parse) {
             return Err(CompileError::Parse {
@@ -257,24 +367,24 @@ pub(crate) fn compile_impl(
                 let kernels: Vec<KernelArtifact> = kernels
                     .into_iter()
                     .map(|kernel| {
-                        let alloc = allocate_registers(&kernel.vir, config.reg_cap);
-                        max_regs = max_regs.max(alloc.regs_used);
-                        KernelArtifact { kernel, alloc }
+                        let art = allocate_artifact(kernel, config)?;
+                        max_regs = max_regs.max(art.alloc.regs_used);
+                        Ok(art)
                     })
-                    .collect();
-                CompiledFunction {
+                    .collect::<Result<_, CompileError>>()?;
+                Ok(CompiledFunction {
                     name: f.name.to_string(),
                     transformed: work,
                     kernels,
                     sr_outcome: outcome,
                     feedback_rounds: rounds,
-                }
+                })
             })
-            .collect();
+            .collect::<Result<_, CompileError>>()?;
         t.meta_int("max_regs", max_regs as i64);
         t.meta_int("reg_cap", config.reg_cap as i64);
-        functions
-    });
+        Ok::<_, CompileError>(functions)
+    })?;
 
     Ok(CompiledProgram { config: config.clone(), functions })
 }
@@ -284,13 +394,25 @@ fn codegen_all(
     config: &CompilerConfig,
 ) -> Result<Vec<KernelArtifact>, CompileError> {
     let kernels = lower_function(f, &config.codegen)?;
-    Ok(kernels
-        .into_iter()
-        .map(|kernel| {
-            let alloc = allocate_registers(&kernel.vir, config.reg_cap);
-            KernelArtifact { kernel, alloc }
-        })
-        .collect())
+    kernels.into_iter().map(|kernel| allocate_artifact(kernel, config)).collect()
+}
+
+/// Run register allocation for one lowered kernel under the effective
+/// per-kernel cap, spill target, and planned block geometry.
+fn allocate_artifact(
+    kernel: CompiledKernel,
+    config: &CompilerConfig,
+) -> Result<KernelArtifact, CompileError> {
+    let cap = kernel_reg_cap(config, kernel.launch_bounds)?;
+    let tpb = planned_threads_per_block(config, kernel.launch_bounds);
+    let alloc = allocate_registers_with(
+        &kernel.vir,
+        cap,
+        config.spill_target,
+        tpb,
+        config.device.shared_mem_per_sm,
+    );
+    Ok(KernelArtifact { kernel, alloc })
 }
 
 /// The optimization half of the pipeline: unroll plus the configured
@@ -375,19 +497,59 @@ fn optimize_function(
                         }
                     };
                     let used = arts.iter().map(|a| a.alloc.regs_used).max().unwrap_or(0);
-                    let budget = config.reg_cap.saturating_sub(used);
+                    // The budget is measured against the tightest effective
+                    // cap of any kernel: a `launch_bounds` contract lowers
+                    // the ceiling the feedback loop may fill.
+                    let mut cap = config.reg_cap;
+                    for a in &arts {
+                        match kernel_reg_cap(config, a.kernel.launch_bounds) {
+                            Ok(c) => cap = cap.min(c),
+                            Err(e) => {
+                                tracer.end();
+                                return Err(e);
+                            }
+                        }
+                    }
+                    let budget = cap.saturating_sub(used);
                     tracer.meta_int("regs_used", used as i64);
                     tracer.meta_int("budget", budget as i64);
                     if budget == 0 {
                         tracer.end();
                         break;
                     }
-                    // 2. One SR round within the budget.
+                    // 2. One SR round within the budget. Under the
+                    // throughput goal each region gets an occupancy oracle
+                    // seeded with the measured register use and the block
+                    // size the runtime will launch with.
                     let snapshot = work.clone();
                     let mut round_outcome = SrOutcome::default();
                     let mut trial = work.clone();
                     for_each_region(&mut trial, |region| {
-                        let o = safara_pass(&snapshot, region, budget, cost_model, &mut namer);
+                        let clause_tpb = region
+                            .directive
+                            .clauses
+                            .launch_bounds
+                            .as_ref()
+                            .and_then(|lb| lb.max_threads.as_const())
+                            .map(|t| t.max(1) as u32);
+                        let tpb = clause_tpb
+                            .or(config.launch_bounds.map(|(t, _)| t))
+                            .unwrap_or(DEFAULT_THREADS_PER_BLOCK);
+                        let throughput =
+                            (config.goal == OptGoal::MaxThroughput).then_some(ThroughputContext {
+                                device: config.device,
+                                threads_per_block: tpb,
+                                regs_in_use: used,
+                            });
+                        let o = safara_pass_with(
+                            &snapshot,
+                            region,
+                            budget,
+                            cost_model,
+                            config.goal,
+                            throughput,
+                            &mut namer,
+                        );
                         merge_outcome(&mut round_outcome, o);
                     });
                     tracer.meta_int("temps_added", round_outcome.temps_added as i64);
@@ -565,6 +727,68 @@ mod tests {
                     cfg.name
                 );
             }
+        }
+    }
+
+    #[test]
+    fn launch_bounds_clause_caps_registers() {
+        // K20Xm, launch_bounds(256, 4): 8 warps/block × 4 blocks × 256-reg
+        // granules must fit 65536 regs/SM → 8 granules/warp → 64 regs/thread.
+        let src = FIG5.replace(
+            "#pragma acc kernels",
+            "#pragma acc kernels launch_bounds(256, 4)",
+        );
+        let p = compile(&src, &CompilerConfig::safara_only()).unwrap();
+        let f = p.function("fig5").unwrap();
+        assert_eq!(f.kernels[0].kernel.launch_bounds, Some((256, 4)));
+        assert!(f.max_regs() <= 64, "cap 64, used {}", f.max_regs());
+
+        // The same contract through the builder override, no clause.
+        let cfg = CompilerConfig::builder().safara(true).launch_bounds(256, 4).build();
+        let p = compile(FIG5, &cfg).unwrap();
+        assert!(p.function("fig5").unwrap().max_regs() <= 64);
+    }
+
+    #[test]
+    fn out_of_range_launch_bounds_is_a_typed_error() {
+        // More threads than a block can hold.
+        let src = FIG5.replace(
+            "#pragma acc kernels",
+            "#pragma acc kernels launch_bounds(2048)",
+        );
+        let err = compile(&src, &CompilerConfig::safara_only()).unwrap_err();
+        assert_eq!(err.code(), "launch_bounds");
+        assert!(err.to_string().contains("threads per block"), "{err}");
+
+        // More resident blocks than an SM supports (config-wide override).
+        let cfg = CompilerConfig::builder().launch_bounds(128, 64).build();
+        let err = compile(FIG5, &cfg).unwrap_err();
+        assert_eq!(err.code(), "launch_bounds");
+        assert!(err.to_string().contains("blocks per SM"), "{err}");
+
+        // A contract whose implied cap is below the allocator floor.
+        let src = FIG5.replace(
+            "#pragma acc kernels",
+            "#pragma acc kernels launch_bounds(1024, 16)",
+        );
+        let err = compile(&src, &CompilerConfig::safara_only()).unwrap_err();
+        assert_eq!(err.code(), "launch_bounds");
+        assert!(err.to_string().contains("allocator floor"), "{err}");
+        assert!(!err.retryable());
+    }
+
+    #[test]
+    fn out_of_range_reg_cap_is_a_typed_error_not_a_clamp() {
+        for cap in [0u32, 3, 256, 1000] {
+            let cfg = CompilerConfig { reg_cap: cap, ..CompilerConfig::base() };
+            let err = compile(FIG5, &cfg).unwrap_err();
+            assert_eq!(err.code(), "launch_bounds", "cap {cap}");
+            assert!(err.to_string().contains("out of range"), "{err}");
+        }
+        // The boundary values themselves are accepted.
+        for cap in [4u32, 255] {
+            let cfg = CompilerConfig { reg_cap: cap, ..CompilerConfig::base() };
+            compile(FIG5, &cfg).unwrap();
         }
     }
 

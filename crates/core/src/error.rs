@@ -86,6 +86,16 @@ pub enum CompileError {
         /// What went wrong.
         message: String,
     },
+    /// An out-of-range `launch_bounds` clause or register-cap override:
+    /// a contract the device cannot satisfy (too many threads, too many
+    /// resident blocks, or an implied cap the allocator cannot honor).
+    /// Surfaced as a typed error instead of silently clamping.
+    LaunchBounds {
+        /// What went wrong.
+        message: String,
+        /// The offending region's span, when it came from a clause.
+        span: Option<Span>,
+    },
     /// Simulator execution failed (transient by contract: the program
     /// compiled, so a retry may succeed).
     Sim {
@@ -110,6 +120,7 @@ impl CompileError {
             CompileError::Analysis { .. } => "analysis",
             CompileError::RegAllocSpill { .. } => "regalloc_spill",
             CompileError::Budget { .. } => "budget",
+            CompileError::LaunchBounds { .. } => "launch_bounds",
             CompileError::Sim { .. } => "sim",
             CompileError::Internal { .. } => "internal",
         }
@@ -123,6 +134,7 @@ impl CompileError {
             CompileError::Analysis { .. } => Phase::Analysis,
             CompileError::RegAllocSpill { .. } => Phase::RegAlloc,
             CompileError::Budget { .. } => Phase::Opt,
+            CompileError::LaunchBounds { .. } => Phase::Opt,
             CompileError::Sim { .. } => Phase::Sim,
             CompileError::Internal { phase, .. } => *phase,
         }
@@ -138,7 +150,9 @@ impl CompileError {
     /// The source span, when the front-end attached one.
     pub fn span(&self) -> Option<Span> {
         match self {
-            CompileError::Parse { span, .. } | CompileError::Sema { span, .. } => *span,
+            CompileError::Parse { span, .. }
+            | CompileError::Sema { span, .. }
+            | CompileError::LaunchBounds { span, .. } => *span,
             _ => None,
         }
     }
@@ -153,12 +167,12 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}: ", self.phase().name())?;
         match self {
-            CompileError::Parse { message, span } | CompileError::Sema { message, span } => {
-                match span {
-                    Some(s) => write!(f, "{message} at bytes {}..{}", s.start, s.end),
-                    None => write!(f, "{message}"),
-                }
-            }
+            CompileError::Parse { message, span }
+            | CompileError::Sema { message, span }
+            | CompileError::LaunchBounds { message, span } => match span {
+                Some(s) => write!(f, "{message} at bytes {}..{}", s.start, s.end),
+                None => write!(f, "{message}"),
+            },
             CompileError::Analysis { message }
             | CompileError::Budget { message }
             | CompileError::Sim { message }
@@ -206,7 +220,7 @@ mod tests {
 
     #[test]
     fn codes_phases_and_retryability_line_up() {
-        let cases: [(CompileError, &str, &str, bool); 7] = [
+        let cases: [(CompileError, &str, &str, bool); 8] = [
             (
                 CompileError::Parse { message: "x".into(), span: None },
                 "parse",
@@ -222,6 +236,12 @@ mod tests {
                 false,
             ),
             (CompileError::Budget { message: "x".into() }, "budget", "opt", false),
+            (
+                CompileError::LaunchBounds { message: "x".into(), span: None },
+                "launch_bounds",
+                "opt",
+                false,
+            ),
             (CompileError::Sim { message: "x".into() }, "sim", "sim", true),
             (
                 CompileError::Internal { message: "x".into(), phase: Phase::Codegen },

@@ -2,6 +2,8 @@
 
 use safara_analysis::cost::CostModel;
 use safara_codegen::CodegenOptions;
+use safara_gpusim::{DeviceConfig, SpillTarget};
+use safara_opt::OptGoal;
 
 /// Which scalar-replacement strategy runs (and how).
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +41,21 @@ pub struct CompilerConfig {
     /// Unroll innermost sequential loops by this factor before scalar
     /// replacement (0/1 = off) — the paper's §VII future-work extension.
     pub unroll: u32,
+    /// What the SAFARA feedback loop optimizes: the paper's
+    /// register-saturating policy, or predicted throughput using the
+    /// device occupancy model as a cost oracle.
+    pub goal: OptGoal,
+    /// Where register spills land (RegDem-style shared memory vs the
+    /// hardware-default local memory).
+    pub spill_target: SpillTarget,
+    /// Config-level `launch_bounds(T, B)` override applied to every
+    /// kernel, exactly like compiling with `__launch_bounds__`: caps the
+    /// register budget so `B` blocks of `T` threads stay resident. A
+    /// region's own `launch_bounds` clause takes precedence per kernel.
+    pub launch_bounds: Option<(u32, u32)>,
+    /// The device whose occupancy rules drive the throughput goal, the
+    /// `launch_bounds` cap arithmetic, and shared-spill capacity checks.
+    pub device: DeviceConfig,
 }
 
 impl CompilerConfig {
@@ -51,6 +68,10 @@ impl CompilerConfig {
             reg_cap: 255,
             max_feedback_iters: 8,
             unroll: 0,
+            goal: OptGoal::MinRegisters,
+            spill_target: SpillTarget::Local,
+            launch_bounds: None,
+            device: DeviceConfig::k20xm(),
         }
     }
 
@@ -157,9 +178,34 @@ impl CompilerConfig {
         }
     }
 
+    /// The occupancy-aware evaluation point: SAFARA whose feedback loop
+    /// admits candidates through the device occupancy oracle instead of
+    /// saturating the register count (ROADMAP item 2's tentpole).
+    pub fn safara_throughput() -> Self {
+        CompilerConfig {
+            name: "SAFARA(throughput)",
+            goal: OptGoal::MaxThroughput,
+            ..Self::safara_only()
+        }
+    }
+
+    /// The RegDem evaluation point (arXiv 1907.02894): SAFARA under a
+    /// deliberately tight register cap so spilling happens, with the
+    /// spills placed in shared memory instead of local. The cap of 40
+    /// mirrors the paper's "high occupancy" operating point (40 regs ×
+    /// 1280 regs/warp keeps 48+ warps resident at 128-thread blocks).
+    pub fn safara_regdem() -> Self {
+        CompilerConfig {
+            name: "SAFARA(RegDem)",
+            reg_cap: 40,
+            spill_target: SpillTarget::Shared,
+            ..Self::safara_only()
+        }
+    }
+
     /// The stable lookup keys services accept, one per named profile —
     /// see [`CompilerConfig::by_name`].
-    pub const PROFILE_KEYS: [&'static str; 10] = [
+    pub const PROFILE_KEYS: [&'static str; 12] = [
         "base",
         "safara_only",
         "small",
@@ -170,6 +216,8 @@ impl CompilerConfig {
         "pgi_like",
         "safara_count_only",
         "safara_no_feedback",
+        "safara_throughput",
+        "safara_regdem",
     ];
 
     /// Start building a configuration from typed toggles — the
@@ -203,6 +251,8 @@ impl CompilerConfig {
             "pgi" | "pgi_like" => Self::pgi_like(),
             "safara_count_only" => Self::safara_count_only(),
             "safara_no_feedback" => Self::safara_no_feedback(),
+            "safara_throughput" => Self::safara_throughput(),
+            "safara_regdem" | "regdem" => Self::safara_regdem(),
             _ => return None,
         })
     }
@@ -223,6 +273,10 @@ pub struct CompilerConfigBuilder {
     small: bool,
     dim: bool,
     unroll: u32,
+    goal: OptGoal,
+    spill_target: SpillTarget,
+    launch_bounds: Option<(u32, u32)>,
+    reg_cap: Option<u32>,
 }
 
 impl CompilerConfigBuilder {
@@ -262,6 +316,34 @@ impl CompilerConfigBuilder {
     /// replacement (0/1 = off).
     pub fn unroll(mut self, factor: u32) -> Self {
         self.unroll = factor;
+        self
+    }
+
+    /// Set what the feedback loop optimizes (default:
+    /// [`OptGoal::MinRegisters`], the paper's policy).
+    pub fn goal(mut self, goal: OptGoal) -> Self {
+        self.goal = goal;
+        self
+    }
+
+    /// Set where register spills land (default: [`SpillTarget::Local`]).
+    pub fn spill_target(mut self, target: SpillTarget) -> Self {
+        self.spill_target = target;
+        self
+    }
+
+    /// Apply a `launch_bounds(T, B)`-style register cap to every kernel
+    /// (a region's own `launch_bounds` clause still wins per kernel).
+    pub fn launch_bounds(mut self, max_threads: u32, min_blocks: u32) -> Self {
+        self.launch_bounds = Some((max_threads, min_blocks.max(1)));
+        self
+    }
+
+    /// Override the per-thread register cap the feedback loop targets.
+    /// Out-of-range values (< 4 or above the device maximum) are
+    /// rejected at compile time with a typed error, not clamped.
+    pub fn reg_cap(mut self, cap: u32) -> Self {
+        self.reg_cap = Some(cap);
         self
     }
 
@@ -311,12 +393,37 @@ impl CompilerConfigBuilder {
                 }
             }
         };
-        match (self.unroll >= 2, base.name) {
+        let base = match (self.unroll >= 2, base.name) {
             (false, _) => base,
             // The named unroll point keeps its canonical name.
             (true, "OpenUH(SAFARA+small+dim)") => CompilerConfig::safara_unroll(self.unroll),
             (true, _) => CompilerConfig { name: "custom", unroll: self.unroll, ..base },
+        };
+        // Goal / spill-target / cap overrides. Untouched knobs leave the
+        // named configs byte-identical (pinned by the compat tests);
+        // combinations matching one of the newer named evaluation points
+        // resolve to that point, everything else is labelled custom.
+        if self.goal == OptGoal::default()
+            && self.spill_target == SpillTarget::default()
+            && self.launch_bounds.is_none()
+            && self.reg_cap.is_none()
+        {
+            return base;
         }
+        let mut cfg = CompilerConfig {
+            goal: self.goal,
+            spill_target: self.spill_target,
+            launch_bounds: self.launch_bounds.or(base.launch_bounds),
+            reg_cap: self.reg_cap.unwrap_or(base.reg_cap),
+            ..base
+        };
+        for named in [CompilerConfig::safara_throughput(), CompilerConfig::safara_regdem()] {
+            if (CompilerConfig { name: named.name, ..cfg.clone() }) == named {
+                return named;
+            }
+        }
+        cfg.name = "custom";
+        cfg
     }
 }
 
@@ -403,6 +510,41 @@ mod tests {
     }
 
     #[test]
+    fn typed_overrides_compose_with_the_builder() {
+        // Overrides resolving to a named point get that point's name.
+        assert_eq!(
+            CompilerConfig::builder().safara(true).goal(OptGoal::MaxThroughput).build(),
+            CompilerConfig::safara_throughput()
+        );
+        assert_eq!(
+            CompilerConfig::builder()
+                .safara(true)
+                .reg_cap(40)
+                .spill_target(SpillTarget::Shared)
+                .build(),
+            CompilerConfig::safara_regdem()
+        );
+        // Off-menu overrides are labelled custom but keep the knobs.
+        let cfg = CompilerConfig::builder().safara(true).launch_bounds(256, 2).build();
+        assert_eq!(cfg.name, "custom");
+        assert_eq!(cfg.launch_bounds, Some((256, 2)));
+        let cfg = CompilerConfig::builder().reg_cap(64).build();
+        assert_eq!(cfg.name, "custom");
+        assert_eq!(cfg.reg_cap, 64);
+        // No overrides → byte-identical named configs (the compat pin).
+        assert_eq!(CompilerConfig::builder().safara(true).build(), CompilerConfig::safara_only());
+    }
+
+    #[test]
+    fn new_defaults_are_inert() {
+        let cfg = CompilerConfig::base();
+        assert_eq!(cfg.goal, OptGoal::MinRegisters);
+        assert_eq!(cfg.spill_target, SpillTarget::Local);
+        assert_eq!(cfg.launch_bounds, None);
+        assert_eq!(cfg.device, DeviceConfig::k20xm());
+    }
+
+    #[test]
     fn names_are_distinct() {
         let names = [
             CompilerConfig::base().name,
@@ -415,6 +557,8 @@ mod tests {
             CompilerConfig::pgi_like().name,
             CompilerConfig::safara_count_only().name,
             CompilerConfig::safara_no_feedback().name,
+            CompilerConfig::safara_throughput().name,
+            CompilerConfig::safara_regdem().name,
         ];
         let mut uniq = names.to_vec();
         uniq.sort();

@@ -3,7 +3,7 @@
 //! pressure matter.
 
 /// Static device parameters.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceConfig {
     /// Marketing name, for reports.
     pub name: &'static str,
@@ -45,6 +45,14 @@ pub struct DeviceConfig {
     /// Latency of a local (spill) access — local memory is backed by L1
     /// on Kepler but spills still cost a memory round trip when they miss.
     pub lat_local: u32,
+    /// Latency of a shared-memory access (bank-conflict-free). This is
+    /// what RegDem-style shared spilling buys: ~an order of magnitude
+    /// below a local-memory round trip.
+    pub lat_shared: u32,
+    /// Shared memory per SMX in bytes (48 KiB on Kepler under the
+    /// default carveout) — the capacity shared spills are accounted
+    /// against.
+    pub shared_mem_per_sm: u32,
     /// Extra serialization cycles for each additional transaction an
     /// uncoalesced warp access needs (departure delay).
     pub uncoalesced_penalty: u32,
@@ -82,6 +90,8 @@ impl DeviceConfig {
             lat_global: 380,
             lat_readonly: 140,
             lat_local: 380,
+            lat_shared: 30,
+            shared_mem_per_sm: 49_152,
             uncoalesced_penalty: 40,
             cpi_simple: 1.0,
             cpi_int64: 2.0,
@@ -110,6 +120,19 @@ impl DeviceConfig {
     /// Occupancy for a kernel using `regs_per_thread` registers launched
     /// with `threads_per_block`.
     pub fn occupancy(&self, regs_per_thread: u32, threads_per_block: u32) -> Occupancy {
+        self.occupancy_with_shared(regs_per_thread, threads_per_block, 0)
+    }
+
+    /// Occupancy for a kernel that additionally reserves
+    /// `shared_bytes_per_block` bytes of shared memory per resident block
+    /// (e.g. a RegDem-style shared spill slab). Shared demand adds a
+    /// third residency limit alongside registers and the warp/block caps.
+    pub fn occupancy_with_shared(
+        &self,
+        regs_per_thread: u32,
+        threads_per_block: u32,
+        shared_bytes_per_block: u32,
+    ) -> Occupancy {
         let tpb = threads_per_block.clamp(1, self.max_threads_per_block);
         let warps_per_block = tpb.div_ceil(self.warp_size).max(1);
         // Per-warp register allocation, rounded to the granularity.
@@ -119,7 +142,14 @@ impl DeviceConfig {
         let warp_limit_regs = self.regs_per_sm / warp_regs.max(1);
         let blocks_by_regs = warp_limit_regs / warps_per_block;
         let blocks_by_warps = self.max_warps_per_sm / warps_per_block;
-        let blocks = blocks_by_regs.min(blocks_by_warps).min(self.max_blocks_per_sm);
+        let blocks_by_shared = self
+            .shared_mem_per_sm
+            .checked_div(shared_bytes_per_block)
+            .unwrap_or(u32::MAX);
+        let blocks = blocks_by_regs
+            .min(blocks_by_warps)
+            .min(blocks_by_shared)
+            .min(self.max_blocks_per_sm);
         let active_warps = blocks * warps_per_block;
         Occupancy {
             blocks_per_sm: blocks,
@@ -192,6 +222,51 @@ mod tests {
         let base = d.occupancy(128, 256);
         let opt = d.occupancy(48, 256);
         assert!(opt.active_warps_per_sm >= 2 * base.active_warps_per_sm);
+    }
+
+    #[test]
+    fn cc35_occupancy_table_rows() {
+        // Hand-computed rows of the CUDA occupancy calculator for CC 3.5
+        // (64K regs/SM, 256-reg warp granularity, 64 warps/SM, 16
+        // blocks/SM): (regs/thread, threads/block) → (blocks, warps).
+        let d = DeviceConfig::k20xm();
+        let rows: [(u32, u32, u32, u32); 6] = [
+            // 32 regs → 1024/warp → reg limit 64 warps; warp cap binds.
+            (32, 256, 8, 64),
+            // 64 regs → 2048/warp → 32 warps by regs → 4 blocks of 8.
+            (64, 256, 4, 32),
+            // 40 regs → 1280/warp → 51 warps by regs → 12 blocks of 4.
+            (40, 128, 12, 48),
+            // 96 regs → 3072/warp → 21 warps by regs → 5 blocks of 4.
+            (96, 128, 5, 20),
+            // 255 regs → 8160→8192/warp → 8 warps by regs → 1 block of 8.
+            (255, 256, 1, 8),
+            // 72 regs × 1024 threads = 73728 regs > 64K: cannot launch.
+            (72, 1024, 0, 0),
+        ];
+        for (regs, tpb, blocks, warps) in rows {
+            let o = d.occupancy(regs, tpb);
+            assert_eq!(o.blocks_per_sm, blocks, "regs={regs} tpb={tpb}");
+            assert_eq!(o.active_warps_per_sm, warps, "regs={regs} tpb={tpb}");
+        }
+    }
+
+    #[test]
+    fn shared_memory_limits_residency() {
+        let d = DeviceConfig::k20xm();
+        // Without shared demand: 8 blocks × 8 warps.
+        assert_eq!(d.occupancy_with_shared(32, 256, 0), d.occupancy(32, 256));
+        // 24 KiB/block on a 48 KiB SM → 2 resident blocks → 16 warps.
+        let o = d.occupancy_with_shared(32, 256, 24_576);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.active_warps_per_sm, 16);
+        // A full-SM slab → 1 block.
+        let o = d.occupancy_with_shared(32, 256, 49_152);
+        assert_eq!(o.blocks_per_sm, 1);
+        // Oversized slab → cannot launch.
+        let o = d.occupancy_with_shared(32, 256, 49_153);
+        assert_eq!(o.blocks_per_sm, 0);
+        assert_eq!(o.active_warps_per_sm, 0);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! `ExecOptions` — the unified execution-side knob surface.
+//!
+//! Three independent knobs accreted over PRs 5–6 (engine selection,
+//! block-parallel worker count, superblock hot-block threshold), each
+//! with its own env var, process setter, and thread-local scope. This
+//! module folds them into one struct with one documented resolution
+//! order, applied uniformly to all three:
+//!
+//! 1. **per-launch** — a `Some` field on the [`ExecOptions`] passed to
+//!    [`ExecOptions::scope`] (servers map wire fields here, one request
+//!    at a time);
+//! 2. **scoped** — an enclosing [`crate::with_engine`] /
+//!    [`crate::with_sim_threads`] /
+//!    [`crate::superblock::with_superblock_threshold`] on this thread;
+//! 3. **env** — `SAFARA_ENGINE`, `SAFARA_SIM_THREADS`,
+//!    `SAFARA_SB_THRESHOLD`, read once per process;
+//! 4. **default** — decoded+superblock engine, serial execution,
+//!    [`crate::DEFAULT_SUPERBLOCK_THRESHOLD`].
+//!
+//! A `None` field simply falls through to the next layer, so an
+//! `ExecOptions::default()` scope is a no-op and the struct can always
+//! be applied unconditionally.
+
+use crate::interp::{with_engine, Engine};
+use crate::parallel::with_sim_threads;
+use crate::superblock::with_superblock_threshold;
+
+/// Per-launch execution options; `None` fields inherit the enclosing
+/// scope / environment / default (see the module docs for the order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecOptions {
+    /// Which interpreter runs the launch.
+    pub engine: Option<Engine>,
+    /// Block-parallel worker count (`0` = auto: one per CPU).
+    pub sim_threads: Option<u32>,
+    /// Superblock hot-block threshold (`u64::MAX` disables fusion).
+    pub superblock_threshold: Option<u64>,
+}
+
+impl ExecOptions {
+    /// Options that inherit everything from the enclosing scope.
+    pub fn inherit() -> Self {
+        Self::default()
+    }
+
+    /// Pin the execution engine for this launch.
+    pub fn engine(mut self, e: Engine) -> Self {
+        self.engine = Some(e);
+        self
+    }
+
+    /// Pin the block-parallel worker count for this launch.
+    pub fn sim_threads(mut self, n: u32) -> Self {
+        self.sim_threads = Some(n);
+        self
+    }
+
+    /// Pin the superblock hot-block threshold for this launch.
+    pub fn superblock_threshold(mut self, t: u64) -> Self {
+        self.superblock_threshold = Some(t);
+        self
+    }
+
+    /// True when every field inherits — applying the scope is a no-op.
+    pub fn is_inherit(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Run `f` with these options installed as thread-local overrides,
+    /// restoring the previous state afterwards (even on unwind). Nesting
+    /// works the way the resolution order implies: the innermost `Some`
+    /// wins per knob.
+    pub fn scope<T>(&self, f: impl FnOnce() -> T) -> T {
+        match (self.engine, self.sim_threads, self.superblock_threshold) {
+            (None, None, None) => f(),
+            (e, s, t) => {
+                let with_t = move || match t {
+                    Some(t) => with_superblock_threshold(t, f),
+                    None => f(),
+                };
+                let with_s = move || match s {
+                    Some(s) => with_sim_threads(s, with_t),
+                    None => with_t(),
+                };
+                match e {
+                    Some(e) => with_engine(e, with_s),
+                    None => with_s(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::current_engine;
+    use crate::parallel::current_sim_threads;
+    use crate::superblock::current_superblock_threshold;
+
+    #[test]
+    fn inherit_is_a_no_op() {
+        let before =
+            (current_engine(), current_sim_threads(), current_superblock_threshold());
+        let inside = ExecOptions::inherit().scope(|| {
+            (current_engine(), current_sim_threads(), current_superblock_threshold())
+        });
+        assert_eq!(before, inside);
+        assert!(ExecOptions::default().is_inherit());
+    }
+
+    #[test]
+    fn scope_applies_and_restores_every_knob() {
+        let before =
+            (current_engine(), current_sim_threads(), current_superblock_threshold());
+        let opts = ExecOptions::inherit()
+            .engine(Engine::Reference)
+            .sim_threads(3)
+            .superblock_threshold(123);
+        opts.scope(|| {
+            assert_eq!(current_engine(), Engine::Reference);
+            assert_eq!(current_sim_threads(), 3);
+            assert_eq!(current_superblock_threshold(), 123);
+        });
+        let after =
+            (current_engine(), current_sim_threads(), current_superblock_threshold());
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn per_launch_beats_enclosing_scope() {
+        crate::with_engine(Engine::Decoded, || {
+            ExecOptions::inherit().engine(Engine::Superblock).scope(|| {
+                assert_eq!(current_engine(), Engine::Superblock);
+            });
+            // A None field falls through to the enclosing scope.
+            ExecOptions::inherit().sim_threads(2).scope(|| {
+                assert_eq!(current_engine(), Engine::Decoded);
+                assert_eq!(current_sim_threads(), 2);
+            });
+        });
+    }
+}

@@ -27,6 +27,7 @@
 
 pub(crate) mod decode;
 pub mod device;
+pub mod exec_options;
 pub mod interp;
 pub mod memo;
 pub mod memory;
@@ -48,12 +49,15 @@ pub use parallel::{
     reset_max_sim_threads_used, set_sim_threads, with_sim_threads, ParallelInfo,
 };
 pub use superblock::{
-    fusion_counters, set_superblock_threshold, FusionCounters, DEFAULT_SUPERBLOCK_THRESHOLD,
+    current_superblock_threshold, fusion_counters, parse_superblock_threshold,
+    set_superblock_threshold, with_superblock_threshold, FusionCounters,
+    DEFAULT_SUPERBLOCK_THRESHOLD,
 };
+pub use exec_options::ExecOptions;
 pub use memo::{launch_cached, LaunchCache, SharedLaunchCache};
 pub use memory::{BufferId, DeviceMemory};
-pub use ptxas::{allocate_registers, RegAllocReport};
+pub use ptxas::{allocate_registers, allocate_registers_with, RegAllocReport, SpillTarget};
 pub use rng::SplitMix64;
 pub use stats::KernelStats;
-pub use timing::{estimate_time, TimingBreakdown};
+pub use timing::{estimate_time, estimate_time_with, TimingBreakdown};
 pub use vir::{Inst, KernelVir, VReg, VType};

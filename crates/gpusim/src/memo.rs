@@ -177,8 +177,10 @@ impl Default for LaunchCache {
     }
 }
 
-const MAGIC: &[u8] = b"SAFARAMEMO1\n";
-const STATS_WORDS: usize = 13;
+// Format v2 added `shared_accesses` to the stats block; v1 files fail
+// the magic check and the cache simply starts empty (cold, not wrong).
+const MAGIC: &[u8] = b"SAFARAMEMO2\n";
+const STATS_WORDS: usize = 14;
 
 fn stats_to_words(s: &KernelStats) -> [u64; STATS_WORDS] {
     [
@@ -192,6 +194,7 @@ fn stats_to_words(s: &KernelStats) -> [u64; STATS_WORDS] {
         s.readonly_requests,
         s.readonly_transactions,
         s.local_accesses,
+        s.shared_accesses,
         s.atomics,
         s.warps,
         s.threads,
@@ -210,9 +213,10 @@ fn stats_from_words(w: &[u64; STATS_WORDS]) -> KernelStats {
         readonly_requests: w[7],
         readonly_transactions: w[8],
         local_accesses: w[9],
-        atomics: w[10],
-        warps: w[11],
-        threads: w[12],
+        shared_accesses: w[10],
+        atomics: w[11],
+        warps: w[12],
+        threads: w[13],
     }
 }
 

@@ -20,6 +20,20 @@
 use crate::vir::{Inst, KernelVir, VReg, VType};
 use std::collections::BTreeSet;
 
+/// Where spilled values live, RegDem-style (arXiv 1907.02894): the
+/// default local-memory path pays a global-memory round trip per access;
+/// `Shared` places per-thread spill slots in a shared-memory slab instead,
+/// trading on-chip capacity (and thus possibly occupancy) for ~10× lower
+/// spill latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SpillTarget {
+    /// Spills go to thread-local memory (the hardware default).
+    #[default]
+    Local,
+    /// Spills go to a per-block shared-memory slab, capacity permitting.
+    Shared,
+}
+
 /// The allocator's report — the simulated `ptxas -v` output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegAllocReport {
@@ -30,12 +44,20 @@ pub struct RegAllocReport {
     pub demand: u32,
     /// Virtual registers spilled to local memory.
     pub spilled: Vec<VReg>,
-    /// Local-memory bytes per thread used by spill slots.
+    /// Spill-slot bytes per thread (local bytes under `Local`; the
+    /// per-thread share of the shared slab under `Shared`).
     pub spill_bytes: u32,
     /// Static count of spill reloads inserted (uses of spilled vregs).
     pub static_spill_loads: u32,
     /// Static count of spill stores inserted (defs of spilled vregs).
     pub static_spill_stores: u32,
+    /// Where the spill slots were placed. `Shared` only when it was
+    /// requested *and* the slab fit the device's shared capacity for the
+    /// planned block size — otherwise the allocator falls back to `Local`.
+    pub spill_target: SpillTarget,
+    /// Shared-memory bytes the spill slab reserves per resident block
+    /// (`spill_bytes × threads_per_block`); zero under `Local`.
+    pub shared_spill_bytes_per_block: u32,
 }
 
 impl RegAllocReport {
@@ -61,6 +83,23 @@ struct Interval {
 /// imposed cap; values are clamped to at least 4 so degenerate settings
 /// cannot wedge the allocator.
 pub fn allocate_registers(kernel: &KernelVir, max_regs: u32) -> RegAllocReport {
+    allocate_registers_with(kernel, max_regs, SpillTarget::Local, 0, 0)
+}
+
+/// [`allocate_registers`] with an explicit spill target.
+///
+/// Under [`SpillTarget::Shared`] the spill slab is sized as
+/// `spill_bytes × threads_per_block` and checked against
+/// `shared_mem_per_sm`: if it would not leave room for even one resident
+/// block, the allocator falls back to `Local` (recorded in the report) —
+/// shared spilling must never make a kernel unlaunchable.
+pub fn allocate_registers_with(
+    kernel: &KernelVir,
+    max_regs: u32,
+    target: SpillTarget,
+    threads_per_block: u32,
+    shared_mem_per_sm: u32,
+) -> RegAllocReport {
     let cap = max_regs.clamp(4, 255) as usize;
     let live = liveness(kernel);
     let mut intervals = build_intervals(kernel, &live);
@@ -167,6 +206,16 @@ pub fn allocate_registers(kernel: &KernelVir, max_regs: u32) -> RegAllocReport {
         }
     }
 
+    // Capacity accounting for shared spilling: the slab must fit at
+    // least one block on an SM, or we fall back to local memory.
+    let slab = spill_bytes.saturating_mul(threads_per_block);
+    let (spill_target, shared_slab) = match target {
+        SpillTarget::Shared if spill_bytes > 0 && slab > 0 && slab <= shared_mem_per_sm => {
+            (SpillTarget::Shared, slab)
+        }
+        _ => (SpillTarget::Local, 0),
+    };
+
     RegAllocReport {
         regs_used: high_water.min(cap) as u32,
         demand: demand_water as u32,
@@ -174,6 +223,8 @@ pub fn allocate_registers(kernel: &KernelVir, max_regs: u32) -> RegAllocReport {
         spill_bytes,
         static_spill_loads: loads,
         static_spill_stores: stores,
+        spill_target,
+        shared_spill_bytes_per_block: shared_slab,
     }
 }
 
@@ -430,6 +481,41 @@ mod tests {
             let rep = allocate_registers(&k, cap);
             assert!(rep.regs_used <= cap, "cap {cap} → used {}", rep.regs_used);
         }
+    }
+
+    #[test]
+    fn shared_spill_target_respects_capacity() {
+        let k = pressure_kernel(30);
+        // Fits: slab = spill_bytes × 128 threads, well under 48 KiB.
+        let rep = allocate_registers_with(&k, 16, SpillTarget::Shared, 128, 49_152);
+        assert!(!rep.fits());
+        assert_eq!(rep.spill_target, SpillTarget::Shared);
+        assert_eq!(rep.shared_spill_bytes_per_block, rep.spill_bytes * 128);
+        assert!(rep.shared_spill_bytes_per_block <= 49_152);
+
+        // Too big for the SM: falls back to local, never unlaunchable.
+        let rep = allocate_registers_with(&k, 16, SpillTarget::Shared, 1024, 1_024);
+        assert!(!rep.fits());
+        assert_eq!(rep.spill_target, SpillTarget::Local);
+        assert_eq!(rep.shared_spill_bytes_per_block, 0);
+    }
+
+    #[test]
+    fn shared_target_is_inert_without_spills() {
+        let k = pressure_kernel(10);
+        let rep = allocate_registers_with(&k, 255, SpillTarget::Shared, 256, 49_152);
+        assert!(rep.fits());
+        assert_eq!(rep.spill_target, SpillTarget::Local);
+        assert_eq!(rep.shared_spill_bytes_per_block, 0);
+    }
+
+    #[test]
+    fn default_allocation_is_the_local_target() {
+        let k = pressure_kernel(30);
+        let a = allocate_registers(&k, 16);
+        let b = allocate_registers_with(&k, 16, SpillTarget::Local, 256, 49_152);
+        assert_eq!(a, b);
+        assert_eq!(a.spill_target, SpillTarget::Local);
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub struct KernelStats {
     pub readonly_transactions: u64,
     /// Local-memory (spill) accesses.
     pub local_accesses: u64,
+    /// Shared-memory accesses (spills under `SpillTarget::Shared`; zero
+    /// for kernels compiled with the default local spill target).
+    pub shared_accesses: u64,
     /// Global atomic operations (each serializes to one transaction).
     pub atomics: u64,
     /// Warps executed.
@@ -53,6 +56,7 @@ impl KernelStats {
         self.readonly_requests += other.readonly_requests;
         self.readonly_transactions += other.readonly_transactions;
         self.local_accesses += other.local_accesses;
+        self.shared_accesses += other.shared_accesses;
         self.atomics += other.atomics;
         self.warps += other.warps;
         self.threads += other.threads;
@@ -69,6 +73,7 @@ impl KernelStats {
             + self.global_st_requests
             + self.readonly_requests
             + self.local_accesses
+            + self.shared_accesses
             + self.atomics
     }
 

@@ -75,7 +75,15 @@ const UB: u32 = 1 << 31;
 
 static THRESHOLD: AtomicU64 = AtomicU64::new(0); // 0 = read env on first use
 
+std::thread_local! {
+    static THRESHOLD_OVERRIDE: std::cell::Cell<Option<u64>> =
+        const { std::cell::Cell::new(None) };
+}
+
 fn threshold() -> u64 {
+    if let Some(t) = THRESHOLD_OVERRIDE.with(|c| c.get()) {
+        return t.max(1);
+    }
     let t = THRESHOLD.load(Ordering::Relaxed);
     if t != 0 {
         return t;
@@ -100,6 +108,37 @@ fn threshold() -> u64 {
 /// differential tests pin). Values below 1 clamp to 1.
 pub fn set_superblock_threshold(t: u64) {
     THRESHOLD.store(t.max(1), Ordering::Relaxed);
+}
+
+/// Run `f` with a thread-local hot-block-threshold override, then
+/// restore the previous override even on unwind. Mirrors
+/// [`crate::interp::with_engine`] / [`crate::parallel::with_sim_threads`]
+/// so per-request settings never leak across server worker iterations.
+pub fn with_superblock_threshold<T>(t: u64, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<u64>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THRESHOLD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THRESHOLD_OVERRIDE.with(|c| c.replace(Some(t))));
+    f()
+}
+
+/// The hot-block threshold a launch on the current thread would use
+/// (override > process setting > env > default).
+pub fn current_superblock_threshold() -> u64 {
+    threshold()
+}
+
+/// Parse a superblock-threshold setting: `inf` disables fusion entirely
+/// (delegates every launch to the decoded engine), otherwise a count ≥ 1.
+pub fn parse_superblock_threshold(s: &str) -> Option<u64> {
+    let t = s.trim();
+    if t.eq_ignore_ascii_case("inf") {
+        return Some(u64::MAX);
+    }
+    t.parse::<u64>().ok().filter(|&x| x >= 1)
 }
 
 // ---------------------------------------------------------------------

@@ -75,7 +75,22 @@ pub fn estimate_time(
     regs_per_thread: u32,
     threads_per_block: u32,
 ) -> TimingBreakdown {
-    let occ = dev.occupancy(regs_per_thread, threads_per_block);
+    estimate_time_with(dev, stats, regs_per_thread, threads_per_block, 0)
+}
+
+/// Like [`estimate_time`], but additionally accounts for a per-block
+/// shared-memory reservation (e.g. a RegDem-style shared spill slab):
+/// shared demand limits residency via
+/// [`DeviceConfig::occupancy_with_shared`], and `stats.shared_accesses`
+/// enter the latency pool at `lat_shared` instead of `lat_local`.
+pub fn estimate_time_with(
+    dev: &DeviceConfig,
+    stats: &KernelStats,
+    regs_per_thread: u32,
+    threads_per_block: u32,
+    shared_bytes_per_block: u32,
+) -> TimingBreakdown {
+    let occ = dev.occupancy_with_shared(regs_per_thread, threads_per_block, shared_bytes_per_block);
     let active = occ.active_warps_per_sm.max(1);
 
     // ---- compute side -------------------------------------------------
@@ -102,6 +117,7 @@ pub fn estimate_time(
         + ro_req * dev.lat_readonly as f64
         + extra_ro * dev.uncoalesced_penalty as f64
         + stats.local_accesses as f64 * dev.lat_local as f64
+        + stats.shared_accesses as f64 * dev.lat_shared as f64
         + stats.atomics as f64 * (dev.lat_global as f64 * 1.5);
     // Latency is hidden by the resident warps on each SM: with N warps in
     // flight an SM overlaps ~N outstanding requests.
@@ -211,6 +227,30 @@ mod tests {
         let tc = estimate_time(&d, &clean, 32, 256);
         let ts = estimate_time(&d, &spilled, 32, 256);
         assert!(ts.total_cycles > tc.total_cycles);
+    }
+
+    #[test]
+    fn shared_spills_cheaper_than_local_spills() {
+        let d = DeviceConfig::k20xm();
+        let mut local = mem_stats(10_000, 10_000);
+        local.local_accesses = 100_000;
+        let mut shared = mem_stats(10_000, 10_000);
+        shared.shared_accesses = 100_000;
+        let tl = estimate_time(&d, &local, 32, 256);
+        // Even paying the residency cost of a 4 KiB spill slab per block,
+        // shared-latency spills beat local-memory round trips.
+        let ts = estimate_time_with(&d, &shared, 32, 256, 4096);
+        assert!(ts.total_cycles < tl.total_cycles);
+    }
+
+    #[test]
+    fn shared_slab_can_limit_occupancy() {
+        let d = DeviceConfig::k20xm();
+        let s = mem_stats(200_000, 200_000);
+        let free = estimate_time_with(&d, &s, 32, 256, 0);
+        let heavy = estimate_time_with(&d, &s, 32, 256, 24_576);
+        assert!(heavy.active_warps < free.active_warps);
+        assert!(heavy.total_cycles > free.total_cycles);
     }
 
     #[test]

@@ -112,6 +112,22 @@ pub struct DimBound {
     pub len: Expr,
 }
 
+/// A proposed `launch_bounds(T[, B])` clause: the CUDA
+/// `__launch_bounds__` contract surfaced at the directive level. `T`
+/// promises the region never launches more than `T` threads per block;
+/// `B` asks the compiler to keep at least `B` blocks resident per SM.
+/// Together they imply a per-thread register cap
+/// (`B × warps(T) × warp_alloc(r) ≤ regs/SM`) that the feedback loop
+/// must respect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchBoundsClause {
+    /// Maximum threads per block the region will be launched with.
+    pub max_threads: Expr,
+    /// Minimum resident blocks per SM the compiler must preserve
+    /// (defaults to 1 when omitted).
+    pub min_blocks: Option<Expr>,
+}
+
 /// All clauses attached to a `kernels`/`parallel` directive.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RegionClauses {
@@ -121,6 +137,8 @@ pub struct RegionClauses {
     pub num_gangs: Option<Expr>,
     /// `vector_length(e)` (parallel construct).
     pub vector_length: Option<Expr>,
+    /// Proposed `launch_bounds(T[, B])` register-budget contract.
+    pub launch_bounds: Option<LaunchBoundsClause>,
     /// Proposed `dim` groups.
     pub dim_groups: Vec<DimGroup>,
     /// Arrays named in proposed `small` clauses.

@@ -469,6 +469,16 @@ impl<'a> Parser<'a> {
                 self.expect_punct(")")?;
                 Ok(true)
             }
+            "launch_bounds" => {
+                self.pos += 1;
+                self.expect_punct("(")?;
+                let max_threads = self.expr()?;
+                let min_blocks =
+                    if self.eat_punct(",") { Some(self.expr()?) } else { None };
+                self.expect_punct(")")?;
+                clauses.launch_bounds = Some(LaunchBoundsClause { max_threads, min_blocks });
+                Ok(true)
+            }
             "dim" => {
                 self.pos += 1;
                 self.expect_punct("(")?;

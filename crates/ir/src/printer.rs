@@ -185,6 +185,15 @@ fn region_clauses_into(c: &RegionClauses, s: &mut String) {
         expr_into(e, 0, s);
         s.push(')');
     }
+    if let Some(lb) = &c.launch_bounds {
+        s.push_str(" launch_bounds(");
+        expr_into(&lb.max_threads, 0, s);
+        if let Some(b) = &lb.min_blocks {
+            s.push_str(", ");
+            expr_into(b, 0, s);
+        }
+        s.push(')');
+    }
     if !c.dim_groups.is_empty() {
         s.push_str(" dim(");
         for (i, g) in c.dim_groups.iter().enumerate() {
@@ -386,6 +395,33 @@ mod tests {
               {
                 #pragma acc loop gang vector
                 for (int i = 0; i < nx; i++) { a[0][i] = b[0][i] + c[0][i]; }
+              }
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_launch_bounds() {
+        roundtrip(
+            r#"
+            void f(int n, float a[n], float b[n]) {
+              #pragma acc kernels launch_bounds(256, 4) copyin(b) copyout(a)
+              {
+                #pragma acc loop gang vector
+                for (int i = 0; i < n; i++) { a[i] = b[i]; }
+              }
+            }
+            "#,
+        );
+        // Single-argument form (min_blocks defaults to 1).
+        roundtrip(
+            r#"
+            void f(int n, float a[n]) {
+              #pragma acc parallel launch_bounds(128)
+              {
+                #pragma acc loop gang vector
+                for (int i = 0; i < n; i++) { a[i] = 0.0; }
               }
             }
             "#,

@@ -245,6 +245,36 @@ impl Checker {
         for v in &c.small {
             array_ty(v)?;
         }
+        if let Some(lb) = &c.launch_bounds {
+            match lb.max_threads.as_const() {
+                Some(t) if t > 0 => {}
+                Some(_) => {
+                    return Err(SemaError::new(
+                        "`launch_bounds` max threads must be a positive constant",
+                    ))
+                }
+                None => {
+                    return Err(SemaError::new(
+                        "`launch_bounds` max threads must be a compile-time constant",
+                    ))
+                }
+            }
+            if let Some(b) = &lb.min_blocks {
+                match b.as_const() {
+                    Some(n) if n > 0 => {}
+                    Some(_) => {
+                        return Err(SemaError::new(
+                            "`launch_bounds` min blocks must be a positive constant",
+                        ))
+                    }
+                    None => {
+                        return Err(SemaError::new(
+                            "`launch_bounds` min blocks must be a compile-time constant",
+                        ))
+                    }
+                }
+            }
+        }
         let mut grouped: Vec<&Ident> = Vec::new();
         for g in &c.dim_groups {
             if g.arrays.len() < 2 {
@@ -436,6 +466,27 @@ mod tests {
     #[test]
     fn rem_on_floats_rejected() {
         assert!(err("void f(float x, float y) { x = x % y; }").contains("integer"));
+    }
+
+    #[test]
+    fn launch_bounds_must_be_positive_constants() {
+        let tmpl = |args: &str| {
+            format!(
+                r#"
+        void f(int n, float a[n]) {{
+          #pragma acc kernels launch_bounds({args})
+          {{
+            #pragma acc loop gang vector
+            for (int i = 0; i < n; i++) {{ a[i] = 0.0; }} }}
+        }}"#
+            )
+        };
+        assert!(err(&tmpl("0")).contains("positive"));
+        assert!(err(&tmpl("n")).contains("constant"));
+        assert!(err(&tmpl("128, 0")).contains("positive"));
+        assert!(err(&tmpl("128, n")).contains("constant"));
+        parse_program(&tmpl("128, 2")).unwrap();
+        parse_program(&tmpl("256")).unwrap();
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod strategy;
 pub mod transform;
 pub mod unroll;
 
-pub use select::{select_candidates, SelectionConfig};
-pub use strategy::{carr_kennedy_pass, safara_pass, SrOutcome};
+pub use select::{select_candidates, OptGoal, SelectionConfig, ThroughputContext};
+pub use strategy::{carr_kennedy_pass, safara_pass, safara_pass_with, SrOutcome};
 pub use transform::apply_group;
 pub use unroll::unroll_seq_loops;

@@ -4,14 +4,47 @@
 //! feedback loop says are still available, pick the most beneficial
 //! groups: sort by `benefit = loads_saved × latency(access class)`
 //! descending and take greedily while the temporaries fit.
+//!
+//! Under [`OptGoal::MaxThroughput`] the greedy admission additionally
+//! consults the device occupancy model: a candidate is admitted only if
+//! the latency it removes outweighs the latency-hiding lost when its
+//! temporaries push the kernel across a warp-allocation boundary
+//! (registers/thread × threads/SM ≤ registers/SM). This is the
+//! occupancy-aware refinement of the paper's count-saturating loop.
 
 use safara_analysis::coalesce::classify_ref;
 use safara_analysis::cost::{AccessClass, CostModel};
 use safara_analysis::memspace::ArrayUsage;
 use safara_analysis::region::RegionInfo;
 use safara_analysis::reuse::ReuseGroup;
+use safara_gpusim::DeviceConfig;
 use safara_ir::{Ident, ScalarTy};
 use std::collections::BTreeMap;
+
+/// What the budgeted selection optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OptGoal {
+    /// The paper's policy: saturate the register budget — every
+    /// above-threshold candidate that fits is admitted.
+    #[default]
+    MinRegisters,
+    /// Occupancy-aware policy: admit a candidate only if the predicted
+    /// memory time (latency pool ÷ resident warps) improves, so register
+    /// pressure is traded against latency hiding instead of ignored.
+    MaxThroughput,
+}
+
+/// Device-side facts the `MaxThroughput` admission test needs.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputContext {
+    /// The occupancy oracle.
+    pub device: DeviceConfig,
+    /// Planned threads per block (the `launch_bounds` T when declared,
+    /// otherwise the runtime's default geometry).
+    pub threads_per_block: u32,
+    /// Hardware registers the kernel already uses (ptxas feedback).
+    pub regs_in_use: u32,
+}
 
 /// Selection policy knobs.
 #[derive(Debug, Clone)]
@@ -25,11 +58,22 @@ pub struct SelectionConfig {
     /// Groups whose estimated benefit is below this threshold are never
     /// selected (avoids burning registers on single-hit reuse).
     pub min_benefit: u64,
+    /// What admission optimizes.
+    pub goal: OptGoal,
+    /// Required when `goal` is [`OptGoal::MaxThroughput`]; ignored (and
+    /// the goal falls back to `MinRegisters`) when absent.
+    pub throughput: Option<ThroughputContext>,
 }
 
 impl Default for SelectionConfig {
     fn default() -> Self {
-        SelectionConfig { cost_model: CostModel::default(), regs_per_temp: 1, min_benefit: 1 }
+        SelectionConfig {
+            cost_model: CostModel::default(),
+            regs_per_temp: 1,
+            min_benefit: 1,
+            goal: OptGoal::MinRegisters,
+            throughput: None,
+        }
     }
 }
 
@@ -70,11 +114,79 @@ pub fn select_candidates(
         .filter(|c| c.benefit >= config.min_benefit)
         .collect();
     cands.sort_by(|a, b| b.benefit.cmp(&a.benefit).then(a.reg_cost.cmp(&b.reg_cost)));
+    match (config.goal, &config.throughput) {
+        (OptGoal::MaxThroughput, Some(ctx)) => {
+            select_for_throughput(cands, budget_regs, config, ctx)
+        }
+        _ => {
+            let mut used = 0u32;
+            let mut out = Vec::new();
+            for c in cands {
+                if used + c.reg_cost <= budget_regs {
+                    used += c.reg_cost;
+                    out.push(c);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Occupancy-aware greedy admission: walk the benefit-sorted candidates
+/// tracking an estimated per-thread memory-latency pool `P` and the
+/// kernel's register count `r`; admit a candidate (benefit `b`, cost
+/// `Δ`) only if `(P − b) / W(r + Δ) < P / W(r)` where `W` is the
+/// device's resident-warps function — i.e. only if the removed latency
+/// outweighs any latency-hiding lost to reduced occupancy. When the
+/// candidate does not cross a warp-allocation boundary `W` is unchanged
+/// and the test degenerates to `b > 0`, reproducing `MinRegisters`.
+fn select_for_throughput(
+    cands: Vec<Candidate>,
+    budget_regs: u32,
+    config: &SelectionConfig,
+    ctx: &ThroughputContext,
+) -> Vec<Candidate> {
+    let warps = |r: u32| -> u128 {
+        ctx.device.occupancy(r.max(1), ctx.threads_per_block).active_warps_per_sm as u128
+    };
+    // Estimated latency pool: total dynamic reads of every candidate
+    // group × its class latency (same latency scale the benefits use).
+    // Traffic outside reuse groups is not replaceable and cancels from
+    // both sides of the comparison, so it is omitted.
+    let lat = |class: AccessClass| -> u64 {
+        if config.cost_model.use_latency {
+            config.cost_model.latencies.latency(class)
+        } else {
+            1
+        }
+    };
+    let mut pool: u128 = cands
+        .iter()
+        .map(|c| {
+            let reads: u64 =
+                c.group.classes.iter().map(|rc| rc.reads as u64 * rc.weight).sum();
+            reads as u128 * lat(c.class) as u128
+        })
+        .sum::<u128>()
+        .max(1);
+    let mut regs = ctx.regs_in_use.max(1);
     let mut used = 0u32;
     let mut out = Vec::new();
     for c in cands {
-        if used + c.reg_cost <= budget_regs {
+        if used + c.reg_cost > budget_regs {
+            continue;
+        }
+        let w_now = warps(regs);
+        let w_after = warps(regs + c.reg_cost);
+        if w_now == 0 || w_after == 0 {
+            continue;
+        }
+        let b = (c.benefit as u128).min(pool);
+        // time_after < time_now  ⟺  (P − b)·W(r) < P·W(r + Δ)
+        if (pool - b) * w_now < pool * w_after {
             used += c.reg_cost;
+            regs += c.reg_cost;
+            pool -= b;
             out.push(c);
         }
     }
@@ -165,6 +277,66 @@ mod tests {
             latency_aware[0].class,
             AccessClass::GlobalUncoalesced | AccessClass::ReadOnlyUncoalesced
         ));
+    }
+
+    #[test]
+    fn throughput_goal_matches_min_registers_away_from_boundaries() {
+        // regs_in_use = 17 with 128-thread blocks: warp allocation is
+        // rounded to 256 regs (8 regs/thread), so the next boundary is at
+        // 24 — the candidates' few temporaries never cross it and the
+        // occupancy-aware admission must degenerate to the paper's.
+        let (groups, info, usage) = setup(FIG5);
+        let base = select_candidates(&groups, &info, &usage, 255, &SelectionConfig::default());
+        let ctx = ThroughputContext {
+            device: DeviceConfig::k20xm(),
+            threads_per_block: 128,
+            regs_in_use: 17,
+        };
+        let cfg = SelectionConfig {
+            goal: OptGoal::MaxThroughput,
+            throughput: Some(ctx),
+            ..Default::default()
+        };
+        let thr = select_candidates(&groups, &info, &usage, 255, &cfg);
+        let arrays = |v: &[Candidate]| -> Vec<String> {
+            v.iter().map(|c| c.group.array.as_str().to_string()).collect()
+        };
+        assert_eq!(arrays(&base), arrays(&thr));
+    }
+
+    #[test]
+    fn throughput_goal_stops_at_an_occupancy_cliff() {
+        // 1024-thread blocks at 63 regs/thread sit exactly on the edge:
+        // 64 regs still fits one resident block, 65 regs fits none. The
+        // count-saturating goal happily burns past the cliff; the
+        // throughput goal must stop at it.
+        let (groups, info, usage) = setup(FIG5);
+        let base = select_candidates(&groups, &info, &usage, 255, &SelectionConfig::default());
+        let base_cost: u32 = base.iter().map(|c| c.reg_cost).sum();
+        assert!(base_cost > 1, "fixture must want more than one register");
+        let ctx = ThroughputContext {
+            device: DeviceConfig::k20xm(),
+            threads_per_block: 1024,
+            regs_in_use: 63,
+        };
+        let cfg = SelectionConfig {
+            goal: OptGoal::MaxThroughput,
+            throughput: Some(ctx),
+            ..Default::default()
+        };
+        let thr = select_candidates(&groups, &info, &usage, 255, &cfg);
+        let thr_cost: u32 = thr.iter().map(|c| c.reg_cost).sum();
+        assert!(thr_cost <= 1, "must not launch-kill the kernel: cost {thr_cost}");
+        assert!(thr_cost < base_cost);
+    }
+
+    #[test]
+    fn throughput_goal_without_context_falls_back() {
+        let (groups, info, usage) = setup(FIG5);
+        let base = select_candidates(&groups, &info, &usage, 255, &SelectionConfig::default());
+        let cfg = SelectionConfig { goal: OptGoal::MaxThroughput, ..Default::default() };
+        let thr = select_candidates(&groups, &info, &usage, 255, &cfg);
+        assert_eq!(base.len(), thr.len());
     }
 
     #[test]

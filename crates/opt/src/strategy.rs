@@ -11,7 +11,9 @@
 //!   (Fig. 3 → Fig. 4). Register pressure is moderated by reference
 //!   count only.
 
-use crate::select::{group_elem_ty, select_candidates, SelectionConfig};
+use crate::select::{
+    group_elem_ty, select_candidates, OptGoal, SelectionConfig, ThroughputContext,
+};
 use crate::transform::{apply_group, TempNamer};
 use safara_analysis::cost::CostModel;
 use safara_analysis::memspace::classify_arrays;
@@ -44,11 +46,33 @@ pub fn safara_pass(
     cost_model: &CostModel,
     namer: &mut TempNamer,
 ) -> SrOutcome {
+    safara_pass_with(func, region, budget_regs, cost_model, OptGoal::MinRegisters, None, namer)
+}
+
+/// [`safara_pass`] with an explicit optimization goal. Under
+/// [`OptGoal::MaxThroughput`] the `throughput` context supplies the
+/// occupancy oracle (device + planned block size + current register use)
+/// consulted during admission; without it the goal degrades to
+/// `MinRegisters`.
+pub fn safara_pass_with(
+    func: &Function,
+    region: &mut OffloadRegion,
+    budget_regs: u32,
+    cost_model: &CostModel,
+    goal: OptGoal,
+    throughput: Option<ThroughputContext>,
+    namer: &mut TempNamer,
+) -> SrOutcome {
     let snapshot = region.clone();
     let info = RegionInfo::analyze(&snapshot);
     let usage = classify_arrays(&func.params, &snapshot);
     let groups = find_reuse_groups(&snapshot, &info);
-    let config = SelectionConfig { cost_model: cost_model.clone(), ..Default::default() };
+    let config = SelectionConfig {
+        cost_model: cost_model.clone(),
+        goal,
+        throughput,
+        ..Default::default()
+    };
     let picked = select_candidates(&groups, &info, &usage, budget_regs, &config);
     let mut outcome = SrOutcome::default();
     for c in &picked {

@@ -7,9 +7,9 @@ use safara_gpusim::device::DeviceConfig;
 use safara_gpusim::interp::{launch, LaunchConfig, ParamVal};
 use safara_gpusim::memo::{launch_cached, LaunchCache, SharedLaunchCache};
 use safara_gpusim::memory::{BufferId, DeviceMemory};
-use safara_gpusim::ptxas::RegAllocReport;
+use safara_gpusim::ptxas::{RegAllocReport, SpillTarget};
 use safara_gpusim::stats::KernelStats;
-use safara_gpusim::timing::{estimate_time, TimingBreakdown};
+use safara_gpusim::timing::{estimate_time_with, TimingBreakdown};
 use safara_ir::*;
 use safara_obs::Tracer;
 use std::collections::BTreeMap;
@@ -311,11 +311,22 @@ fn run_function_impl(
                 return Err(RuntimeError::new(format!("kernel `{}`: {e}", kernel.name)));
             }
         };
-        let timing = estimate_time(
+        // Under a shared spill slab every spill touch is a shared-memory
+        // access, not a local one. The engines (and the memo cache) count
+        // spill traffic as `local_accesses` regardless of target —
+        // compiled kernels never address local memory otherwise — so the
+        // reclassification here is exact, and cache hits and misses agree.
+        let mut stats = result.stats;
+        if alloc.spill_target == SpillTarget::Shared {
+            stats.shared_accesses += stats.local_accesses;
+            stats.local_accesses = 0;
+        }
+        let timing = estimate_time_with(
             dev,
-            &result.stats,
+            &stats,
             alloc.regs_used.max(16),
             config.threads_per_block(),
+            alloc.shared_spill_bytes_per_block,
         );
         tracer.meta_int("regs_used", alloc.regs_used as i64);
         tracer.meta_float("cycles", timing.total_cycles);
@@ -323,7 +334,7 @@ fn run_function_impl(
             name: kernel.name.clone(),
             config,
             regs_used: alloc.regs_used,
-            stats: result.stats,
+            stats,
             timing,
         });
 
@@ -497,6 +508,13 @@ fn launch_geometry(
     if kernel.mapped.is_empty() {
         return Ok(LaunchConfig::d1(1, 1));
     }
+    // A `launch_bounds(T, ...)` clause is a contract that no block
+    // exceeds `T` threads — it tightens the device's own limit.
+    let tpb_limit = kernel
+        .launch_bounds
+        .map(|(t, _)| t.max(1))
+        .unwrap_or(u32::MAX)
+        .min(dev.max_threads_per_block);
     let ndims = kernel.mapped.len().min(3);
     let default_block: [u32; 3] = match ndims {
         1 => [128, 1, 1],
@@ -511,11 +529,11 @@ fn launch_geometry(
             Some(e) => eval_i64(e, env).map_err(RuntimeError::new)?.clamp(1, 1024) as u32,
             None => default_block[d],
         };
-        block[d] = vec_len.min(dev.max_threads_per_block);
+        block[d] = vec_len.min(tpb_limit);
         grid[d] = ((trip.max(1)).div_ceil(block[d] as u64)) as u32;
     }
-    // Respect the device's threads-per-block limit by shrinking x.
-    while block[0] > 1 && block[0] * block[1] * block[2] > dev.max_threads_per_block {
+    // Respect the threads-per-block limit by shrinking x.
+    while block[0] > 1 && block[0] * block[1] * block[2] > tpb_limit {
         block[0] /= 2;
         let spec = &kernel.mapped[0];
         let trip = trip_count(spec, env)?.max(1) as u64;

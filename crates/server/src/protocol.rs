@@ -133,6 +133,13 @@ pub struct RunRequest {
     /// error. Kept as the raw token so validation happens in the
     /// service layer, mirroring `engine`.
     pub sim_threads: Option<String>,
+    /// Per-request superblock-promotion threshold override
+    /// (`"sb_threshold"` field: a positive integer, or the string
+    /// `"inf"` to disable promotion). `None` keeps the server's
+    /// default. Anything else fails with the typed
+    /// `invalid_sb_threshold` error. Raw token, validated in the
+    /// service layer like the other two knobs.
+    pub sb_threshold: Option<String>,
 }
 
 /// Parse one request line.
@@ -186,6 +193,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         Some(s.to_string())
                     } else {
                         return Err("`sim_threads` must be an integer or string".into());
+                    }
+                }
+            },
+            sb_threshold: match v.get("sb_threshold") {
+                None | Some(Json::Null) => None,
+                Some(t) => {
+                    // Raw token; the service layer rejects anything that
+                    // is not a positive integer or "inf" with the typed
+                    // `invalid_sb_threshold` error.
+                    if let Some(n) = t.as_i64() {
+                        Some(n.to_string())
+                    } else if let Some(s) = t.as_str() {
+                        Some(s.to_string())
+                    } else {
+                        return Err("`sb_threshold` must be an integer or string".into());
                     }
                 }
             },
@@ -377,10 +399,10 @@ impl Fnv {
 /// `BTreeMap` order) all match.
 ///
 /// Deliberately excluded, mirroring the launch-memo key rule:
-/// `sim_threads` (simulation results are thread-count independent, so
-/// keying on it would split identical work), `return_arrays` (response
-/// shaping, not work), and the envelope fields `id`, `v`, `trace`,
-/// `timeout_ms`.
+/// `sim_threads` and `sb_threshold` (simulation results are independent
+/// of worker count and superblock promotion, so keying on them would
+/// split identical work), `return_arrays` (response shaping, not work),
+/// and the envelope fields `id`, `v`, `trace`, `timeout_ms`.
 pub fn run_key(r: &RunRequest) -> u64 {
     run_key_parts(&r.source, &r.entry, &r.profile, r.engine.as_deref(), &r.args)
 }
@@ -519,6 +541,37 @@ pub fn build_run_request_with_sim_threads(
     args: &Args,
     return_arrays: bool,
 ) -> String {
+    build_run_request_with_exec_options(
+        v,
+        id,
+        source,
+        entry,
+        profile,
+        engine,
+        sim_threads,
+        None,
+        args,
+        return_arrays,
+    )
+}
+
+/// [`build_run_request_with_sim_threads`] with an optional per-request
+/// `sb_threshold` override (a positive integer rendered as a string, or
+/// `"inf"`). All three execution knobs omit their field when `None`,
+/// keeping the line byte-identical to the narrower builders.
+#[allow(clippy::too_many_arguments)]
+pub fn build_run_request_with_exec_options(
+    v: u8,
+    id: i64,
+    source: &str,
+    entry: &str,
+    profile: &str,
+    engine: Option<&str>,
+    sim_threads: Option<&str>,
+    sb_threshold: Option<&str>,
+    args: &Args,
+    return_arrays: bool,
+) -> String {
     let scalars = Json::Obj(
         args.scalars
             .iter()
@@ -553,6 +606,9 @@ pub fn build_run_request_with_sim_threads(
     }
     if let Some(t) = sim_threads {
         fields.push(("sim_threads", Json::Str(t.into())));
+    }
+    if let Some(t) = sb_threshold {
+        fields.push(("sb_threshold", Json::Str(t.into())));
     }
     obj(fields).dump()
 }
@@ -633,6 +689,19 @@ impl WireError {
             code: "invalid_sim_threads",
             message: format!(
                 "invalid sim_threads `{value}` (expected a positive integer or \"auto\")"
+            ),
+            phase: None,
+            retryable: false,
+        }
+    }
+
+    /// An `sb_threshold` value that is neither a positive integer nor
+    /// `"inf"` in a run request.
+    pub fn invalid_sb_threshold(value: &str) -> WireError {
+        WireError {
+            code: "invalid_sb_threshold",
+            message: format!(
+                "invalid sb_threshold `{value}` (expected a positive integer or \"inf\")"
             ),
             phase: None,
             retryable: false,
@@ -1159,6 +1228,7 @@ mod tests {
             return_arrays: false,
             engine: None,
             sim_threads: None,
+            sb_threshold: None,
         };
         let key = run_key(&base);
         // Response shaping and thread count do not change the work.

@@ -181,7 +181,7 @@ impl Metrics {
 
 /// Error codes the engine tallies per response (`stats` →
 /// `errors_by_code`): the pipeline codes plus the server-level ones.
-pub const ERROR_CODES: [&str; 13] = [
+pub const ERROR_CODES: [&str; 14] = [
     "parse",
     "sema",
     "analysis",
@@ -193,6 +193,7 @@ pub const ERROR_CODES: [&str; 13] = [
     "unknown_profile",
     "invalid_engine",
     "invalid_sim_threads",
+    "invalid_sb_threshold",
     "breaker_open",
     "shed",
 ];
@@ -994,15 +995,6 @@ fn resolve_engine(
     }
 }
 
-/// Run `f` under a scoped engine override, or directly when the request
-/// did not ask for one.
-fn with_engine_opt<T>(engine: Option<safara_core::gpusim::Engine>, f: impl FnOnce() -> T) -> T {
-    match engine {
-        Some(e) => safara_core::gpusim::with_engine(e, f),
-        None => f(),
-    }
-}
-
 /// Resolve a run request's optional `sim_threads` override (raw token
 /// from the wire) to a thread count, or the typed `invalid_sim_threads`
 /// failure. `"auto"` maps to 0 (one worker per available core).
@@ -1015,13 +1007,38 @@ fn resolve_sim_threads(raw: Option<&str>) -> Result<Option<u32>, WireError> {
     }
 }
 
-/// Run `f` under a scoped simulator thread-count override, or directly
-/// when the request did not ask for one.
-fn with_sim_threads_opt<T>(threads: Option<u32>, f: impl FnOnce() -> T) -> T {
-    match threads {
-        Some(n) => safara_core::gpusim::with_sim_threads(n, f),
-        None => f(),
+/// Resolve a run request's optional `sb_threshold` override (raw token
+/// from the wire) to a superblock-promotion threshold, or the typed
+/// `invalid_sb_threshold` failure. `"inf"` disables promotion.
+fn resolve_sb_threshold(raw: Option<&str>) -> Result<Option<u64>, WireError> {
+    match raw {
+        None => Ok(None),
+        Some(s) => safara_core::gpusim::parse_superblock_threshold(s)
+            .map(Some)
+            .ok_or_else(|| WireError::invalid_sb_threshold(s)),
     }
+}
+
+/// Map a run request's execution knobs — `engine`, `sim_threads`,
+/// `sb_threshold`, all raw wire tokens — onto one [`ExecOptions`]
+/// value, or the first typed validation failure. `ExecOptions::scope`
+/// then applies exactly the knobs the request set, leaving the rest to
+/// the server's environment-level defaults (the documented
+/// per-launch > scoped > env > default resolution order).
+fn resolve_exec_options(
+    r: &protocol::RunRequest,
+) -> Result<safara_core::gpusim::ExecOptions, WireError> {
+    let mut opts = safara_core::gpusim::ExecOptions::inherit();
+    if let Some(e) = resolve_engine(r.engine.as_deref())? {
+        opts = opts.engine(e);
+    }
+    if let Some(n) = resolve_sim_threads(r.sim_threads.as_deref())? {
+        opts = opts.sim_threads(n);
+    }
+    if let Some(t) = resolve_sb_threshold(r.sb_threshold.as_deref())? {
+        opts = opts.superblock_threshold(t);
+    }
+    Ok(opts)
 }
 
 fn execute(
@@ -1102,26 +1119,20 @@ fn execute(
             if Instant::now() > deadline {
                 return ExecOutcome::DeadlineExceeded;
             }
-            let engine = match resolve_engine(r.engine.as_deref()) {
-                Ok(e) => e,
-                Err(e) => return ExecOutcome::Fail(e),
-            };
-            let sim_threads = match resolve_sim_threads(r.sim_threads.as_deref()) {
-                Ok(n) => n,
+            let opts = match resolve_exec_options(r) {
+                Ok(o) => o,
                 Err(e) => return ExecOutcome::Fail(e),
             };
             let mut args = r.args.clone();
-            let outcome = with_engine_opt(engine, || {
-                with_sim_threads_opt(sim_threads, || {
-                    safara_core::run_compiled_traced(
-                        &program,
-                        &r.entry,
-                        &mut args,
-                        &DeviceConfig::k20xm(),
-                        Some(&shared.cache),
-                        &mut tracer,
-                    )
-                })
+            let outcome = opts.scope(|| {
+                safara_core::run_compiled_traced(
+                    &program,
+                    &r.entry,
+                    &mut args,
+                    &DeviceConfig::k20xm(),
+                    Some(&shared.cache),
+                    &mut tracer,
+                )
             });
             let outcome = match outcome {
                 Ok(o) => o,
@@ -1156,26 +1167,20 @@ fn execute(
             if let Some(FaultAction::Poison) = fault(shared, InjectionPoint::CacheRead) {
                 shared.cache.poison_one();
             }
-            let engine = match resolve_engine(r.engine.as_deref()) {
-                Ok(e) => e,
-                Err(e) => return ExecOutcome::Fail(e),
-            };
-            let sim_threads = match resolve_sim_threads(r.sim_threads.as_deref()) {
-                Ok(n) => n,
+            let opts = match resolve_exec_options(r) {
+                Ok(o) => o,
                 Err(e) => return ExecOutcome::Fail(e),
             };
             let mut args = r.args.clone();
-            let outcome = with_engine_opt(engine, || {
-                with_sim_threads_opt(sim_threads, || {
-                    safara_core::run_compiled_with_faults(
-                        &program,
-                        &r.entry,
-                        &mut args,
-                        &DeviceConfig::k20xm(),
-                        Some(&shared.cache),
-                        &shared.faults,
-                    )
-                })
+            let outcome = opts.scope(|| {
+                safara_core::run_compiled_with_faults(
+                    &program,
+                    &r.entry,
+                    &mut args,
+                    &DeviceConfig::k20xm(),
+                    Some(&shared.cache),
+                    &shared.faults,
+                )
             });
             let outcome = match outcome {
                 Ok(o) => o,
@@ -1528,6 +1533,77 @@ mod tests {
             assert_eq!(e.get("retryable").and_then(Json::as_bool), Some(false));
         }
         assert_eq!(engine.shared().errors_by_code.get("invalid_sim_threads"), 3);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn sb_threshold_override_runs_identically_and_rejects_bad_values() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 8,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let src = "void axpy(int n, float alpha, const float x[n], float y[n]) {\
+                   #pragma acc kernels copyin(x) copy(y)\n{\
+                   #pragma acc loop gang vector\n\
+                   for (int i = 0; i < n; i++) { y[i] = y[i] + alpha * x[i]; } } }";
+        let args = safara_core::Args::new()
+            .i32("n", 256)
+            .f32("alpha", 2.0)
+            .array_f32("x", &[1.5; 256])
+            .array_f32("y", &[0.25; 256]);
+        // Promotion is a performance knob, never a results knob: every
+        // threshold (eager, default, disabled) must digest identically,
+        // on the superblock engine where the threshold actually gates.
+        let mut digests = Vec::new();
+        for (id, sb) in [(1, Some("1")), (2, Some("inf")), (3, Some("64")), (4, None)] {
+            let line = protocol::build_run_request_with_exec_options(
+                2,
+                id,
+                src,
+                "axpy",
+                "safara_only",
+                Some("superblock"),
+                None,
+                sb,
+                &args,
+                false,
+            );
+            assert!(submit_line(&engine, &line, &tx).is_none());
+            let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(status_of(&resp), "ok", "{resp}");
+            let v = Json::parse(&resp).unwrap();
+            digests.push(v.get("digests").expect("digests").dump());
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "per-threshold digests must match: {digests:?}"
+        );
+        // Ill-valued sb_threshold: typed v2 failure, not retryable,
+        // tallied under its own code.
+        for (id, bad) in [(8, "0"), (9, "-2"), (10, "sometimes")] {
+            let line = protocol::build_run_request_with_exec_options(
+                2,
+                id,
+                src,
+                "axpy",
+                "safara_only",
+                None,
+                None,
+                Some(bad),
+                &args,
+                false,
+            );
+            assert!(submit_line(&engine, &line, &tx).is_none());
+            let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(status_of(&resp), "error");
+            let e = Json::parse(&resp).unwrap();
+            let e = e.get("error").expect("v2 error object");
+            assert_eq!(e.get("code").and_then(Json::as_str), Some("invalid_sb_threshold"));
+            assert_eq!(e.get("retryable").and_then(Json::as_bool), Some(false));
+        }
+        assert_eq!(engine.shared().errors_by_code.get("invalid_sb_threshold"), 3);
         engine.shutdown();
     }
 

@@ -63,6 +63,55 @@ fn fig7_suite_byte_identical_across_engines() {
     assert!(after.scalar_execs > before.scalar_execs, "no hoisted superinstructions ran");
 }
 
+/// Shared-memory spilling is a *timing* reinterpretation layered on the
+/// same engine-agnostic spill traffic, so the three engines must stay
+/// byte-identical under it too: the fig7 suite compiled with the RegDem
+/// profile (tight 40-register cap, `SpillTarget::Shared`) must produce
+/// identical reports, buffers, and verdicts everywhere — and the tight
+/// cap must actually force shared spills somewhere, or the test proves
+/// nothing.
+#[test]
+fn fig7_suite_byte_identical_across_engines_with_shared_spilling() {
+    let _g = THRESHOLD_LOCK.lock().unwrap();
+    set_superblock_threshold(DEFAULT_SUPERBLOCK_THRESHOLD);
+    let config = CompilerConfig::safara_regdem();
+    let dev = DeviceConfig::k20xm();
+    let observe = |w: &dyn Workload, engine: Engine| {
+        gpusim::with_engine(engine, || {
+            let program = compile(&w.source(), &config).expect("compile");
+            let mut args = w.args(Scale::Test);
+            let report = program.run(w.entry(), &mut args, &dev).expect("run");
+            let verdict = w.check(&args, Scale::Test);
+            (report, args, verdict)
+        })
+    };
+    let mut shared_spills = 0u64;
+    for w in spec_suite() {
+        let (rep_ref, args_ref, chk_ref) = observe(w.as_ref(), Engine::Reference);
+        let (rep_dec, args_dec, chk_dec) = observe(w.as_ref(), Engine::Decoded);
+        let (rep_sb, args_sb, chk_sb) = observe(w.as_ref(), Engine::Superblock);
+        assert!(chk_ref.is_ok(), "{}: reference checker: {chk_ref:?}", w.name());
+        assert_eq!(chk_ref, chk_dec, "{}: checker verdict ref vs decoded", w.name());
+        assert_eq!(chk_ref, chk_sb, "{}: checker verdict ref vs superblock", w.name());
+        assert_eq!(rep_ref, rep_dec, "{}: RunReport reference vs decoded", w.name());
+        assert_eq!(rep_dec, rep_sb, "{}: RunReport decoded vs superblock", w.name());
+        assert_eq!(args_ref, args_dec, "{}: output buffers reference vs decoded", w.name());
+        assert_eq!(args_dec, args_sb, "{}: output buffers decoded vs superblock", w.name());
+        shared_spills += rep_ref.kernels.iter().map(|k| k.stats.shared_accesses).sum::<u64>();
+        // Shared spilling redirects traffic, it never invents local
+        // traffic: under this profile compiled kernels report none.
+        for k in &rep_ref.kernels {
+            assert!(
+                k.stats.shared_accesses == 0 || k.stats.local_accesses == 0,
+                "{}: kernel `{}` mixes shared and local spill traffic",
+                w.name(),
+                k.name
+            );
+        }
+    }
+    assert!(shared_spills > 0, "the 40-register cap never forced a shared spill");
+}
+
 /// With the hot threshold at infinity the superblock engine must take
 /// the decoded code path wholesale — identical reports and buffers, and
 /// zero profiling overhead observable in behavior.

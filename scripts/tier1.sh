@@ -80,6 +80,28 @@ par_wire_smoke="$(printf '%s\n' "$par_req" | SAFARA_SIM_THREADS=1 ./target/relea
 [ "$serial_smoke" = "$par_wire_smoke" ] \
   || { echo "parallel smoke: per-request sim_threads override response differs" >&2; exit 1; }
 
+echo "== launch_bounds clause smoke (end-to-end) =="
+# A kernel carrying a `launch_bounds(256, 4)` register-budget contract
+# through the wire: the run must succeed with correct outputs, and an
+# out-of-range contract (2048 threads on a 1024-thread device) must
+# come back as a typed, non-retryable `launch_bounds` error.
+lb_out="$(printf '%s\n' \
+  '{"id":5,"v":2,"op":"run","source":"void dbl(int n, float x[n]) { #pragma acc kernels launch_bounds(256, 4) copy(x)\n { #pragma acc loop gang vector\n for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } } }","entry":"dbl","profile":"safara_only","scalars":{"n":8},"arrays":{"x":{"elem":"f32","data":[1,2,3,4,5,6,7,8]}},"return_arrays":true}' \
+  '{"id":6,"v":2,"op":"run","source":"void dbl(int n, float x[n]) { #pragma acc kernels launch_bounds(2048) copy(x)\n { #pragma acc loop gang vector\n for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } } }","entry":"dbl","profile":"safara_only","scalars":{"n":8},"arrays":{"x":{"elem":"f32","data":[1,2,3,4,5,6,7,8]}}}' \
+  | ./target/release/safara-serve --stdin --workers 1)"
+echo "$lb_out"
+echo "$lb_out" | grep -q '"id":5,"status":"ok"' \
+  || { echo "launch_bounds smoke: bounded run failed" >&2; exit 1; }
+echo "$lb_out" | grep '"id":5' | grep -q '1098907648' \
+  || { echo "launch_bounds smoke: wrong output under launch_bounds" >&2; exit 1; }
+lb_err="$(echo "$lb_out" | grep '"id":6')"
+echo "$lb_err" | grep -q '"status":"error"' \
+  || { echo "launch_bounds smoke: out-of-range bounds did not error" >&2; exit 1; }
+echo "$lb_err" | grep -q '"code":"launch_bounds"' \
+  || { echo "launch_bounds smoke: expected typed launch_bounds code: $lb_err" >&2; exit 1; }
+echo "$lb_err" | grep -q '"retryable":false' \
+  || { echo "launch_bounds smoke: launch_bounds error must not be retryable" >&2; exit 1; }
+
 echo "== protocol v1 compat =="
 cargo test --release --offline -q -p safara-server --test v1_compat
 
