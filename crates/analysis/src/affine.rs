@@ -134,6 +134,17 @@ pub fn affine_of(e: &Expr) -> AffineExpr {
                         AffineExpr::bottom()
                     }
                 }
+                BinOp::Shl => {
+                    // A shift by an in-range constant is a power-of-two
+                    // scale — the strength-reduced form the saturation
+                    // phase emits must stay visible to dependence and
+                    // coalescing analyses.
+                    if ra.is_const() && (0..32).contains(&ra.konst) {
+                        la.scale(1i64 << ra.konst)
+                    } else {
+                        AffineExpr::bottom()
+                    }
+                }
                 BinOp::Div | BinOp::Rem => {
                     // Fold only fully-constant divisions.
                     if la.is_const() && ra.is_const() && ra.konst != 0 {

@@ -231,6 +231,23 @@ fn main() {
         (sum / goal_rows.len() as f64).exp()
     };
 
+    eprintln!("[egraph] modelled-cycle ablation: greedy vs saturated extraction…");
+    let egraph_configs = [
+        CompilerConfig::base(),
+        CompilerConfig::safara_only(),
+        CompilerConfig::safara_saturated(),
+        CompilerConfig::builder()
+            .safara(true)
+            .saturate(true)
+            .goal(safara_core::opt::OptGoal::MaxThroughput)
+            .build(),
+    ];
+    let egraph_rows = measure(&suite, &egraph_configs, Scale::Bench);
+    let egraph_geomean = |k: usize| -> f64 {
+        let sum: f64 = egraph_rows.iter().map(|m| (m.cycles[0] / m.cycles[k]).ln()).sum();
+        (sum / egraph_rows.len() as f64).exp()
+    };
+
     // The `stampede` section is merged into BENCH_sim.json from a
     // `server_bench --zipf` run; regenerating the file must not drop
     // it, so carry any existing section forward verbatim.
@@ -308,6 +325,36 @@ fn main() {
         geomean(1),
         geomean(2),
         geomean(3)
+    );
+    let _ = writeln!(json, "  }},");
+    // The equality-saturation ablation section: the e-graph phase ahead
+    // of SAFARA (default off) vs greedy extraction, matching
+    // results/ablation_egraph.txt.
+    let _ = writeln!(json, "  \"egraph\": {{");
+    let _ = writeln!(
+        json,
+        "    \"benchmark\": \"fig7 suite, modelled cycles vs base: safara_only (greedy), safara_saturated (e-graph phase, goal=min_registers), saturated+throughput (goal=max_throughput)\","
+    );
+    let _ = writeln!(json, "    \"table\": \"results/ablation_egraph.txt\",");
+    let _ = writeln!(json, "    \"rows\": [");
+    for (i, m) in egraph_rows.iter().enumerate() {
+        let comma = if i + 1 == egraph_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{ \"workload\": \"{}\", \"speedup_greedy\": {:.3}, \"speedup_saturated\": {:.3}, \"speedup_saturated_throughput\": {:.3} }}{comma}",
+            m.workload,
+            m.cycles[0] / m.cycles[1],
+            m.cycles[0] / m.cycles[2],
+            m.cycles[0] / m.cycles[3]
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(
+        json,
+        "    \"geomean\": {{ \"greedy\": {:.3}, \"saturated\": {:.3}, \"saturated_throughput\": {:.3} }}",
+        egraph_geomean(1),
+        egraph_geomean(2),
+        egraph_geomean(3)
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"speedup_superblock_vs_decoded_serial\": {:.2},", t_decoded / t_superblock);

@@ -47,10 +47,14 @@ pub enum InjectionPoint {
     WorkerJob,
     /// Reply delivery ([`FaultAction::Hangup`]: the client vanished).
     Reply,
+    /// The equality-saturation phase ahead of scalar replacement — a
+    /// [`FaultAction::Fail`] here exercises the e-node-cap abort path
+    /// (typed `saturate` compile error, never a hang).
+    Saturate,
 }
 
 /// Number of distinct injection points.
-pub const N_POINTS: usize = 9;
+pub const N_POINTS: usize = 10;
 
 impl InjectionPoint {
     /// Every point, in declaration order.
@@ -64,6 +68,7 @@ impl InjectionPoint {
         InjectionPoint::CacheRead,
         InjectionPoint::WorkerJob,
         InjectionPoint::Reply,
+        InjectionPoint::Saturate,
     ];
 
     /// Stable index (used for per-point counters and hashing).
@@ -78,6 +83,7 @@ impl InjectionPoint {
             InjectionPoint::CacheRead => 6,
             InjectionPoint::WorkerJob => 7,
             InjectionPoint::Reply => 8,
+            InjectionPoint::Saturate => 9,
         }
     }
 
@@ -93,6 +99,7 @@ impl InjectionPoint {
             InjectionPoint::CacheRead => "cache",
             InjectionPoint::WorkerJob => "worker",
             InjectionPoint::Reply => "reply",
+            InjectionPoint::Saturate => "saturate",
         }
     }
 

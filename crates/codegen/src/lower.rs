@@ -25,6 +25,7 @@ use safara_analysis::memspace::{classify_arrays, ArrayUsage};
 use safara_analysis::region::{RegionInfo, ThreadDim};
 use safara_analysis::ArraySpace;
 use safara_gpusim::vir::*;
+use safara_ir::offset::{row_major_offset, OffsetAlgebra};
 use safara_ir::*;
 use std::collections::{BTreeMap, HashMap};
 
@@ -272,6 +273,9 @@ impl<'a> Emitter<'a> {
                     AluOp::Sub => Some(x.wrapping_sub(y)),
                     AluOp::Mul => Some(x.wrapping_mul(y)),
                     AluOp::Div if y != 0 => Some(x.wrapping_div(y)),
+                    // In-range counts only, matching `Expr::as_const`:
+                    // the engines mask per operand width at run time.
+                    AluOp::Shl if (0..32).contains(&y) => Some(x.wrapping_shl(y as u32)),
                     _ => None,
                 };
                 if let Some(v) = f {
@@ -288,6 +292,8 @@ impl<'a> Emitter<'a> {
             (AluOp::Mul, _, Operand::ImmI(0)) | (AluOp::Mul, Operand::ImmI(0), _) => {
                 return Operand::ImmI(0)
             }
+            (AluOp::Shl, a, Operand::ImmI(0)) => return a,
+            (AluOp::Shl, Operand::ImmI(0), _) => return Operand::ImmI(0),
             _ => {}
         }
         let tag: &'static str = match op {
@@ -928,26 +934,20 @@ impl<'a> Emitter<'a> {
             None
         };
 
-        // offset = ((i0' * e1 + i1') * e2 + i2') ...  row-major.
-        let mut acc: Option<Operand> = None;
-        for (d, ix_expr) in a.indices.iter().enumerate() {
-            let (ixv, ixt) = self.lower_expr(ix_expr)?;
-            let mut ix = self.cvt(off_ty, ixt, ixv);
-            // Subtract the lower bound if present.
-            let lower = self.dim_lower(&aty, group.as_ref(), &a.array, d)?;
-            if let Some(lb) = lower {
-                ix = self.alu(AluOp::Sub, off_ty, ix, lb);
-            }
-            acc = Some(match acc {
-                None => ix,
-                Some(prev) => {
-                    let ext = self.dim_extent(&aty, group.as_ref(), &a.array, d)?;
-                    let scaled = self.alu(AluOp::Mul, off_ty, prev, ext);
-                    self.alu(AluOp::Add, off_ty, scaled, ix)
-                }
-            });
-        }
-        let elems = acc.expect("arrays have at least one dimension");
+        // offset = ((i0' * e1 + i1') * e2 + i2') ... — the row-major
+        // Horner fold, shared with the saturation phase's factoring rule
+        // via `safara_ir::offset::row_major_offset`.
+        let elems = {
+            let mut alg = EmitterOffset {
+                em: self,
+                indices: &a.indices,
+                aty: &aty,
+                group: group.as_ref(),
+                array: &a.array,
+                off_ty,
+            };
+            row_major_offset(a.indices.len(), &mut alg)?
+        };
         let bytes = self.alu(
             AluOp::Mul,
             off_ty,
@@ -1040,6 +1040,49 @@ impl<'a> Emitter<'a> {
     }
 }
 
+/// The code generator's value algebra for the shared row-major offset
+/// fold: indices lower through the emitter (with conversion to the
+/// decided offset width), bounds and extents come from the dope logic,
+/// and combining steps emit value-numbered ALU ops.
+struct EmitterOffset<'e, 'a> {
+    em: &'e mut Emitter<'a>,
+    indices: &'e [Expr],
+    aty: &'e ArrayTy,
+    group: Option<&'e (usize, DimGroup)>,
+    array: &'e Ident,
+    off_ty: VType,
+}
+
+impl OffsetAlgebra for EmitterOffset<'_, '_> {
+    type V = Operand;
+    type E = CodegenError;
+
+    fn index(&mut self, d: usize) -> Result<Operand, CodegenError> {
+        let (v, t) = self.em.lower_expr(&self.indices[d])?;
+        Ok(self.em.cvt(self.off_ty, t, v))
+    }
+
+    fn lower(&mut self, d: usize) -> Result<Option<Operand>, CodegenError> {
+        self.em.dim_lower(self.aty, self.group, self.array, d)
+    }
+
+    fn extent(&mut self, d: usize) -> Result<Operand, CodegenError> {
+        self.em.dim_extent(self.aty, self.group, self.array, d)
+    }
+
+    fn sub(&mut self, a: Operand, b: Operand) -> Operand {
+        self.em.alu(AluOp::Sub, self.off_ty, a, b)
+    }
+
+    fn mul(&mut self, a: Operand, b: Operand) -> Operand {
+        self.em.alu(AluOp::Mul, self.off_ty, a, b)
+    }
+
+    fn add(&mut self, a: Operand, b: Operand) -> Operand {
+        self.em.alu(AluOp::Add, self.off_ty, a, b)
+    }
+}
+
 fn bin_alu(op: BinOp) -> AluOp {
     match op {
         BinOp::Add => AluOp::Add,
@@ -1047,6 +1090,7 @@ fn bin_alu(op: BinOp) -> AluOp {
         BinOp::Mul => AluOp::Mul,
         BinOp::Div => AluOp::Div,
         BinOp::Rem => AluOp::Rem,
+        BinOp::Shl => AluOp::Shl,
         _ => unreachable!("relational ops handled separately"),
     }
 }

@@ -444,6 +444,19 @@ fn optimize_function(
         });
     }
 
+    // The equality-saturation phase runs ahead of scalar replacement:
+    // region expressions are hash-consed into an e-graph, saturated with
+    // integer-ring rewrites (CSE, offset factoring, strength reduction,
+    // guarded narrowing), and re-extracted by predicted register cost.
+    // The extraction's structural weights only *rank* candidates — the
+    // real acceptance test below recompiles through the ptxas register
+    // model (or the occupancy oracle under the throughput goal) and
+    // reverts anything that is not an improvement, so the phase can
+    // never make a kernel worse.
+    if config.saturate {
+        work = saturate_function(work, config, tracer, faults)?;
+    }
+
     match &config.sr {
         SrStrategy::None => {}
         SrStrategy::CarrKennedy => {
@@ -580,6 +593,101 @@ fn optimize_function(
     }
 
     Ok((work, outcome, rounds))
+}
+
+/// Saturate every offload region of `work`, then accept or revert the
+/// whole function against the configured goal. Returns the function to
+/// continue compiling with (the saturated trial when it helps, the
+/// original otherwise).
+fn saturate_function(
+    work: Function,
+    config: &CompilerConfig,
+    tracer: &mut Tracer,
+    faults: Option<&FaultPlan>,
+) -> Result<Function, CompileError> {
+    if let Some(FaultAction::Fail) = fault_at(faults, InjectionPoint::Saturate) {
+        return Err(CompileError::Saturate {
+            message: "injected saturation fault".into(),
+            span: None,
+        });
+    }
+    tracer.begin("saturate");
+    let result =
+        saturate_function_inner(&work, config, tracer, &safara_opt::SaturateConfig::default());
+    tracer.end();
+    match result {
+        Ok(Some(trial)) => Ok(trial),
+        Ok(None) => Ok(work),
+        Err(e) => Err(e),
+    }
+}
+
+/// The traced body of [`saturate_function`]: `Ok(Some(trial))` to adopt
+/// the saturated function, `Ok(None)` to keep the original.
+fn saturate_function_inner(
+    work: &Function,
+    config: &CompilerConfig,
+    tracer: &mut Tracer,
+    scfg: &safara_opt::SaturateConfig,
+) -> Result<Option<Function>, CompileError> {
+    let before = codegen_all(work, config)?;
+    let mut trial = work.clone();
+    let mut agg = safara_opt::RegionSaturation::empty();
+    let mut failed: Option<CompileError> = None;
+    for_each_region(&mut trial, |region| {
+        if failed.is_some() {
+            return;
+        }
+        let span = region.span;
+        match safara_opt::saturate_region(work, region, config.codegen.honor_small, scfg) {
+            Ok(r) => agg.absorb(&r),
+            Err(e) => {
+                failed = Some(CompileError::Saturate {
+                    message: e.to_string(),
+                    span: Some(span),
+                });
+            }
+        }
+    });
+    if let Some(e) = failed {
+        return Err(e);
+    }
+    tracer.meta_int("rounds", agg.stats.rounds as i64);
+    tracer.meta_int("e_classes", agg.stats.e_classes as i64);
+    tracer.meta_int("e_nodes", agg.stats.e_nodes as i64);
+    tracer.meta_int("cost_before", agg.cost_before as i64);
+    tracer.meta_int("cost_after", agg.cost_after as i64);
+    tracer.meta_str("stop", agg.stats.stop.name());
+    let after = codegen_all(&trial, config)?;
+    let keep = match config.goal {
+        // The paper's policy: fewer registers wins; on a register tie the
+        // shorter instruction stream wins; otherwise revert.
+        OptGoal::MinRegisters => {
+            let regs = |arts: &[KernelArtifact]| {
+                arts.iter().map(|a| a.alloc.regs_used).max().unwrap_or(0)
+            };
+            let insts = |arts: &[KernelArtifact]| {
+                arts.iter().map(|a| a.kernel.vir.insts.len()).sum::<usize>()
+            };
+            (regs(&after), insts(&after)) <= (regs(&before), insts(&before))
+        }
+        // Throughput goal: the occupancy oracle (PR 8) judges the worst
+        // kernel's resident warps under the planned block geometry.
+        OptGoal::MaxThroughput => {
+            let warps = |arts: &[KernelArtifact]| {
+                arts.iter()
+                    .map(|a| {
+                        let tpb = planned_threads_per_block(config, a.kernel.launch_bounds);
+                        config.device.occupancy(a.alloc.regs_used, tpb).active_warps_per_sm
+                    })
+                    .min()
+                    .unwrap_or(0)
+            };
+            warps(&after) >= warps(&before)
+        }
+    };
+    tracer.meta_str("verdict", if keep { "kept" } else { "reverted" });
+    Ok(keep.then_some(trial))
 }
 
 fn merge_outcome(into: &mut SrOutcome, o: SrOutcome) {
@@ -870,6 +978,67 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.code(), "budget");
         assert_eq!(err.phase().name(), "opt");
+    }
+
+    #[test]
+    fn saturated_profile_compiles_and_never_regresses() {
+        let plain = compile(FIG5, &CompilerConfig::safara_only()).unwrap();
+        let sat = compile(FIG5, &CompilerConfig::safara_saturated()).unwrap();
+        let (p, s) = (plain.function("fig5").unwrap(), sat.function("fig5").unwrap());
+        // The ptxas guard reverts any extraction the register model
+        // dislikes, so saturated can match but never exceed greedy.
+        assert!(s.max_regs() <= p.max_regs(), "{} > {}", s.max_regs(), p.max_regs());
+        assert_eq!(s.kernels.len(), p.kernels.len());
+    }
+
+    #[test]
+    fn injected_saturate_fault_is_a_typed_error() {
+        use safara_chaos::Fire;
+        let plan = FaultPlan::seeded(0).with(
+            InjectionPoint::Saturate,
+            FaultAction::Fail,
+            Fire::First(1),
+        );
+        let err = compile_with_faults(
+            FIG5,
+            &CompilerConfig::safara_saturated(),
+            &mut Tracer::disabled(),
+            &plan,
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "saturate");
+        assert_eq!(err.phase().name(), "opt");
+        assert!(!err.retryable());
+        // The very next compile under the same plan is clean.
+        compile_with_faults(
+            FIG5,
+            &CompilerConfig::safara_saturated(),
+            &mut Tracer::disabled(),
+            &plan,
+        )
+        .unwrap();
+        // With the phase disabled the injection point is never reached.
+        let plan = FaultPlan::seeded(0).with(
+            InjectionPoint::Saturate,
+            FaultAction::Fail,
+            Fire::First(1),
+        );
+        compile_with_faults(FIG5, &CompilerConfig::safara_only(), &mut Tracer::disabled(), &plan)
+            .unwrap();
+    }
+
+    #[test]
+    fn saturation_cap_breach_is_a_typed_error_with_region_span() {
+        let program = parse_program_unchecked(FIG5).unwrap();
+        let f = &program.functions[0];
+        let cfg = CompilerConfig::safara_saturated();
+        // A cap far below FIG5's e-node population: saturation must stop
+        // with a typed error carrying the region's span, never hang.
+        let scfg = safara_opt::SaturateConfig { max_rounds: 6, max_nodes: 4 };
+        let err = saturate_function_inner(f, &cfg, &mut Tracer::disabled(), &scfg).unwrap_err();
+        assert_eq!(err.code(), "saturate");
+        assert!(err.span().is_some(), "cap errors carry the region span: {err}");
+        assert!(err.to_string().contains("e-node cap"), "{err}");
     }
 
     #[test]

@@ -96,6 +96,15 @@ pub enum CompileError {
         /// The offending region's span, when it came from a clause.
         span: Option<Span>,
     },
+    /// Equality saturation hit its e-node cap (or an injected fault) and
+    /// aborted. Deterministic on the input — a retry re-derives the same
+    /// e-graph — so it is permanent, never a hang.
+    Saturate {
+        /// What went wrong.
+        message: String,
+        /// The offending region's span, when the driver knows it.
+        span: Option<Span>,
+    },
     /// Simulator execution failed (transient by contract: the program
     /// compiled, so a retry may succeed).
     Sim {
@@ -121,6 +130,7 @@ impl CompileError {
             CompileError::RegAllocSpill { .. } => "regalloc_spill",
             CompileError::Budget { .. } => "budget",
             CompileError::LaunchBounds { .. } => "launch_bounds",
+            CompileError::Saturate { .. } => "saturate",
             CompileError::Sim { .. } => "sim",
             CompileError::Internal { .. } => "internal",
         }
@@ -135,6 +145,7 @@ impl CompileError {
             CompileError::RegAllocSpill { .. } => Phase::RegAlloc,
             CompileError::Budget { .. } => Phase::Opt,
             CompileError::LaunchBounds { .. } => Phase::Opt,
+            CompileError::Saturate { .. } => Phase::Opt,
             CompileError::Sim { .. } => Phase::Sim,
             CompileError::Internal { phase, .. } => *phase,
         }
@@ -152,7 +163,8 @@ impl CompileError {
         match self {
             CompileError::Parse { span, .. }
             | CompileError::Sema { span, .. }
-            | CompileError::LaunchBounds { span, .. } => *span,
+            | CompileError::LaunchBounds { span, .. }
+            | CompileError::Saturate { span, .. } => *span,
             _ => None,
         }
     }
@@ -169,7 +181,8 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Parse { message, span }
             | CompileError::Sema { message, span }
-            | CompileError::LaunchBounds { message, span } => match span {
+            | CompileError::LaunchBounds { message, span }
+            | CompileError::Saturate { message, span } => match span {
                 Some(s) => write!(f, "{message} at bytes {}..{}", s.start, s.end),
                 None => write!(f, "{message}"),
             },
@@ -220,7 +233,7 @@ mod tests {
 
     #[test]
     fn codes_phases_and_retryability_line_up() {
-        let cases: [(CompileError, &str, &str, bool); 8] = [
+        let cases: [(CompileError, &str, &str, bool); 9] = [
             (
                 CompileError::Parse { message: "x".into(), span: None },
                 "parse",
@@ -239,6 +252,12 @@ mod tests {
             (
                 CompileError::LaunchBounds { message: "x".into(), span: None },
                 "launch_bounds",
+                "opt",
+                false,
+            ),
+            (
+                CompileError::Saturate { message: "x".into(), span: None },
+                "saturate",
                 "opt",
                 false,
             ),

@@ -48,6 +48,13 @@ pub struct CompilerConfig {
     /// Where register spills land (RegDem-style shared memory vs the
     /// hardware-default local memory).
     pub spill_target: SpillTarget,
+    /// Run the equality-saturation phase (e-graph CSE / offset
+    /// factoring / strength reduction / guarded narrowing) ahead of
+    /// scalar replacement. Off by default; the driver re-validates the
+    /// extracted program against the ptxas register model (or the
+    /// occupancy oracle under [`OptGoal::MaxThroughput`]) and reverts
+    /// any non-improvement, so turning it on can never regress.
+    pub saturate: bool,
     /// Config-level `launch_bounds(T, B)` override applied to every
     /// kernel, exactly like compiling with `__launch_bounds__`: caps the
     /// register budget so `B` blocks of `T` threads stay resident. A
@@ -69,6 +76,7 @@ impl CompilerConfig {
             max_feedback_iters: 8,
             unroll: 0,
             goal: OptGoal::MinRegisters,
+            saturate: false,
             spill_target: SpillTarget::Local,
             launch_bounds: None,
             device: DeviceConfig::k20xm(),
@@ -189,6 +197,17 @@ impl CompilerConfig {
         }
     }
 
+    /// The equality-saturation evaluation point: SAFARA preceded by the
+    /// e-graph phase, so offset factoring / strength reduction /
+    /// narrowing run before scalar replacement sees the region.
+    pub fn safara_saturated() -> Self {
+        CompilerConfig {
+            name: "SAFARA(saturated)",
+            saturate: true,
+            ..Self::safara_only()
+        }
+    }
+
     /// The RegDem evaluation point (arXiv 1907.02894): SAFARA under a
     /// deliberately tight register cap so spilling happens, with the
     /// spills placed in shared memory instead of local. The cap of 40
@@ -205,7 +224,7 @@ impl CompilerConfig {
 
     /// The stable lookup keys services accept, one per named profile —
     /// see [`CompilerConfig::by_name`].
-    pub const PROFILE_KEYS: [&'static str; 12] = [
+    pub const PROFILE_KEYS: [&'static str; 13] = [
         "base",
         "safara_only",
         "small",
@@ -218,6 +237,7 @@ impl CompilerConfig {
         "safara_no_feedback",
         "safara_throughput",
         "safara_regdem",
+        "safara_saturated",
     ];
 
     /// Start building a configuration from typed toggles — the
@@ -253,6 +273,7 @@ impl CompilerConfig {
             "safara_no_feedback" => Self::safara_no_feedback(),
             "safara_throughput" => Self::safara_throughput(),
             "safara_regdem" | "regdem" => Self::safara_regdem(),
+            "safara_saturated" | "saturated" => b.safara(true).saturate(true).build(),
             _ => return None,
         })
     }
@@ -274,6 +295,7 @@ pub struct CompilerConfigBuilder {
     dim: bool,
     unroll: u32,
     goal: OptGoal,
+    saturate: bool,
     spill_target: SpillTarget,
     launch_bounds: Option<(u32, u32)>,
     reg_cap: Option<u32>,
@@ -323,6 +345,13 @@ impl CompilerConfigBuilder {
     /// [`OptGoal::MinRegisters`], the paper's policy).
     pub fn goal(mut self, goal: OptGoal) -> Self {
         self.goal = goal;
+        self
+    }
+
+    /// Run the equality-saturation phase ahead of scalar replacement
+    /// (default: off, keeping every existing profile byte-identical).
+    pub fn saturate(mut self, on: bool) -> Self {
+        self.saturate = on;
         self
     }
 
@@ -407,17 +436,23 @@ impl CompilerConfigBuilder {
             && self.spill_target == SpillTarget::default()
             && self.launch_bounds.is_none()
             && self.reg_cap.is_none()
+            && !self.saturate
         {
             return base;
         }
         let mut cfg = CompilerConfig {
             goal: self.goal,
+            saturate: self.saturate,
             spill_target: self.spill_target,
             launch_bounds: self.launch_bounds.or(base.launch_bounds),
             reg_cap: self.reg_cap.unwrap_or(base.reg_cap),
             ..base
         };
-        for named in [CompilerConfig::safara_throughput(), CompilerConfig::safara_regdem()] {
+        for named in [
+            CompilerConfig::safara_throughput(),
+            CompilerConfig::safara_regdem(),
+            CompilerConfig::safara_saturated(),
+        ] {
             if (CompilerConfig { name: named.name, ..cfg.clone() }) == named {
                 return named;
             }
@@ -524,7 +559,14 @@ mod tests {
                 .build(),
             CompilerConfig::safara_regdem()
         );
+        assert_eq!(
+            CompilerConfig::builder().safara(true).saturate(true).build(),
+            CompilerConfig::safara_saturated()
+        );
         // Off-menu overrides are labelled custom but keep the knobs.
+        let cfg = CompilerConfig::builder().safara(true).small(true).saturate(true).build();
+        assert_eq!(cfg.name, "custom");
+        assert!(cfg.saturate);
         let cfg = CompilerConfig::builder().safara(true).launch_bounds(256, 2).build();
         assert_eq!(cfg.name, "custom");
         assert_eq!(cfg.launch_bounds, Some((256, 2)));
@@ -539,6 +581,7 @@ mod tests {
     fn new_defaults_are_inert() {
         let cfg = CompilerConfig::base();
         assert_eq!(cfg.goal, OptGoal::MinRegisters);
+        assert!(!cfg.saturate);
         assert_eq!(cfg.spill_target, SpillTarget::Local);
         assert_eq!(cfg.launch_bounds, None);
         assert_eq!(cfg.device, DeviceConfig::k20xm());
@@ -559,6 +602,7 @@ mod tests {
             CompilerConfig::safara_no_feedback().name,
             CompilerConfig::safara_throughput().name,
             CompilerConfig::safara_regdem().name,
+            CompilerConfig::safara_saturated().name,
         ];
         let mut uniq = names.to_vec();
         uniq.sort();

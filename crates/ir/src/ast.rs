@@ -228,6 +228,9 @@ pub enum BinOp {
     Div,
     /// `%` (integers only)
     Rem,
+    /// `<<` (integers only; wrapping shift, the strength-reduced form of
+    /// multiplication by a power of two)
+    Shl,
     /// `<`
     Lt,
     /// `<=`
@@ -262,6 +265,7 @@ impl BinOp {
             Mul => "*",
             Div => "/",
             Rem => "%",
+            Shl => "<<",
             Lt => "<",
             Le => "<=",
             Gt => ">",
@@ -396,6 +400,10 @@ impl Expr {
                     BinOp::Mul => a.wrapping_mul(b),
                     BinOp::Div if b != 0 => a.wrapping_div(b),
                     BinOp::Rem if b != 0 => a.wrapping_rem(b),
+                    // Only in-range shift counts fold: the engines mask
+                    // the count per operand width, so a 32-bit-safe range
+                    // keeps the fold width-independent.
+                    BinOp::Shl if (0..32).contains(&b) => a.wrapping_shl(b as u32),
                     _ => return None,
                 })
             }

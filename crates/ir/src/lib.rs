@@ -43,6 +43,7 @@
 pub mod ast;
 pub mod directive;
 pub mod lexer;
+pub mod offset;
 pub mod parser;
 pub mod printer;
 pub mod sema;

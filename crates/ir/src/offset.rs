@@ -1,0 +1,200 @@
+//! The row-major address fold shared by the code generator and the
+//! equality-saturation factoring rule.
+//!
+//! A rank-`n` array reference linearizes as the Horner form
+//!
+//! ```text
+//! offset = ((i0' * e1 + i1') * e2 + i2') ...      i_d' = i_d - lb_d
+//! ```
+//!
+//! (indices outermost first, each adjusted by its dimension's lower
+//! bound, scaled by the *next* dimension's extent). The paper's `dim`
+//! clause exists precisely because grouping address arithmetic this way
+//! — instead of expanding to `i0*e1*e2 + i1*e2 + i2` — shares the
+//! partial products and lowers register pressure. Before the saturation
+//! phase existed the fold lived inline in the code generator; the
+//! e-graph factoring rewrite needs the identical grouping over plain
+//! `Expr`s, so the fold is defined once here over an abstract value
+//! algebra and both clients drive it.
+
+use crate::ast::{BinOp, Expr};
+
+/// The operations [`row_major_offset`] needs from a client: how to read
+/// the per-dimension inputs and how to combine values. Implementors
+/// choose the value domain — VIR operands for the code generator,
+/// [`Expr`] trees for the rewrite engine.
+pub trait OffsetAlgebra {
+    /// The value domain the fold combines.
+    type V;
+    /// The client's error type.
+    type E;
+
+    /// The index value for dimension `d` (outermost first), already in
+    /// the client's offset width.
+    fn index(&mut self, d: usize) -> Result<Self::V, Self::E>;
+
+    /// The lower bound of dimension `d`, or `None` when it is
+    /// statically zero (so no subtraction is emitted).
+    fn lower(&mut self, d: usize) -> Result<Option<Self::V>, Self::E>;
+
+    /// The extent of dimension `d`.
+    fn extent(&mut self, d: usize) -> Result<Self::V, Self::E>;
+
+    /// `a - b`.
+    fn sub(&mut self, a: Self::V, b: Self::V) -> Self::V;
+
+    /// `a * b`.
+    fn mul(&mut self, a: Self::V, b: Self::V) -> Self::V;
+
+    /// `a + b`.
+    fn add(&mut self, a: Self::V, b: Self::V) -> Self::V;
+}
+
+/// Fold a rank-`rank` reference into its row-major element offset:
+/// `((i0' * e1 + i1') * e2 + i2') ...`. Dimension 0's extent is never
+/// read; a rank-0 request is a client bug.
+pub fn row_major_offset<A: OffsetAlgebra>(rank: usize, alg: &mut A) -> Result<A::V, A::E> {
+    assert!(rank >= 1, "arrays have at least one dimension");
+    let mut acc: Option<A::V> = None;
+    for d in 0..rank {
+        let ix = alg.index(d)?;
+        let ix = match alg.lower(d)? {
+            Some(lb) => alg.sub(ix, lb),
+            None => ix,
+        };
+        acc = Some(match acc {
+            None => ix,
+            Some(prev) => {
+                let ext = alg.extent(d)?;
+                let scaled = alg.mul(prev, ext);
+                alg.add(scaled, ix)
+            }
+        });
+    }
+    Ok(acc.expect("rank >= 1"))
+}
+
+/// An [`OffsetAlgebra`] over plain expression trees: the form the
+/// factoring rewrite proposes to the e-graph. Constant folding is left
+/// to the consumer (the e-graph's own fold rule, or `Expr::as_const`).
+pub struct ExprOffset {
+    /// Index expression per dimension, outermost first.
+    pub indices: Vec<Expr>,
+    /// Lower bound per dimension (`None` = statically zero).
+    pub lowers: Vec<Option<Expr>>,
+    /// Extent per dimension.
+    pub extents: Vec<Expr>,
+}
+
+impl OffsetAlgebra for ExprOffset {
+    type V = Expr;
+    type E = std::convert::Infallible;
+
+    fn index(&mut self, d: usize) -> Result<Expr, Self::E> {
+        Ok(self.indices[d].clone())
+    }
+
+    fn lower(&mut self, d: usize) -> Result<Option<Expr>, Self::E> {
+        Ok(self.lowers[d].clone().filter(|e| e.as_const() != Some(0)))
+    }
+
+    fn extent(&mut self, d: usize) -> Result<Expr, Self::E> {
+        Ok(self.extents[d].clone())
+    }
+
+    fn sub(&mut self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, a, b)
+    }
+
+    fn mul(&mut self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, a, b)
+    }
+
+    fn add(&mut self, a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Add, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_expr;
+
+    fn fold(indices: &[&str], lowers: &[Option<&str>], extents: &[&str]) -> String {
+        let mut alg = ExprOffset {
+            indices: indices.iter().map(Expr::var).collect(),
+            lowers: lowers.iter().map(|l| l.map(Expr::var)).collect(),
+            extents: extents.iter().map(Expr::var).collect(),
+        };
+        let e = row_major_offset(indices.len(), &mut alg).unwrap();
+        print_expr(&e)
+    }
+
+    #[test]
+    fn rank_one_is_the_index() {
+        assert_eq!(fold(&["i"], &[None], &["n"]), "i");
+    }
+
+    #[test]
+    fn rank_three_groups_as_horner() {
+        // ((i * e1 + j) * e2 + k): the dim-clause grouping, not the
+        // expanded i*e1*e2 + j*e2 + k.
+        assert_eq!(
+            fold(&["i", "j", "k"], &[None, None, None], &["e0", "e1", "e2"]),
+            "(i * e1 + j) * e2 + k"
+        );
+    }
+
+    #[test]
+    fn lower_bounds_are_subtracted_per_dimension() {
+        assert_eq!(
+            fold(&["i", "j"], &[Some("li"), Some("lj")], &["e0", "e1"]),
+            "(i - li) * e1 + (j - lj)"
+        );
+    }
+
+    #[test]
+    fn zero_lower_bounds_emit_no_subtraction() {
+        let mut alg = ExprOffset {
+            indices: vec![Expr::var("i"), Expr::var("j")],
+            lowers: vec![Some(Expr::IntLit(0)), None],
+            extents: vec![Expr::var("e0"), Expr::var("e1")],
+        };
+        let e = row_major_offset(2, &mut alg).unwrap();
+        assert_eq!(print_expr(&e), "i * e1 + j");
+    }
+
+    #[test]
+    fn dimension_zero_extent_is_never_read() {
+        struct NoDim0Extent(ExprOffset);
+        impl OffsetAlgebra for NoDim0Extent {
+            type V = Expr;
+            type E = std::convert::Infallible;
+            fn index(&mut self, d: usize) -> Result<Expr, Self::E> {
+                self.0.index(d)
+            }
+            fn lower(&mut self, d: usize) -> Result<Option<Expr>, Self::E> {
+                self.0.lower(d)
+            }
+            fn extent(&mut self, d: usize) -> Result<Expr, Self::E> {
+                assert!(d > 0, "dimension 0 extent must not be read");
+                self.0.extent(d)
+            }
+            fn sub(&mut self, a: Expr, b: Expr) -> Expr {
+                self.0.sub(a, b)
+            }
+            fn mul(&mut self, a: Expr, b: Expr) -> Expr {
+                self.0.mul(a, b)
+            }
+            fn add(&mut self, a: Expr, b: Expr) -> Expr {
+                self.0.add(a, b)
+            }
+        }
+        let mut alg = NoDim0Extent(ExprOffset {
+            indices: vec![Expr::var("i"), Expr::var("j")],
+            lowers: vec![None, None],
+            extents: vec![Expr::var("e0"), Expr::var("e1")],
+        });
+        row_major_offset(2, &mut alg).unwrap();
+    }
+}

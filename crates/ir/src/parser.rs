@@ -643,7 +643,7 @@ impl<'a> Parser<'a> {
     }
 
     fn cmp_expr(&mut self) -> PResult<Expr> {
-        let mut lhs = self.add_expr()?;
+        let mut lhs = self.shift_expr()?;
         loop {
             let op = if self.eat_punct("<=") {
                 BinOp::Le
@@ -660,9 +660,18 @@ impl<'a> Parser<'a> {
             } else {
                 return Ok(lhs);
             };
-            let rhs = self.add_expr()?;
+            let rhs = self.shift_expr()?;
             lhs = Expr::bin(op, lhs, rhs);
         }
+    }
+
+    fn shift_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.add_expr()?;
+        while self.eat_punct("<<") {
+            let rhs = self.add_expr()?;
+            lhs = Expr::bin(BinOp::Shl, lhs, rhs);
+        }
+        Ok(lhs)
     }
 
     fn add_expr(&mut self) -> PResult<Expr> {

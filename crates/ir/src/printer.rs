@@ -285,11 +285,12 @@ fn prec(e: &Expr) -> u8 {
             BinOp::Or => 1,
             BinOp::And => 2,
             BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
-            BinOp::Add | BinOp::Sub => 4,
-            BinOp::Mul | BinOp::Div | BinOp::Rem => 5,
+            BinOp::Shl => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 6,
         },
-        Expr::Unary(..) | Expr::Cast(..) => 6,
-        _ => 7,
+        Expr::Unary(..) | Expr::Cast(..) => 7,
+        _ => 8,
     }
 }
 

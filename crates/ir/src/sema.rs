@@ -363,6 +363,9 @@ impl Checker {
                 if *op == BinOp::Rem && (lt.is_float() || rt.is_float()) {
                     return Err(SemaError::new("`%` requires integer operands"));
                 }
+                if *op == BinOp::Shl && (lt.is_float() || rt.is_float()) {
+                    return Err(SemaError::new("`<<` requires integer operands"));
+                }
                 if op.is_relational() {
                     Ok(ScalarTy::I32)
                 } else {

@@ -1,0 +1,234 @@
+//! Cost-based extraction: pick the cheapest representative of each
+//! class and rebuild an expression tree.
+//!
+//! The weights are a structural proxy for register pressure (shifts
+//! and casts are near-free, multiplies hold two live values longer,
+//! divides expand to long sequences, calls and memory reads pin
+//! several registers). They only need to *rank* candidate forms — the
+//! driver re-validates the extracted program against the real ptxas
+//! register model before accepting it, so a mis-ranked extraction can
+//! cost a missed win but never a regression.
+//!
+//! Determinism and termination:
+//!
+//! * Class costs are solved by fixpoint iteration from `∞` (the graph
+//!   may contain cycles through identity merges such as `x ≡ x + 0`),
+//!   scanning canonical ids ascending and node lists in insertion
+//!   order.
+//! * Node selection uses strict `<`, so the **first-inserted** node
+//!   wins ties — the original program shape survives unless a strictly
+//!   cheaper form exists, which keeps default-off byte-stability
+//!   trivial and saturated output stable across runs.
+//! * Every non-leaf weight is ≥ 1, so a chosen node's children have
+//!   strictly smaller class cost than the class itself and the
+//!   extraction recursion strictly descends.
+
+use super::{ClassId, EGraph, ENode};
+use safara_ir::{ArrayRef, BinOp, Expr};
+use std::collections::HashMap;
+
+/// Cost of the node itself, excluding children.
+pub fn node_weight(node: &ENode) -> u64 {
+    match node {
+        ENode::Int(_) | ENode::Float(_) | ENode::Var(_) => 0,
+        ENode::Cast(_, _) | ENode::Unary(_, _) => 1,
+        ENode::Bin(op, _, _) => bin_weight(*op),
+        ENode::Call(_, _) => 16,
+        ENode::Ref(_, _) => 3,
+    }
+}
+
+fn bin_weight(op: BinOp) -> u64 {
+    match op {
+        BinOp::Shl => 1,
+        BinOp::Add | BinOp::Sub => 2,
+        BinOp::Mul => 4,
+        BinOp::Div | BinOp::Rem => 16,
+        // Relational/logical ops are never rewritten, but roots may
+        // contain them; any finite weight works.
+        _ => 2,
+    }
+}
+
+/// Tree cost of a plain expression under the same weights — the
+/// "before" side of the phase's cost counters.
+pub fn expr_cost(e: &Expr) -> u64 {
+    match e {
+        Expr::IntLit(_) | Expr::FloatLit(_) | Expr::Var(_) => 0,
+        Expr::Unary(_, inner) => 1 + expr_cost(inner),
+        Expr::Cast(_, inner) => 1 + expr_cost(inner),
+        Expr::Binary(op, l, r) => bin_weight(*op) + expr_cost(l) + expr_cost(r),
+        Expr::Call(_, args) => 16 + args.iter().map(expr_cost).sum::<u64>(),
+        Expr::ArrayRef(a) => 3 + a.indices.iter().map(expr_cost).sum::<u64>(),
+    }
+}
+
+/// Minimum cost per class id (non-canonical ids mirror their
+/// canonical class). `u64::MAX` marks an unreachable class, which
+/// cannot occur for any class populated from a real expression.
+pub fn class_costs(eg: &EGraph) -> Vec<u64> {
+    let n = eg.num_ids();
+    let mut costs = vec![u64::MAX; n];
+    loop {
+        let mut changed = false;
+        for id in eg.canonical_ids() {
+            for node in eg.nodes(id) {
+                let mut total = node_weight(node);
+                let mut known = true;
+                for c in node.children() {
+                    let cc = costs[eg.find(c) as usize];
+                    if cc == u64::MAX {
+                        known = false;
+                        break;
+                    }
+                    total = total.saturating_add(cc);
+                }
+                if known && total < costs[id as usize] {
+                    costs[id as usize] = total;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for id in 0..n as ClassId {
+        costs[id as usize] = costs[eg.find(id) as usize];
+    }
+    costs
+}
+
+/// Rebuild the cheapest expression for class `id`. `memo` caches per
+/// canonical class so shared subexpressions extract once (and extract
+/// to the *same* tree, preserving CSE downstream).
+pub fn extract_class(
+    eg: &EGraph,
+    costs: &[u64],
+    id: ClassId,
+    memo: &mut HashMap<ClassId, Expr>,
+) -> Expr {
+    let id = eg.find(id);
+    if let Some(e) = memo.get(&id) {
+        return e.clone();
+    }
+    let target = costs[id as usize];
+    debug_assert_ne!(target, u64::MAX, "extracting an unreachable class");
+    // First node (insertion order) achieving the class cost.
+    let best = eg
+        .nodes(id)
+        .iter()
+        .find(|node| {
+            let mut total = node_weight(node);
+            for c in node.children() {
+                let cc = costs[eg.find(c) as usize];
+                if cc == u64::MAX {
+                    return false;
+                }
+                total = total.saturating_add(cc);
+            }
+            total == target
+        })
+        .expect("class cost is achieved by some member")
+        .clone();
+    let e = match &best {
+        ENode::Int(v) => Expr::IntLit(*v),
+        ENode::Float(bits) => Expr::FloatLit(f64::from_bits(*bits)),
+        ENode::Var(v) => Expr::Var(v.clone()),
+        ENode::Unary(op, c) => Expr::Unary(*op, Box::new(extract_class(eg, costs, *c, memo))),
+        ENode::Cast(ty, c) => Expr::Cast(*ty, Box::new(extract_class(eg, costs, *c, memo))),
+        ENode::Bin(op, a, b) => Expr::bin(
+            *op,
+            extract_class(eg, costs, *a, memo),
+            extract_class(eg, costs, *b, memo),
+        ),
+        ENode::Call(i, cs) => Expr::Call(
+            *i,
+            cs.iter().map(|&c| extract_class(eg, costs, c, memo)).collect(),
+        ),
+        ENode::Ref(a, cs) => Expr::ArrayRef(ArrayRef {
+            array: a.clone(),
+            indices: cs.iter().map(|&c| extract_class(eg, costs, c, memo)).collect(),
+        }),
+    };
+    memo.insert(id, e.clone());
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ENode, EGraph, TypeEnv};
+    use super::*;
+    use safara_ir::{printer::print_expr, Ident, ScalarTy};
+
+    fn int_env(vars: &[&str]) -> TypeEnv {
+        let mut env = TypeEnv::default();
+        for v in vars {
+            env.scalars.insert(Ident::new(v), ScalarTy::I32);
+        }
+        env
+    }
+
+    #[test]
+    fn identity_cycles_extract_to_the_leaf() {
+        // x ≡ x + 0 puts a self-referential Add into x's class; the
+        // fixpoint assigns the class cost 0 (the leaf) and extraction
+        // must pick the leaf, not recurse forever.
+        let mut eg = EGraph::new(int_env(&["x"]));
+        let x = eg.add(ENode::Var(Ident::new("x")));
+        let z = eg.add(ENode::Int(0));
+        let sum = eg.add(ENode::Bin(BinOp::Add, x, z));
+        eg.union(sum, x);
+        eg.rebuild();
+        let costs = class_costs(&eg);
+        assert_eq!(costs[eg.find(x) as usize], 0);
+        let mut memo = HashMap::new();
+        let e = extract_class(&eg, &costs, eg.find(sum), &mut memo);
+        assert_eq!(print_expr(&e), "x");
+    }
+
+    #[test]
+    fn ties_keep_the_first_inserted_node() {
+        // a + b and b + a cost the same; the original (first) ordering
+        // must win so unsaturated programs round-trip unchanged.
+        let mut eg = EGraph::new(int_env(&["a", "b"]));
+        let a = eg.add(ENode::Var(Ident::new("a")));
+        let b = eg.add(ENode::Var(Ident::new("b")));
+        let ab = eg.add(ENode::Bin(BinOp::Add, a, b));
+        let ba = eg.add(ENode::Bin(BinOp::Add, b, a));
+        eg.union(ab, ba);
+        eg.rebuild();
+        let costs = class_costs(&eg);
+        let mut memo = HashMap::new();
+        let e = extract_class(&eg, &costs, eg.find(ab), &mut memo);
+        assert_eq!(print_expr(&e), "a + b");
+    }
+
+    #[test]
+    fn shared_subexpressions_extract_to_identical_trees() {
+        let mut eg = EGraph::new(int_env(&["i", "j", "k"]));
+        let i = eg.add(ENode::Var(Ident::new("i")));
+        let j = eg.add(ENode::Var(Ident::new("j")));
+        let k = eg.add(ENode::Var(Ident::new("k")));
+        let ij = eg.add(ENode::Bin(BinOp::Add, i, j));
+        let m = eg.add(ENode::Bin(BinOp::Mul, ij, k));
+        let root = eg.add(ENode::Bin(BinOp::Add, m, ij));
+        let costs = class_costs(&eg);
+        let mut memo = HashMap::new();
+        let e = extract_class(&eg, &costs, root, &mut memo);
+        assert_eq!(print_expr(&e), "(i + j) * k + (i + j)");
+    }
+
+    #[test]
+    fn expr_cost_matches_class_cost_for_unrewritten_graphs() {
+        let mut eg = EGraph::new(int_env(&["i", "n"]));
+        let e = safara_ir::Expr::bin(
+            BinOp::Add,
+            safara_ir::Expr::bin(BinOp::Mul, safara_ir::Expr::var("i"), safara_ir::Expr::var("n")),
+            safara_ir::Expr::IntLit(7),
+        );
+        let root = eg.add_expr(&e);
+        let costs = class_costs(&eg);
+        assert_eq!(costs[root as usize], expr_cost(&e));
+    }
+}

@@ -16,13 +16,22 @@
 //!   [`strategy::carr_kennedy_pass`] (classical behaviour: inter-iteration
 //!   reuse is harvested even on parallelized loops, which then **must be
 //!   sequentialized** — the paper's Fig. 3 → Fig. 4 pitfall, reproduced
-//!   faithfully so its cost can be measured).
+//!   faithfully so its cost can be measured);
+//! * [`egraph`] — an equality-saturation phase run *ahead* of scalar
+//!   replacement: kernel expressions are hash-consed into an e-graph,
+//!   saturated with integer-ring rewrites (CSE, offset factoring,
+//!   strength reduction, guarded 32-bit narrowing), and re-extracted
+//!   by predicted register cost.
 
+pub mod egraph;
 pub mod select;
 pub mod strategy;
 pub mod transform;
 pub mod unroll;
 
+pub use egraph::{
+    saturate_region, RegionSaturation, SaturateConfig, SaturateError, SaturateStats, StopReason,
+};
 pub use select::{select_candidates, OptGoal, SelectionConfig, ThroughputContext};
 pub use strategy::{carr_kennedy_pass, safara_pass, safara_pass_with, SrOutcome};
 pub use transform::apply_group;

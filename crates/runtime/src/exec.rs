@@ -455,6 +455,12 @@ pub fn eval_i64(e: &Expr, env: &BTreeMap<Ident, ArgValue>) -> Result<i64, String
                     }
                     a % b
                 }
+                BinOp::Shl => {
+                    if !(0..64).contains(&b) {
+                        return Err(format!("shift count {b} out of range in host expression"));
+                    }
+                    a.wrapping_shl(b as u32)
+                }
                 BinOp::Lt => i64::from(a < b),
                 BinOp::Le => i64::from(a <= b),
                 BinOp::Gt => i64::from(a > b),

@@ -1113,6 +1113,20 @@ mod tests {
     }
 
     #[test]
+    fn saturated_profile_resolves_over_the_wire() {
+        let cfg = resolve_profile("safara_saturated").unwrap();
+        assert_eq!(cfg.name, "SAFARA(saturated)");
+        assert!(cfg.saturate);
+        // Every other wire profile keeps the e-graph phase off, so the
+        // pre-existing response corpus stays byte-identical.
+        for key in CompilerConfig::PROFILE_KEYS {
+            if key != "safara_saturated" {
+                assert!(!resolve_profile(key).unwrap().saturate, "{key}");
+            }
+        }
+    }
+
+    #[test]
     fn protocol_version_parses_and_defaults_to_v1() {
         assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap().v, 1);
         assert_eq!(parse_request(r#"{"op":"ping","v":1}"#).unwrap().v, 1);

@@ -1,0 +1,103 @@
+//! Golden pin for the `dim` clause's offset grouping, now that the
+//! hand-written address arithmetic in codegen and the e-graph's
+//! factoring rewrite share one implementation
+//! (`safara_ir::offset::row_major_offset`).
+//!
+//! The pin is a before/after pair per dim-using fig7 workload:
+//!
+//! * **before** (`small`, dim ignored): every array reference emits its
+//!   own dope arithmetic;
+//! * **after** (`small_dim`): grouped arrays share one offset
+//!   computation, so the kernel must strictly shrink;
+//! * the *after* lowering is frozen by an FNV-1a digest of the VIR —
+//!   any change to the shared offset builder that alters emitted code
+//!   trips this test.
+//!
+//! If an intentional codegen change moves the digests, rerun with
+//! `--nocapture` and copy the printed table back in.
+
+use safara_core::{compile, CompilerConfig};
+use safara_workloads::spec_suite;
+
+/// FNV-1a over the debug rendering of a kernel's instruction stream —
+/// stable across runs (no pointers or hash-map iteration in `Inst`'s
+/// `Debug`).
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// (workload, kernel, insts without dim, insts with dim, fnv64 of the
+/// dim-honored VIR).
+const GOLDEN: &[(&str, &str, usize, usize, u64)] = &[
+    ("355.seismic", "seismic_step_k0", 134, 100, 0xcfb641a5ecc164ad),
+    ("355.seismic", "seismic_step_k1", 134, 100, 0xcfb641a5ecc164ad),
+    ("355.seismic", "seismic_step_k2", 136, 90, 0x7d9cb7d14f28dee5),
+    ("355.seismic", "seismic_step_k3", 152, 110, 0xe417099fdac9bc77),
+    ("355.seismic", "seismic_step_k4", 91, 73, 0xd1ca7a055cfa3814),
+    ("355.seismic", "seismic_step_k5", 92, 74, 0xbe73b9867c4ea318),
+    ("355.seismic", "seismic_step_k6", 94, 76, 0x65994e93d2a45d41),
+    ("356.sp", "sp_step_k0", 61, 59, 0x179788e7441aacad),
+    ("356.sp", "sp_step_k1", 71, 61, 0xcb4edac2979b6f68),
+    ("356.sp", "sp_step_k2", 62, 60, 0x1df0ffcf172a5281),
+    ("356.sp", "sp_step_k3", 72, 54, 0x609c7a1968a12ff6),
+    ("356.sp", "sp_step_k4", 95, 61, 0xde863edf9d32582f),
+    ("356.sp", "sp_step_k5", 50, 48, 0x172b407ebf9a377f),
+    ("356.sp", "sp_step_k6", 88, 67, 0x80de01e124759bc0),
+    ("356.sp", "sp_step_k7", 150, 92, 0x805ee4454febce79),
+    ("356.sp", "sp_step_k8", 94, 70, 0xe67a99be8d3562d9),
+    ("356.sp", "sp_step_k9", 53, 51, 0xc1e34744aee38c27),
+    ("363.swim", "swim_step_k0", 142, 102, 0xfb01d82c9ff1986b),
+];
+
+#[test]
+fn dim_grouping_is_pinned_on_fig7_kernels() {
+    let before_cfg = CompilerConfig::small();
+    let after_cfg = CompilerConfig::small_dim();
+    let mut actual: Vec<(String, String, usize, usize, u64)> = Vec::new();
+    for w in spec_suite() {
+        if !w.uses_dim() {
+            continue;
+        }
+        let src = w.source();
+        let before = compile(&src, &before_cfg).expect("compile without dim");
+        let after = compile(&src, &after_cfg).expect("compile with dim");
+        let (bf, af) = (
+            before.function(w.entry()).unwrap(),
+            after.function(w.entry()).unwrap(),
+        );
+        assert_eq!(bf.kernels.len(), af.kernels.len(), "{}", w.name());
+        for (bk, ak) in bf.kernels.iter().zip(&af.kernels) {
+            actual.push((
+                w.name().to_string(),
+                ak.kernel.name.clone(),
+                bk.kernel.vir.insts.len(),
+                ak.kernel.vir.insts.len(),
+                fnv64(&format!("{:?}", ak.kernel.vir.insts)),
+            ));
+        }
+    }
+    let rendered = actual
+        .iter()
+        .map(|(w, k, b, a, h)| format!("    (\"{w}\", \"{k}\", {b}, {a}, {h:#x}),"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    println!("golden table:\n{rendered}");
+    assert!(!actual.is_empty(), "no dim-using fig7 workloads found");
+    // Grouping must genuinely share work: each dim-using kernel shrinks.
+    for (w, k, b, a, _) in &actual {
+        assert!(a < b, "{w}/{k}: dim grouping did not shrink the kernel ({a} vs {b})");
+    }
+    assert_eq!(actual.len(), GOLDEN.len(), "kernel set changed:\n{rendered}");
+    for ((w, k, b, a, h), (gw, gk, gb, ga, gh)) in actual.iter().zip(GOLDEN) {
+        assert_eq!(
+            (w.as_str(), k.as_str(), *b, *a, *h),
+            (*gw, *gk, *gb, *ga, *gh),
+            "golden drift; refreshed table:\n{rendered}"
+        );
+    }
+}

@@ -112,6 +112,52 @@ fn fig7_suite_byte_identical_across_engines_with_shared_spilling() {
     assert!(shared_spills > 0, "the 40-register cap never forced a shared spill");
 }
 
+/// Equality saturation only rewrites in the two's-complement integer
+/// ring, so the extracted program must be **bitwise identical in
+/// simulation output** to the unsaturated one — on every workload of
+/// the fig7 suite, under every engine. Two profile pairs are compared:
+/// plain SAFARA (factoring/strength-reduction territory) and the
+/// all-clauses profile with saturation, which additionally exercises
+/// the `small`-guarded narrowing and `dim`-group factoring paths.
+#[test]
+fn saturated_output_bitwise_identical_to_unsaturated() {
+    let _g = THRESHOLD_LOCK.lock().unwrap();
+    set_superblock_threshold(DEFAULT_SUPERBLOCK_THRESHOLD);
+    let dev = DeviceConfig::k20xm();
+    let observe = |w: &dyn Workload, config: &CompilerConfig, engine: Engine| {
+        gpusim::with_engine(engine, || {
+            let program = compile(&w.source(), config).expect("compile");
+            let mut args = w.args(Scale::Test);
+            program.run(w.entry(), &mut args, &dev).expect("run");
+            let verdict = w.check(&args, Scale::Test);
+            (args, verdict)
+        })
+    };
+    let pairs = [
+        (CompilerConfig::safara_only(), CompilerConfig::safara_saturated()),
+        (
+            CompilerConfig::safara_clauses(),
+            CompilerConfig::builder().safara(true).small(true).dim(true).saturate(true).build(),
+        ),
+    ];
+    for (greedy, saturated) in &pairs {
+        for w in spec_suite() {
+            let (args_g, chk_g) = observe(w.as_ref(), greedy, Engine::Reference);
+            assert!(chk_g.is_ok(), "{}: greedy checker: {chk_g:?}", w.name());
+            for engine in [Engine::Reference, Engine::Decoded, Engine::Superblock] {
+                let (args_s, chk_s) = observe(w.as_ref(), saturated, engine);
+                assert_eq!(chk_g, chk_s, "{}: checker verdict under {engine:?}", w.name());
+                assert_eq!(
+                    args_g,
+                    args_s,
+                    "{}: saturated output diverges bitwise under {engine:?}",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
 /// With the hot threshold at infinity the superblock engine must take
 /// the decoded code path wholesale — identical reports and buffers, and
 /// zero profiling overhead observable in behavior.

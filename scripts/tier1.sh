@@ -102,6 +102,46 @@ echo "$lb_err" | grep -q '"code":"launch_bounds"' \
 echo "$lb_err" | grep -q '"retryable":false' \
   || { echo "launch_bounds smoke: launch_bounds error must not be retryable" >&2; exit 1; }
 
+echo "== equality-saturation smoke (profile safara_saturated) =="
+# The same kernel through the wire under the default (greedy) profile
+# and under `safara_saturated` (the e-graph phase ahead of SAFARA): both
+# must succeed with bitwise-identical array payloads — saturation only
+# rewrites in the integer ring, so outputs can never move.
+sat_req() {
+  printf '{"id":%d,"op":"run","source":"void quad(int n, float x[n]) { #pragma acc kernels copy(x)\\n { #pragma acc loop gang vector\\n for (int i = 0; i < n; i++) { x[i * 4 / 4] = x[(i + i) / 2] * 2.0f; } } }","entry":"quad","profile":"%s","scalars":{"n":8},"arrays":{"x":{"elem":"f32","data":[1,2,3,4,5,6,7,8]}},"return_arrays":true}' \
+    "$1" "$2"
+}
+sat_out="$(printf '%s\n' "$(sat_req 7 safara_only)" "$(sat_req 8 safara_saturated)" \
+  | ./target/release/safara-serve --stdin --workers 1)"
+echo "$sat_out"
+echo "$sat_out" | grep -q '"id":7,"status":"ok"' \
+  || { echo "saturate smoke: greedy run failed" >&2; exit 1; }
+echo "$sat_out" | grep -q '"id":8,"status":"ok"' \
+  || { echo "saturate smoke: saturated profile failed to resolve or run" >&2; exit 1; }
+sat_uniq="$(echo "$sat_out" | grep -E '"id":[78]' | sed 's/"id":[78]//;s/"profile":"[^"]*"//' | sort -u | wc -l)"
+[ "$sat_uniq" = "1" ] \
+  || { echo "saturate smoke: greedy and saturated payloads differ" >&2; exit 1; }
+
+echo "== default-off byte-diff gate (results/*.txt untouched) =="
+# The saturation knob defaults to off; every checked-in results file
+# must be byte-identical to HEAD in the working tree (a regenerated
+# artifact would show up here as a diff).
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  git diff --exit-code -- results/ \
+    || { echo "byte-diff gate: results/ artifacts changed" >&2; exit 1; }
+else
+  echo "(not a git checkout; skipping)"
+fi
+
+echo "== clippy safara-opt (-D warnings) =="
+# The e-graph module gates on clippy by itself: rewrite/extraction loops
+# must stay lint-clean.
+if cargo clippy --version >/dev/null 2>&1; then
+  cargo clippy -q --release --offline -p safara-opt --all-targets -- -D warnings
+else
+  echo "== clippy not installed; skipping =="
+fi
+
 echo "== protocol v1 compat =="
 cargo test --release --offline -q -p safara-server --test v1_compat
 
@@ -110,10 +150,14 @@ echo "== chaos smoke (seeded fault injection + retry) =="
 # is forced to fail: request 1 must come back as a structured,
 # retryable `sim` error, and the identical retry (request 2) must
 # succeed — the wire-level proof of the retryable-error contract.
+# `--no-coalesce` models the real client, which retries only *after*
+# seeing the error: the stdin transport submits both lines up front, so
+# with single-flight on the "retry" would race into parking as a waiter
+# and (by design) inherit the leader's verdict.
 chaos_out="$(printf '%s\n' \
   '{"id":1,"v":2,"op":"run","source":"void dbl(int n, float x[n]) { #pragma acc kernels copy(x)\n { #pragma acc loop gang vector\n for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } } }","entry":"dbl","profile":"safara_only","scalars":{"n":8},"arrays":{"x":{"elem":"f32","data":[1,2,3,4,5,6,7,8]}}}' \
   '{"id":2,"v":2,"op":"run","source":"void dbl(int n, float x[n]) { #pragma acc kernels copy(x)\n { #pragma acc loop gang vector\n for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } } }","entry":"dbl","profile":"safara_only","scalars":{"n":8},"arrays":{"x":{"elem":"f32","data":[1,2,3,4,5,6,7,8]}}}' \
-  | ./target/release/safara-serve --stdin --workers 1 --fault sim:fail:1 --fault-seed 1)"
+  | ./target/release/safara-serve --stdin --workers 1 --no-coalesce --fault sim:fail:1 --fault-seed 1)"
 echo "$chaos_out"
 faulted_line="$(echo "$chaos_out" | grep '"id":1')"
 echo "$faulted_line" | grep -q '"status":"error"'
